@@ -1,0 +1,20 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment of DESIGN.md's index (E1-E14).
+Benchmarks assert correctness of the measured computation where ground
+truth is affordable, so `pytest benchmarks/ --benchmark-only` doubles as
+an end-to-end validation pass.
+"""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xBEEF)
+
+
+def seeded(seed: int) -> random.Random:
+    return random.Random(seed)

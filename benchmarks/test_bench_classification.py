@@ -1,0 +1,59 @@
+"""E2 + E12: the classification table and classifier cost vs |q|.
+
+E2 regenerates the paper's "classification table" (Example 3 and the
+other named queries) -- the reproduction's analogue of a results table.
+E12 measures that deciding the class takes polynomial time in |q|
+(Theorem 2's decidability claim).
+"""
+
+import pytest
+
+from repro.classification.classifier import classify
+from repro.workloads.queries import (
+    PAPER_QUERY_CLASSES,
+    conp_family,
+    fo_family,
+    nl_family,
+    ptime_family,
+)
+
+
+def classify_catalog():
+    return {q: str(classify(q).complexity) for q in PAPER_QUERY_CLASSES}
+
+
+def test_bench_e2_paper_table(benchmark):
+    """Classify the full catalog; assert every class matches the paper."""
+    result = benchmark(classify_catalog)
+    assert result == {
+        q: str(cls) for q, cls in PAPER_QUERY_CLASSES.items()
+    }
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_bench_e12_classifier_scaling_fo(benchmark, n):
+    """Classifier cost on (RX)^n -- polynomial in |q| (quadratic pairs)."""
+    query = fo_family(n)
+    result = benchmark(classify, query)
+    assert str(result.complexity) == "FO"
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_bench_e12_classifier_scaling_nl(benchmark, n):
+    query = nl_family(n)
+    result = benchmark(classify, query)
+    assert str(result.complexity) == "NL-complete"
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_bench_e12_classifier_scaling_ptime(benchmark, n):
+    query = ptime_family(n)
+    result = benchmark(classify, query)
+    assert str(result.complexity) == "PTIME-complete"
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_bench_e12_classifier_scaling_conp(benchmark, n):
+    query = conp_family(n)
+    result = benchmark(classify, query)
+    assert str(result.complexity) == "coNP-complete"

@@ -1,0 +1,60 @@
+"""E4 + E5 + ablation: the Figure 5 fixpoint algorithm.
+
+E4: the Figure 6 example run (q = RRX on the R-chain).
+E5: polynomial scaling in the number of facts, for queries of every
+tractable class (Theorem 3 upper bounds).
+Ablation: the N-relation computation vs the full solve (which adds the
+witness scan and, on "no", the repair construction).
+"""
+
+import pytest
+
+from repro.solvers.fixpoint import (
+    build_minimal_repair,
+    certain_answer_fixpoint,
+    fixpoint_relation,
+)
+from repro.workloads.generators import chain_instance, planted_instance
+from repro.workloads.paper_instances import figure6_instance
+
+from conftest import seeded
+
+
+def test_bench_e4_figure6_run(benchmark):
+    db = figure6_instance()
+    n = benchmark(fixpoint_relation, db, "RRX")
+    assert (0, 0) in n
+
+
+@pytest.mark.parametrize("n_facts", [50, 200, 800])
+@pytest.mark.parametrize("query", ["RRX", "RXRX", "RXRYRY"])
+def test_bench_e5_fixpoint_scaling(benchmark, query, n_facts):
+    """Near-linear growth in |db| for fixed q (all three classes)."""
+    rng = seeded(n_facts * 31 + len(query))
+    db = planted_instance(
+        rng, query, n_constants=max(8, n_facts // 8),
+        n_paths=n_facts // (len(query) * 4) + 1,
+        n_noise_facts=n_facts // 2, conflict_rate=0.4,
+    )
+    result = benchmark(certain_answer_fixpoint, db, query)
+    assert result.answer in (True, False)
+
+
+@pytest.mark.parametrize("repetitions", [10, 40, 160])
+def test_bench_e5_fixpoint_chain_scaling(benchmark, repetitions):
+    db = chain_instance("RRX", repetitions=repetitions, conflict_every=5)
+    result = benchmark(certain_answer_fixpoint, db, "RRX")
+    assert result.answer
+
+
+def test_bench_ablation_n_relation_only(benchmark):
+    """The raw fixpoint vs the full solve (see the full-solve bench above)."""
+    db = chain_instance("RRX", repetitions=40, conflict_every=5)
+    n = benchmark(fixpoint_relation, db, "RRX")
+    assert any(length == 0 for _, length in n)
+
+
+def test_bench_ablation_minimal_repair_construction(benchmark):
+    db = chain_instance("RXRYRY", repetitions=30, conflict_every=4)
+    repair = benchmark(build_minimal_repair, db, "RXRYRY")
+    assert repair.is_repair_of(db)

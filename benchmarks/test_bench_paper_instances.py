@@ -1,0 +1,43 @@
+"""E1 + E3: the paper's figure instances, solved end to end.
+
+E1: Figure 1 / Examples 1-2 (self-join vs self-join-free).
+E3: Figure 2 (RRX yes-instance) and Figure 3 (ARRX bifurcation,
+no-instance) -- the instances that motivate the whole classification.
+"""
+
+from repro.solvers.brute_force import certain_answer_brute_force
+from repro.solvers.certainty import certain_answer
+from repro.workloads.paper_instances import (
+    example1_q1,
+    example1_q2,
+    figure1_instance,
+    figure2_instance,
+    figure3_instance,
+)
+
+
+def test_bench_e1_figure1_self_join(benchmark):
+    db = figure1_instance()
+    q1 = example1_q1()
+    result = benchmark(certain_answer_brute_force, db, q1)
+    assert result.answer  # yes-instance for the self-join q1
+
+
+def test_bench_e1_figure1_self_join_free(benchmark):
+    db = figure1_instance()
+    q2 = example1_q2()
+    result = benchmark(certain_answer_brute_force, db, q2)
+    assert not result.answer  # no-instance for the SJF counterpart
+
+
+def test_bench_e3_figure2_rrx(benchmark):
+    db = figure2_instance()
+    result = benchmark(certain_answer, db, "RRX")
+    assert result.answer
+    assert result.witness_constant == 0
+
+
+def test_bench_e3_figure3_arrx(benchmark):
+    db = figure3_instance()
+    result = benchmark(certain_answer, db, "ARRX")
+    assert not result.answer

@@ -1,0 +1,62 @@
+"""E14: repair-space statistics.
+
+The number of repairs is the product of block sizes (exponential in the
+number of conflicts); enumeration cost tracks it, while counting is
+linear.  Also benchmarks uniform repair sampling.
+"""
+
+import pytest
+
+from repro.db.repairs import count_repairs, iter_repairs, random_repair
+from repro.workloads.generators import chain_instance, random_instance
+
+from conftest import seeded
+
+
+@pytest.mark.parametrize("n_facts", [100, 400, 1600])
+def test_bench_e14_counting(benchmark, n_facts):
+    rng = seeded(n_facts)
+    db = random_instance(rng, n_facts // 4, n_facts, ("R", "S"), 0.5)
+    total = benchmark(count_repairs, db)
+    assert total >= 1
+
+
+@pytest.mark.parametrize("conflicts", [4, 8, 12])
+def test_bench_e14_enumeration(benchmark, conflicts):
+    db = chain_instance("RS", repetitions=conflicts, conflict_every=2)
+    assert len(db.conflicting_blocks()) == conflicts
+
+    def enumerate_all():
+        return sum(1 for _ in iter_repairs(db))
+
+    total = benchmark(enumerate_all)
+    assert total == count_repairs(db) == 2 ** conflicts
+
+
+@pytest.mark.parametrize("n_facts", [100, 400])
+def test_bench_e14_sampling(benchmark, n_facts):
+    rng = seeded(n_facts)
+    db = random_instance(rng, n_facts // 4, n_facts, ("R", "S"), 0.5)
+    repair = benchmark(random_repair, db, rng)
+    assert repair.is_repair_of(db)
+
+
+@pytest.mark.parametrize("conflicts", [6, 10])
+def test_bench_e14_exact_sharp_certainty(benchmark, conflicts):
+    """Exact ♯CERTAINTY by enumeration (exponential baseline)."""
+    from repro.solvers.counting import count_satisfying_repairs
+
+    db = chain_instance("RRX", repetitions=conflicts, conflict_every=3)
+    count = benchmark(count_satisfying_repairs, db, "RRX")
+    assert count.total == count_repairs(db)
+
+
+@pytest.mark.parametrize("samples", [100, 400])
+def test_bench_e14_monte_carlo_sharp_certainty(benchmark, samples):
+    """Monte-Carlo ♯CERTAINTY estimation (polynomial per sample)."""
+    from repro.solvers.counting import estimate_satisfying_fraction
+
+    rng = seeded(samples)
+    db = chain_instance("RRX", repetitions=20, conflict_every=3)
+    fraction = benchmark(estimate_satisfying_fraction, db, "RRX", samples, rng)
+    assert 0.0 <= fraction <= 1.0

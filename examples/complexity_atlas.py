@@ -1,0 +1,106 @@
+"""The complexity atlas: classify query catalogs and visualize NFA(q).
+
+Reproduces the classification claims scattered through the paper
+(Examples 1-3, Figure 4, Claim 5, Lemma 3) and prints, for each named
+query: its conditions C1/C2/C3, its complexity class, the witness
+decomposition for the failed condition, and the rewind language explored
+up to a length bound.
+
+Run:  python examples/complexity_atlas.py
+"""
+
+from repro import classify
+from repro.automata.query_nfa import backward_transitions, nfa_min, query_nfa
+from repro.classification.regex_conditions import find_b1, find_b2a, find_b2b, find_b3
+from repro.experiments.harness import Table
+from repro.words.rewind import enumerate_language
+from repro.words.word import Word
+from repro.workloads.queries import PAPER_QUERY_CLASSES
+
+
+def atlas_table() -> Table:
+    table = Table(["query", "C1", "C2", "C3", "complexity", "violation witness"])
+    for text in PAPER_QUERY_CLASSES:
+        classification = classify(text)
+        witness = ""
+        if not classification.c1:
+            witness = "C1: {}".format(classification.c1_witness)
+        if not classification.c2:
+            witness = "C2: {}".format(classification.c2_witness)
+        if not classification.c3:
+            witness = "C3: {}".format(classification.c3_witness)
+        table.add_row(
+            [
+                text,
+                "+" if classification.c1 else "-",
+                "+" if classification.c2 else "-",
+                "+" if classification.c3 else "-",
+                classification.complexity,
+                witness,
+            ]
+        )
+    return table
+
+
+def show_automaton(q: str) -> None:
+    word = Word(q)
+    nfa = query_nfa(word)
+    print("NFA({}) -- states are prefix lengths 0..{}".format(q, len(word)))
+    print("  forward : " + ", ".join(
+        "{} -{}-> {}".format(i, symbol, i + 1) for i, symbol in enumerate(word)
+    ))
+    backwards = backward_transitions(word)
+    print("  backward: " + (", ".join(
+        "{} -ε-> {}".format(j, i) for j, i in backwards) or "(none)"))
+    minimal = nfa_min(word)
+    sample = [
+        "".join(w) for w in minimal.enumerate_accepted(len(word) + 3)
+    ]
+    print("  NFAmin language up to length {}: {}".format(len(word) + 3, sample))
+    print()
+
+
+def show_rewind_language(q: str, bound: int) -> None:
+    language = enumerate_language(q, bound)
+    print("L↬({}) up to length {}: {}".format(
+        q, bound, ", ".join(str(w) for w in language)))
+
+
+def show_decompositions(q: str) -> None:
+    print("Definition 1 witnesses for {}:".format(q))
+    for name, finder in [
+        ("B1", find_b1), ("B2a", find_b2a), ("B2b", find_b2b), ("B3", find_b3)
+    ]:
+        witness = finder(q)
+        print("  {:3s}: {}".format(name, witness if witness else "none"))
+    print()
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Classification atlas (Theorem 3) for the paper's named queries")
+    print("=" * 72)
+    print(atlas_table().render())
+    print()
+
+    print("=" * 72)
+    print("Figure 4: the automaton NFA(RXRRR)")
+    print("=" * 72)
+    show_automaton("RXRRR")
+
+    print("=" * 72)
+    print("Rewind languages (Definition 4)")
+    print("=" * 72)
+    for q in ("RRX", "RXRY", "TWITTER"):
+        show_rewind_language(q, len(q) + 4)
+    print()
+
+    print("=" * 72)
+    print("Regex characterizations (Section 4)")
+    print("=" * 72)
+    for q in ("RXRX", "RRX", "UVUVWV", "RXRYRY"):
+        show_decompositions(q)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""A data-integration audit: CQA over conflicting merged sources.
+
+The paper's motivating scenario: data integration leaves primary-key
+violations (the same key mapped to different values by different
+sources).  Instead of cleaning, consistent query answering returns the
+answers that hold *no matter how* the conflicts are resolved.
+
+We model an organizational reporting chain merged from two HR exports:
+
+* ``M(e, m)``   -- employee ``e`` reports to manager ``m`` (key: e);
+* ``D(m, d)``   -- manager ``m`` belongs to department ``d`` (key: m);
+* ``H(d, h)``   -- department ``d`` is headed by ``h`` (key: d).
+
+The two exports disagree on some employees' managers and some managers'
+departments.  The audit question "is there *some* employee whose report
+chain employee -> manager -> department -> head is intact in every
+repair?" is the Boolean path query ``q = MDH`` -- self-join-free, hence
+in FO (Theorem 1), answered by the first-order rewriting without looking
+at a single repair.
+
+A second question uses self-joins: "does the *deputy* table D chain two
+levels (a deputy whose deputy exists) whatever the conflicts?"  That is
+``q = DD``, in FO as well but via the self-join machinery (the intro's
+``RR`` rewriting φ).
+
+Run:  python examples/data_integration_audit.py
+"""
+
+import random
+
+from repro import DatabaseInstance, certain_answer, classify
+from repro.db.repairs import count_repairs, iter_repairs
+from repro.db.evaluation import path_query_satisfied
+
+
+def merged_hr_instance(rng: random.Random) -> DatabaseInstance:
+    """Merge two synthetic HR exports with overlapping, conflicting rows."""
+    employees = ["e{}".format(i) for i in range(8)]
+    managers = ["m{}".format(i) for i in range(4)]
+    departments = ["d{}".format(i) for i in range(3)]
+    heads = ["h{}".format(i) for i in range(3)]
+
+    triples = []
+    for source in range(2):
+        for e in employees:
+            triples.append(("M", e, rng.choice(managers)))
+        for m in managers:
+            triples.append(("D", m, rng.choice(departments)))
+        for d in departments:
+            triples.append(("H", d, rng.choice(heads)))
+    # Deputies: a self-joining chain over employees.
+    for e in employees[:5]:
+        triples.append(("V", e, rng.choice(employees)))
+        if rng.random() < 0.5:
+            triples.append(("V", e, rng.choice(employees)))
+    return DatabaseInstance.from_triples(triples)
+
+
+def main() -> None:
+    rng = random.Random(2021)
+    db = merged_hr_instance(rng)
+
+    print("Merged instance: {} facts, {} conflicting blocks, {} repairs".format(
+        len(db), len(db.conflicting_blocks()), count_repairs(db)))
+    print()
+
+    for q, description in [
+        ("MDH", "intact employee->manager->department->head chain"),
+        ("VV", "a two-level deputy chain"),
+        ("MDHH", "chain whose department head heads a department headed..."),
+    ]:
+        try:
+            classification = classify(q)
+        except Exception as exc:  # pragma: no cover
+            print(q, "->", exc)
+            continue
+        result = certain_answer(db, q)
+        print("Query {} ({}):".format(q, description))
+        print("  complexity: {}".format(classification.complexity))
+        print("  certain answer: {} (method: {})".format(result.answer, result.method))
+        if result.answer and result.witness_constant is not None:
+            print("  witness start: {}".format(result.witness_constant))
+        if not result.answer and result.falsifying_repair is not None:
+            repair = result.falsifying_repair
+            print("  counterexample repair resolves conflicts so the chain breaks")
+            assert not path_query_satisfied(q, repair)
+        print()
+
+    # Sanity: spot-check the FO answer against explicit repair enumeration
+    # when the repair count is small enough.
+    if count_repairs(db) <= 100_000:
+        expected = all(
+            path_query_satisfied("MDH", repair) for repair in iter_repairs(db)
+        )
+        assert certain_answer(db, "MDH").answer == expected
+        print("Brute-force cross-check over", count_repairs(db), "repairs: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: classify a path query and answer it over an inconsistent DB.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DatabaseInstance, certain_answer, classify
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Classify queries (Theorem 3: FO / NL / PTIME / coNP tetrachotomy).
+    # ------------------------------------------------------------------
+    print("The tetrachotomy on the paper's Example 3 queries:")
+    for q in ("RXRX", "RXRY", "RXRYRY", "RXRXRYRY"):
+        print("  ", classify(q))
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. An inconsistent database: Figure 2 of the paper.
+    #    Primary key = first attribute, so R(1,2) and R(1,3) conflict.
+    # ------------------------------------------------------------------
+    db = DatabaseInstance.from_triples(
+        [
+            ("R", 0, 1),
+            ("R", 1, 2),   # conflicting block R(1, *)
+            ("R", 1, 3),   # conflicting block R(1, *)
+            ("R", 2, 3),
+            ("X", 3, 4),
+        ]
+    )
+    print("Instance:", db)
+    print("Conflicting blocks:", [str(b) for b in db.conflicting_blocks()])
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Consistent query answering: is RRX true in EVERY repair?
+    # ------------------------------------------------------------------
+    result = certain_answer(db, "RRX")
+    print(result)
+    print("  method used:", result.method)
+    print("  witness start constant:", result.witness_constant)
+    print()
+
+    # A 'no' answer comes with a checkable certificate.
+    result = certain_answer(db, "RRR")
+    print(result)
+    if not result.answer:
+        print("  falsifying repair:", result.falsifying_repair)
+
+
+if __name__ == "__main__":
+    main()

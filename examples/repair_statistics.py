@@ -1,0 +1,71 @@
+"""Repair-space statistics: ♯CERTAINTY baselines and verified answers.
+
+Quantifies *why* consistent query answering needs the paper's algorithms:
+the number of repairs explodes exponentially with conflicts while the
+fraction of repairs satisfying a query stays a stable, estimable quantity
+-- and CERTAINTY(q) is the statement "that fraction is exactly 1", which
+the polynomial solvers decide without looking at a single repair.
+
+Run:  python examples/repair_statistics.py
+"""
+
+import random
+
+from repro.db.repairs import count_repairs
+from repro.experiments.harness import Table
+from repro.solvers.certainty import certain_answer
+from repro.solvers.counting import (
+    count_satisfying_repairs,
+    estimate_satisfying_fraction,
+)
+from repro.solvers.verify import verify_result
+from repro.workloads.generators import planted_instance
+
+
+def main() -> None:
+    rng = random.Random(20210620)
+    query = "RRX"
+
+    table = Table(
+        ["facts", "conflicts", "repairs", "sat_fraction", "estimate",
+         "certain", "verified"]
+    )
+    for noise in (2, 6, 10, 14, 18):
+        db = planted_instance(
+            rng, query, n_constants=6, n_paths=2,
+            n_noise_facts=noise, conflict_rate=0.55,
+        )
+        repairs = count_repairs(db)
+        if repairs <= 100_000:
+            exact = count_satisfying_repairs(db, query)
+            fraction = "{:.3f}".format(exact.fraction)
+        else:
+            exact = None
+            fraction = "(too many)"
+        estimate = estimate_satisfying_fraction(db, query, 400, rng)
+        result = certain_answer(db, query)
+        if exact is not None:
+            assert result.answer == exact.certain
+        report = verify_result(db, query, result)
+        table.add_row(
+            [
+                len(db),
+                len(db.conflicting_blocks()),
+                repairs,
+                fraction,
+                "{:.3f}".format(estimate),
+                result.answer,
+                "ok" if report.ok else "FAIL",
+            ]
+        )
+    print("♯CERTAINTY({}) statistics on planted instances".format(query))
+    print(table.render())
+    print()
+    print("The 'certain' column is the polynomial solver's answer;")
+    print("'sat_fraction' is the exact fraction of repairs satisfying q;")
+    print("certain == (fraction == 1.0) on every row, and every answer's")
+    print("certificate passed independent verification.")
+
+
+if __name__ == "__main__":
+    main()

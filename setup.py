@@ -1,0 +1,7 @@
+"""Legacy setup shim (the environment has no `wheel` package; this keeps
+`pip install -e .` on the setup.py-develop path).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro: Consistent Query Answering for Primary Keys on Path Queries.
+
+A complete reproduction of Koutris, Ouyang & Wijsen, *Consistent Query
+Answering for Primary Keys on Path Queries* (PODS 2021 / arXiv:2309.15270).
+
+Quickstart
+----------
+
+>>> from repro import DatabaseInstance, classify, certain_answer
+>>> str(classify("RRX").complexity)
+'NL-complete'
+>>> db = DatabaseInstance.from_triples(
+...     [("R", 0, 1), ("R", 1, 2), ("R", 1, 3), ("R", 2, 3), ("X", 3, 4)])
+>>> certain_answer(db, "RRX").answer        # Figure 2: a "yes"-instance
+True
+
+Public API
+----------
+
+* queries: :class:`PathQuery`, :class:`GeneralizedPathQuery`,
+  :class:`ConjunctiveQuery`, :class:`Word`;
+* data: :class:`Fact`, :class:`DatabaseInstance`, repair utilities;
+* classification: :func:`classify`, :func:`classify_generalized`,
+  :class:`ComplexityClass` (Theorem 3 / Theorems 4-5);
+* solving: :func:`certain_answer` (classification-driven dispatch) and
+  the individual solvers in :mod:`repro.solvers`;
+* hardness reductions, workload generators and the paper's own instances
+  in :mod:`repro.reductions` and :mod:`repro.workloads`.
+"""
+
+from repro.words.word import Word
+from repro.queries.atoms import Atom, Variable
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.queries.path_query import PathQuery, RootedPathQuery
+from repro.queries.generalized import GeneralizedPathQuery, TerminalWord
+from repro.db.facts import Fact
+from repro.db.instance import Block, DatabaseInstance
+from repro.db.repairs import count_repairs, iter_repairs
+from repro.classification.classifier import (
+    Classification,
+    ComplexityClass,
+    classify,
+    classify_generalized,
+)
+from repro.solvers.certainty import certain_answer
+from repro.solvers.result import CertaintyResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Word",
+    "Atom",
+    "Variable",
+    "ConjunctiveQuery",
+    "PathQuery",
+    "RootedPathQuery",
+    "GeneralizedPathQuery",
+    "TerminalWord",
+    "Fact",
+    "Block",
+    "DatabaseInstance",
+    "count_repairs",
+    "iter_repairs",
+    "Classification",
+    "ComplexityClass",
+    "classify",
+    "classify_generalized",
+    "certain_answer",
+    "CertaintyResult",
+    "__version__",
+]

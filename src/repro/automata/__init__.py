@@ -1,0 +1,34 @@
+"""Automata substrate (Section 5).
+
+Generic nondeterministic finite automata with ε-moves, deterministic
+automata via subset construction, and the query automata of the paper:
+``NFA(q)`` (Definition 3), ``S-NFA(q, u)`` (Definition 5) and
+``NFAmin(q)`` (Definition 13), plus their execution over database
+instances (Definitions 6 and 7).
+"""
+
+from repro.automata.nfa import NFA
+from repro.automata.dfa import DFA
+from repro.automata.query_nfa import (
+    backward_transitions,
+    nfa_min,
+    query_nfa,
+    s_nfa,
+)
+from repro.automata.runs import (
+    accepted_start_constants,
+    accepts_path_from,
+    states_set,
+)
+
+__all__ = [
+    "NFA",
+    "DFA",
+    "backward_transitions",
+    "nfa_min",
+    "query_nfa",
+    "s_nfa",
+    "accepted_start_constants",
+    "accepts_path_from",
+    "states_set",
+]

@@ -1,0 +1,279 @@
+"""Deterministic finite automata and the subset construction.
+
+Provides the DFA operations the paper's constructions need:
+
+* subset construction from an :class:`~repro.automata.nfa.NFA`;
+* completion, complement, product (intersection / difference);
+* the *shortest-prefix* transform behind ``NFAmin(q)`` (Definition 13):
+  a word is accepted iff it is accepted by the original automaton and no
+  proper prefix is -- obtained by deleting all transitions out of
+  accepting states;
+* emptiness and equivalence tests, and a partition-refinement minimizer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.automata.nfa import NFA
+
+Symbol = str
+
+
+class DFA:
+    """A (possibly partial) deterministic finite automaton.
+
+    States are integers ``0..n-1``; state 0 is initial.  Transitions are a
+    dict from ``(state, symbol)`` to state; missing entries are implicit
+    dead ends (partial DFA).
+    """
+
+    __slots__ = ("n_states", "alphabet", "transitions", "accepting")
+
+    def __init__(
+        self,
+        n_states: int,
+        alphabet: Iterable[Symbol],
+        transitions: Dict[Tuple[int, Symbol], int],
+        accepting: Iterable[int],
+    ) -> None:
+        self.n_states = n_states
+        self.alphabet: FrozenSet[Symbol] = frozenset(alphabet)
+        self.transitions = dict(transitions)
+        self.accepting: FrozenSet[int] = frozenset(accepting)
+        for (state, symbol), target in self.transitions.items():
+            if not (0 <= state < n_states and 0 <= target < n_states):
+                raise ValueError("transition out of range")
+            if symbol not in self.alphabet:
+                raise ValueError("unknown symbol {!r}".format(symbol))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_nfa(cls, nfa: NFA) -> "DFA":
+        """Subset construction (ε-closures included)."""
+        initial = nfa.epsilon_closure(nfa.initial)
+        index: Dict[FrozenSet, int] = {initial: 0}
+        order: List[FrozenSet] = [initial]
+        transitions: Dict[Tuple[int, Symbol], int] = {}
+        queue = [initial]
+        while queue:
+            current = queue.pop()
+            for symbol in nfa.alphabet:
+                target = nfa.step(current, symbol)
+                if not target:
+                    continue
+                if target not in index:
+                    index[target] = len(order)
+                    order.append(target)
+                    queue.append(target)
+                transitions[(index[current], symbol)] = index[target]
+        accepting = [
+            i for i, subset in enumerate(order) if subset & nfa.accepting
+        ]
+        return cls(len(order), nfa.alphabet, transitions, accepting)
+
+    def completed(self, alphabet: Optional[Iterable[Symbol]] = None) -> "DFA":
+        """A complete DFA (total transition function) adding a sink state."""
+        symbols = frozenset(alphabet) if alphabet is not None else self.alphabet
+        symbols |= self.alphabet
+        sink = self.n_states
+        transitions = dict(self.transitions)
+        needs_sink = False
+        for state in range(self.n_states):
+            for symbol in symbols:
+                if (state, symbol) not in transitions:
+                    transitions[(state, symbol)] = sink
+                    needs_sink = True
+        if needs_sink:
+            for symbol in symbols:
+                transitions[(sink, symbol)] = sink
+            return DFA(self.n_states + 1, symbols, transitions, self.accepting)
+        return DFA(self.n_states, symbols, transitions, self.accepting)
+
+    def complement(self, alphabet: Optional[Iterable[Symbol]] = None) -> "DFA":
+        """The complement DFA over the (possibly extended) alphabet."""
+        complete = self.completed(alphabet)
+        accepting = frozenset(range(complete.n_states)) - complete.accepting
+        return DFA(
+            complete.n_states, complete.alphabet, complete.transitions, accepting
+        )
+
+    def product(self, other: "DFA", mode: str = "intersection") -> "DFA":
+        """Product automaton; *mode* is ``intersection`` or ``difference``."""
+        a = self.completed(self.alphabet | other.alphabet)
+        b = other.completed(self.alphabet | other.alphabet)
+        index: Dict[Tuple[int, int], int] = {(0, 0): 0}
+        order = [(0, 0)]
+        transitions: Dict[Tuple[int, Symbol], int] = {}
+        queue = [(0, 0)]
+        while queue:
+            pair = queue.pop()
+            for symbol in a.alphabet:
+                target = (
+                    a.transitions[(pair[0], symbol)],
+                    b.transitions[(pair[1], symbol)],
+                )
+                if target not in index:
+                    index[target] = len(order)
+                    order.append(target)
+                    queue.append(target)
+                transitions[(index[pair], symbol)] = index[target]
+        if mode == "intersection":
+            accepting = [
+                i
+                for i, (x, y) in enumerate(order)
+                if x in a.accepting and y in b.accepting
+            ]
+        elif mode == "difference":
+            accepting = [
+                i
+                for i, (x, y) in enumerate(order)
+                if x in a.accepting and y not in b.accepting
+            ]
+        else:
+            raise ValueError("unknown product mode {!r}".format(mode))
+        return DFA(len(order), a.alphabet, transitions, accepting)
+
+    def shortest_prefix_transform(self) -> "DFA":
+        """Accept exactly the accepted words none of whose proper prefixes
+        are accepted (the ``NFAmin`` construction of Definition 13).
+
+        In a DFA this is achieved by deleting all outgoing transitions from
+        accepting states: a run then reaches an accepting state exactly at
+        the first accepted prefix.
+        """
+        transitions = {
+            (state, symbol): target
+            for (state, symbol), target in self.transitions.items()
+            if state not in self.accepting
+        }
+        return DFA(self.n_states, self.alphabet, transitions, self.accepting)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def step(self, state: Optional[int], symbol: Symbol) -> Optional[int]:
+        """One step; ``None`` is the implicit dead state."""
+        if state is None:
+            return None
+        return self.transitions.get((state, symbol))
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        state: Optional[int] = 0
+        for symbol in word:
+            state = self.step(state, symbol)
+            if state is None:
+                return False
+        return state in self.accepting
+
+    def is_empty(self) -> bool:
+        """True iff no accepting state is reachable."""
+        seen: Set[int] = {0}
+        stack = [0]
+        while stack:
+            state = stack.pop()
+            if state in self.accepting:
+                return False
+            for symbol in self.alphabet:
+                target = self.transitions.get((state, symbol))
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return True
+
+    def equivalent(self, other: "DFA") -> bool:
+        """Language equivalence via two symmetric-difference emptiness tests."""
+        return (
+            self.product(other, "difference").is_empty()
+            and other.product(self, "difference").is_empty()
+        )
+
+    def shortest_accepted(self) -> Optional[Tuple[Symbol, ...]]:
+        """A shortest accepted word, or ``None`` if the language is empty."""
+        from collections import deque
+
+        queue = deque([(0, ())])
+        seen = {0}
+        while queue:
+            state, word = queue.popleft()
+            if state in self.accepting:
+                return word
+            for symbol in sorted(self.alphabet):
+                target = self.transitions.get((state, symbol))
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    queue.append((target, word + (symbol,)))
+        return None
+
+    def enumerate_accepted(self, max_length: int) -> List[Tuple[Symbol, ...]]:
+        """All accepted words up to *max_length*, in length-lex order."""
+        results: List[Tuple[Symbol, ...]] = []
+        frontier: List[Tuple[int, Tuple[Symbol, ...]]] = [(0, ())]
+        for _ in range(max_length + 1):
+            next_frontier: List[Tuple[int, Tuple[Symbol, ...]]] = []
+            for state, word in frontier:
+                if state in self.accepting:
+                    results.append(word)
+                for symbol in sorted(self.alphabet):
+                    target = self.transitions.get((state, symbol))
+                    if target is not None:
+                        next_frontier.append((target, word + (symbol,)))
+            frontier = next_frontier
+        return results
+
+    def minimized(self) -> "DFA":
+        """Language-preserving minimization (Moore partition refinement).
+
+        Unreachable states are dropped first; the result is complete over
+        the same alphabet.
+        """
+        complete = self.completed()
+        reachable: Set[int] = {0}
+        stack = [0]
+        while stack:
+            state = stack.pop()
+            for symbol in complete.alphabet:
+                target = complete.transitions[(state, symbol)]
+                if target not in reachable:
+                    reachable.add(target)
+                    stack.append(target)
+        states = sorted(reachable)
+        symbols = sorted(complete.alphabet)
+        # Initial partition: accepting vs non-accepting.
+        labels = {s: (1 if s in complete.accepting else 0) for s in states}
+        while True:
+            signature = {
+                s: (labels[s],)
+                + tuple(labels[complete.transitions[(s, a)]] for a in symbols)
+                for s in states
+            }
+            groups: Dict[Tuple, int] = {}
+            new_labels = {}
+            for s in states:
+                group = groups.setdefault(signature[s], len(groups))
+                new_labels[s] = group
+            if new_labels == labels:
+                break
+            labels = new_labels
+        # Renumber so the initial state's class is 0.
+        remap = {labels[0]: 0}
+        for s in states:
+            remap.setdefault(labels[s], len(remap))
+        transitions = {}
+        for s in states:
+            for a in symbols:
+                transitions[(remap[labels[s]], a)] = remap[
+                    labels[complete.transitions[(s, a)]]
+                ]
+        accepting = {remap[labels[s]] for s in states if s in complete.accepting}
+        return DFA(len(remap), complete.alphabet, transitions, accepting)
+
+    def __repr__(self) -> str:
+        return "DFA(states={}, accepting={})".format(
+            self.n_states, sorted(self.accepting)
+        )

@@ -1,0 +1,198 @@
+"""Nondeterministic finite automata with ε-moves.
+
+A small, general NFA implementation sufficient for the paper's needs:
+membership testing, ε-closures, and conversion material for the subset
+construction in :mod:`repro.automata.dfa`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Mapping,
+    Set,
+    Tuple,
+)
+
+State = Hashable
+Symbol = str
+
+
+class NFA:
+    """An NFA with ε-moves.
+
+    Parameters
+    ----------
+    states:
+        The set of states.
+    alphabet:
+        The input alphabet.
+    transitions:
+        Mapping from ``(state, symbol)`` to a set of successor states.
+    epsilon:
+        Mapping from ``state`` to the set of ε-successors.
+    initial:
+        The initial state.
+    accepting:
+        The set of accepting states.
+    """
+
+    __slots__ = (
+        "_states",
+        "_alphabet",
+        "_transitions",
+        "_epsilon",
+        "_initial",
+        "_accepting",
+        "_closure_cache",
+    )
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Mapping[Tuple[State, Symbol], Iterable[State]],
+        epsilon: Mapping[State, Iterable[State]],
+        initial: State,
+        accepting: Iterable[State],
+    ) -> None:
+        self._states: FrozenSet[State] = frozenset(states)
+        self._alphabet: FrozenSet[Symbol] = frozenset(alphabet)
+        self._transitions: Dict[Tuple[State, Symbol], FrozenSet[State]] = {
+            key: frozenset(value) for key, value in transitions.items()
+        }
+        self._epsilon: Dict[State, FrozenSet[State]] = {
+            key: frozenset(value) for key, value in epsilon.items()
+        }
+        self._initial = initial
+        self._accepting: FrozenSet[State] = frozenset(accepting)
+        self._validate()
+        self._closure_cache: Dict[State, FrozenSet[State]] = {}
+
+    def _validate(self) -> None:
+        if self._initial not in self._states:
+            raise ValueError("initial state {!r} not in states".format(self._initial))
+        if not self._accepting <= self._states:
+            raise ValueError("accepting states must be a subset of states")
+        for (state, symbol), targets in self._transitions.items():
+            if state not in self._states or not targets <= self._states:
+                raise ValueError("transition {} uses unknown state".format((state, symbol)))
+            if symbol not in self._alphabet:
+                raise ValueError("transition uses unknown symbol {!r}".format(symbol))
+        for state, targets in self._epsilon.items():
+            if state not in self._states or not targets <= self._states:
+                raise ValueError("ε-transition from {!r} uses unknown state".format(state))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def states(self) -> FrozenSet[State]:
+        return self._states
+
+    @property
+    def alphabet(self) -> FrozenSet[Symbol]:
+        return self._alphabet
+
+    @property
+    def initial(self) -> State:
+        return self._initial
+
+    @property
+    def accepting(self) -> FrozenSet[State]:
+        return self._accepting
+
+    def successors(self, state: State, symbol: Symbol) -> FrozenSet[State]:
+        """δ(state, symbol), without ε-closure."""
+        return self._transitions.get((state, symbol), frozenset())
+
+    def epsilon_successors(self, state: State) -> FrozenSet[State]:
+        return self._epsilon.get(state, frozenset())
+
+    def with_initial(self, initial: State) -> "NFA":
+        """The same automaton started at a different state (Definition 5)."""
+        return NFA(
+            self._states,
+            self._alphabet,
+            self._transitions,
+            self._epsilon,
+            initial,
+            self._accepting,
+        )
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def epsilon_closure(self, state: State) -> FrozenSet[State]:
+        """All states reachable from *state* by ε-moves (including itself)."""
+        cached = self._closure_cache.get(state)
+        if cached is not None:
+            return cached
+        closure: Set[State] = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            for successor in self._epsilon.get(current, ()):
+                if successor not in closure:
+                    closure.add(successor)
+                    stack.append(successor)
+        result = frozenset(closure)
+        self._closure_cache[state] = result
+        return result
+
+    def closure_of(self, states: Iterable[State]) -> FrozenSet[State]:
+        """The ε-closure of a set of states."""
+        result: Set[State] = set()
+        for state in states:
+            result |= self.epsilon_closure(state)
+        return frozenset(result)
+
+    def step(self, states: FrozenSet[State], symbol: Symbol) -> FrozenSet[State]:
+        """One input step with ε-closure: ``closure(δ(states, symbol))``."""
+        moved: Set[State] = set()
+        for state in states:
+            moved |= self.successors(state, symbol)
+        return self.closure_of(moved)
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        """True iff the automaton accepts the given word."""
+        current = self.epsilon_closure(self._initial)
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self._accepting)
+
+    def accepts_from(self, state: State, word: Iterable[Symbol]) -> bool:
+        """True iff the word is accepted when starting at *state*."""
+        current = self.epsilon_closure(state)
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self._accepting)
+
+    def is_empty(self) -> bool:
+        """True iff the accepted language is empty (reachability check)."""
+        seen: Set[State] = set(self.epsilon_closure(self._initial))
+        stack = list(seen)
+        while stack:
+            state = stack.pop()
+            if state in self._accepting:
+                return False
+            for symbol in self._alphabet:
+                for successor in self.step(frozenset([state]), symbol):
+                    if successor not in seen:
+                        seen.add(successor)
+                        stack.append(successor)
+        return True
+
+    def __repr__(self) -> str:
+        return "NFA(states={}, initial={!r}, accepting={})".format(
+            len(self._states), self._initial, sorted(map(str, self._accepting))
+        )

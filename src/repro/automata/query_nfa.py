@@ -1,0 +1,97 @@
+"""The query automata ``NFA(q)``, ``S-NFA(q, u)``, ``NFAmin(q)``.
+
+Definition 3: the states of ``NFA(q)`` are the prefixes of ``q`` -- we
+represent the prefix of length ``i`` by the integer ``i``.  Transitions:
+
+* *forward*: ``i --q[i]--> i+1`` (reading the next relation name);
+* *backward*: ``j --ε--> i`` whenever ``1 <= i < j`` and
+  ``q[i-1] == q[j-1]`` (two prefixes ending in the same relation name;
+  these capture the *rewinding* operation).
+
+The initial state is ``0`` (the empty prefix) and the only accepting state
+is ``|q|``.  Lemma 4: ``NFA(q)`` accepts exactly ``L↬(q)``.
+
+``S-NFA(q, u)`` (Definition 5) is ``NFA(q)`` started at the state ``|u|``.
+``NFAmin(q)`` (Definition 13) accepts the accepted words without accepted
+proper prefixes; we realize it as a DFA via the shortest-prefix transform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.words.word import Word, WordLike
+
+
+def backward_transitions(q: WordLike) -> List[Tuple[int, int]]:
+    """All backward ε-transitions ``(source, target)`` of ``NFA(q)``.
+
+    ``(j, i)`` with ``i < j`` is present when the prefixes of length ``i``
+    and ``j`` end with the same relation name.
+    """
+    q = Word.coerce(q)
+    result = []
+    for j in range(1, len(q) + 1):
+        for i in range(1, j):
+            if q[i - 1] == q[j - 1]:
+                result.append((j, i))
+    return result
+
+
+def query_nfa(q: WordLike) -> NFA:
+    """``NFA(q)`` (Definition 3), with integer states ``0..|q|``.
+
+    >>> nfa = query_nfa("RXRRR")        # Figure 4
+    >>> nfa.accepts(list("RXRRR"))
+    True
+    >>> nfa.accepts(list("RXRXRRR"))    # one rewind of the RXR factor
+    True
+    """
+    q = Word.coerce(q)
+    states = range(len(q) + 1)
+    transitions: Dict[Tuple[int, str], Set[int]] = {}
+    for i, symbol in enumerate(q):
+        transitions.setdefault((i, symbol), set()).add(i + 1)
+    epsilon: Dict[int, Set[int]] = {}
+    for j, i in backward_transitions(q):
+        epsilon.setdefault(j, set()).add(i)
+    return NFA(
+        states=states,
+        alphabet=q.alphabet() if q else frozenset(),
+        transitions=transitions,
+        epsilon=epsilon,
+        initial=0,
+        accepting=[len(q)],
+    )
+
+
+def s_nfa(q: WordLike, prefix_length: int) -> NFA:
+    """``S-NFA(q, u)`` (Definition 5): ``NFA(q)`` started at prefix ``u``.
+
+    *prefix_length* is ``|u|``; ``s_nfa(q, 0) == NFA(q)``.
+    """
+    q = Word.coerce(q)
+    if not 0 <= prefix_length <= len(q):
+        raise ValueError(
+            "prefix length {} out of range for |q|={}".format(prefix_length, len(q))
+        )
+    return query_nfa(q).with_initial(prefix_length)
+
+
+def nfa_min(q: WordLike) -> DFA:
+    """``NFAmin(q)`` (Definition 13) as a deterministic automaton.
+
+    Accepts ``w`` iff ``w ∈ L↬(q)`` and no proper prefix of ``w`` is in
+    ``L↬(q)``.  Built by determinizing ``NFA(q)`` and deleting outgoing
+    transitions from accepting states.
+    """
+    return DFA.from_nfa(query_nfa(q)).shortest_prefix_transform()
+
+
+def language_contains(q: WordLike, word: WordLike) -> bool:
+    """Membership test ``word ∈ L↬(q)`` via ``NFA(q)`` (Lemma 4)."""
+    q = Word.coerce(q)
+    word = Word.coerce(word)
+    return query_nfa(q).accepts(word.symbols)

@@ -1,0 +1,126 @@
+"""Executing query automata over database instances (Definitions 6, 7).
+
+A path of a database instance is *accepted* by an automaton if its trace
+is.  For a consistent instance ``r``:
+
+* ``start(q, r)`` (Definition 6) is the set of constants ``c`` such that
+  some path of ``r`` starting at ``c`` is accepted by ``NFA(q)``;
+* the *states set* ``ST_q(f, r)`` (Definition 7) of a fact ``f`` collects
+  the states ``uR`` such that ``S-NFA(q, u)`` accepts a path starting with
+  ``f``.
+
+Both are computed by a backward fixpoint over the product of the instance
+with the automaton: ``good(c, s)`` holds iff some path from ``c`` is
+accepted when the automaton starts in state ``s``.  Paths may reuse facts
+(they are walks), so plain reachability in the product graph is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Set, Tuple
+
+from repro.automata.nfa import NFA
+from repro.db.instance import DatabaseInstance
+from repro.db.facts import Fact
+from repro.words.word import Word, WordLike
+from repro.automata.query_nfa import query_nfa
+
+
+def good_product_states(
+    db: DatabaseInstance, nfa: NFA
+) -> Set[Tuple[Hashable, Hashable]]:
+    """All product states ``(c, s)`` from which acceptance is reachable.
+
+    ``(c, s)`` is *good* iff there is a (possibly empty) path of *db*
+    starting at ``c`` whose trace is accepted by the automaton started in
+    state ``s``.  Computed as a least fixpoint with a worklist, iterating
+    the rule: ``(c, s)`` is good if ``closure(s)`` contains an accepting
+    state, or some fact ``R(c, d)`` and state ``s' ∈ δ(closure(s), R)``
+    have ``(d, s')`` good.
+    """
+    good: Set[Tuple[Hashable, Hashable]] = set()
+    # Incoming-edge index on the product graph, built lazily: for each
+    # product state we may reach, remember which (c, s) can step into it.
+    predecessors: Dict[
+        Tuple[Hashable, Hashable], Set[Tuple[Hashable, Hashable]]
+    ] = {}
+    all_states = []
+    for constant in db.adom():
+        for state in nfa.states:
+            all_states.append((constant, state))
+    # Build product edges (c, s) -> (d, s').
+    for constant, state in all_states:
+        closure = nfa.epsilon_closure(state)
+        for relation in nfa.alphabet:
+            targets: Set[Hashable] = set()
+            for s in closure:
+                targets |= nfa.successors(s, relation)
+            if not targets:
+                continue
+            for fact in db.out_facts(constant, relation):
+                for target_state in targets:
+                    predecessors.setdefault(
+                        (fact.value, target_state), set()
+                    ).add((constant, state))
+    # Base: ε-closure touches an accepting state.
+    worklist = []
+    for constant, state in all_states:
+        if nfa.epsilon_closure(state) & nfa.accepting:
+            good.add((constant, state))
+            worklist.append((constant, state))
+    while worklist:
+        node = worklist.pop()
+        for predecessor in predecessors.get(node, ()):  # noqa: B020
+            if predecessor not in good:
+                good.add(predecessor)
+                worklist.append(predecessor)
+    return good
+
+
+def accepts_path_from(
+    db: DatabaseInstance, nfa: NFA, constant: Hashable
+) -> bool:
+    """True iff some path of *db* starting at *constant* is accepted."""
+    return (constant, nfa.initial) in good_product_states(db, nfa)
+
+
+def accepted_start_constants(
+    db: DatabaseInstance, q: WordLike
+) -> FrozenSet[Hashable]:
+    """``start(q, db)`` (Definition 6) for a (typically consistent) instance.
+
+    The set of constants ``c`` with an ``NFA(q)``-accepted path from ``c``.
+    The definition targets consistent instances (repairs) but the
+    computation is meaningful for any instance.
+    """
+    nfa = query_nfa(q)
+    good = good_product_states(db, nfa)
+    return frozenset(c for c in db.adom() if (c, nfa.initial) in good)
+
+
+def states_set(
+    db: DatabaseInstance, q: WordLike, fact: Fact
+) -> FrozenSet[int]:
+    """The states set ``ST_q(f, db)`` (Definition 7), as prefix lengths.
+
+    ``uR ∈ ST_q(f, r)`` iff ``S-NFA(q, u)`` accepts a path of ``r``
+    starting with the fact ``f``; the returned set contains ``|uR|`` for
+    each such state.  All returned lengths index prefixes of ``q`` ending
+    with ``f``'s relation name (see the remark after Definition 7).
+    """
+    q = Word.coerce(q)
+    nfa = query_nfa(q)
+    good = good_product_states(db, nfa)
+    result: Set[int] = set()
+    for u_len in range(len(q)):
+        if q[u_len] != fact.relation:
+            continue
+        # S-NFA(q, u) reads fact f = R(key, value): from closure(u) take an
+        # R-transition, landing in states T; accept if some (value, t) is
+        # good.  The landing states are exactly {i+1 : i in closure(u_len),
+        # q[i] == R}.
+        closure = nfa.epsilon_closure(u_len)
+        landing = {i + 1 for i in closure if i < len(q) and q[i] == fact.relation}
+        if any((fact.value, t) in good for t in landing):
+            result.add(u_len + 1)
+    return frozenset(result)

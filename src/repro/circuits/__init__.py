@@ -1,0 +1,5 @@
+"""Monotone Boolean circuits for the PTIME-hardness reduction (Lemma 20)."""
+
+from repro.circuits.circuit import Gate, MonotoneCircuit, random_monotone_circuit
+
+__all__ = ["Gate", "MonotoneCircuit", "random_monotone_circuit"]

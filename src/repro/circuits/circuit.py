@@ -1,0 +1,132 @@
+"""Monotone Boolean circuits and the Monotone Circuit Value Problem.
+
+MCVP -- evaluate a monotone circuit (AND/OR gates over input variables)
+under a given input assignment -- is PTIME-complete (Goldschlager 1977)
+and is the source problem of the Lemma 20 reduction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A binary monotone gate ``name = left OP right``.
+
+    *op* is ``"and"`` or ``"or"``; *left*/*right* name gates or inputs.
+    """
+
+    name: str
+    op: str
+    left: str
+    right: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or"):
+            raise ValueError("monotone gates must be 'and' or 'or'")
+
+    def __str__(self) -> str:
+        symbol = "∧" if self.op == "and" else "∨"
+        return "{} = {} {} {}".format(self.name, self.left, symbol, self.right)
+
+
+class MonotoneCircuit:
+    """A monotone Boolean circuit.
+
+    Gates must be listed in (or admit) a topological order: every gate
+    input is either a circuit input or an earlier gate.
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[str],
+        gates: Iterable[Gate],
+        output: str,
+    ) -> None:
+        self.inputs: List[str] = list(inputs)
+        self.gates: List[Gate] = list(gates)
+        self.output = output
+        self._validate()
+
+    def _validate(self) -> None:
+        defined = set(self.inputs)
+        if len(defined) != len(self.inputs):
+            raise ValueError("duplicate input names")
+        for gate in self.gates:
+            if gate.name in defined:
+                raise ValueError("duplicate definition of {}".format(gate.name))
+            for operand in (gate.left, gate.right):
+                if operand not in defined:
+                    raise ValueError(
+                        "gate {} uses undefined operand {} "
+                        "(gates must be topologically ordered)".format(
+                            gate.name, operand
+                        )
+                    )
+            defined.add(gate.name)
+        if self.output not in defined:
+            raise ValueError("output {} is undefined".format(self.output))
+
+    def gate_names(self) -> List[str]:
+        return [gate.name for gate in self.gates]
+
+    def evaluate(self, assignment: Dict[str, bool]) -> Dict[str, bool]:
+        """Values of all wires under the input *assignment*.
+
+        Missing inputs default to ``False`` (monotonicity makes this the
+        conservative choice).
+        """
+        values: Dict[str, bool] = {
+            name: bool(assignment.get(name, False)) for name in self.inputs
+        }
+        for gate in self.gates:
+            left = values[gate.left]
+            right = values[gate.right]
+            values[gate.name] = (left and right) if gate.op == "and" else (left or right)
+        return values
+
+    def value(self, assignment: Dict[str, bool]) -> bool:
+        """The output value under *assignment* (the MCVP answer)."""
+        return self.evaluate(assignment)[self.output]
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __str__(self) -> str:
+        lines = ["inputs: " + ", ".join(self.inputs)]
+        lines += [str(gate) for gate in self.gates]
+        lines.append("output: " + self.output)
+        return "\n".join(lines)
+
+
+def random_monotone_circuit(
+    n_inputs: int, n_gates: int, rng: random.Random
+) -> MonotoneCircuit:
+    """A random monotone circuit with binary AND/OR gates.
+
+    Each gate draws two distinct earlier wires; the output is the last
+    gate, which makes the circuit's value depend on a long chain with
+    reasonable probability.
+    """
+    if n_inputs < 2 or n_gates < 1:
+        raise ValueError("need at least two inputs and one gate")
+    inputs = ["x{}".format(i + 1) for i in range(n_inputs)]
+    wires = list(inputs)
+    gates = []
+    for index in range(n_gates):
+        name = "g{}".format(index + 1)
+        left, right = rng.sample(wires, 2)
+        op = "and" if rng.random() < 0.5 else "or"
+        gates.append(Gate(name, op, left, right))
+        wires.append(name)
+    return MonotoneCircuit(inputs, gates, gates[-1].name)
+
+
+def random_assignment(
+    inputs: Sequence[str], rng: random.Random, p_true: float = 0.5
+) -> Dict[str, bool]:
+    """An independent random assignment for the circuit inputs."""
+    return {name: rng.random() < p_true for name in inputs}

@@ -1,0 +1,78 @@
+"""The complexity classification of CERTAINTY(q) (Sections 3, 4, 8).
+
+* :mod:`repro.classification.conditions` -- the syntactic conditions C1,
+  C2, C3 (Section 3), decidable in polynomial time in ``|q|``;
+* :mod:`repro.classification.regex_conditions` -- the regex properties
+  B1, B2a, B2b, B3 (Definition 1) with explicit decompositions;
+* :mod:`repro.classification.witnesses` -- violation witnesses (the
+  decompositions used by the hardness reductions, and the Lemma 3 factor
+  forms);
+* :mod:`repro.classification.generalized` -- conditions D1, D2, D3 for
+  generalized path queries (Section 8);
+* :mod:`repro.classification.classifier` -- the tetrachotomy classifier
+  (Theorem 3) and the generalized classifier (Theorems 4, 5).
+"""
+
+from repro.classification.conditions import (
+    satisfies_c1,
+    satisfies_c2,
+    satisfies_c3,
+)
+from repro.classification.regex_conditions import (
+    Decomposition,
+    find_b1,
+    find_b2a,
+    find_b2b,
+    find_b3,
+    iter_b2a,
+    iter_b2b,
+    satisfies_b1,
+    satisfies_b2a,
+    satisfies_b2b,
+    satisfies_b3,
+)
+from repro.classification.witnesses import (
+    c1_violation,
+    c2_violation,
+    c3_violation,
+    lemma3_factor_witness,
+)
+from repro.classification.generalized import (
+    satisfies_d1,
+    satisfies_d2,
+    satisfies_d3,
+)
+from repro.classification.classifier import (
+    Classification,
+    ComplexityClass,
+    classify,
+    classify_generalized,
+)
+
+__all__ = [
+    "satisfies_c1",
+    "satisfies_c2",
+    "satisfies_c3",
+    "Decomposition",
+    "find_b1",
+    "find_b2a",
+    "find_b2b",
+    "find_b3",
+    "iter_b2a",
+    "iter_b2b",
+    "satisfies_b1",
+    "satisfies_b2a",
+    "satisfies_b2b",
+    "satisfies_b3",
+    "c1_violation",
+    "c2_violation",
+    "c3_violation",
+    "lemma3_factor_witness",
+    "satisfies_d1",
+    "satisfies_d2",
+    "satisfies_d3",
+    "Classification",
+    "ComplexityClass",
+    "classify",
+    "classify_generalized",
+]

@@ -1,0 +1,172 @@
+"""The tetrachotomy classifier (Theorems 2, 3) and its Section 8 extension.
+
+For every path query ``q``, ``CERTAINTY(q)`` is
+
+* in FO                if ``q`` satisfies C1,
+* NL-complete          if ``q`` satisfies C2 but not C1,
+* PTIME-complete       if ``q`` satisfies C3 but not C2,
+* coNP-complete        if ``q`` violates C3,
+
+and which case applies is decidable in polynomial time in ``|q|``
+(Theorem 3).  For generalized path queries the same scheme holds with
+D1/D2/D3 (Theorem 4); when at least one constant is present the PTIME case
+collapses and the classification is a trichotomy FO / NL-complete /
+coNP-complete (Theorem 5, via Lemma 30: with a constant, D3 implies D2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.classification.conditions import (
+    satisfies_c1,
+    satisfies_c2,
+    satisfies_c3,
+)
+from repro.classification.generalized import (
+    satisfies_d1,
+    satisfies_d2,
+    satisfies_d3,
+)
+from repro.classification.witnesses import (
+    c1_violation,
+    c2_violation,
+    c3_violation,
+)
+from repro.queries.generalized import GeneralizedPathQuery
+from repro.queries.path_query import PathQuery
+from repro.words.word import Word, WordLike
+
+
+class ComplexityClass(enum.Enum):
+    """The four complexity classes of Theorem 2."""
+
+    FO = "FO"
+    NL_COMPLETE = "NL-complete"
+    PTIME_COMPLETE = "PTIME-complete"
+    CONP_COMPLETE = "coNP-complete"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_tractable(self) -> bool:
+        """True for the classes with polynomial-time CERTAINTY(q)."""
+        return self is not ComplexityClass.CONP_COMPLETE
+
+    @property
+    def is_first_order(self) -> bool:
+        return self is ComplexityClass.FO
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The outcome of classifying a (generalized) path query.
+
+    Carries the complexity class, the truth values of the syntactic
+    conditions, and -- when a condition fails -- the violation witness the
+    corresponding hardness reduction consumes.
+    """
+
+    query: str
+    complexity: ComplexityClass
+    c1: bool
+    c2: bool
+    c3: bool
+    c1_witness: Optional[object] = None
+    c2_witness: Optional[object] = None
+    c3_witness: Optional[object] = None
+    has_constants: bool = False
+
+    def __str__(self) -> str:
+        conditions = "C1" if not self.has_constants else "D1"
+        flags = []
+        for name, value in (("1", self.c1), ("2", self.c2), ("3", self.c3)):
+            prefix = conditions[0]
+            flags.append("{}{}={}".format(prefix, name, "+" if value else "-"))
+        return "{}: {} [{}]".format(self.query, self.complexity, " ".join(flags))
+
+
+QueryInput = Union[WordLike, PathQuery, GeneralizedPathQuery]
+
+
+def _to_word(q: QueryInput) -> Word:
+    if isinstance(q, PathQuery):
+        return q.word
+    if isinstance(q, GeneralizedPathQuery):
+        raise TypeError("use classify_generalized for queries with constants")
+    return Word.coerce(q)
+
+
+def classify(q: QueryInput) -> Classification:
+    """Classify ``CERTAINTY(q)`` for a constant-free path query (Theorem 3).
+
+    >>> str(classify("RXRX").complexity)      # Example 3
+    'FO'
+    >>> str(classify("RXRY").complexity)
+    'NL-complete'
+    >>> str(classify("RXRYRY").complexity)
+    'PTIME-complete'
+    >>> str(classify("RXRXRYRY").complexity)
+    'coNP-complete'
+    """
+    if isinstance(q, GeneralizedPathQuery) and q.has_constants():
+        return classify_generalized(q)
+    if isinstance(q, GeneralizedPathQuery):
+        q = q.to_path_query()
+    word = _to_word(q)
+    c1 = satisfies_c1(word)
+    c2 = satisfies_c2(word)
+    c3 = satisfies_c3(word)
+    if c1:
+        complexity = ComplexityClass.FO
+    elif c2:
+        complexity = ComplexityClass.NL_COMPLETE
+    elif c3:
+        complexity = ComplexityClass.PTIME_COMPLETE
+    else:
+        complexity = ComplexityClass.CONP_COMPLETE
+    return Classification(
+        query=str(word),
+        complexity=complexity,
+        c1=c1,
+        c2=c2,
+        c3=c3,
+        c1_witness=None if c1 else c1_violation(word),
+        c2_witness=None if c2 else c2_violation(word),
+        c3_witness=None if c3 else c3_violation(word),
+    )
+
+
+def classify_generalized(q: GeneralizedPathQuery) -> Classification:
+    """Classify a generalized path query (Theorems 4 and 5).
+
+    Constant-free queries fall back to :func:`classify`.  With at least
+    one constant the result is FO, NL-complete or coNP-complete
+    (Theorem 5): D3 implies D2 in the presence of constants (Lemma 30),
+    so the PTIME-complete case cannot arise.
+    """
+    if not q.has_constants():
+        return classify(q.to_path_query())
+    d1 = satisfies_d1(q)
+    d2 = satisfies_d2(q)
+    d3 = satisfies_d3(q)
+    if d1:
+        complexity = ComplexityClass.FO
+    elif d2:
+        complexity = ComplexityClass.NL_COMPLETE
+    elif d3:
+        # Unreachable by Lemma 30; kept for defensive completeness.
+        complexity = ComplexityClass.PTIME_COMPLETE
+    else:
+        complexity = ComplexityClass.CONP_COMPLETE
+    return Classification(
+        query=str(q),
+        complexity=complexity,
+        c1=d1,
+        c2=d2,
+        c3=d3,
+        has_constants=True,
+    )

@@ -1,0 +1,94 @@
+"""The syntactic conditions C1, C2, C3 (Section 3).
+
+Let ``R`` be any relation name in ``q`` and ``u, v, w`` (possibly empty)
+words:
+
+* **C1**: whenever ``q = uRvRw``, ``q`` is a *prefix* of ``uRvRvRw``;
+* **C2**: whenever ``q = uRvRw``, ``q`` is a *factor* of ``uRvRvRw``; and
+  whenever ``q = uRv1Rv2Rw`` for *consecutive* occurrences of ``R``,
+  ``v1 = v2`` or ``Rw`` is a prefix of ``Rv1``;
+* **C3**: whenever ``q = uRvRw``, ``q`` is a *factor* of ``uRvRvRw``.
+
+All three are decidable in polynomial time in ``|q|`` by enumerating the
+(pairs / consecutive triples of) positions of equal symbols.  Rewinding the
+factor ``RvR`` located at positions ``i < j`` produces
+``q[:j+1] + q[i+1:j+1] + q[j+1:]`` (see :func:`repro.words.rewind.rewind_at`).
+
+Proposition 1: C1 implies C2 implies C3 (validated by property tests).
+"""
+
+from __future__ import annotations
+
+from repro.words.factors import (
+    consecutive_triples,
+    is_factor,
+    is_prefix,
+    self_join_pairs,
+)
+from repro.words.rewind import rewind_at
+from repro.words.word import Word, WordLike
+
+
+def satisfies_c1(q: WordLike) -> bool:
+    """True iff *q* satisfies C1: ``q`` is a prefix of all its rewindings.
+
+    >>> satisfies_c1("RXRX")
+    True
+    >>> satisfies_c1("RXRY")
+    False
+    """
+    q = Word.coerce(q)
+    return all(
+        is_prefix(q, rewind_at(q, i, j)) for i, j in self_join_pairs(q)
+    )
+
+
+def satisfies_c3(q: WordLike) -> bool:
+    """True iff *q* satisfies C3: ``q`` is a factor of all its rewindings.
+
+    >>> satisfies_c3("RXRYRY")
+    True
+    >>> satisfies_c3("RXRXRYRY")
+    False
+    """
+    q = Word.coerce(q)
+    return all(
+        is_factor(q, rewind_at(q, i, j)) for i, j in self_join_pairs(q)
+    )
+
+
+def _triple_condition_holds(q: Word, i: int, j: int, k: int) -> bool:
+    """The second clause of C2 for the consecutive triple ``(i, j, k)``.
+
+    With ``q = u R v1 R v2 R w`` (``R`` at positions ``i < j < k``): require
+    ``v1 = v2`` or ``Rw`` a prefix of ``Rv1``.
+    """
+    v1 = q[i + 1: j]
+    v2 = q[j + 1: k]
+    if v1 == v2:
+        return True
+    r = Word([q[i]])
+    rw = r + q[k + 1:]
+    rv1 = r + v1
+    return is_prefix(rw, rv1)
+
+
+def satisfies_c2(q: WordLike) -> bool:
+    """True iff *q* satisfies C2.
+
+    C2 = C3's factor clause for every decomposition ``q = uRvRw``, plus:
+    for every three *consecutive* occurrences of a relation name,
+    ``q = uRv1Rv2Rw`` implies ``v1 = v2`` or ``Rw`` a prefix of ``Rv1``.
+
+    >>> satisfies_c2("RRX")
+    True
+    >>> satisfies_c2("RXRYRY")   # Example 3: v1=X != Y=v2 and RY not prefix of RX
+    False
+    """
+    q = Word.coerce(q)
+    if not satisfies_c3(q):
+        return False
+    return all(
+        _triple_condition_holds(q, i, j, k)
+        for i, j, k in consecutive_triples(q)
+    )

@@ -1,0 +1,80 @@
+"""Conditions D1, D2, D3 for generalized path queries (Section 8).
+
+With ``γ`` a constant or the distinguished symbol ``⊤`` (``None`` here),
+and ``char(q) = [[word, γ]]`` the characteristic prefix:
+
+* **D1**: whenever ``char(q) = [[uRvRw, γ]]``, there is a *prefix
+  homomorphism* from ``char(q)`` to ``[[uRvRvRw, γ]]``;
+* **D2**: whenever ``char(q) = [[uRvRw, γ]]``, there is a homomorphism
+  from ``char(q)`` to ``[[uRvRvRw, γ]]``; and whenever
+  ``char(q) = [[uRv1Rv2Rw, γ]]`` for consecutive occurrences of ``R``,
+  ``v1 = v2`` or there is a prefix homomorphism from ``[[Rw, γ]]`` to
+  ``[[Rv1, γ]]``;
+* **D3**: whenever ``char(q) = [[uRvRw, γ]]``, there is a homomorphism
+  from ``char(q)`` to ``[[uRvRvRw, γ]]``.
+
+If ``γ = ⊤`` these degenerate to C1, C2, C3 respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.queries.generalized import (
+    GeneralizedPathQuery,
+    TerminalWord,
+    has_homomorphism,
+    has_prefix_homomorphism,
+)
+from repro.words.factors import consecutive_triples, self_join_pairs
+from repro.words.rewind import rewind_at
+from repro.words.word import Word
+
+QueryLike = Union[GeneralizedPathQuery, TerminalWord]
+
+
+def _char(q: QueryLike) -> TerminalWord:
+    if isinstance(q, GeneralizedPathQuery):
+        return q.char()
+    return q
+
+
+def satisfies_d1(q: QueryLike) -> bool:
+    """Condition D1; equals C1 when the query is constant-free."""
+    char = _char(q)
+    word = char.word
+    for i, j in self_join_pairs(word):
+        target = TerminalWord(rewind_at(word, i, j), char.terminal)
+        if not has_prefix_homomorphism(char, target):
+            return False
+    return True
+
+
+def satisfies_d3(q: QueryLike) -> bool:
+    """Condition D3; equals C3 when the query is constant-free."""
+    char = _char(q)
+    word = char.word
+    for i, j in self_join_pairs(word):
+        target = TerminalWord(rewind_at(word, i, j), char.terminal)
+        if not has_homomorphism(char, target):
+            return False
+    return True
+
+
+def satisfies_d2(q: QueryLike) -> bool:
+    """Condition D2; equals C2 when the query is constant-free."""
+    char = _char(q)
+    if not satisfies_d3(char):
+        return False
+    word = char.word
+    for i, j, k in consecutive_triples(word):
+        v1 = word[i + 1: j]
+        v2 = word[j + 1: k]
+        if v1 == v2:
+            continue
+        relation = Word([word[i]])
+        rw = TerminalWord(relation + word[k + 1:], char.terminal)
+        rv1 = TerminalWord(relation + v1, char.terminal)
+        if not has_prefix_homomorphism(rw, rv1):
+            return False
+    return True

@@ -1,0 +1,361 @@
+"""The regex properties B1, B2a, B2b, B3 (Definition 1) with witnesses.
+
+Definition 1 (``u, v, w`` range over words, ``j, k >= 0``):
+
+* **B1**: ``vw`` self-join-free and ``q`` a prefix of ``w (v)^k``;
+* **B2a**: ``uvw`` self-join-free and ``q`` a factor of ``(u)^j w (v)^k``;
+* **B2b**: ``uvw`` self-join-free and ``q`` a factor of ``(uv)^k w v``;
+* **B3**: ``uvw`` self-join-free and ``q`` a factor of ``u w (uv)^k``.
+
+Section 4 proves C1 = B1, C2 = B2a ∪ B2b and C3 = B2a ∪ B2b ∪ B3.
+
+The checkers here perform a *template search*: candidate component lengths
+``|u|, |v|, |w|``, exponents, and the offset of ``q`` inside the pumped
+word determine a map from pumped-word positions to *slots* (component,
+index).  A candidate succeeds iff positions covered by ``q`` assign every
+slot a unique, consistent symbol (self-join-freeness = slot injectivity);
+uncovered slots take fresh symbols.  Offsets and exponents are
+canonicalized (leading unconstrained full periods are dropped), which makes
+the search exhaustive: property-based tests validate the Section 4
+equivalences against the exact C-condition checkers.
+
+The returned :class:`Decomposition` materializes the words ``u, v, w`` and
+feeds the NL solver (Lemma 14) and the structural analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.words.word import Word, WordLike
+
+Slot = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A witness for one of B1, B2a, B2b, B3.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"B1"``, ``"B2a"``, ``"B2b"``, ``"B3"``.
+    u, v, w:
+        The component words; unconstrained positions carry fresh symbols
+        of the form ``_f<i>``.
+    j, k:
+        The exponents of Definition 1 (``j`` is only used by B2a).
+    offset:
+        Offset of ``q`` inside the pumped word.
+    pumped:
+        The pumped word itself (so ``pumped[offset : offset+|q|] == q``).
+    """
+
+    kind: str
+    u: Word
+    v: Word
+    w: Word
+    j: int
+    k: int
+    offset: int
+    pumped: Word
+
+    def __str__(self) -> str:
+        return "{}(u={}, v={}, w={}, j={}, k={}, offset={})".format(
+            self.kind, self.u or "ε", self.v or "ε", self.w or "ε",
+            self.j, self.k, self.offset,
+        )
+
+
+def _solve_slots(
+    q: Word, slots: List[Optional[Slot]], offset: int
+) -> Optional[Dict[Slot, str]]:
+    """Try to assign symbols to slots so the pumped word contains *q*.
+
+    *slots* maps each pumped-word position to its slot (``None`` marks a
+    position that belongs to no component -- unused here but kept for
+    clarity).  Returns the slot assignment, or ``None`` on conflict.
+    """
+    assignment: Dict[Slot, str] = {}
+    for t in range(offset, offset + len(q)):
+        slot = slots[t]
+        if slot is None:
+            return None
+        symbol = q[t - offset]
+        bound = assignment.get(slot)
+        if bound is None:
+            assignment[slot] = symbol
+        elif bound != symbol:
+            return None
+    # Self-join-freeness: distinct slots must hold distinct symbols.
+    if len(set(assignment.values())) != len(assignment):
+        return None
+    return assignment
+
+
+def _materialize(
+    component: str, length: int, assignment: Dict[Slot, str], fresh: List[int]
+) -> Word:
+    """Build a component word from the slot assignment, using fresh symbols
+    (``_f<i>``) for unconstrained slots."""
+    symbols = []
+    for index in range(length):
+        bound = assignment.get((component, index))
+        if bound is None:
+            bound = "_f{}".format(fresh[0])
+            fresh[0] += 1
+        symbols.append(bound)
+    return Word(symbols)
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+# ----------------------------------------------------------------------
+# B1:  q prefix of w (v)^k, vw self-join-free
+# ----------------------------------------------------------------------
+
+def find_b1(q: WordLike) -> Optional[Decomposition]:
+    """A B1 witness for *q*, or ``None``.
+
+    >>> find_b1("RXRX") is not None     # q1 of Example 3 satisfies C1 = B1
+    True
+    >>> find_b1("RXRY") is None
+    True
+    """
+    q = Word.coerce(q)
+    n = len(q)
+    for b in range(n + 1):
+        for c in range(n + 1):
+            if c == 0:
+                if b < n:
+                    continue
+                k = 0
+            else:
+                k = max(0, _ceil_div(n - b, c))
+            length = b + k * c
+            if length < n:
+                continue
+            slots: List[Optional[Slot]] = []
+            for t in range(length):
+                if t < b:
+                    slots.append(("w", t))
+                else:
+                    slots.append(("v", (t - b) % c))
+            assignment = _solve_slots(q, slots, 0)
+            if assignment is None:
+                continue
+            fresh = [0]
+            v = _materialize("v", c, assignment, fresh)
+            w = _materialize("w", b, assignment, fresh)
+            return Decomposition(
+                kind="B1", u=Word.epsilon(), v=v, w=w,
+                j=0, k=k, offset=0, pumped=w + v * k,
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
+# B2a:  q factor of (u)^j w (v)^k, uvw self-join-free
+# ----------------------------------------------------------------------
+
+def iter_b2a(q: WordLike, require_suffix: bool = False):
+    """Yield all canonical B2a witnesses for *q*.
+
+    With *require_suffix*, only witnesses where ``q`` ends exactly at the
+    end of the pumped word are yielded (the alignment the NL solver
+    needs).
+    """
+    q = Word.coerce(q)
+    n = len(q)
+    for a in range(n + 1):
+        max_offset = max(a - 1, 0)
+        for offset in range(max_offset + 1):
+            if a == 0 and offset > 0:
+                continue
+            max_j = 0 if a == 0 else _ceil_div(offset + n, a) + 1
+            for j in range(max_j + 1):
+                if a == 0 and j > 0:
+                    continue
+                if j == 0 and offset > 0:
+                    continue
+                head = j * a
+                for b in range(n + 1):
+                    covered = head + b
+                    for c in range(n + 1):
+                        if covered >= offset + n:
+                            k = 0
+                        elif c == 0:
+                            continue
+                        else:
+                            k = _ceil_div(offset + n - covered, c)
+                        length = head + b + k * c
+                        if length < offset + n:
+                            continue
+                        if require_suffix and length != offset + n:
+                            continue
+                        slots: List[Optional[Slot]] = []
+                        for t in range(length):
+                            if t < head:
+                                slots.append(("u", t % a))
+                            elif t < head + b:
+                                slots.append(("w", t - head))
+                            else:
+                                slots.append(("v", (t - head - b) % c))
+                        assignment = _solve_slots(q, slots, offset)
+                        if assignment is None:
+                            continue
+                        fresh = [0]
+                        u = _materialize("u", a, assignment, fresh)
+                        v = _materialize("v", c, assignment, fresh)
+                        w = _materialize("w", b, assignment, fresh)
+                        yield Decomposition(
+                            kind="B2a", u=u, v=v, w=w, j=j, k=k,
+                            offset=offset, pumped=u * j + w + v * k,
+                        )
+
+
+def find_b2a(
+    q: WordLike, require_suffix: bool = False
+) -> Optional[Decomposition]:
+    """The first B2a witness for *q*, or ``None``.
+
+    >>> find_b2a("RRX") is not None     # RRX = (R)^2 X
+    True
+    """
+    return next(iter_b2a(q, require_suffix), None)
+
+
+# ----------------------------------------------------------------------
+# B2b:  q factor of (uv)^k w v, uvw self-join-free
+# ----------------------------------------------------------------------
+
+def iter_b2b(q: WordLike, require_suffix: bool = False):
+    """Yield all canonical B2b witnesses for *q*.
+
+    Exponents ``k`` are tried in increasing order, so the first witness
+    per component shape has the smallest ``k`` (Lemma 14 chooses ``k`` as
+    small as possible).
+    """
+    q = Word.coerce(q)
+    n = len(q)
+    for period in range(1, n + 2):
+        for a in range(period + 1):
+            c = period - a
+            max_k = _ceil_div(n, period) + 1
+            for k in range(max_k + 1):
+                cycle = k * period
+                max_offset = period - 1 if k >= 1 else 0
+                for offset in range(max_offset + 1):
+                    for b in range(n + 1):
+                        length = cycle + b + c
+                        if length < offset + n:
+                            continue
+                        if require_suffix and length != offset + n:
+                            continue
+                        slots: List[Optional[Slot]] = []
+                        for t in range(length):
+                            if t < cycle:
+                                r = t % period
+                                slots.append(
+                                    ("u", r) if r < a else ("v", r - a)
+                                )
+                            elif t < cycle + b:
+                                slots.append(("w", t - cycle))
+                            else:
+                                slots.append(("v", t - cycle - b))
+                        assignment = _solve_slots(q, slots, offset)
+                        if assignment is None:
+                            continue
+                        fresh = [0]
+                        u = _materialize("u", a, assignment, fresh)
+                        v = _materialize("v", c, assignment, fresh)
+                        w = _materialize("w", b, assignment, fresh)
+                        yield Decomposition(
+                            kind="B2b", u=u, v=v, w=w, j=0, k=k,
+                            offset=offset, pumped=(u + v) * k + w + v,
+                        )
+
+
+def find_b2b(
+    q: WordLike, require_suffix: bool = False
+) -> Optional[Decomposition]:
+    """The first B2b witness for *q*, or ``None``.
+
+    >>> find_b2b("UVUVWV") is not None  # the Claim 5 example query
+    True
+    """
+    return next(iter_b2b(q, require_suffix), None)
+
+
+# ----------------------------------------------------------------------
+# B3:  q factor of u w (uv)^k, uvw self-join-free
+# ----------------------------------------------------------------------
+
+def find_b3(q: WordLike) -> Optional[Decomposition]:
+    """A B3 witness for *q*, or ``None``.
+
+    >>> find_b3("RXRYRY") is not None   # q3 of Example 3: C3 \\ C2
+    True
+    """
+    q = Word.coerce(q)
+    n = len(q)
+    for a in range(n + 1):
+        for b in range(n + 1):
+            for c in range(n + 1):
+                period = a + c
+                head = a + b
+                max_offset = head + max(period, 1)
+                for offset in range(max_offset + 1):
+                    if offset + n <= head:
+                        k = 0
+                    elif period == 0:
+                        continue
+                    else:
+                        k = _ceil_div(offset + n - head, period)
+                    length = head + k * period
+                    if length < offset + n:
+                        continue
+                    slots: List[Optional[Slot]] = []
+                    for t in range(length):
+                        if t < a:
+                            slots.append(("u", t))
+                        elif t < head:
+                            slots.append(("w", t - a))
+                        else:
+                            r = (t - head) % period
+                            slots.append(("u", r) if r < a else ("v", r - a))
+                    assignment = _solve_slots(q, slots, offset)
+                    if assignment is None:
+                        continue
+                    fresh = [0]
+                    u = _materialize("u", a, assignment, fresh)
+                    v = _materialize("v", c, assignment, fresh)
+                    w = _materialize("w", b, assignment, fresh)
+                    return Decomposition(
+                        kind="B3", u=u, v=v, w=w, j=0, k=k,
+                        offset=offset, pumped=u + w + (u + v) * k,
+                    )
+    return None
+
+
+def satisfies_b1(q: WordLike) -> bool:
+    """True iff *q* satisfies B1 (= C1 by Lemma 1)."""
+    return find_b1(q) is not None
+
+
+def satisfies_b2a(q: WordLike) -> bool:
+    """True iff *q* satisfies B2a."""
+    return find_b2a(q) is not None
+
+
+def satisfies_b2b(q: WordLike) -> bool:
+    """True iff *q* satisfies B2b."""
+    return find_b2b(q) is not None
+
+
+def satisfies_b3(q: WordLike) -> bool:
+    """True iff *q* satisfies B3."""
+    return find_b3(q) is not None

@@ -1,0 +1,230 @@
+"""Violation witnesses for C1, C2, C3 (used by the hardness reductions).
+
+The lower-bound constructions of Section 7 each start from an explicit
+decomposition of the query:
+
+* Lemma 18 (NL-hardness) needs ``q = uRvRw`` with ``q`` not a prefix of
+  ``uRvRvRw`` -- a C1 violation;
+* Lemma 19 (coNP-hardness) needs ``q = uRvRw`` with ``q`` not a factor of
+  ``uRvRvRw`` -- a C3 violation;
+* Lemma 20 (PTIME-hardness) needs ``q = uRv1Rv2Rw`` for consecutive
+  occurrences of ``R`` with ``v1 != v2`` and ``Rw`` not a prefix of
+  ``Rv1`` -- a C2 violation of the "triple" form.
+
+This module also implements the factor characterization of Lemma 3: a word
+satisfying C3 violates C2 iff it contains a factor
+``last(u)·w·u·v·u·first(v)`` (``v != ε``) or ``last(u)·w·u·u·first(u)``
+(``v = ε``, ``w != ε``) with ``u != ε`` and ``uvw`` self-join-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.words.factors import is_factor, is_prefix, is_self_join_free
+from repro.words.rewind import rewind_at
+from repro.words.factors import consecutive_triples, self_join_pairs
+from repro.words.word import Word, WordLike
+
+
+@dataclass(frozen=True)
+class PairWitness:
+    """A decomposition ``q = u·R·v·R·w`` (positions ``i < j`` of ``R``)."""
+
+    query: Word
+    i: int
+    j: int
+
+    @property
+    def u(self) -> Word:
+        return self.query[: self.i]
+
+    @property
+    def relation(self) -> str:
+        return self.query[self.i]
+
+    @property
+    def v(self) -> Word:
+        return self.query[self.i + 1: self.j]
+
+    @property
+    def w(self) -> Word:
+        return self.query[self.j + 1:]
+
+    @property
+    def rewound(self) -> Word:
+        return rewind_at(self.query, self.i, self.j)
+
+    def __str__(self) -> str:
+        return "q = {}·{}·{}·{}·{}".format(
+            self.u or "ε", self.relation, self.v or "ε",
+            self.relation, self.w or "ε",
+        )
+
+
+@dataclass(frozen=True)
+class TripleWitness:
+    """A decomposition ``q = u·R·v1·R·v2·R·w`` (consecutive occurrences)."""
+
+    query: Word
+    i: int
+    j: int
+    k: int
+
+    @property
+    def u(self) -> Word:
+        return self.query[: self.i]
+
+    @property
+    def relation(self) -> str:
+        return self.query[self.i]
+
+    @property
+    def v1(self) -> Word:
+        return self.query[self.i + 1: self.j]
+
+    @property
+    def v2(self) -> Word:
+        return self.query[self.j + 1: self.k]
+
+    @property
+    def w(self) -> Word:
+        return self.query[self.k + 1:]
+
+    def __str__(self) -> str:
+        r = self.relation
+        return "q = {}·{}·{}·{}·{}·{}·{}".format(
+            self.u or "ε", r, self.v1 or "ε", r,
+            self.v2 or "ε", r, self.w or "ε",
+        )
+
+
+def c1_violation(q: WordLike) -> Optional[PairWitness]:
+    """A decomposition witnessing that *q* violates C1, or ``None``.
+
+    Returns ``q = uRvRw`` with ``q`` not a prefix of ``uRvRvRw``.
+    """
+    q = Word.coerce(q)
+    for i, j in self_join_pairs(q):
+        if not is_prefix(q, rewind_at(q, i, j)):
+            return PairWitness(q, i, j)
+    return None
+
+
+def c3_violation(q: WordLike) -> Optional[PairWitness]:
+    """A decomposition witnessing that *q* violates C3, or ``None``.
+
+    Returns ``q = uRvRw`` with ``q`` not a factor of ``uRvRvRw``.
+    """
+    q = Word.coerce(q)
+    for i, j in self_join_pairs(q):
+        if not is_factor(q, rewind_at(q, i, j)):
+            return PairWitness(q, i, j)
+    return None
+
+
+def c2_violation(q: WordLike):
+    """A witness that *q* violates C2, or ``None``.
+
+    Returns either a :class:`PairWitness` (the C3-style factor clause
+    fails) or a :class:`TripleWitness` (``v1 != v2`` and ``Rw`` not a
+    prefix of ``Rv1``) -- the latter is the shape Lemma 20's reduction
+    consumes.
+    """
+    q = Word.coerce(q)
+    pair = c3_violation(q)
+    if pair is not None:
+        return pair
+    for i, j, k in consecutive_triples(q):
+        witness = TripleWitness(q, i, j, k)
+        if witness.v1 == witness.v2:
+            continue
+        rw = Word([witness.relation]) + witness.w
+        rv1 = Word([witness.relation]) + witness.v1
+        if not is_prefix(rw, rv1):
+            return witness
+    return None
+
+
+@dataclass(frozen=True)
+class Lemma3Witness:
+    """Words ``u, v, w`` of Lemma 3(3) plus the matched factor of ``q``."""
+
+    u: Word
+    v: Word
+    w: Word
+    factor: Word
+    form: str  # "3a" (v != ε) or "3b" (v = ε, w != ε)
+
+
+def lemma3_factor_witness(q: WordLike) -> Optional[Lemma3Witness]:
+    """Search for the factor forms of Lemma 3(3).
+
+    Form (3a): ``last(u) · w·u·v·u · first(v)`` is a factor of ``q`` with
+    ``u != ε``, ``v != ε`` and ``uvw`` self-join-free.  Form (3b):
+    ``last(u) · w·u·u · first(u)`` with ``v = ε`` and ``w != ε``.  The
+    shortest instances are ``RRSRS`` (3a) and ``RSRRR`` (3b).
+
+    Lemma 3: for a word satisfying C3, such a factor exists iff the word
+    violates C2 (equivalently, violates both B2a and B2b).
+    """
+    q = Word.coerce(q)
+    n = len(q)
+    for start in range(n):
+        for stop in range(start + 1, n + 1):
+            factor = q[start:stop]
+            witness = _match_lemma3_factor(factor)
+            if witness is not None:
+                return witness
+    return None
+
+
+def _match_lemma3_factor(factor: Word) -> Optional[Lemma3Witness]:
+    """Try to parse *factor* as one of the two Lemma 3(3) shapes."""
+    m = len(factor)
+    # Form 3a: factor = last(u) + w + u + v + u + first(v),
+    # with |factor| = 1 + |w| + 2|u| + |v| + 1.
+    for lu in range(1, m):
+        for lv in range(1, m):
+            for lw in range(0, m):
+                if 2 + lw + 2 * lu + lv != m:
+                    continue
+                pos = 1
+                w = factor[pos: pos + lw]
+                pos += lw
+                u1 = factor[pos: pos + lu]
+                pos += lu
+                v = factor[pos: pos + lv]
+                pos += lv
+                u2 = factor[pos: pos + lu]
+                pos += lu
+                if u1 != u2:
+                    continue
+                if factor[0] != u1.last() or factor[m - 1] != v.first():
+                    continue
+                if not is_self_join_free(u1 + v + w):
+                    continue
+                return Lemma3Witness(u=u1, v=v, w=w, factor=factor, form="3a")
+    # Form 3b: factor = last(u) + w + u + u + first(u), with w != ε.
+    for lu in range(1, m):
+        lw = m - 2 - 2 * lu
+        if lw < 1:
+            continue
+        pos = 1
+        w = factor[pos: pos + lw]
+        pos += lw
+        u1 = factor[pos: pos + lu]
+        pos += lu
+        u2 = factor[pos: pos + lu]
+        pos += lu
+        if u1 != u2:
+            continue
+        if factor[0] != u1.last() or factor[m - 1] != u1.first():
+            continue
+        if not is_self_join_free(u1 + w):
+            continue
+        return Lemma3Witness(
+            u=u1, v=Word.epsilon(), w=w, factor=factor, form="3b"
+        )
+    return None

@@ -1,0 +1,184 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro classify RRX ARRX RXRYRY
+    python -m repro solve RRX --triples "R,0,1;R,1,2;R,1,3;R,2,3;X,3,4"
+    python -m repro answers RR --triples "R,0,1;R,1,2;R,2,3"
+    python -m repro atlas
+    python -m repro report --trials 10
+
+Triples are ``relation,key,value`` separated by ``;`` (or one per line in
+a file passed via ``--facts``).  Numeric constants are parsed as ints so
+CLI inputs match the Python examples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.classification.classifier import classify
+from repro.db.instance import DatabaseInstance
+from repro.experiments.classification_table import classification_table
+from repro.experiments.harness import Table
+from repro.experiments.reductions_report import full_report
+from repro.solvers.answers import certain_head_answers, certain_tail_answers
+from repro.solvers.certainty import certain_answer
+
+
+def _parse_constant(text: str) -> Hashable:
+    text = text.strip()
+    if text.lstrip("-").isdigit():
+        return int(text)
+    return text
+
+
+def parse_triples(text: str) -> List[Tuple[str, Hashable, Hashable]]:
+    """Parse ``"R,0,1;R,1,2"`` into fact triples."""
+    triples = []
+    for chunk in text.replace("\n", ";").split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = [p.strip() for p in chunk.split(",")]
+        if len(parts) != 3:
+            raise ValueError(
+                "expected 'relation,key,value', got {!r}".format(chunk)
+            )
+        triples.append((parts[0], _parse_constant(parts[1]), _parse_constant(parts[2])))
+    return triples
+
+
+def _load_instance(args: argparse.Namespace) -> DatabaseInstance:
+    text = ""
+    if getattr(args, "facts", None):
+        with open(args.facts) as handle:
+            text = handle.read()
+    elif getattr(args, "triples", None):
+        text = args.triples
+    else:
+        raise SystemExit("provide --triples or --facts")
+    return DatabaseInstance.from_triples(parse_triples(text))
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    table = Table(["query", "C1", "C2", "C3", "complexity"])
+    for query in args.queries:
+        result = classify(query)
+        table.add_row(
+            [
+                query,
+                "+" if result.c1 else "-",
+                "+" if result.c2 else "-",
+                "+" if result.c3 else "-",
+                result.complexity,
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    db = _load_instance(args)
+    result = certain_answer(db, args.query, method=args.method)
+    print(result)
+    if args.verbose:
+        print("  details:", result.details)
+        if result.falsifying_repair is not None:
+            print("  falsifying repair:", result.falsifying_repair)
+    return 0 if result.answer else 1
+
+
+def _cmd_answers(args: argparse.Namespace) -> int:
+    db = _load_instance(args)
+    if args.position == "head":
+        answers = certain_head_answers(db, args.query)
+    else:
+        answers = certain_tail_answers(db, args.query)
+    print("certain {} answers of {}(x): {}".format(
+        args.position, args.query,
+        sorted(answers, key=str) if answers else "(none)",
+    ))
+    return 0
+
+
+def _cmd_atlas(args: argparse.Namespace) -> int:
+    print(classification_table(markdown=args.markdown))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    table = Table(["experiment", "query", "trials", "agree"])
+    for row in full_report(trials=args.trials, seed=args.seed):
+        table.add_row(
+            [row["experiment"], row["query"], row["trials"], row["agree"]]
+        )
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Consistent query answering for primary keys on path queries "
+        "(PODS 2021 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    classify_parser = commands.add_parser(
+        "classify", help="classify path queries (Theorem 3)"
+    )
+    classify_parser.add_argument("queries", nargs="+")
+    classify_parser.set_defaults(handler=_cmd_classify)
+
+    solve_parser = commands.add_parser(
+        "solve", help="decide CERTAINTY(q) on an instance"
+    )
+    solve_parser.add_argument("query")
+    solve_parser.add_argument("--triples", help="facts as 'R,0,1;R,1,2;...'")
+    solve_parser.add_argument("--facts", help="file with one triple per line")
+    solve_parser.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "fo", "nl", "fixpoint", "sat", "brute_force"],
+    )
+    solve_parser.add_argument("-v", "--verbose", action="store_true")
+    solve_parser.set_defaults(handler=_cmd_solve)
+
+    answers_parser = commands.add_parser(
+        "answers", help="certain answers of the unary query q(x)"
+    )
+    answers_parser.add_argument("query")
+    answers_parser.add_argument("--triples")
+    answers_parser.add_argument("--facts")
+    answers_parser.add_argument(
+        "--position", default="head", choices=["head", "tail"]
+    )
+    answers_parser.set_defaults(handler=_cmd_answers)
+
+    atlas_parser = commands.add_parser(
+        "atlas", help="the paper-query classification table"
+    )
+    atlas_parser.add_argument("--markdown", action="store_true")
+    atlas_parser.set_defaults(handler=_cmd_atlas)
+
+    report_parser = commands.add_parser(
+        "report", help="reduction-agreement report (E8/E9/E10)"
+    )
+    report_parser.add_argument("--trials", type=int, default=10)
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

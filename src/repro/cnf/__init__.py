@@ -1,0 +1,5 @@
+"""CNF-formula substrate for the coNP-hardness reduction (Lemma 19)."""
+
+from repro.cnf.formula import Clause, CnfFormula, random_ksat
+
+__all__ = ["Clause", "CnfFormula", "random_ksat"]

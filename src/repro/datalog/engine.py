@@ -1,0 +1,165 @@
+"""Semi-naive bottom-up evaluation with stratified negation.
+
+The engine evaluates strata in order; within a stratum, recursive rules
+are iterated semi-naively (each round joins one recursive body literal
+against the delta of the previous round).  Negated literals look up fully
+computed relations (stratification guarantees they are), and the ``neq``
+builtin is checked once its arguments are bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.datalog.stratify import stratify
+from repro.datalog.syntax import Literal, Program, Rule
+from repro.queries.atoms import Term, Variable, is_variable
+
+Tuple_ = Tuple[Hashable, ...]
+Database = Dict[str, Set[Tuple_]]
+
+
+def _match(
+    literal: Literal, row: Tuple_, bindings: Dict[Variable, Hashable]
+) -> Optional[Dict[Variable, Hashable]]:
+    """Unify *literal*'s args with *row* under *bindings*; new bindings or None."""
+    if len(literal.args) != len(row):
+        return None
+    new: Dict[Variable, Hashable] = {}
+    for arg, value in zip(literal.args, row):
+        if is_variable(arg):
+            bound = bindings.get(arg, new.get(arg))
+            if bound is None:
+                new[arg] = value
+            elif bound != value:
+                return None
+        elif arg != value:
+            return None
+    return new
+
+
+def _resolve_args(
+    literal: Literal, bindings: Dict[Variable, Hashable]
+) -> Tuple_:
+    values = []
+    for arg in literal.args:
+        if is_variable(arg):
+            values.append(bindings[arg])
+        else:
+            values.append(arg)
+    return tuple(values)
+
+
+def _reordered_body(rule: Rule) -> List[Literal]:
+    """Positive non-builtin literals first (join), then builtins/negation."""
+    positives = [l for l in rule.body if not l.negated and not l.is_builtin]
+    checks = [l for l in rule.body if l.negated or l.is_builtin]
+    return positives + checks
+
+
+def _evaluate_rule(
+    rule: Rule,
+    relations: Database,
+    delta_predicate: Optional[str] = None,
+    delta: Optional[Set[Tuple_]] = None,
+) -> Set[Tuple_]:
+    """All head tuples derivable from *rule*.
+
+    If *delta_predicate* is given, at least one occurrence of that
+    predicate in the body is bound to *delta* instead of the full relation
+    (semi-naive evaluation); we take each occurrence in turn.
+    """
+    body = _reordered_body(rule)
+    positives = [l for l in body if not l.negated and not l.is_builtin]
+    results: Set[Tuple_] = set()
+
+    delta_positions: List[Optional[int]]
+    if delta_predicate is None:
+        delta_positions = [None]
+    else:
+        delta_positions = [
+            i for i, l in enumerate(positives) if l.predicate == delta_predicate
+        ]
+        if not delta_positions:
+            return results
+
+    def source(index: int, delta_at: Optional[int]) -> Iterable[Tuple_]:
+        literal = positives[index]
+        if delta_at is not None and index == delta_at:
+            return delta or ()
+        return relations.get(literal.predicate, ())
+
+    def check_tail(bindings: Dict[Variable, Hashable]) -> bool:
+        for literal in body[len(positives):]:
+            values = _resolve_args(literal, bindings)
+            if literal.is_builtin:
+                if literal.predicate == "neq":
+                    if values[0] == values[1]:
+                        return False
+                else:
+                    raise ValueError("unknown builtin {}".format(literal.predicate))
+            else:
+                present = values in relations.get(literal.predicate, ())
+                if literal.negated and present:
+                    return False
+                if not literal.negated and not present:
+                    return False
+        return True
+
+    def join(index: int, bindings: Dict[Variable, Hashable], delta_at) -> None:
+        if index == len(positives):
+            if check_tail(bindings):
+                results.add(_resolve_args(rule.head, bindings))
+            return
+        for row in source(index, delta_at):
+            new = _match(positives[index], row, bindings)
+            if new is None:
+                continue
+            bindings.update(new)
+            join(index + 1, bindings, delta_at)
+            for key in new:
+                del bindings[key]
+
+    for delta_at in delta_positions:
+        join(0, {}, delta_at)
+    return results
+
+
+def evaluate_program(
+    program: Program, edb: Dict[str, Iterable[Tuple_]]
+) -> Database:
+    """Evaluate *program* bottom-up on the extensional database *edb*.
+
+    Returns the full materialization: every EDB and IDB predicate mapped
+    to its set of tuples.
+    """
+    relations: Database = {
+        predicate: {tuple(row) for row in rows} for predicate, rows in edb.items()
+    }
+    for predicate in program.idb_predicates():
+        relations.setdefault(predicate, set())
+    for predicate in program.edb_predicates():
+        relations.setdefault(predicate, set())
+
+    for stratum in stratify(program):
+        rules = [r for r in program.rules if r.head.predicate in stratum]
+        # Round 0: full evaluation seeds the deltas.
+        delta: Dict[str, Set[Tuple_]] = {p: set() for p in stratum}
+        for rule in rules:
+            derived = _evaluate_rule(rule, relations)
+            fresh = derived - relations[rule.head.predicate]
+            relations[rule.head.predicate] |= fresh
+            delta[rule.head.predicate] |= fresh
+        # Semi-naive iteration.
+        while any(delta.values()):
+            next_delta: Dict[str, Set[Tuple_]] = {p: set() for p in stratum}
+            for rule in rules:
+                for predicate, changed in delta.items():
+                    if not changed:
+                        continue
+                    derived = _evaluate_rule(rule, relations, predicate, changed)
+                    fresh = derived - relations[rule.head.predicate]
+                    relations[rule.head.predicate] |= fresh
+                    next_delta[rule.head.predicate] |= fresh
+            delta = next_delta
+    return relations

@@ -1,0 +1,156 @@
+"""Stratification and linearity analysis of Datalog programs.
+
+* :func:`stratify` computes a stratification (negation must not cross a
+  cycle of the predicate dependency graph) and raises on unstratifiable
+  programs;
+* :func:`is_linear` checks *linearity*: every rule has at most one body
+  literal whose predicate is mutually recursive with the head.  Lemma 14
+  places CERTAINTY(q) for C2 queries in linear Datalog with stratified
+  negation, the Datalog fragment corresponding to NL; the generated
+  programs are checked against this syntactic class in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.datalog.syntax import Program
+
+
+def dependency_graph(program: Program) -> Dict[str, Set[Tuple[str, bool]]]:
+    """Edges ``head -> (body predicate, is_negative)`` over IDB predicates."""
+    idb = program.idb_predicates()
+    graph: Dict[str, Set[Tuple[str, bool]]] = {p: set() for p in idb}
+    for rule in program.rules:
+        for literal in rule.body:
+            if literal.predicate in idb:
+                graph[rule.head.predicate].add(
+                    (literal.predicate, literal.negated)
+                )
+    return graph
+
+
+def _sccs(graph: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Strongly connected components (iterative Tarjan)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[Set[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(graph.get(successor, ())))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                result.append(component)
+
+    for node in graph:
+        if node not in index:
+            strongconnect(node)
+    return result
+
+
+def recursive_components(program: Program) -> List[Set[str]]:
+    """SCCs of the positive+negative dependency graph over IDB predicates."""
+    graph = {
+        head: {pred for pred, _ in edges}
+        for head, edges in dependency_graph(program).items()
+    }
+    return _sccs(graph)
+
+
+def stratify(program: Program) -> List[Set[str]]:
+    """A stratification: list of predicate sets, lowest stratum first.
+
+    Raises :class:`ValueError` if a negative edge lies on a dependency
+    cycle (the program is not stratifiable).
+    """
+    graph = dependency_graph(program)
+    components = recursive_components(program)
+    component_of: Dict[str, int] = {}
+    for i, component in enumerate(components):
+        for predicate in component:
+            component_of[predicate] = i
+    # Negative edge inside a component => unstratifiable.
+    for head, edges in graph.items():
+        for predicate, negated in edges:
+            if negated and component_of[head] == component_of[predicate]:
+                raise ValueError(
+                    "program is not stratifiable: negative cycle through "
+                    "{} and {}".format(head, predicate)
+                )
+    # Longest-path layering of the component DAG: stratum(head) >=
+    # stratum(body), strictly greater across negation.
+    strata: Dict[str, int] = {p: 0 for p in graph}
+    changed = True
+    iterations = 0
+    limit = (len(graph) + 1) ** 2 + 1
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > limit:
+            raise ValueError("stratification did not converge")
+        for head, edges in graph.items():
+            for predicate, negated in edges:
+                required = strata[predicate] + (1 if negated else 0)
+                if component_of[head] == component_of[predicate]:
+                    required = strata[predicate]
+                if strata[head] < required:
+                    strata[head] = required
+                    changed = True
+    by_level: Dict[int, Set[str]] = {}
+    for predicate, level in strata.items():
+        by_level.setdefault(level, set()).add(predicate)
+    return [by_level[level] for level in sorted(by_level)]
+
+
+def is_linear(program: Program) -> bool:
+    """True iff every rule has at most one body literal mutually recursive
+    with its head (the standard definition of *linear* Datalog)."""
+    components = recursive_components(program)
+    component_of: Dict[str, int] = {}
+    for i, component in enumerate(components):
+        for predicate in component:
+            component_of[predicate] = i
+    for rule in program.rules:
+        head_component = component_of.get(rule.head.predicate)
+        recursive_count = 0
+        for literal in rule.body:
+            if literal.is_builtin:
+                continue
+            if component_of.get(literal.predicate) == head_component:
+                recursive_count += 1
+        if recursive_count > 1:
+            return False
+    return True

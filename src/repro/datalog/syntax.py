@@ -1,0 +1,123 @@
+"""Datalog syntax: literals, rules, programs.
+
+Terms are :class:`repro.queries.atoms.Variable` or constants.  A literal
+is a possibly negated predicate atom; the distinguished predicate ``neq``
+is a builtin (inequality of its two arguments) evaluated during joins --
+it lets the generated CQA programs express the paper's
+``consistent(X1,X2,X3,X4)`` guard (``X1 != X3 or X2 = X4``) without
+materializing a quartic relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.queries.atoms import Term, Variable, is_variable
+
+BUILTINS = frozenset({"neq"})
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal ``pred(args)`` or ``not pred(args)``."""
+
+    predicate: str
+    args: Tuple[Term, ...]
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def is_builtin(self) -> bool:
+        return self.predicate in BUILTINS
+
+    def variables(self) -> Set[Variable]:
+        return {a for a in self.args if is_variable(a)}
+
+    def substitute(self, mapping: Dict[Variable, Term]) -> "Literal":
+        args = tuple(
+            mapping.get(a, a) if is_variable(a) else a for a in self.args
+        )
+        return Literal(self.predicate, args, self.negated)
+
+    def __str__(self) -> str:
+        text = "{}({})".format(
+            self.predicate, ", ".join(str(a) for a in self.args)
+        )
+        return "not " + text if self.negated else text
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A rule ``head :- body``.  The head must be positive."""
+
+    head: Literal
+    body: Tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        if self.head.negated:
+            raise ValueError("rule heads must be positive")
+        if self.head.is_builtin:
+            raise ValueError("rule heads cannot be builtins")
+
+    def is_safe(self) -> bool:
+        """Range restriction: every head / negated / builtin variable must
+        occur in a positive, non-builtin body literal."""
+        bound: Set[Variable] = set()
+        for literal in self.body:
+            if not literal.negated and not literal.is_builtin:
+                bound |= literal.variables()
+        needed = set(self.head.variables())
+        for literal in self.body:
+            if literal.negated or literal.is_builtin:
+                needed |= literal.variables()
+        return needed <= bound
+
+    def __str__(self) -> str:
+        if not self.body:
+            return "{}.".format(self.head)
+        return "{} :- {}.".format(
+            self.head, ", ".join(str(l) for l in self.body)
+        )
+
+
+class Program:
+    """A Datalog program: a list of rules.
+
+    Predicates that never occur in a head are extensional (EDB).
+    """
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.rules: List[Rule] = list(rules)
+        for rule in self.rules:
+            if not rule.is_safe():
+                raise ValueError("unsafe rule: {}".format(rule))
+
+    def idb_predicates(self) -> FrozenSet[str]:
+        return frozenset(rule.head.predicate for rule in self.rules)
+
+    def edb_predicates(self) -> FrozenSet[str]:
+        idb = self.idb_predicates()
+        result: Set[str] = set()
+        for rule in self.rules:
+            for literal in rule.body:
+                if literal.predicate not in idb and not literal.is_builtin:
+                    result.add(literal.predicate)
+        return frozenset(result)
+
+    def rules_for(self, predicate: str) -> List[Rule]:
+        return [r for r in self.rules if r.head.predicate == predicate]
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+
+def var(name: str) -> Variable:
+    """Shorthand variable constructor for program builders."""
+    return Variable(name)

@@ -1,0 +1,95 @@
+"""Query evaluation over database instances.
+
+Evaluates Boolean conjunctive queries (via homomorphism search) and path
+queries (via the linear-time layered walk check) on single instances.
+These are the primitives "does repair r satisfy q" that the definition of
+CERTAINTY(q) quantifies over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set
+
+from repro.db.instance import DatabaseInstance
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.queries.generalized import GeneralizedPathQuery
+from repro.words.word import Word, WordLike
+
+
+def query_satisfied(query: ConjunctiveQuery, db: DatabaseInstance) -> bool:
+    """True iff the Boolean conjunctive query is satisfied by *db*."""
+    return query.satisfied_by(fact.as_triple() for fact in db.facts)
+
+
+def path_query_satisfied(trace: WordLike, db: DatabaseInstance) -> bool:
+    """True iff *db* satisfies the path query with the given *trace*.
+
+    A valuation of the path query is exactly a walk of *db* with that
+    trace, so satisfaction is decided by the layered reachability sweep:
+    ``S_k = adom``, and ``S_i = { c : some fact trace[i](c, d) has
+    d ∈ S_{i+1} }``; the query holds iff ``S_0`` is nonempty.  Runs in
+    ``O(|q| * |db|)``.
+    """
+    trace = Word.coerce(trace)
+    if not trace:
+        return True
+    alive: Optional[Set[Hashable]] = None
+    for position in range(len(trace) - 1, -1, -1):
+        relation = trace[position]
+        next_alive: Set[Hashable] = set()
+        for fact in db.facts:
+            if fact.relation != relation:
+                continue
+            if alive is None or fact.value in alive:
+                next_alive.add(fact.key)
+        if not next_alive:
+            return False
+        alive = next_alive
+    return bool(alive)
+
+
+def rooted_path_query_satisfied(
+    trace: WordLike, root: Hashable, db: DatabaseInstance
+) -> bool:
+    """True iff *db* satisfies ``q[c]``: a walk with the trace from *root*."""
+    trace = Word.coerce(trace)
+    current: Set[Hashable] = {root}
+    for relation in trace:
+        successors: Set[Hashable] = set()
+        for constant in current:
+            for fact in db.out_facts(constant, relation):
+                successors.add(fact.value)
+        if not successors:
+            return False
+        current = successors
+    return True
+
+
+def generalized_query_satisfied(
+    query: GeneralizedPathQuery, db: DatabaseInstance
+) -> bool:
+    """True iff *db* satisfies a generalized path query (with constants).
+
+    Implemented as a layered sweep over node positions where constant
+    nodes pin the frontier.  Equivalent to (but much faster than) the
+    generic homomorphism search on the conjunctive-query form.
+    """
+    word = query.word
+    nodes = query.nodes
+    # frontier[i] = set of constants that node i may take, given atoms < i.
+    frontier: Dict[int, Set[Hashable]] = {}
+    if nodes[0] is not None:
+        frontier[0] = {nodes[0]}
+    else:
+        frontier[0] = set(db.adom())
+    for i, relation in enumerate(word):
+        successors: Set[Hashable] = set()
+        for constant in frontier[i]:
+            for fact in db.out_facts(constant, relation):
+                successors.add(fact.value)
+        if nodes[i + 1] is not None:
+            successors &= {nodes[i + 1]}
+        if not successors:
+            return False
+        frontier[i + 1] = successors
+    return True

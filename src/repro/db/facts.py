@@ -1,0 +1,70 @@
+"""Facts: variable-free binary atoms (Section 2).
+
+Two facts are *key-equal* if they use the same relation name and agree on
+the primary key (the first position).  A block ``R(c, *)`` is a maximal set
+of key-equal facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A fact ``R(key, value)`` over constants.
+
+    Constants are arbitrary hashable values; strings, ints and tuples in
+    practice.  Ordering is lexicographic on the *string renderings* of
+    ``(relation, key, value)``, which gives instances a canonical,
+    type-robust iteration order even when constants of different Python
+    types are mixed (reduction gadgets use tuple constants alongside
+    strings).
+    """
+
+    relation: str
+    key: Hashable
+    value: Hashable
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise ValueError("relation name must be nonempty")
+
+    def _sort_key(self) -> Tuple[str, str, str]:
+        return (self.relation, repr(self.key), repr(self.value))
+
+    def __lt__(self, other: "Fact") -> bool:
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "Fact") -> bool:
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return self._sort_key() <= other._sort_key()
+
+    def __gt__(self, other: "Fact") -> bool:
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return self._sort_key() > other._sort_key()
+
+    def __ge__(self, other: "Fact") -> bool:
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return self._sort_key() >= other._sort_key()
+
+    @property
+    def block_id(self) -> Tuple[str, Hashable]:
+        """The identifier ``(R, c)`` of the block ``R(c, *)`` this fact is in."""
+        return (self.relation, self.key)
+
+    def key_equal(self, other: "Fact") -> bool:
+        """True iff the two facts are key-equal (same relation, same key)."""
+        return self.block_id == other.block_id
+
+    def as_triple(self) -> Tuple[str, Hashable, Hashable]:
+        return (self.relation, self.key, self.value)
+
+    def __str__(self) -> str:
+        return "{}({}, {})".format(self.relation, self.key, self.value)

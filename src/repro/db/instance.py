@@ -1,0 +1,209 @@
+"""Database instances and blocks (Section 2).
+
+A :class:`DatabaseInstance` is an immutable finite set of facts.  It
+precomputes the block structure (maximal sets of key-equal facts), the
+active domain, and per-constant outgoing-edge indexes, which all the
+algorithms in the paper traverse.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.db.facts import Fact
+
+BlockId = Tuple[str, Hashable]
+
+
+class Block:
+    """A block ``R(c, *)``: all facts with relation ``R`` and key ``c``."""
+
+    __slots__ = ("_id", "_facts")
+
+    def __init__(self, block_id: BlockId, facts: Iterable[Fact]) -> None:
+        self._id = block_id
+        self._facts: Tuple[Fact, ...] = tuple(sorted(facts))
+        if not self._facts:
+            raise ValueError("a block cannot be empty")
+        for fact in self._facts:
+            if fact.block_id != block_id:
+                raise ValueError(
+                    "fact {} does not belong to block {}".format(fact, block_id)
+                )
+
+    @property
+    def block_id(self) -> BlockId:
+        return self._id
+
+    @property
+    def relation(self) -> str:
+        return self._id[0]
+
+    @property
+    def key(self) -> Hashable:
+        return self._id[1]
+
+    @property
+    def facts(self) -> Tuple[Fact, ...]:
+        return self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def is_conflicting(self) -> bool:
+        """True iff the block contains more than one fact."""
+        return len(self._facts) > 1
+
+    def __str__(self) -> str:
+        return "{}({}, *) = {{{}}}".format(
+            self.relation, self.key, ", ".join(str(f.value) for f in self._facts)
+        )
+
+    __repr__ = __str__
+
+
+class DatabaseInstance:
+    """An immutable database instance: a finite set of facts.
+
+    >>> db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2)])
+    >>> db.is_consistent()
+    False
+    >>> len(db.blocks())
+    1
+    """
+
+    __slots__ = ("_facts", "_blocks", "_adom", "_out_index", "_hash")
+
+    def __init__(self, facts: Iterable[Fact]) -> None:
+        self._facts: FrozenSet[Fact] = frozenset(facts)
+        blocks: Dict[BlockId, List[Fact]] = {}
+        adom = set()
+        out_index: Dict[Tuple[Hashable, str], List[Fact]] = {}
+        for fact in self._facts:
+            blocks.setdefault(fact.block_id, []).append(fact)
+            adom.add(fact.key)
+            adom.add(fact.value)
+            out_index.setdefault((fact.key, fact.relation), []).append(fact)
+        self._blocks: Dict[BlockId, Block] = {
+            block_id: Block(block_id, facts_) for block_id, facts_ in blocks.items()
+        }
+        self._adom: FrozenSet[Hashable] = frozenset(adom)
+        self._out_index = {
+            key: tuple(sorted(facts_)) for key, facts_ in out_index.items()
+        }
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_triples(
+        cls, triples: Iterable[Tuple[str, Hashable, Hashable]]
+    ) -> "DatabaseInstance":
+        """Build an instance from ``(relation, key, value)`` triples."""
+        return cls(Fact(r, k, v) for r, k, v in triples)
+
+    @classmethod
+    def empty(cls) -> "DatabaseInstance":
+        return cls(())
+
+    def union(self, other: "DatabaseInstance") -> "DatabaseInstance":
+        return DatabaseInstance(self._facts | other._facts)
+
+    def with_facts(self, facts: Iterable[Fact]) -> "DatabaseInstance":
+        return DatabaseInstance(self._facts | frozenset(facts))
+
+    def without_facts(self, facts: Iterable[Fact]) -> "DatabaseInstance":
+        return DatabaseInstance(self._facts - frozenset(facts))
+
+    # ------------------------------------------------------------------
+    # Set protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def facts(self) -> FrozenSet[Fact]:
+        return self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(sorted(self._facts))
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DatabaseInstance):
+            return self._facts == other._facts
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(("DatabaseInstance", self._facts))
+        return self._hash
+
+    def __le__(self, other: "DatabaseInstance") -> bool:
+        """Subinstance test."""
+        return self._facts <= other._facts
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(f) for f in self) + "}"
+
+    __repr__ = __str__
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def adom(self) -> FrozenSet[Hashable]:
+        """``adom(db)``: the active domain (all constants occurring)."""
+        return self._adom
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset(f.relation for f in self._facts)
+
+    def blocks(self) -> List[Block]:
+        """All blocks, in canonical order."""
+        return [self._blocks[bid] for bid in sorted(self._blocks, key=str)]
+
+    def conflicting_blocks(self) -> List[Block]:
+        """All blocks with more than one fact."""
+        return [b for b in self.blocks() if b.is_conflicting()]
+
+    def block(self, relation: str, key: Hashable) -> Optional[Block]:
+        """The block ``R(c, *)``, or ``None`` if empty in this instance."""
+        return self._blocks.get((relation, key))
+
+    def out_facts(self, constant: Hashable, relation: str) -> Tuple[Fact, ...]:
+        """All facts ``relation(constant, *)`` -- the block as a tuple."""
+        return self._out_index.get((constant, relation), ())
+
+    def is_consistent(self) -> bool:
+        """True iff no block contains more than one fact."""
+        return all(len(block) == 1 for block in self._blocks.values())
+
+    def is_repair_of(self, db: "DatabaseInstance") -> bool:
+        """True iff this instance is a repair of *db*.
+
+        A repair is a maximal consistent subinstance: consistent, contained
+        in *db*, and containing exactly one fact from every block of *db*.
+        """
+        if not self._facts <= db._facts:
+            return False
+        if not self.is_consistent():
+            return False
+        return len(self._blocks) == len(db._blocks)

@@ -1,0 +1,184 @@
+"""Paths in database instances: traces, consistency, terminals (Defs 6, 15).
+
+A *path* in ``db`` is a sequence of facts ``R1(c1,c2), R2(c2,c3), ...,
+Rn(cn,cn+1)``; its *trace* is the word ``R1R2...Rn``.  Facts may repeat
+along a path (paths are sequences, and satisfaction of a path query only
+requires a walk).  A path is *consistent* if it does not contain two
+distinct key-equal facts (Definition 15).
+
+A constant ``c`` is *terminal* for a path query ``q`` in ``db`` if some
+consistent path with trace a proper prefix of ``q`` starting at ``c``
+cannot be right-extended to a consistent path with trace ``q``; by
+Lemma 17 this holds iff ``db`` is a "no"-instance of ``CERTAINTY(q[c])``,
+which is how :func:`is_terminal` decides it (in polynomial time, via the
+rooted-certainty recursion of Lemma 12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Optional, Tuple
+
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.words.word import Word, WordLike
+
+Path = Tuple[Fact, ...]
+
+
+def trace_of(path: Path) -> Word:
+    """The trace ``R1 R2 ... Rn`` of a path."""
+    return Word([fact.relation for fact in path])
+
+
+def is_path(path: Path) -> bool:
+    """True iff consecutive facts chain: value of each = key of the next."""
+    return all(
+        path[i].value == path[i + 1].key for i in range(len(path) - 1)
+    )
+
+
+def is_consistent_path(path: Path) -> bool:
+    """True iff the path contains no two *distinct* key-equal facts.
+
+    Repetitions of the *same* fact are allowed (Definition 15).
+    """
+    chosen: Dict[Tuple[str, Hashable], Fact] = {}
+    for fact in path:
+        existing = chosen.get(fact.block_id)
+        if existing is None:
+            chosen[fact.block_id] = fact
+        elif existing != fact:
+            return False
+    return True
+
+
+def iter_paths_with_trace(
+    db: DatabaseInstance,
+    trace: WordLike,
+    start: Optional[Hashable] = None,
+    consistent_only: bool = False,
+) -> Iterator[Path]:
+    """Enumerate the paths of *db* with the given trace.
+
+    If *start* is given, only paths starting at that constant.  If
+    *consistent_only* is set, only consistent paths (no two distinct
+    key-equal facts) are produced.  Enumeration is by depth-first search;
+    the number of paths is polynomial in ``|db|`` for a fixed trace length.
+    """
+    trace = Word.coerce(trace)
+
+    def extend(position: int, current: Hashable, acc: Tuple[Fact, ...]):
+        if position == len(trace):
+            yield acc
+            return
+        for fact in db.out_facts(current, trace[position]):
+            if consistent_only:
+                conflict = any(
+                    earlier.block_id == fact.block_id and earlier != fact
+                    for earlier in acc
+                )
+                if conflict:
+                    continue
+            yield from extend(position + 1, fact.value, acc + (fact,))
+
+    if not trace:
+        # The empty path starts at every constant (or the given one).
+        starts = [start] if start is not None else sorted(db.adom(), key=str)
+        for constant in starts:
+            yield ()
+        return
+
+    if start is not None:
+        yield from extend(0, start, ())
+    else:
+        for constant in sorted(db.adom(), key=str):
+            yield from extend(0, constant, ())
+
+
+def find_path_with_trace(
+    db: DatabaseInstance,
+    trace: WordLike,
+    start: Optional[Hashable] = None,
+    end: Optional[Hashable] = None,
+    consistent_only: bool = False,
+) -> Optional[Path]:
+    """The first path with the given trace (and endpoints), or ``None``.
+
+    Decides ``db |= a --q--> b`` (and the consistent variant
+    ``db |= a --q-->> b``) from Definition 15 when *start*/*end* are given.
+    """
+    for path in iter_paths_with_trace(db, trace, start, consistent_only):
+        if end is not None:
+            if not path:
+                if start != end:
+                    continue
+            elif path[-1].value != end:
+                continue
+        return path
+    return None
+
+
+def has_path_with_trace(
+    db: DatabaseInstance,
+    trace: WordLike,
+    start: Optional[Hashable] = None,
+    end: Optional[Hashable] = None,
+    consistent_only: bool = False,
+) -> bool:
+    """True iff *db* has a path with the given trace (and endpoints)."""
+    return (
+        find_path_with_trace(db, trace, start, end, consistent_only) is not None
+    )
+
+
+def rooted_certainty(
+    db: DatabaseInstance, trace: WordLike, root: Hashable
+) -> bool:
+    """Decide ``CERTAINTY(q[c])``: does every repair have a ``q``-path from c?
+
+    Implements the recursion behind the first-order rewriting of Lemma 12:
+
+        certain(ε[c])   = true
+        certain(Rp[c])  = block R(c,*) is nonempty, and for every fact
+                          R(c,d) in db, certain(p[d]).
+
+    Runs in time ``O(|q| * |db|)`` with memoization.
+    """
+    trace = Word.coerce(trace)
+    memo: Dict[Tuple[int, Hashable], bool] = {}
+
+    def certain(position: int, constant: Hashable) -> bool:
+        if position == len(trace):
+            return True
+        key = (position, constant)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        block = db.out_facts(constant, trace[position])
+        if not block:
+            memo[key] = False
+            return False
+        # Optimistically seed True: cycles through the same (position,
+        # constant) pair cannot occur because position strictly increases.
+        result = all(certain(position + 1, fact.value) for fact in block)
+        memo[key] = result
+        return result
+
+    return certain(0, root)
+
+
+def is_terminal(
+    db: DatabaseInstance, constant: Hashable, trace: WordLike
+) -> bool:
+    """Definition 15 / Lemma 17: is *constant* terminal for *trace* in *db*?
+
+    ``c`` is terminal for ``q`` iff some consistent path with trace a
+    proper prefix of ``q`` from ``c`` cannot be right-extended to a
+    consistent ``q``-path; by Lemma 17 this is equivalent to ``db`` being a
+    "no"-instance of ``CERTAINTY(q[c])``.
+    """
+    trace = Word.coerce(trace)
+    if not trace:
+        # The empty path always extends to a q-path with q = ε.
+        return False
+    return not rooted_certainty(db, trace, constant)

@@ -1,0 +1,94 @@
+"""Repair enumeration, counting and sampling (Section 2).
+
+A repair of ``db`` is an inclusion-maximal consistent subinstance:
+equivalently, a choice of exactly one fact from every block.  The number of
+repairs is the product of the block sizes, hence exponential in the number
+of conflicting blocks; :func:`iter_repairs` enumerates them lazily and
+:func:`count_repairs` counts them without enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+
+
+def count_repairs(db: DatabaseInstance) -> int:
+    """The number of repairs of *db* (product of block sizes)."""
+    result = 1
+    for block in db.blocks():
+        result *= len(block)
+    return result
+
+
+def iter_repairs(
+    db: DatabaseInstance, limit: Optional[int] = None
+) -> Iterator[DatabaseInstance]:
+    """Lazily enumerate the repairs of *db*.
+
+    Repairs are produced in the canonical order induced by block and fact
+    ordering.  If *limit* is given, stop after that many repairs (useful to
+    guard against exponential blowup in tests).
+    """
+    blocks = db.blocks()
+    choices = [block.facts for block in blocks]
+    produced = 0
+    for combination in itertools.product(*choices):
+        yield DatabaseInstance(combination)
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def iter_repair_fact_tuples(db: DatabaseInstance) -> Iterator[Tuple[Fact, ...]]:
+    """Like :func:`iter_repairs` but yields raw fact tuples.
+
+    Avoids constructing :class:`DatabaseInstance` objects (and their block
+    indexes) when the consumer only needs the facts; this is what the
+    brute-force solver uses.
+    """
+    choices = [block.facts for block in db.blocks()]
+    return itertools.product(*choices)
+
+
+def random_repair(db: DatabaseInstance, rng: random.Random) -> DatabaseInstance:
+    """A uniformly random repair of *db*, drawn with *rng*."""
+    facts = [rng.choice(block.facts) for block in db.blocks()]
+    return DatabaseInstance(facts)
+
+
+def repair_signature(db: DatabaseInstance, repair: DatabaseInstance) -> Tuple[int, ...]:
+    """A compact signature of *repair*: per block, the index of the chosen fact.
+
+    Useful for de-duplicating repairs in tests and experiments.
+    """
+    signature: List[int] = []
+    for block in db.blocks():
+        chosen = [i for i, fact in enumerate(block.facts) if fact in repair]
+        if len(chosen) != 1:
+            raise ValueError(
+                "instance is not a repair of db: block {} has {} chosen facts".format(
+                    block.block_id, len(chosen)
+                )
+            )
+        signature.append(chosen[0])
+    return tuple(signature)
+
+
+def resolve_block(
+    repair: DatabaseInstance, fact: Fact
+) -> DatabaseInstance:
+    """Return *repair* with its choice in ``fact``'s block replaced by *fact*.
+
+    This is the block-swap operation used in the proofs of Lemmas 9 and 12:
+    given a repair ``r`` and a fact ``f``, produce the repair that agrees
+    with ``r`` everywhere except that it contains ``f``.
+    """
+    block_id = fact.block_id
+    kept = [f for f in repair.facts if f.block_id != block_id]
+    kept.append(fact)
+    return DatabaseInstance(kept)

@@ -1,0 +1,9 @@
+"""Experiment harness: timing, tables, and the per-experiment drivers.
+
+The drivers return plain data (lists of row dicts) so that the same code
+backs the runnable examples, EXPERIMENTS.md, and the pytest benchmarks.
+"""
+
+from repro.experiments.harness import Table, time_call
+
+__all__ = ["Table", "time_call"]

@@ -1,0 +1,46 @@
+"""E2 driver: the classification table over the paper's query catalog."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.classification.classifier import classify
+from repro.experiments.harness import Table
+from repro.workloads.queries import PAPER_QUERY_CLASSES
+
+
+def classification_rows() -> List[Dict[str, object]]:
+    """One row per catalog query: conditions, class, expected class."""
+    rows = []
+    for text, expected in PAPER_QUERY_CLASSES.items():
+        result = classify(text)
+        rows.append(
+            {
+                "query": text,
+                "c1": result.c1,
+                "c2": result.c2,
+                "c3": result.c3,
+                "complexity": str(result.complexity),
+                "expected": str(expected),
+                "matches_paper": result.complexity is expected,
+            }
+        )
+    return rows
+
+
+def classification_table(markdown: bool = False) -> str:
+    """The table as rendered text."""
+    table = Table(["query", "C1", "C2", "C3", "class", "paper", "match"])
+    for row in classification_rows():
+        table.add_row(
+            [
+                row["query"],
+                "+" if row["c1"] else "-",
+                "+" if row["c2"] else "-",
+                "+" if row["c3"] else "-",
+                row["complexity"],
+                row["expected"],
+                "yes" if row["matches_paper"] else "NO",
+            ]
+        )
+    return table.render(markdown=markdown)

@@ -1,0 +1,66 @@
+"""Small experiment utilities: wall-clock timing and text tables."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def time_call(fn: Callable[[], T], repeats: int = 1) -> Tuple[T, float]:
+    """Run *fn* *repeats* times; return ``(last_result, best_seconds)``."""
+    best = float("inf")
+    result: T = None  # type: ignore[assignment]
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return result, best
+
+
+class Table:
+    """A fixed-column text table (for example scripts and EXPERIMENTS.md).
+
+    >>> t = Table(["query", "class"])
+    >>> t.add_row(["RRX", "NL-complete"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    query | class
+    ----- | -----------
+    RRX   | NL-complete
+    """
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Sequence[object]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                "expected {} values, got {}".format(len(self.columns), len(values))
+            )
+        self.rows.append([str(v) for v in values])
+
+    def render(self, markdown: bool = False) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+        lines = [fmt(self.columns)]
+        separator = " | ".join("-" * w for w in widths)
+        if markdown:
+            lines[0] = "| " + fmt(self.columns) + " |"
+            lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+            lines += ["| " + fmt(row) + " |" for row in self.rows]
+            return "\n".join(lines)
+        lines.append(separator)
+        lines += [fmt(row) for row in self.rows]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

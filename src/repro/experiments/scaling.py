@@ -1,0 +1,88 @@
+"""E5/E11 drivers: solver scaling sweeps returning plain row data."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.db.repairs import count_repairs
+from repro.experiments.harness import time_call
+from repro.solvers.brute_force import certain_answer_brute_force
+from repro.solvers.fixpoint import certain_answer_fixpoint
+from repro.solvers.sat_encoding import certain_answer_sat
+from repro.workloads.generators import chain_instance, planted_instance
+from repro.words.word import WordLike
+
+
+def fixpoint_scaling_rows(
+    query: WordLike,
+    sizes: Sequence[int],
+    seed: int = 0,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """Fixpoint runtime vs instance size (E5)."""
+    rows = []
+    for size in sizes:
+        rng = random.Random(seed * 1_000_003 + size)
+        db = planted_instance(
+            rng,
+            query,
+            n_constants=max(8, size // 8),
+            n_paths=size // 8 + 1,
+            n_noise_facts=size // 2,
+            conflict_rate=0.4,
+        )
+        result, seconds = time_call(
+            lambda db=db: certain_answer_fixpoint(db, query), repeats=repeats
+        )
+        rows.append(
+            {
+                "query": str(query),
+                "facts": len(db),
+                "conflicts": len(db.conflicting_blocks()),
+                "seconds": seconds,
+                "answer": result.answer,
+            }
+        )
+    return rows
+
+
+def crossover_rows(
+    query: WordLike = "RRX",
+    repetitions: Sequence[int] = (2, 4, 6, 8),
+    conflict_every: int = 3,
+    brute_force_repair_limit: Optional[int] = 200_000,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """Fixpoint vs SAT vs brute force on conflicted chains (E11)."""
+    rows = []
+    for reps in repetitions:
+        db = chain_instance(query, repetitions=reps, conflict_every=conflict_every)
+        repairs = count_repairs(db)
+        fix_result, fix_seconds = time_call(
+            lambda db=db: certain_answer_fixpoint(db, query), repeats=repeats
+        )
+        sat_result, sat_seconds = time_call(
+            lambda db=db: certain_answer_sat(db, query), repeats=repeats
+        )
+        row: Dict[str, object] = {
+            "facts": len(db),
+            "conflicts": len(db.conflicting_blocks()),
+            "repairs": repairs,
+            "fixpoint_seconds": fix_seconds,
+            "sat_seconds": sat_seconds,
+            "answer": fix_result.answer,
+        }
+        assert sat_result.answer == fix_result.answer
+        if brute_force_repair_limit is None or repairs <= brute_force_repair_limit:
+            brute_result, brute_seconds = time_call(
+                lambda db=db: certain_answer_brute_force(
+                    db, query, repair_limit=None
+                )
+            )
+            assert brute_result.answer == fix_result.answer
+            row["brute_seconds"] = brute_seconds
+        else:
+            row["brute_seconds"] = None
+        rows.append(row)
+    return rows

@@ -1,0 +1,43 @@
+"""First-order logic substrate (Section 6.2).
+
+A small FO formula AST over binary relations, an evaluator over database
+instances (quantifiers range over the active domain), and the effective
+construction of *consistent first-order rewritings* for rooted path queries
+``q[c]`` (Lemma 12) and for path queries satisfying C1 (Lemma 13).
+"""
+
+from repro.fo.syntax import (
+    And,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelationAtom,
+    TRUE,
+    FALSE,
+)
+from repro.fo.evaluate import evaluate, formula_depth, formula_size
+from repro.fo.rewriting import (
+    rooted_rewriting,
+    c1_rewriting,
+)
+
+__all__ = [
+    "And",
+    "Exists",
+    "Forall",
+    "Formula",
+    "Implies",
+    "Not",
+    "Or",
+    "RelationAtom",
+    "TRUE",
+    "FALSE",
+    "evaluate",
+    "formula_depth",
+    "formula_size",
+    "rooted_rewriting",
+    "c1_rewriting",
+]

@@ -1,0 +1,116 @@
+"""Evaluation of first-order formulas over database instances.
+
+Quantifiers range over the active domain of the instance, as is standard
+for the (domain-independent) rewritings the paper constructs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.db.instance import DatabaseInstance
+from repro.fo.syntax import (
+    And,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    RelationAtom,
+)
+from repro.queries.atoms import Term, Variable, is_variable
+
+
+def _resolve(term: Term, env: Dict[Variable, Hashable]) -> Hashable:
+    if is_variable(term):
+        try:
+            return env[term]
+        except KeyError:
+            raise ValueError("unbound variable {} in formula".format(term))
+    return term
+
+
+def evaluate(
+    formula: Formula,
+    db: DatabaseInstance,
+    env: Dict[Variable, Hashable] = None,
+) -> bool:
+    """Evaluate *formula* on *db* under the environment *env*.
+
+    >>> from repro.fo.syntax import RelationAtom, Exists
+    >>> from repro.queries.atoms import Variable
+    >>> db = DatabaseInstance.from_triples([("R", 1, 2)])
+    >>> x = Variable("x")
+    >>> evaluate(Exists(x, RelationAtom("R", 1, x)), db)
+    True
+    """
+    env = dict(env or {})
+    adom = sorted(db.adom(), key=str)
+
+    def rec(f: Formula, bindings: Dict[Variable, Hashable]) -> bool:
+        if isinstance(f, RelationAtom):
+            key = _resolve(f.key, bindings)
+            value = _resolve(f.value, bindings)
+            return any(fact.value == value for fact in db.out_facts(key, f.relation))
+        if isinstance(f, And):
+            return all(rec(p, bindings) for p in f.parts)
+        if isinstance(f, Or):
+            return any(rec(p, bindings) for p in f.parts)
+        if isinstance(f, Not):
+            return not rec(f.body, bindings)
+        if isinstance(f, Implies):
+            return (not rec(f.antecedent, bindings)) or rec(f.consequent, bindings)
+        if isinstance(f, Exists):
+            for constant in adom:
+                bindings[f.variable] = constant
+                if rec(f.body, bindings):
+                    del bindings[f.variable]
+                    return True
+            bindings.pop(f.variable, None)
+            return False
+        if isinstance(f, Forall):
+            for constant in adom:
+                bindings[f.variable] = constant
+                if not rec(f.body, bindings):
+                    del bindings[f.variable]
+                    return False
+            bindings.pop(f.variable, None)
+            return True
+        raise TypeError("unknown formula node {!r}".format(f))
+
+    return rec(formula, env)
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of AST nodes (a proxy for rewriting size in benchmarks)."""
+    if isinstance(formula, RelationAtom):
+        return 1
+    if isinstance(formula, (And, Or)):
+        return 1 + sum(formula_size(p) for p in formula.parts)
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.body)
+    if isinstance(formula, Implies):
+        return 1 + formula_size(formula.antecedent) + formula_size(formula.consequent)
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + formula_size(formula.body)
+    raise TypeError("unknown formula node {!r}".format(formula))
+
+
+def formula_depth(formula: Formula) -> int:
+    """Quantifier-and-connective nesting depth."""
+    if isinstance(formula, RelationAtom):
+        return 1
+    if isinstance(formula, (And, Or)):
+        if not formula.parts:
+            return 1
+        return 1 + max(formula_depth(p) for p in formula.parts)
+    if isinstance(formula, Not):
+        return 1 + formula_depth(formula.body)
+    if isinstance(formula, Implies):
+        return 1 + max(
+            formula_depth(formula.antecedent), formula_depth(formula.consequent)
+        )
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + formula_depth(formula.body)
+    raise TypeError("unknown formula node {!r}".format(formula))

@@ -1,0 +1,86 @@
+"""Consistent first-order rewritings (Lemmas 12 and 13).
+
+Lemma 12 constructs, for every path query ``q`` and constant ``c``, a
+first-order formula ``ψ(x)`` such that ``∃x (ψ(x) ∧ x = c)`` is a
+consistent first-order rewriting of ``q[c]``; the construction is the
+nested quantification
+
+    ``ψ(x) = ∃y R(x, y) ∧ ∀z (R(x, z) → φ(z))``
+
+with ``φ`` the rewriting for the tail of the query.  Lemma 13: if ``q``
+satisfies C1 then ``∃x ψ(x)`` is a consistent first-order rewriting of
+``CERTAINTY(q)``.
+
+The semantic twin of ``ψ`` is :func:`repro.db.paths.rooted_certainty`
+(the direct memoized recursion); the test-suite checks the two agree,
+which exercises Lemma 12.
+"""
+
+from __future__ import annotations
+
+from repro.classification.conditions import satisfies_c1
+from repro.fo.syntax import (
+    And,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    RelationAtom,
+    TRUE,
+)
+from repro.queries.atoms import Variable
+from repro.words.word import Word, WordLike
+
+
+def rooted_rewriting(q: WordLike, free_variable: Variable = None) -> Formula:
+    """The formula ``ψ(x)`` of Lemma 12 for the path query *q*.
+
+    The returned formula has *free_variable* (default ``Variable("x0")``)
+    free; evaluating it with ``x0 = c`` decides ``CERTAINTY(q[c])``.
+
+    >>> print(rooted_rewriting("RR"))
+    (∃y1R(x0, y1) ∧ ∀z1(R(x0, z1) → (∃y2R(z1, y2) ∧ ∀z2(R(z1, z2) → ⊤))))
+    """
+    q = Word.coerce(q)
+    root = free_variable if free_variable is not None else Variable("x0")
+
+    def build(position: int, current: Variable) -> Formula:
+        if position == len(q):
+            return TRUE
+        relation = q[position]
+        witness = Variable("y{}".format(position + 1))
+        universal = Variable("z{}".format(position + 1))
+        return And(
+            (
+                Exists(witness, RelationAtom(relation, current, witness)),
+                Forall(
+                    universal,
+                    Implies(
+                        RelationAtom(relation, current, universal),
+                        build(position + 1, universal),
+                    ),
+                ),
+            )
+        )
+
+    return build(0, root)
+
+
+def c1_rewriting(q: WordLike, check: bool = True) -> Formula:
+    """The consistent first-order rewriting ``∃x ψ(x)`` of Lemma 13.
+
+    Only correct when *q* satisfies C1; by default a :class:`ValueError`
+    is raised otherwise.  Passing ``check=False`` builds the sentence
+    anyway -- useful for experiments demonstrating *why* the C1 condition
+    is needed (e.g. on ``RRX`` the sentence is strictly stronger than
+    ``CERTAINTY(RRX)``).
+    """
+    q = Word.coerce(q)
+    if check and not satisfies_c1(q):
+        raise ValueError(
+            "query {} violates C1; its CERTAINTY problem is not in FO "
+            "(pass check=False to build the -- incorrect -- sentence anyway)"
+            .format(q)
+        )
+    root = Variable("x0")
+    return Exists(root, rooted_rewriting(q, root))

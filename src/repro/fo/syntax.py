@@ -1,0 +1,105 @@
+"""First-order formula AST over binary relations.
+
+Formulas are immutable trees built from relation atoms, the Boolean
+connectives, and quantifiers.  Terms are :class:`repro.queries.atoms.Variable`
+or constants, as elsewhere in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.queries.atoms import Term, Variable
+
+
+class Formula:
+    """Base class for first-order formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class RelationAtom(Formula):
+    """An atom ``R(s, t)``."""
+
+    relation: str
+    key: Term
+    value: Term
+
+    def __str__(self) -> str:
+        return "{}({}, {})".format(self.relation, self.key, self.value)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Finite conjunction; ``And(())`` is *true*."""
+
+    parts: Tuple[Formula, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        if not self.parts:
+            return "⊤"
+        return "(" + " ∧ ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Finite disjunction; ``Or(())`` is *false*."""
+
+    parts: Tuple[Formula, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        if not self.parts:
+            return "⊥"
+        return "(" + " ∨ ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    body: Formula
+
+    def __str__(self) -> str:
+        return "¬{}".format(self.body)
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    antecedent: Formula
+    consequent: Formula
+
+    def __str__(self) -> str:
+        return "({} → {})".format(self.antecedent, self.consequent)
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    variable: Variable
+    body: Formula
+
+    def __str__(self) -> str:
+        return "∃{}{}".format(self.variable, self.body)
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    variable: Variable
+    body: Formula
+
+    def __str__(self) -> str:
+        return "∀{}{}".format(self.variable, self.body)
+
+
+#: The constant *true* formula.
+TRUE = And(())
+#: The constant *false* formula.
+FALSE = Or(())

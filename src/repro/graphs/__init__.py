@@ -1,0 +1,6 @@
+"""Directed-graph substrate for the NL-hardness reduction (Lemma 18)."""
+
+from repro.graphs.digraph import DiGraph, has_directed_path
+from repro.graphs.generators import layered_dag, random_dag
+
+__all__ = ["DiGraph", "has_directed_path", "layered_dag", "random_dag"]

@@ -1,0 +1,95 @@
+"""A minimal directed-graph type with reachability.
+
+The REACHABILITY problem (given a digraph and two vertices, is there a
+directed path?) is the canonical NL-complete problem the Lemma 18
+reduction starts from; it stays NL-complete on acyclic graphs, which is
+what the reduction requires and what the generators produce.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class DiGraph:
+    """A simple directed graph (no parallel edges)."""
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[Edge] = (),
+    ) -> None:
+        self._vertices: Set[Vertex] = set(vertices)
+        self._successors: Dict[Vertex, Set[Vertex]] = {}
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        self._vertices.add(vertex)
+
+    def add_edge(self, source: Vertex, target: Vertex) -> None:
+        self._vertices.add(source)
+        self._vertices.add(target)
+        self._successors.setdefault(source, set()).add(target)
+
+    @property
+    def vertices(self) -> Set[Vertex]:
+        return set(self._vertices)
+
+    @property
+    def edges(self) -> List[Edge]:
+        return sorted(
+            (s, t)
+            for s, targets in self._successors.items()
+            for t in targets
+        )
+
+    def successors(self, vertex: Vertex) -> Set[Vertex]:
+        return set(self._successors.get(vertex, ()))
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def is_acyclic(self) -> bool:
+        """Kahn's algorithm: true iff the graph has no directed cycle."""
+        indegree: Dict[Vertex, int] = {v: 0 for v in self._vertices}
+        for _, targets in self._successors.items():
+            for target in targets:
+                indegree[target] += 1
+        queue = deque(v for v, d in indegree.items() if d == 0)
+        seen = 0
+        while queue:
+            vertex = queue.popleft()
+            seen += 1
+            for target in self._successors.get(vertex, ()):  # noqa: B020
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    queue.append(target)
+        return seen == len(self._vertices)
+
+
+def has_directed_path(graph: DiGraph, source: Vertex, target: Vertex) -> bool:
+    """BFS reachability: is there a directed path from *source* to *target*?
+
+    The empty path counts: ``has_directed_path(g, v, v)`` is ``True``.
+    """
+    if source == target:
+        return source in graph
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for successor in graph.successors(vertex):
+            if successor == target:
+                return True
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return False

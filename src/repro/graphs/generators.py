@@ -1,0 +1,51 @@
+"""Random DAG generators for the reachability workloads."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.graphs.digraph import DiGraph
+
+
+def random_dag(
+    n_vertices: int, edge_probability: float, rng: random.Random
+) -> DiGraph:
+    """A random DAG on vertices ``0..n-1`` with edges oriented forward.
+
+    Each pair ``(i, j)`` with ``i < j`` gets the edge ``i -> j`` with
+    probability *edge_probability*, so the result is acyclic by
+    construction.
+    """
+    graph = DiGraph(vertices=range(n_vertices))
+    for i in range(n_vertices):
+        for j in range(i + 1, n_vertices):
+            if rng.random() < edge_probability:
+                graph.add_edge(i, j)
+    return graph
+
+
+def layered_dag(
+    n_layers: int, width: int, rng: random.Random, density: float = 0.5
+) -> Tuple[DiGraph, int, int]:
+    """A layered DAG plus designated source and sink.
+
+    Vertices are ``(layer, slot)`` pairs flattened to ints; edges go from
+    each layer to the next with the given density.  Returns
+    ``(graph, source, target)`` where the source is in layer 0 and the
+    target in the last layer -- the reachability question is nontrivial
+    with probability controlled by *density*.
+    """
+
+    def vid(layer: int, slot: int) -> int:
+        return layer * width + slot
+
+    graph = DiGraph(vertices=range(n_layers * width))
+    for layer in range(n_layers - 1):
+        for a in range(width):
+            for b in range(width):
+                if rng.random() < density:
+                    graph.add_edge(vid(layer, a), vid(layer + 1, b))
+    source = vid(0, rng.randrange(width))
+    target = vid(n_layers - 1, rng.randrange(width))
+    return graph, source, target

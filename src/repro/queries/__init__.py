@@ -1,0 +1,34 @@
+"""Query representations: atoms, conjunctive queries, and (generalized) path queries.
+
+The paper (Section 2) works with Boolean conjunctive queries over binary
+relations whose first position is the primary key.  Path queries are the
+special case ``R1(x1,x2), R2(x2,x3), ..., Rk(xk,xk+1)`` with all variables
+distinct; they are represented losslessly by the word ``R1R2...Rk``.
+Section 8 extends path queries with constants ("generalized path queries").
+"""
+
+from repro.queries.atoms import Atom, Variable, is_constant, is_variable
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.queries.path_query import PathQuery, RootedPathQuery
+from repro.queries.generalized import (
+    GeneralizedPathQuery,
+    TerminalWord,
+    homomorphism_offsets,
+    has_homomorphism,
+    has_prefix_homomorphism,
+)
+
+__all__ = [
+    "Atom",
+    "Variable",
+    "is_constant",
+    "is_variable",
+    "ConjunctiveQuery",
+    "PathQuery",
+    "RootedPathQuery",
+    "GeneralizedPathQuery",
+    "TerminalWord",
+    "homomorphism_offsets",
+    "has_homomorphism",
+    "has_prefix_homomorphism",
+]

@@ -1,0 +1,95 @@
+"""Terms and atoms (Section 2 of the paper).
+
+We consider only binary relation names; the first position is the primary
+key.  A term is a :class:`Variable` or a constant.  Constants are arbitrary
+hashable Python values that are not :class:`Variable` instances (strings and
+integers in practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, identified by its name.
+
+    >>> Variable("x") == Variable("x")
+    True
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return "Variable({!r})".format(self.name)
+
+
+Term = Union[Variable, str, int]
+
+
+def is_variable(term: Term) -> bool:
+    """True iff *term* is a query variable."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """True iff *term* is a constant (i.e. not a variable)."""
+    return not isinstance(term, Variable)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A binary atom ``R(key, value)``; the first position is the primary key.
+
+    An atom without variables is a *fact* (see :mod:`repro.db.facts`, which
+    provides the dedicated :class:`~repro.db.facts.Fact` type used by
+    database instances).
+    """
+
+    relation: str
+    key: Term
+    value: Term
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise ValueError("relation name must be nonempty")
+
+    @property
+    def terms(self):
+        """The pair ``(key, value)``."""
+        return (self.key, self.value)
+
+    def variables(self) -> frozenset:
+        """The set of variables occurring in this atom."""
+        return frozenset(t for t in self.terms if is_variable(t))
+
+    def constants(self) -> frozenset:
+        """The set of constants occurring in this atom."""
+        return frozenset(t for t in self.terms if is_constant(t))
+
+    def is_fact(self) -> bool:
+        """True iff the atom contains no variables."""
+        return not self.variables()
+
+    def substitute(self, mapping) -> "Atom":
+        """Apply a substitution (dict from :class:`Variable` to terms).
+
+        Variables absent from *mapping* are left unchanged; constants are
+        always left unchanged (substitutions are the identity on constants,
+        Definition 18).
+        """
+
+        def apply(term: Term) -> Term:
+            if is_variable(term):
+                return mapping.get(term, term)
+            return term
+
+        return Atom(self.relation, apply(self.key), apply(self.value))
+
+    def __str__(self) -> str:
+        return "{}({}, {})".format(self.relation, self.key, self.value)

@@ -1,0 +1,220 @@
+"""Boolean conjunctive queries over binary relations (Section 2).
+
+A Boolean conjunctive query is a finite set of atoms; it represents the
+existential closure of their conjunction.  This module provides the generic
+machinery the paper uses around conjunctive queries:
+
+* variables / constants / self-join detection,
+* homomorphisms between queries (Definition 18 generalizes to arbitrary
+  conjunctive queries) and from queries into sets of facts,
+* connected-component splitting (used by Lemma 25).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.queries.atoms import Atom, Term, Variable, is_constant, is_variable
+
+
+class ConjunctiveQuery:
+    """An immutable Boolean conjunctive query: a finite set of binary atoms.
+
+    >>> q = ConjunctiveQuery([Atom("R", Variable("x"), Variable("y")),
+    ...                       Atom("R", Variable("y"), Variable("x"))])
+    >>> q.has_self_join()
+    True
+    """
+
+    __slots__ = ("_atoms",)
+
+    def __init__(self, atoms: Iterable[Atom]) -> None:
+        self._atoms: FrozenSet[Atom] = frozenset(atoms)
+
+    @property
+    def atoms(self) -> FrozenSet[Atom]:
+        return self._atoms
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(sorted(self._atoms, key=str))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        return hash(("ConjunctiveQuery", self._atoms))
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(a) for a in self) + "}"
+
+    __repr__ = __str__
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+
+    def variables(self) -> FrozenSet[Variable]:
+        """``vars(q)``: all variables occurring in the query."""
+        result = frozenset()
+        for atom in self._atoms:
+            result |= atom.variables()
+        return result
+
+    def constants(self) -> FrozenSet:
+        """All constants occurring in the query."""
+        result = frozenset()
+        for atom in self._atoms:
+            result |= atom.constants()
+        return result
+
+    def relation_names(self) -> FrozenSet[str]:
+        """All relation names occurring in the query."""
+        return frozenset(a.relation for a in self._atoms)
+
+    def has_self_join(self) -> bool:
+        """True iff some relation name occurs in more than one atom."""
+        names = [a.relation for a in self._atoms]
+        return len(names) != len(set(names))
+
+    def is_self_join_free(self) -> bool:
+        """True iff no relation name occurs more than once (Section 2)."""
+        return not self.has_self_join()
+
+    # ------------------------------------------------------------------
+    # Homomorphisms
+    # ------------------------------------------------------------------
+
+    def homomorphisms_into(
+        self, facts: Iterable[Tuple[str, Term, Term]]
+    ) -> Iterator[Dict[Variable, Term]]:
+        """Enumerate all homomorphisms from this query into a set of facts.
+
+        *facts* is an iterable of ``(relation, key, value)`` triples of
+        constants.  A homomorphism is a substitution θ (identity on
+        constants) with ``θ(q) ⊆ facts``.  Enumeration is by backtracking
+        over atoms ordered to maximize join connectivity.
+        """
+        by_relation: Dict[str, List[Tuple[Term, Term]]] = {}
+        for relation, key, value in facts:
+            by_relation.setdefault(relation, []).append((key, value))
+
+        atoms = _connectivity_order(list(self._atoms))
+
+        def extend(
+            index: int, theta: Dict[Variable, Term]
+        ) -> Iterator[Dict[Variable, Term]]:
+            if index == len(atoms):
+                yield dict(theta)
+                return
+            atom = atoms[index]
+            for key, value in by_relation.get(atom.relation, ()):  # noqa: B020
+                binding = _match_atom(atom, key, value, theta)
+                if binding is None:
+                    continue
+                added = [v for v in binding if v not in theta]
+                theta.update(binding)
+                yield from extend(index + 1, theta)
+                for v in added:
+                    del theta[v]
+
+        yield from extend(0, {})
+
+    def satisfied_by(self, facts: Iterable[Tuple[str, Term, Term]]) -> bool:
+        """True iff some homomorphism maps this query into *facts*."""
+        return next(self.homomorphisms_into(facts), None) is not None
+
+    def homomorphism_to(
+        self, other: "ConjunctiveQuery"
+    ) -> Optional[Dict[Variable, Term]]:
+        """A homomorphism from this query to *other*, or ``None``.
+
+        Variables of *other* are treated as (distinct fresh) constants, per
+        the standard definition of conjunctive-query homomorphism.
+        """
+        target = [(a.relation, a.key, a.value) for a in other.atoms]
+        return next(self.homomorphisms_into(target), None)
+
+    # ------------------------------------------------------------------
+    # Component splitting (Lemma 25)
+    # ------------------------------------------------------------------
+
+    def connected_components(self) -> List["ConjunctiveQuery"]:
+        """Split into variable-connected components.
+
+        Two atoms are connected when they share a variable.  Lemma 25: the
+        certain answer of a variable-disjoint union is the conjunction of
+        the certain answers of the components.  Atoms without variables form
+        singleton components.
+        """
+        atoms = list(self._atoms)
+        parent = list(range(len(atoms)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            parent[find(i)] = find(j)
+
+        by_variable: Dict[Variable, List[int]] = {}
+        for idx, atom in enumerate(atoms):
+            for var in atom.variables():
+                by_variable.setdefault(var, []).append(idx)
+        for indices in by_variable.values():
+            for other in indices[1:]:
+                union(indices[0], other)
+
+        groups: Dict[int, List[Atom]] = {}
+        for idx, atom in enumerate(atoms):
+            groups.setdefault(find(idx), []).append(atom)
+        return [ConjunctiveQuery(group) for group in groups.values()]
+
+
+def _match_atom(
+    atom: Atom, key: Term, value: Term, theta: Dict[Variable, Term]
+) -> Optional[Dict[Variable, Term]]:
+    """Try to match *atom* against the fact ``(atom.relation, key, value)``.
+
+    Returns the new bindings required (possibly empty), or ``None`` if the
+    match is inconsistent with *theta*.
+    """
+    binding: Dict[Variable, Term] = {}
+    for term, target in ((atom.key, key), (atom.value, value)):
+        if is_constant(term):
+            if term != target:
+                return None
+        else:
+            bound = theta.get(term, binding.get(term))
+            if bound is None:
+                binding[term] = target
+            elif bound != target:
+                return None
+    return binding
+
+
+def _connectivity_order(atoms: List[Atom]) -> List[Atom]:
+    """Order atoms so each one (after the first) shares a variable with an
+    earlier one when possible; this keeps backtracking search well-pruned."""
+    if not atoms:
+        return []
+    remaining = sorted(atoms, key=str)
+    ordered = [remaining.pop(0)]
+    seen_vars = set(ordered[0].variables())
+    while remaining:
+        for i, atom in enumerate(remaining):
+            if atom.variables() & seen_vars:
+                ordered.append(remaining.pop(i))
+                seen_vars |= atom.variables()
+                break
+        else:
+            atom = remaining.pop(0)
+            ordered.append(atom)
+            seen_vars |= atom.variables()
+    return ordered

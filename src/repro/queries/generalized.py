@@ -1,0 +1,308 @@
+"""Generalized path queries -- path queries with constants (Section 8).
+
+A generalized path query (Definition 16) is
+
+    ``q = { R1(s1, s2), R2(s2, s3), ..., Rk(sk, sk+1) }``
+
+where the terms ``s1, ..., sk+1`` are constants or variables, *all
+distinct*.  A constant can occur at most twice: at a non-primary-key
+position and the next primary-key position -- i.e. constants live on the
+*nodes* of the path.  We therefore represent a generalized path query by its
+word of relation names plus a tuple of ``k+1`` node labels, each ``None``
+(a fresh variable) or a constant.
+
+This module also implements:
+
+* ``char(q)`` -- the characteristic prefix (Definition 16);
+* ``[[q, γ]]`` -- words with a terminal symbol, :class:`TerminalWord`
+  (Definition 17), where ``γ`` is a constant or the special symbol ``⊤``
+  (represented by ``None``);
+* ``ext(q)`` -- the extended constant-free query (Definition 22);
+* homomorphisms and prefix homomorphisms between terminal words
+  (Definition 18), the ingredients of conditions D1, D2, D3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.queries.atoms import Atom, Term, Variable
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.queries.path_query import PathQuery
+from repro.words.word import Word, WordLike
+
+#: Node label meaning "a fresh variable".
+VAR = None
+
+
+@dataclass(frozen=True)
+class TerminalWord:
+    """``[[q, γ]]`` (Definition 17): a word with a terminal symbol.
+
+    ``terminal is None`` encodes the distinguished symbol ``⊤`` (no
+    constant): ``[[q, ⊤]]`` is the constant-free path query ``q``.
+    Otherwise the last variable of the path query is replaced by the
+    constant ``terminal``.
+    """
+
+    word: Word
+    terminal: Optional[Term] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "word", Word.coerce(self.word))
+        if isinstance(self.terminal, Variable):
+            raise TypeError("the terminal of [[q, γ]] must be a constant or None")
+
+    @property
+    def has_constant(self) -> bool:
+        return self.terminal is not None
+
+    def __str__(self) -> str:
+        gamma = "⊤" if self.terminal is None else self.terminal
+        return "[[{}, {}]]".format(self.word, gamma)
+
+    __repr__ = __str__
+
+
+def homomorphism_offsets(source: TerminalWord, target: TerminalWord) -> List[int]:
+    """All offsets witnessing a homomorphism from *source* to *target*.
+
+    Both queries are simple paths with pairwise-distinct terms, so every
+    homomorphism maps the source chain onto a contiguous forward segment of
+    the target; it is determined by the offset of that segment.  Offset
+    ``o`` is valid iff the words match (``source.word`` occurs in
+    ``target.word`` at offset ``o``) and constants are respected: if the
+    source ends in constant ``c`` then the target node ``o + |source|``
+    must be the constant ``c`` -- which, since the target's only constant
+    node is its last one, forces ``o + |source| == |target|`` and equal
+    terminal constants.
+    """
+    p = source.word
+    t = target.word
+    result = []
+    for offset in range(len(t) - len(p) + 1):
+        if t.symbols[offset: offset + len(p)] != p.symbols:
+            continue
+        if source.terminal is not None:
+            end_node = offset + len(p)
+            if end_node != len(t) or target.terminal != source.terminal:
+                continue
+        result.append(offset)
+    return result
+
+
+def has_homomorphism(source: TerminalWord, target: TerminalWord) -> bool:
+    """True iff there is a homomorphism from *source* to *target*."""
+    return bool(homomorphism_offsets(source, target))
+
+
+def has_prefix_homomorphism(source: TerminalWord, target: TerminalWord) -> bool:
+    """True iff there is a *prefix* homomorphism (Definition 18): the first
+    term of the source maps to the first term of the target, i.e. offset 0."""
+    return 0 in homomorphism_offsets(source, target)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal constant-rooted piece of ``q \\ char(q)`` (Lemma 27).
+
+    ``root`` is the constant the piece starts at; ``word`` its trace;
+    ``end`` the constant it must end at, or ``None`` if it ends in a
+    variable.
+    """
+
+    root: Term
+    word: Word
+    end: Optional[Term] = None
+
+    def __str__(self) -> str:
+        end = "?" if self.end is None else self.end
+        return "{} -{}-> {}".format(self.root, self.word, end)
+
+
+class GeneralizedPathQuery:
+    """A generalized path query: word + node labels (Definition 16).
+
+    >>> q = GeneralizedPathQuery("RSTR", {2: 0, 3: 1})   # Example 8
+    >>> str(q.char())
+    '[[RS, 0]]'
+    """
+
+    __slots__ = ("_word", "_nodes")
+
+    def __init__(
+        self,
+        word: WordLike,
+        constants: Optional[Dict[int, Term]] = None,
+        nodes: Optional[Sequence[Optional[Term]]] = None,
+    ) -> None:
+        self._word = Word.coerce(word)
+        size = len(self._word) + 1
+        if nodes is not None:
+            labels = list(nodes)
+            if len(labels) != size:
+                raise ValueError(
+                    "expected {} node labels, got {}".format(size, len(labels))
+                )
+        else:
+            labels = [VAR] * size
+            for position, constant in (constants or {}).items():
+                if not 0 <= position < size:
+                    raise ValueError("node position {} out of range".format(position))
+                labels[position] = constant
+        for label in labels:
+            if isinstance(label, Variable):
+                raise TypeError("node labels must be constants or None")
+        fixed = [c for c in labels if c is not None]
+        if len(fixed) != len(set(fixed)):
+            raise ValueError(
+                "all terms of a generalized path query must be distinct "
+                "(Definition 16): duplicate constant among {}".format(fixed)
+            )
+        self._nodes: Tuple[Optional[Term], ...] = tuple(labels)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def word(self) -> Word:
+        return self._word
+
+    @property
+    def nodes(self) -> Tuple[Optional[Term], ...]:
+        """Node labels; index i is the term shared by atoms i-1 and i."""
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._word)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GeneralizedPathQuery):
+            return (self._word, self._nodes) == (other._word, other._nodes)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("GeneralizedPathQuery", self._word, self._nodes))
+
+    def __str__(self) -> str:
+        parts = []
+        for i, relation in enumerate(self._word):
+            left = self._term_name(i)
+            right = self._term_name(i + 1)
+            parts.append("{}({}, {})".format(relation, left, right))
+        return "{" + ", ".join(parts) + "}"
+
+    __repr__ = __str__
+
+    def _term_name(self, i: int):
+        label = self._nodes[i]
+        return Variable("x{}".format(i + 1)) if label is None else label
+
+    def constants(self) -> List[Term]:
+        """All constants, in node order."""
+        return [c for c in self._nodes if c is not None]
+
+    def has_constants(self) -> bool:
+        return any(c is not None for c in self._nodes)
+
+    def is_path_query(self) -> bool:
+        """True iff constant-free, i.e. an ordinary path query."""
+        return not self.has_constants()
+
+    def to_path_query(self) -> PathQuery:
+        if not self.is_path_query():
+            raise ValueError("query contains constants: {}".format(self))
+        return PathQuery(self._word)
+
+    def to_conjunctive_query(self) -> ConjunctiveQuery:
+        atoms = []
+        for i, relation in enumerate(self._word):
+            atoms.append(Atom(relation, self._term_name(i), self._term_name(i + 1)))
+        return ConjunctiveQuery(atoms)
+
+    # ------------------------------------------------------------------
+    # char(q), ext(q), segments (Section 8)
+    # ------------------------------------------------------------------
+
+    def first_constant_node(self) -> Optional[int]:
+        """The smallest node index carrying a constant, or ``None``."""
+        for index, label in enumerate(self._nodes):
+            if label is not None:
+                return index
+        return None
+
+    def char(self) -> TerminalWord:
+        """``char(q)``: the characteristic prefix, as ``[[word, γ]]``.
+
+        The longest atom-prefix whose key positions are all variables; its
+        final term may be a constant (Definition 16).
+        """
+        index = self.first_constant_node()
+        if index is None:
+            return TerminalWord(self._word, None)
+        return TerminalWord(self._word[:index], self._nodes[index])
+
+    def char_length(self) -> int:
+        """Number of atoms in ``char(q)``."""
+        index = self.first_constant_node()
+        return len(self._word) if index is None else index
+
+    def remainder(self) -> "GeneralizedPathQuery":
+        """``q \\ char(q)``: the atoms after the characteristic prefix.
+
+        If nonempty, it starts at a constant node (Lemma 21 applies).
+        """
+        start = self.char_length()
+        return GeneralizedPathQuery(
+            self._word[start:], nodes=self._nodes[start:]
+        )
+
+    def segments(self) -> List[Segment]:
+        """Split the remainder into constant-rooted segments (Lemma 27).
+
+        Each segment runs from one constant node to the next (or to the
+        final node).  The union of the segments is ``q \\ char(q)``; by
+        Lemma 25 their certain answers combine conjunctively.
+        """
+        start = self.char_length()
+        if start == len(self._word):
+            return []
+        constant_positions = [
+            i for i in range(start, len(self._nodes)) if self._nodes[i] is not None
+        ]
+        result = []
+        for rank, begin in enumerate(constant_positions):
+            if begin == len(self._word):
+                break
+            if rank + 1 < len(constant_positions):
+                stop = constant_positions[rank + 1]
+            else:
+                stop = len(self._word)
+            result.append(
+                Segment(
+                    root=self._nodes[begin],
+                    word=self._word[begin:stop],
+                    end=self._nodes[stop],
+                )
+            )
+        return result
+
+    def ext(self, fresh_relation: str = "N") -> PathQuery:
+        """``ext(q)`` (Definition 22): the extended constant-free query.
+
+        If *q* is constant-free, returns *q* itself as a :class:`PathQuery`.
+        Otherwise, with ``char(q) = [[p, c]]``, returns the path query
+        ``p·N`` where ``N`` is a fresh relation name (*fresh_relation* is
+        uniquified if it collides with a relation of *q*).
+        """
+        if not self.has_constants():
+            return PathQuery(self._word)
+        name = fresh_relation
+        counter = 0
+        while name in self._word.alphabet():
+            counter += 1
+            name = "{}{}".format(fresh_relation, counter)
+        prefix = self.char().word
+        return PathQuery(prefix + Word([name]))

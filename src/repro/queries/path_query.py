@@ -1,0 +1,137 @@
+"""Path queries (Section 2) and rooted path queries ``q[c]`` (Definition 12).
+
+A path query is the constant-free Boolean conjunctive query
+
+    ``q = { R1(x1, x2), R2(x2, x3), ..., Rk(xk, xk+1) }``
+
+with distinct variables; it is represented losslessly by the word
+``R1 R2 ... Rk``.  ``q[c]`` (Definition 12) roots the query at a constant:
+``q[c] = { R1(c, x2), R2(x2, x3), ..., Rk(xk, xk+1) }``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.queries.atoms import Atom, Term, Variable
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.words.word import Word, WordLike
+
+
+class PathQuery:
+    """A path query, wrapping its word representation.
+
+    >>> q = PathQuery("RRX")
+    >>> q.word
+    Word('RRX')
+    >>> print(q.to_conjunctive_query())
+    {R(x1, x2), R(x2, x3), X(x3, x4)}
+    """
+
+    __slots__ = ("_word",)
+
+    def __init__(self, word: WordLike) -> None:
+        self._word = Word.coerce(word)
+
+    @property
+    def word(self) -> Word:
+        """The word ``R1 R2 ... Rk`` over the alphabet of relation names."""
+        return self._word
+
+    def __len__(self) -> int:
+        return len(self._word)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PathQuery):
+            return self._word == other._word
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("PathQuery", self._word))
+
+    def __str__(self) -> str:
+        return str(self._word)
+
+    def __repr__(self) -> str:
+        return "PathQuery({!r})".format(str(self._word))
+
+    def has_self_join(self) -> bool:
+        """True iff some relation name occurs more than once."""
+        return len(self._word.alphabet()) != len(self._word)
+
+    def is_self_join_free(self) -> bool:
+        return not self.has_self_join()
+
+    def variables(self) -> List[Variable]:
+        """The canonical variables ``x1, ..., xk+1``."""
+        return [Variable("x{}".format(i + 1)) for i in range(len(self._word) + 1)]
+
+    def atoms(self) -> Iterator[Atom]:
+        """The atoms ``Ri(xi, xi+1)`` with canonical variable names."""
+        variables = self.variables()
+        for i, relation in enumerate(self._word):
+            yield Atom(relation, variables[i], variables[i + 1])
+
+    def to_conjunctive_query(self) -> ConjunctiveQuery:
+        """The Boolean conjunctive query this path query denotes."""
+        return ConjunctiveQuery(self.atoms())
+
+    def rooted(self, constant: Term) -> "RootedPathQuery":
+        """``q[c]``: this query with the first variable replaced by *constant*."""
+        return RootedPathQuery(self._word, constant)
+
+    def tail(self) -> "PathQuery":
+        """The path query obtained by dropping the left-most atom."""
+        if not self._word:
+            raise ValueError("the empty path query has no tail")
+        return PathQuery(self._word[1:])
+
+
+class RootedPathQuery:
+    """The Boolean conjunctive query ``q[c]`` of Definition 12.
+
+    ``q[c] = { R1(c, x2), R2(x2, x3), ..., Rk(xk, xk+1) }`` where ``c`` is a
+    constant.  Used by the first-order rewriting of Lemma 12 and by the
+    *terminal* test of Definition 15 / Lemma 17.
+    """
+
+    __slots__ = ("_word", "_root")
+
+    def __init__(self, word: WordLike, root: Term) -> None:
+        self._word = Word.coerce(word)
+        if not self._word:
+            raise ValueError("a rooted path query needs at least one atom")
+        if isinstance(root, Variable):
+            raise TypeError("the root of q[c] must be a constant")
+        self._root = root
+
+    @property
+    def word(self) -> Word:
+        return self._word
+
+    @property
+    def root(self) -> Term:
+        """The constant ``c``."""
+        return self._root
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RootedPathQuery):
+            return (self._word, self._root) == (other._word, other._root)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("RootedPathQuery", self._word, self._root))
+
+    def __str__(self) -> str:
+        return "{}[{}]".format(self._word, self._root)
+
+    __repr__ = __str__
+
+    def to_conjunctive_query(self) -> ConjunctiveQuery:
+        """The conjunctive query with the root constant substituted in."""
+        variables = [Variable("x{}".format(i + 1)) for i in range(len(self._word) + 1)]
+        atoms = []
+        for i, relation in enumerate(self._word):
+            key: Term = self._root if i == 0 else variables[i]
+            atoms.append(Atom(relation, key, variables[i + 1]))
+        return ConjunctiveQuery(atoms)

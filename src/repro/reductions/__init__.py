@@ -1,0 +1,21 @@
+"""The hardness reductions of Section 7 as instance generators.
+
+Each lower-bound proof of the paper is implemented as an executable
+reduction.  They serve two purposes: *validation* (the reduction's
+correctness statement is checked end-to-end against ground truth on
+random inputs) and *workload generation* (reduction outputs are the
+structured "hard" instances the benchmarks feed the solvers).
+"""
+
+from repro.reductions.gadgets import FreshConstants, phi
+from repro.reductions.reachability import reachability_reduction
+from repro.reductions.sat_reduction import sat_reduction
+from repro.reductions.mcvp import mcvp_reduction
+
+__all__ = [
+    "FreshConstants",
+    "phi",
+    "reachability_reduction",
+    "sat_reduction",
+    "mcvp_reduction",
+]

@@ -1,0 +1,59 @@
+"""The ϕ path gadgets used by every lower-bound construction (Section 7).
+
+For a path query ``q = R1 ... Rk`` and constants ``a, b``:
+
+* ``ϕ_a^b[q]`` -- a fresh ``q``-labelled path from ``a`` to ``b``:
+  ``R1(a, □2), R2(□2, □3), ..., Rk(□k, b)``;
+* ``ϕ_a^⊥[q]`` -- from ``a`` to a fresh constant;
+* ``ϕ_⊥^b[q]`` -- from a fresh constant to ``b``.
+
+Every ``□i`` is a globally fresh constant; two gadget instantiations never
+share their internal constants.  :class:`FreshConstants` supplies them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.db.facts import Fact
+from repro.words.word import Word, WordLike
+
+
+class FreshConstants:
+    """A supply of globally fresh constants ``□1, □2, ...``."""
+
+    def __init__(self, prefix: str = "□") -> None:
+        self._prefix = prefix
+        self._counter = 0
+
+    def __call__(self) -> str:
+        self._counter += 1
+        return "{}{}".format(self._prefix, self._counter)
+
+    @property
+    def issued(self) -> int:
+        return self._counter
+
+
+def phi(
+    q: WordLike,
+    start: Optional[Hashable],
+    end: Optional[Hashable],
+    fresh: FreshConstants,
+) -> List[Fact]:
+    """The gadget ``ϕ_start^end[q]``.
+
+    ``start`` / ``end`` may be ``None`` for ``⊥`` (a fresh constant).
+    The empty word yields no facts (the paper composes gadgets with
+    possibly-empty component words, e.g. ``u = ε`` in Lemma 18).
+    """
+    q = Word.coerce(q)
+    if not q:
+        return []
+    nodes: List[Hashable] = [start if start is not None else fresh()]
+    for _ in range(len(q) - 1):
+        nodes.append(fresh())
+    nodes.append(end if end is not None else fresh())
+    return [
+        Fact(relation, nodes[i], nodes[i + 1]) for i, relation in enumerate(q)
+    ]

@@ -1,0 +1,139 @@
+"""The PTIME-hardness reduction from MCVP (Lemma 20, Figure 10).
+
+For a path query that satisfies C3 but violates C2, write
+``q = u R v1 R v2 R w`` for consecutive occurrences of ``R`` with
+``v1 != v2`` and ``Rw`` not a prefix of ``Rv1``.  Let ``v`` be the
+longest common prefix of ``v1`` and ``v2``, so ``v1 = v·v1+`` and
+``v2 = v·v2+`` with differing first symbols.  The Monotone Circuit Value
+Problem reduces in FO to CERTAINTY(q):
+
+* output gate ``o``: add ``ϕ_⊥^o[uRv1]``;
+* input ``x`` with ``σ(x) = 1``: add ``ϕ_x^⊥[Rv2Rw]``;
+* every gate ``g``: add ``ϕ_⊥^g[u]`` and ``ϕ_g^⊥[Rv2Rw]``;
+* AND gate ``g = g1 ∧ g2``: add ``ϕ_g^{g1}[Rv1]`` and ``ϕ_g^{g2}[Rv1]``
+  (conflicting on ``R(g, *)``: the repair blames one child);
+* OR gate ``g = g1 ∨ g2`` (fresh ``c1, c2``): add ``ϕ_g^{c1}[Rv]``,
+  ``ϕ_{c1}^{g1}[v1+]``, ``ϕ_{c1}^{c2}[v2+]``, ``ϕ_⊥^{c2}[u]``,
+  ``ϕ_{c2}^{g2}[Rv1]``, ``ϕ_{c2}^⊥[Rw]``.
+
+The circuit evaluates to 1 iff every repair satisfies ``q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+from repro.circuits.circuit import MonotoneCircuit
+from repro.classification.conditions import satisfies_c2, satisfies_c3
+from repro.classification.witnesses import TripleWitness, c2_violation
+from repro.db.instance import DatabaseInstance
+from repro.reductions.gadgets import FreshConstants, phi
+from repro.words.word import Word, WordLike
+
+
+@dataclass(frozen=True)
+class McvpReduction:
+    """The constructed instance plus bookkeeping."""
+
+    query: Word
+    witness: TripleWitness
+    instance: DatabaseInstance
+    circuit: MonotoneCircuit
+
+    def expected_certainty(self, circuit_value: bool) -> bool:
+        """CERTAINTY(q) equals the circuit's output value."""
+        return circuit_value
+
+
+def _common_prefix(a: Word, b: Word) -> Word:
+    length = 0
+    while length < min(len(a), len(b)) and a[length] == b[length]:
+        length += 1
+    return a[:length]
+
+
+def mcvp_reduction(
+    q: WordLike,
+    circuit: MonotoneCircuit,
+    assignment: Dict[str, bool],
+) -> McvpReduction:
+    """Build the Lemma 20 instance for *q* from a circuit + assignment.
+
+    Requires *q* to satisfy C3 and violate C2 (the PTIME-complete class;
+    for C3 violations the Lemma 19 reduction already gives coNP-hardness,
+    which subsumes PTIME-hardness).
+    """
+    q = Word.coerce(q)
+    if satisfies_c2(q):
+        raise ValueError(
+            "query {} satisfies C2; no PTIME-hardness reduction applies".format(q)
+        )
+    if not satisfies_c3(q):
+        raise ValueError(
+            "query {} violates C3; use the Lemma 19 SAT reduction instead".format(q)
+        )
+    witness = c2_violation(q)
+    if not isinstance(witness, TripleWitness):  # pragma: no cover
+        raise AssertionError("C3-satisfying C2 violations are triples (Lemma 3)")
+
+    u = witness.u
+    r = Word([witness.relation])
+    v1 = witness.v1
+    v2 = witness.v2
+    w = witness.w
+    v = _common_prefix(v1, v2)
+    v1_plus = v1[len(v):]
+    v2_plus = v2[len(v):]
+    if not v1_plus:  # pragma: no cover
+        raise AssertionError(
+            "the Lemma 20 witness has v1+ = ε (v1 a proper prefix of v2), "
+            "contradicting the structure of C3-satisfying C2 violations"
+        )
+    # v2+ = ε is possible (e.g. q = RXRRR: v1 = X, v2 = ε): then v = v2
+    # and the OR gadget's c1 and c2 coincide, the ϕ_{c1}^{c2}[v2+] path
+    # being empty.  The paper's prose assumes both nonempty; the merged
+    # gadget is the degenerate case and is validated by the differential
+    # tests on RXRRR and RSRRR.
+
+    rv1 = r + v1
+    rv = r + v
+    rv2w = r + v2 + r + w
+    rw = r + w
+
+    fresh = FreshConstants()
+
+    def wire(name: str) -> Hashable:
+        return ("wire", name)
+
+    facts = []
+    # Output gate.
+    facts.extend(phi(u + rv1, None, wire(circuit.output), fresh))
+    # True inputs.
+    for name in circuit.inputs:
+        if assignment.get(name, False):
+            facts.extend(phi(rv2w, wire(name), None, fresh))
+    # Every gate.
+    for gate in circuit.gates:
+        g = wire(gate.name)
+        facts.extend(phi(u, None, g, fresh))
+        facts.extend(phi(rv2w, g, None, fresh))
+        if gate.op == "and":
+            facts.extend(phi(rv1, g, wire(gate.left), fresh))
+            facts.extend(phi(rv1, g, wire(gate.right), fresh))
+        else:
+            c1 = ("or", gate.name, 1)
+            c2 = ("or", gate.name, 2) if v2_plus else c1
+            facts.extend(phi(rv, g, c1, fresh))
+            facts.extend(phi(v1_plus, c1, wire(gate.left), fresh))
+            facts.extend(phi(v2_plus, c1, c2, fresh))
+            facts.extend(phi(u, None, c2, fresh))
+            facts.extend(phi(rv1, c2, wire(gate.right), fresh))
+            facts.extend(phi(rw, c2, None, fresh))
+
+    return McvpReduction(
+        query=q,
+        witness=witness,
+        instance=DatabaseInstance(facts),
+        circuit=circuit,
+    )

@@ -1,0 +1,95 @@
+"""The NL-hardness reduction from REACHABILITY (Lemma 18, Figure 8).
+
+For a path query ``q = uRvRw`` violating C1 (``q`` not a prefix of
+``uRvRvRw``), acyclic REACHABILITY reduces in FO to the *complement* of
+CERTAINTY(q):
+
+* extend the graph with fresh ``s' -> s`` and ``t -> t'``;
+* for each vertex ``x ∈ V ∪ {s'}``: add ``ϕ_⊥^x[u]`` (a ``u``-path into
+  ``x``);
+* for each edge ``(x, y)``: add ``ϕ_x^y[Rv]``;
+* for each vertex ``x ∈ V``: add ``ϕ_x^⊥[Rw]``.
+
+Then ``G`` has a directed path ``s -> t`` iff some repair falsifies ``q``
+(the repair routes the conflicting ``R``-blocks along the path, producing
+only traces ``u (Rv)^k`` that ``q`` cannot embed into).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.classification.witnesses import PairWitness, c1_violation
+from repro.db.instance import DatabaseInstance
+from repro.graphs.digraph import DiGraph
+from repro.reductions.gadgets import FreshConstants, phi
+from repro.words.word import Word, WordLike
+
+
+@dataclass(frozen=True)
+class ReachabilityReduction:
+    """The constructed instance plus the reduction's bookkeeping."""
+
+    query: Word
+    witness: PairWitness
+    instance: DatabaseInstance
+    source: Hashable
+    target: Hashable
+
+    def expected_certainty(self, reachable: bool) -> bool:
+        """The CERTAINTY answer the reduction predicts: the complement of
+        reachability."""
+        return not reachable
+
+
+def reachability_reduction(
+    q: WordLike, graph: DiGraph, source: Hashable, target: Hashable
+) -> ReachabilityReduction:
+    """Build the Lemma 18 instance for *q* from an acyclic graph.
+
+    Raises :class:`ValueError` if *q* satisfies C1 (no reduction exists:
+    CERTAINTY(q) is then in FO) or if the graph is cyclic (the reduction
+    is stated for acyclic inputs, where REACHABILITY stays NL-complete).
+    """
+    q = Word.coerce(q)
+    witness = c1_violation(q)
+    if witness is None:
+        raise ValueError(
+            "query {} satisfies C1; no NL-hardness reduction applies".format(q)
+        )
+    if not graph.is_acyclic():
+        raise ValueError("the Lemma 18 reduction expects an acyclic graph")
+    if source not in graph or target not in graph:
+        raise ValueError("source/target must be graph vertices")
+
+    u = witness.u
+    rv = Word([witness.relation]) + witness.v
+    rw = Word([witness.relation]) + witness.w
+
+    fresh = FreshConstants()
+    s_prime = ("aux", "s'")
+    t_prime = ("aux", "t'")
+
+    def vertex(x: Hashable) -> Hashable:
+        return ("v", x)
+
+    facts = []
+    vertices = sorted(graph.vertices, key=str)
+    for x in vertices:
+        facts.extend(phi(u, None, vertex(x), fresh))
+    facts.extend(phi(u, None, s_prime, fresh))
+    for x, y in graph.edges:
+        facts.extend(phi(rv, vertex(x), vertex(y), fresh))
+    facts.extend(phi(rv, s_prime, vertex(source), fresh))
+    facts.extend(phi(rv, vertex(target), t_prime, fresh))
+    for x in vertices:
+        facts.extend(phi(rw, vertex(x), None, fresh))
+
+    return ReachabilityReduction(
+        query=q,
+        witness=witness,
+        instance=DatabaseInstance(facts),
+        source=source,
+        target=target,
+    )

@@ -1,0 +1,108 @@
+"""The coNP-hardness reduction from SAT (Lemma 19, Figure 9).
+
+For a path query ``q = uRvRw`` violating C3 (``q`` not a factor of
+``uRvRvRw``; ``u`` is necessarily nonempty), SAT reduces in FO to the
+complement of CERTAINTY(q).  Given a CNF formula:
+
+* for each variable ``z``: add ``ϕ_z^⊥[Rw]`` ("z is true") and
+  ``ϕ_z^⊥[RvRw]`` ("z is false") -- these conflict on the block
+  ``R(z, *)``;
+* for each clause ``C`` and positive literal ``z`` of ``C``: add
+  ``ϕ_C^z[u]``;
+* for each clause ``C`` and negated variable ``z`` of ``C``: add
+  ``ϕ_C^z[uRv]`` -- the clause gadgets conflict on the block
+  ``S(C, *)`` where ``S = first(u)``.
+
+The formula is satisfiable iff some repair falsifies ``q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+from repro.classification.witnesses import PairWitness, c3_violation
+from repro.cnf.formula import CnfFormula
+from repro.db.instance import DatabaseInstance
+from repro.reductions.gadgets import FreshConstants, phi
+from repro.words.word import Word, WordLike
+
+
+@dataclass(frozen=True)
+class SatReduction:
+    """The constructed instance plus bookkeeping."""
+
+    query: Word
+    witness: PairWitness
+    instance: DatabaseInstance
+    formula: CnfFormula
+
+    def expected_certainty(self, satisfiable: bool) -> bool:
+        """CERTAINTY(q) is the complement of satisfiability."""
+        return not satisfiable
+
+
+def sat_reduction(q: WordLike, formula: CnfFormula) -> SatReduction:
+    """Build the Lemma 19 instance for *q* from a CNF formula.
+
+    Raises :class:`ValueError` if *q* satisfies C3 (CERTAINTY(q) is then
+    in PTIME and no such reduction exists unless PTIME = coNP).
+    """
+    q = Word.coerce(q)
+    witness = c3_violation(q)
+    if witness is None:
+        raise ValueError(
+            "query {} satisfies C3; no coNP-hardness reduction applies".format(q)
+        )
+    if not witness.u:
+        raise AssertionError(
+            "C3 violations always have nonempty u (q = RvRw is a suffix "
+            "of RvRvRw); witness extraction is inconsistent"
+        )
+
+    u = witness.u
+    rv = Word([witness.relation]) + witness.v
+    rw = Word([witness.relation]) + witness.w
+
+    fresh = FreshConstants()
+
+    def variable_node(name: str) -> Hashable:
+        return ("var", name)
+
+    def clause_node(index: int) -> Hashable:
+        return ("clause", index)
+
+    facts = []
+    for name in formula.variables():
+        z = variable_node(name)
+        facts.extend(phi(rw, z, None, fresh))          # z := true
+        facts.extend(phi(rv + rw, z, None, fresh))     # z := false
+    for index, clause in enumerate(formula.clauses):
+        c = clause_node(index)
+        for name, polarity in clause.literals:
+            z = variable_node(name)
+            if polarity:
+                facts.extend(phi(u, c, z, fresh))
+            else:
+                facts.extend(phi(u + rv, c, z, fresh))
+
+    return SatReduction(
+        query=q,
+        witness=witness,
+        instance=DatabaseInstance(facts),
+        formula=formula,
+    )
+
+
+def assignment_to_repair_choice(
+    reduction: SatReduction, assignment: Dict[str, bool]
+) -> Dict[Hashable, str]:
+    """The per-variable block choice a satisfying assignment induces.
+
+    Returns ``{variable_node: "Rw" | "RvRw"}`` -- diagnostic helper used
+    by tests to reconstruct the falsifying repair of the proof.
+    """
+    return {
+        ("var", name): ("Rw" if value else "RvRw")
+        for name, value in assignment.items()
+    }

@@ -1,0 +1,73 @@
+"""Non-Boolean certain answers for rooted path queries.
+
+Section 2 of the paper notes that the treatment of constants "allows
+moving from Boolean to non-Boolean queries, by using that free variables
+behave like constants".  The canonical non-Boolean path query has one
+free variable at the head:
+
+    ``q(x) = R1(x, x2), R2(x2, x3), ..., Rk(xk, xk+1)``
+
+and its *certain answers* are the constants ``c`` such that every repair
+satisfies ``q[c]`` -- decidable in FO for every path query by Lemma 12,
+via the rooted-certainty recursion.
+
+For a free variable at the *tail* the roles flip: the certain answers of
+``q(y) = R1(x1,x2), ..., Rk(xk, y)`` are the constants ``d`` such that
+every repair has a ``q``-path ending at ``d``; this is the Boolean
+generalized path query ``[[q, d]]`` of Section 8, solved per candidate
+by the generalized solver.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable
+
+from repro.db.instance import DatabaseInstance
+from repro.db.paths import rooted_certainty
+from repro.queries.generalized import GeneralizedPathQuery
+from repro.words.word import Word, WordLike
+
+
+def certain_head_answers(
+    db: DatabaseInstance, q: WordLike
+) -> FrozenSet[Hashable]:
+    """Certain answers of ``q(x)`` with the free variable at the head.
+
+    The set ``{ c ∈ adom(db) : every repair satisfies q[c] }``, computed
+    with the Lemma 12 recursion per candidate (overall
+    ``O(|q| · |db| · |adom|)``, and in FO data complexity).
+
+    >>> db = DatabaseInstance.from_triples(
+    ...     [("R", 0, 1), ("R", 1, 2), ("R", 2, 3)])
+    >>> sorted(certain_head_answers(db, "RR"))
+    [0, 1]
+    """
+    q = Word.coerce(q)
+    return frozenset(
+        c for c in db.adom() if rooted_certainty(db, q, c)
+    )
+
+
+def certain_tail_answers(
+    db: DatabaseInstance, q: WordLike
+) -> FrozenSet[Hashable]:
+    """Certain answers of ``q(y)`` with the free variable at the tail.
+
+    The set ``{ d ∈ adom(db) : every repair has a q-path ending at d }``;
+    each candidate is the Boolean generalized path query ``[[q, d]]``
+    (Definition 17), decided by the Section 8 solver.
+
+    >>> db = DatabaseInstance.from_triples(
+    ...     [("R", 0, 1), ("R", 1, 2), ("R", 2, 3)])
+    >>> sorted(certain_tail_answers(db, "RR"))
+    [2, 3]
+    """
+    from repro.solvers.generalized_solver import certain_answer_generalized
+
+    q = Word.coerce(q)
+    answers = set()
+    for candidate in db.adom():
+        query = GeneralizedPathQuery(q, {len(q): candidate})
+        if certain_answer_generalized(db, query).answer:
+            answers.add(candidate)
+    return frozenset(answers)

@@ -1,0 +1,83 @@
+"""Brute-force CERTAINTY(q) by exhaustive repair enumeration.
+
+The definitional baseline: enumerate every repair (one fact per block,
+exponentially many) and evaluate the query on each.  Exact for *all*
+queries -- path queries, generalized path queries, and arbitrary Boolean
+conjunctive queries -- and therefore the ground truth the test-suite
+differentially checks every polynomial algorithm against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.db.evaluation import (
+    generalized_query_satisfied,
+    path_query_satisfied,
+    query_satisfied,
+)
+from repro.db.instance import DatabaseInstance
+from repro.db.repairs import count_repairs, iter_repair_fact_tuples
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.queries.generalized import GeneralizedPathQuery
+from repro.queries.path_query import PathQuery
+from repro.solvers.result import CertaintyResult
+from repro.words.word import Word
+
+QueryLike = Union[str, Word, PathQuery, GeneralizedPathQuery, ConjunctiveQuery]
+
+#: Repair-count guard: enumeration refuses beyond this unless overridden.
+DEFAULT_REPAIR_LIMIT = 2_000_000
+
+
+def _evaluator(query: QueryLike):
+    """Normalize *query* and return ``(name, fn)`` with ``fn(instance)``."""
+    if isinstance(query, PathQuery):
+        query = query.word
+    if isinstance(query, (str, Word)):
+        word = Word.coerce(query)
+        return str(word), lambda db: path_query_satisfied(word, db)
+    if isinstance(query, GeneralizedPathQuery):
+        return str(query), lambda db: generalized_query_satisfied(query, db)
+    if isinstance(query, ConjunctiveQuery):
+        return str(query), lambda db: query_satisfied(query, db)
+    raise TypeError("unsupported query type {!r}".format(type(query)))
+
+
+def certain_answer_brute_force(
+    db: DatabaseInstance,
+    query: QueryLike,
+    repair_limit: Optional[int] = DEFAULT_REPAIR_LIMIT,
+) -> CertaintyResult:
+    """Decide CERTAINTY(query) by checking every repair.
+
+    Returns a falsifying repair as certificate on "no".  Raises
+    :class:`RuntimeError` when the instance has more than *repair_limit*
+    repairs (pass ``None`` to lift the guard).
+    """
+    name, satisfied = _evaluator(query)
+    total = count_repairs(db)
+    if repair_limit is not None and total > repair_limit:
+        raise RuntimeError(
+            "instance has {} repairs, above the brute-force limit {}".format(
+                total, repair_limit
+            )
+        )
+    checked = 0
+    for facts in iter_repair_fact_tuples(db):
+        repair = DatabaseInstance(facts)
+        checked += 1
+        if not satisfied(repair):
+            return CertaintyResult(
+                query=name,
+                answer=False,
+                method="brute_force",
+                falsifying_repair=repair,
+                details={"repairs_checked": checked, "repairs_total": total},
+            )
+    return CertaintyResult(
+        query=name,
+        answer=True,
+        method="brute_force",
+        details={"repairs_checked": checked, "repairs_total": total},
+    )

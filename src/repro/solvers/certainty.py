@@ -1,0 +1,101 @@
+"""The classification-driven front end for CERTAINTY(q).
+
+:func:`certain_answer` classifies the query (Theorem 3) and dispatches to
+the matching algorithm:
+
+* C1  -> first-order rewriting (Lemma 13);
+* C2  -> linear Datalog (Lemma 14), falling back to the fixpoint
+  algorithm when no verified decomposition is available;
+* C3  -> the Figure 5 fixpoint algorithm (Lemma 11);
+* else -> the SAT baseline, *pre-filtered* by the fixpoint algorithm: its
+  "no" answers are sound for every query (Lemma 10 gives a falsifying
+  repair), so the expensive SAT call only runs on fixpoint-"yes"
+  instances.
+
+A specific method can be forced with ``method=``; applicability is
+checked against the classification.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.classification.classifier import Classification, ComplexityClass, classify
+from repro.datalog.cqa_program import UnsupportedQuery
+from repro.db.instance import DatabaseInstance
+from repro.queries.generalized import GeneralizedPathQuery
+from repro.queries.path_query import PathQuery
+from repro.solvers.brute_force import certain_answer_brute_force
+from repro.solvers.fixpoint import certain_answer_fixpoint, fixpoint_relation
+from repro.solvers.fo_solver import certain_answer_fo
+from repro.solvers.nl_solver import certain_answer_nl
+from repro.solvers.result import CertaintyResult
+from repro.solvers.sat_encoding import certain_answer_sat
+from repro.words.word import Word, WordLike
+
+QueryLike = Union[str, Word, PathQuery, GeneralizedPathQuery]
+
+
+def _conp_solve(db: DatabaseInstance, q: Word) -> CertaintyResult:
+    """SAT with the sound fixpoint "no" pre-filter."""
+    prefilter = certain_answer_fixpoint(db, q, require_c3=False)
+    if not prefilter.answer:
+        prefilter.method = "fixpoint-prefilter"
+        return prefilter
+    result = certain_answer_sat(db, q)
+    result.details["prefilter"] = "fixpoint-yes"
+    return result
+
+
+def certain_answer(
+    db: DatabaseInstance,
+    query: QueryLike,
+    method: str = "auto",
+) -> CertaintyResult:
+    """Decide whether every repair of *db* satisfies *query*.
+
+    *method* is one of ``"auto"`` (classify and dispatch), ``"fo"``,
+    ``"nl"``, ``"fixpoint"``, ``"sat"``, ``"brute_force"``.
+
+    >>> db = DatabaseInstance.from_triples(
+    ...     [("R", "a", "a"), ("R", "a", "b"), ("R", "b", "a"), ("R", "b", "b")])
+    >>> certain_answer(db, "RR").answer        # Example 1 flavor: q1 = RR
+    True
+    """
+    if isinstance(query, GeneralizedPathQuery):
+        from repro.solvers.generalized_solver import certain_answer_generalized
+
+        return certain_answer_generalized(db, query, method=method)
+    if isinstance(query, PathQuery):
+        query = query.word
+    q = Word.coerce(query)
+
+    if method == "fo":
+        return certain_answer_fo(db, q)
+    if method == "nl":
+        return certain_answer_nl(db, q)
+    if method == "fixpoint":
+        return certain_answer_fixpoint(db, q)
+    if method == "sat":
+        return certain_answer_sat(db, q)
+    if method == "brute_force":
+        return certain_answer_brute_force(db, q)
+    if method != "auto":
+        raise ValueError("unknown method {!r}".format(method))
+
+    classification = classify(q)
+    complexity = classification.complexity
+    if complexity is ComplexityClass.FO:
+        result = certain_answer_fo(db, q)
+    elif complexity is ComplexityClass.NL_COMPLETE:
+        try:
+            result = certain_answer_nl(db, q)
+        except UnsupportedQuery:
+            result = certain_answer_fixpoint(db, q)
+            result.details["nl_fallback"] = True
+    elif complexity is ComplexityClass.PTIME_COMPLETE:
+        result = certain_answer_fixpoint(db, q)
+    else:
+        result = _conp_solve(db, q)
+    result.details["complexity"] = str(complexity)
+    return result

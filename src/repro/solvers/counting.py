@@ -1,0 +1,91 @@
+"""The counting variant ♯CERTAINTY(q): how many repairs satisfy q?
+
+The paper's related-work section (references [37, 38]) discusses
+♯CERTAINTY(q): counting the repairs that satisfy a Boolean query.  For
+self-join queries the exact complexity is open territory; this module
+provides the two baselines a study would start from:
+
+* :func:`count_satisfying_repairs` -- exact, by enumeration (exponential;
+  guarded);
+* :func:`estimate_satisfying_fraction` -- an unbiased Monte-Carlo
+  estimator sampling repairs uniformly (blocks are independent, so
+  uniform sampling is exact and cheap).
+
+``CERTAINTY(q)`` holds iff the count equals the number of repairs, which
+gives another (expensive) cross-check used in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.db.evaluation import path_query_satisfied
+from repro.db.instance import DatabaseInstance
+from repro.db.repairs import count_repairs, iter_repair_fact_tuples, random_repair
+from repro.words.word import Word, WordLike
+
+
+@dataclass(frozen=True)
+class RepairCount:
+    """Exact ♯CERTAINTY data for one instance/query pair."""
+
+    total: int
+    satisfying: int
+
+    @property
+    def fraction(self) -> float:
+        return self.satisfying / self.total if self.total else 0.0
+
+    @property
+    def certain(self) -> bool:
+        """CERTAINTY(q) holds iff every repair satisfies q."""
+        return self.satisfying == self.total
+
+
+def count_satisfying_repairs(
+    db: DatabaseInstance,
+    q: WordLike,
+    repair_limit: Optional[int] = 1_000_000,
+) -> RepairCount:
+    """Exact count of repairs satisfying the path query *q*.
+
+    Raises :class:`RuntimeError` when the instance has more than
+    *repair_limit* repairs (pass ``None`` to lift the guard).
+    """
+    q = Word.coerce(q)
+    total = count_repairs(db)
+    if repair_limit is not None and total > repair_limit:
+        raise RuntimeError(
+            "instance has {} repairs, above the counting limit {}".format(
+                total, repair_limit
+            )
+        )
+    satisfying = 0
+    for facts in iter_repair_fact_tuples(db):
+        if path_query_satisfied(q, DatabaseInstance(facts)):
+            satisfying += 1
+    return RepairCount(total=total, satisfying=satisfying)
+
+
+def estimate_satisfying_fraction(
+    db: DatabaseInstance,
+    q: WordLike,
+    samples: int,
+    rng: random.Random,
+) -> float:
+    """Monte-Carlo estimate of the fraction of repairs satisfying *q*.
+
+    Repairs are sampled exactly uniformly (one independent uniform choice
+    per block), so the estimator is unbiased with variance
+    ``p(1-p)/samples``.
+    """
+    if samples <= 0:
+        raise ValueError("need at least one sample")
+    q = Word.coerce(q)
+    hits = 0
+    for _ in range(samples):
+        if path_query_satisfied(q, random_repair(db, rng)):
+            hits += 1
+    return hits / samples

@@ -1,0 +1,196 @@
+"""The polynomial-time fixpoint algorithm of Figure 5 (Section 6.1).
+
+The algorithm computes the relation ``N = { (c, u) : db ⊢_q (c, u) }``
+where ``db ⊢_q (c, u)`` means every repair of ``db`` has a path starting
+at ``c`` accepted by ``S-NFA(q, u)`` (Definition 10).  Prefixes are
+represented by their lengths.
+
+* **Initialization**: ``(c, q)`` for every ``c ∈ adom(db)``.
+* **Iterative rule**: if ``uR`` is a prefix of ``q`` and ``R(c, *)`` is a
+  nonempty block all of whose facts ``R(c, y)`` have ``(y, uR) ∈ N``,
+  add ``(c, u)`` (*forward*) and every ``(c, w)`` such that ``NFA(q)``
+  has a backward transition from ``w`` to ``u`` (*backward*).
+
+Lemma 10 proves ``N`` characterizes ``⊢_q`` exactly, for *every* path
+query.  By Lemma 7 (reification), for queries satisfying **C3**,
+``db`` is a "yes"-instance of CERTAINTY(q) iff ``(c, ε) ∈ N`` for some
+``c``.  For queries violating C3 the "yes" direction may overshoot
+(Figure 3 is the canonical counterexample), but the "no" direction stays
+sound: the Lemma 9/10 repair construction yields a single repair with no
+accepted path from any constant, hence falsifying ``q``.
+
+The implementation is a worklist fixpoint with per-block counters,
+running in ``O(|q|·|db| + |q|²·|adom|)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.classification.conditions import satisfies_c3
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.solvers.result import CertaintyResult
+from repro.words.word import Word, WordLike
+
+NPair = Tuple[Hashable, int]
+
+
+def fixpoint_relation(db: DatabaseInstance, q: WordLike) -> Set[NPair]:
+    """The relation ``N`` of Figure 5; pairs ``(constant, prefix_length)``.
+
+    >>> db = DatabaseInstance.from_triples(
+    ...     [("R", 0, 1), ("R", 1, 2), ("R", 2, 3), ("R", 3, 4), ("X", 4, 5)])
+    >>> (0, 0) in fixpoint_relation(db, "RRX")      # Figure 6: <0, ε>
+    True
+    """
+    q = Word.coerce(q)
+    k = len(q)
+    if k == 0:
+        return {(c, 0) for c in db.adom()}
+
+    # Backward closure: for each prefix length i >= 1 (ending with symbol
+    # q[i-1]), the longer prefixes j > i with the same ending symbol.
+    longer_same_end: Dict[int, List[int]] = {}
+    for i in range(1, k + 1):
+        longer_same_end[i] = [
+            j for j in range(i + 1, k + 1) if q[j - 1] == q[i - 1]
+        ]
+
+    # Incoming index: (value, relation) -> keys c with relation(c, value).
+    in_index: Dict[Tuple[Hashable, str], List[Hashable]] = {}
+    for fact in db.facts:
+        in_index.setdefault((fact.value, fact.relation), []).append(fact.key)
+
+    n_set: Set[NPair] = set()
+    counters: Dict[NPair, int] = {}
+    worklist = deque()
+
+    def add(c: Hashable, length: int) -> None:
+        pair = (c, length)
+        if pair in n_set:
+            return
+        n_set.add(pair)
+        worklist.append(pair)
+
+    def derive(c: Hashable, length: int) -> None:
+        """Forward derivation of (c, u) plus its backward companions."""
+        add(c, length)
+        if length >= 1:
+            for j in longer_same_end[length]:
+                add(c, j)
+
+    for c in db.adom():
+        add(c, k)
+
+    while worklist:
+        y, j = worklist.popleft()
+        if j == 0:
+            continue
+        relation = q[j - 1]
+        for c in in_index.get((y, relation), ()):  # facts relation(c, y)
+            pair = (c, j - 1)
+            if pair in n_set:
+                continue
+            if pair not in counters:
+                counters[pair] = len(db.out_facts(c, relation))
+            counters[pair] -= 1
+            if counters[pair] == 0:
+                derive(c, j - 1)
+    return n_set
+
+
+def build_minimal_repair(
+    db: DatabaseInstance, q: WordLike, n_relation: Optional[Set[NPair]] = None
+) -> DatabaseInstance:
+    """The repair ``r*`` of Lemmas 9 / 10.
+
+    For every block ``R(a, *)``: among prefix lengths ``ℓ`` with
+    ``q[ℓ-1] = R``, take the largest with ``(a, ℓ-1) ∉ N`` and insert a
+    fact ``R(a, b)`` with ``(b, ℓ) ∉ N``; if every such prefix has
+    ``(a, ℓ-1) ∈ N``, insert an arbitrary fact.
+
+    This repair is ⪯_q-minimal (Lemma 9); in particular it minimizes
+    ``start(q, ·)`` over all repairs (Lemma 6), and whenever ``(c, ε) ∉ N``
+    for all ``c`` it contains no path accepted by ``NFA(q)``, hence
+    falsifies ``q``.
+    """
+    q = Word.coerce(q)
+    if n_relation is None:
+        n_relation = fixpoint_relation(db, q)
+    ends_with: Dict[str, List[int]] = {}
+    for i, symbol in enumerate(q):
+        ends_with.setdefault(symbol, []).append(i + 1)
+
+    chosen: List[Fact] = []
+    for block in db.blocks():
+        lengths = ends_with.get(block.relation, ())
+        target_length = None
+        for length in sorted(lengths, reverse=True):
+            if (block.key, length - 1) not in n_relation:
+                target_length = length
+                break
+        fact = block.facts[0]
+        if target_length is not None:
+            for candidate in block.facts:
+                if (candidate.value, target_length) not in n_relation:
+                    fact = candidate
+                    break
+            else:  # pragma: no cover - contradicts the Iterative Rule
+                raise AssertionError(
+                    "block {} has no escaping fact; fixpoint inconsistent"
+                    .format(block.block_id)
+                )
+        chosen.append(fact)
+    return DatabaseInstance(chosen)
+
+
+def certain_answer_fixpoint(
+    db: DatabaseInstance,
+    q: WordLike,
+    require_c3: bool = True,
+) -> CertaintyResult:
+    """Decide CERTAINTY(q) with the Figure 5 algorithm.
+
+    Complete for queries satisfying C3 (Lemmas 7, 10).  For other queries
+    the "no" answer (with its falsifying-repair certificate) remains
+    sound, but "yes" answers are unsound; by default a :class:`ValueError`
+    is raised on a "yes" for a non-C3 query unless *require_c3* is
+    disabled (which flags the result as unsound instead -- used by the
+    Figure 3 demonstration and as a cheap pre-filter for the SAT solver).
+    """
+    q = Word.coerce(q)
+    n_relation = fixpoint_relation(db, q)
+    witnesses = sorted(
+        (c for c in db.adom() if (c, 0) in n_relation), key=str
+    )
+    details: Dict[str, object] = {"n_size": len(n_relation)}
+    if witnesses:
+        is_c3 = satisfies_c3(q)
+        if not is_c3:
+            if require_c3:
+                raise ValueError(
+                    "query {} violates C3: the fixpoint algorithm is not "
+                    "complete for it (pass require_c3=False to get the "
+                    "unsound answer)".format(q)
+                )
+            details["sound"] = False
+        else:
+            details["sound"] = True
+        return CertaintyResult(
+            query=str(q),
+            answer=True,
+            method="fixpoint",
+            witness_constant=witnesses[0],
+            details=details,
+        )
+    repair = build_minimal_repair(db, q, n_relation)
+    details["sound"] = True
+    return CertaintyResult(
+        query=str(q),
+        answer=False,
+        method="fixpoint",
+        falsifying_repair=repair,
+        details=details,
+    )

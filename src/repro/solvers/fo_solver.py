@@ -1,0 +1,78 @@
+"""The first-order solver for C1 queries (Lemmas 12 and 13).
+
+Two interchangeable evaluation strategies:
+
+* ``direct`` (default): the semantic recursion
+  :func:`repro.db.paths.rooted_certainty` evaluated at every constant --
+  linear-time per constant, what a database engine would compile the
+  rewriting to;
+* ``formula``: build the Lemma 13 sentence explicitly and run the generic
+  FO evaluator over the active domain -- exponentially slower in quantifier
+  depth, but a literal execution of the rewriting (kept for tests and the
+  E6 ablation).
+"""
+
+from __future__ import annotations
+
+from repro.classification.conditions import satisfies_c1
+from repro.db.instance import DatabaseInstance
+from repro.db.paths import rooted_certainty
+from repro.fo.evaluate import evaluate, formula_size
+from repro.fo.rewriting import c1_rewriting
+from repro.solvers.result import CertaintyResult
+from repro.words.word import Word, WordLike
+
+
+def certain_answer_fo(
+    db: DatabaseInstance,
+    q: WordLike,
+    strategy: str = "direct",
+    check: bool = True,
+) -> CertaintyResult:
+    """Decide CERTAINTY(q) for a C1 path query via first-order rewriting.
+
+    By Lemma 13, ``db`` is a "yes"-instance iff the Lemma 12 rewriting
+    holds at some constant: ``∃x ψ(x)``.  Raises :class:`ValueError` when
+    *q* violates C1 (unless *check* is disabled; the answer is then the
+    sentence's value, which over-approximates CERTAINTY(q) -- see the
+    Figure 2/3 discussion).
+    """
+    q = Word.coerce(q)
+    if check and not satisfies_c1(q):
+        raise ValueError(
+            "query {} violates C1; its CERTAINTY problem is not in FO".format(q)
+        )
+    if strategy == "direct":
+        witness = None
+        for constant in sorted(db.adom(), key=str):
+            if rooted_certainty(db, q, constant):
+                witness = constant
+                break
+        repair = None
+        if witness is None:
+            # Certificate: the Lemma 9 minimal repair falsifies q on
+            # "no"-instances (its construction is query-generic).
+            from repro.solvers.fixpoint import build_minimal_repair
+
+            repair = build_minimal_repair(db, q)
+        return CertaintyResult(
+            query=str(q),
+            answer=witness is not None,
+            method="fo",
+            witness_constant=witness,
+            falsifying_repair=repair,
+            details={"strategy": "direct"},
+        )
+    if strategy == "formula":
+        sentence = c1_rewriting(q, check=check)
+        answer = evaluate(sentence, db)
+        return CertaintyResult(
+            query=str(q),
+            answer=answer,
+            method="fo",
+            details={
+                "strategy": "formula",
+                "formula_size": formula_size(sentence),
+            },
+        )
+    raise ValueError("unknown strategy {!r}".format(strategy))

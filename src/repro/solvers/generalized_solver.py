@@ -1,0 +1,121 @@
+"""CERTAINTY(q) for generalized path queries (Section 8).
+
+By Lemma 25 (variable-disjoint components combine conjunctively) and
+Lemma 28, ``CERTAINTY(q)`` splits into
+
+* ``CERTAINTY(char(q))`` -- handled via the ``ext(q)`` reduction of
+  Lemmas 26/29: add one fresh fact ``N(c, d)`` and decide the constant-free
+  path query ``ext(q) = char-word · N`` with the Theorem 3 machinery; and
+* ``CERTAINTY(q \\ char(q))`` -- a union of constant-rooted segments, each
+  in FO (Lemma 27): rooted certainty, with a pinned endpoint when the
+  segment ends at a constant (Lemma 26).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.db.instance import DatabaseInstance
+from repro.db.facts import Fact
+from repro.db.paths import rooted_certainty
+from repro.queries.generalized import GeneralizedPathQuery, Segment
+from repro.solvers.result import CertaintyResult
+from repro.words.word import Word, WordLike
+
+
+def rooted_certainty_to(
+    db: DatabaseInstance, trace: WordLike, root: Hashable, end: Hashable
+) -> bool:
+    """Certainty of a segment pinned at both ends (Lemma 26).
+
+    Does every repair have a *trace*-path from *root* ending exactly at
+    *end*?  Equivalent to the Lemma 26 reduction (append a fresh relation
+    ``N`` and a single fact ``N(end, d)``), specialized to a direct
+    recursion: at the last position the reached constant must be *end*.
+    """
+    trace = Word.coerce(trace)
+    memo = {}
+
+    def certain(position: int, constant: Hashable) -> bool:
+        if position == len(trace):
+            return constant == end
+        key = (position, constant)
+        if key in memo:
+            return memo[key]
+        block = db.out_facts(constant, trace[position])
+        result = bool(block) and all(
+            certain(position + 1, fact.value) for fact in block
+        )
+        memo[key] = result
+        return result
+
+    return certain(0, root)
+
+
+def _segment_certain(db: DatabaseInstance, segment: Segment) -> bool:
+    if not segment.word:
+        return True
+    if segment.end is None:
+        return rooted_certainty(db, segment.word, segment.root)
+    return rooted_certainty_to(db, segment.word, segment.root, segment.end)
+
+
+def certain_answer_generalized(
+    db: DatabaseInstance,
+    query: GeneralizedPathQuery,
+    method: str = "auto",
+) -> CertaintyResult:
+    """Decide CERTAINTY(q) for a generalized path query.
+
+    >>> q = GeneralizedPathQuery("RS", {2: "t"})       # R(x,y), S(y,'t')
+    >>> db = DatabaseInstance.from_triples([("R", "a", "b"), ("S", "b", "t")])
+    >>> certain_answer_generalized(db, q).answer
+    True
+    """
+    from repro.solvers.certainty import certain_answer
+
+    if not query.has_constants():
+        return certain_answer(db, query.word, method=method)
+
+    details = {}
+    # 1. The constant-rooted remainder, segment by segment (Lemma 27).
+    failed_segment = None
+    for segment in query.segments():
+        if not _segment_certain(db, segment):
+            failed_segment = segment
+            break
+    if failed_segment is not None:
+        return CertaintyResult(
+            query=str(query),
+            answer=False,
+            method="generalized",
+            details={"failed_segment": str(failed_segment)},
+        )
+
+    # 2. The characteristic prefix, via the ext(q) reduction (Lemma 29).
+    char = query.char()
+    if not char.word:
+        return CertaintyResult(
+            query=str(query),
+            answer=True,
+            method="generalized",
+            details={"char": "empty"},
+        )
+    ext_query = query.ext()
+    fresh_relation = ext_query.word.last()
+    fresh_constant = "_ext_sink"
+    while fresh_constant in db.adom():
+        fresh_constant += "_"
+    extended = db.with_facts(
+        [Fact(fresh_relation, char.terminal, fresh_constant)]
+    )
+    inner = certain_answer(extended, ext_query.word, method=method)
+    details["char_reduction"] = str(ext_query.word)
+    details["inner_method"] = inner.method
+    return CertaintyResult(
+        query=str(query),
+        answer=inner.answer,
+        method="generalized",
+        witness_constant=inner.witness_constant,
+        details=details,
+    )

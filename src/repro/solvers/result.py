@@ -1,0 +1,55 @@
+"""The result type shared by all CERTAINTY(q) solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional
+
+from repro.db.instance import DatabaseInstance
+
+
+@dataclass
+class CertaintyResult:
+    """Outcome of a CERTAINTY(q) decision.
+
+    Attributes
+    ----------
+    query:
+        String rendering of the query.
+    answer:
+        ``True`` iff every repair satisfies the query ("yes"-instance).
+    method:
+        Which algorithm produced the answer (``"fo"``, ``"nl"``,
+        ``"fixpoint"``, ``"sat"``, ``"brute_force"``, ...).
+    witness_constant:
+        For "yes" answers, when available: a constant ``c`` such that
+        every repair has an accepted path from ``c`` (Lemma 7).
+    falsifying_repair:
+        For "no" answers, when available: a repair that does not satisfy
+        the query -- a certificate that can be checked independently.
+    details:
+        Method-specific diagnostics (iteration counts, clause counts, ...).
+    """
+
+    query: str
+    answer: bool
+    method: str
+    witness_constant: Optional[Hashable] = None
+    falsifying_repair: Optional[DatabaseInstance] = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.answer
+
+    def __str__(self) -> str:
+        verdict = "certain" if self.answer else "not certain"
+        extra = ""
+        if self.answer and self.witness_constant is not None:
+            extra = " (witness start: {})".format(self.witness_constant)
+        if not self.answer and self.falsifying_repair is not None:
+            extra = " (falsifying repair with {} facts)".format(
+                len(self.falsifying_repair)
+            )
+        return "CERTAINTY({}) = {} via {}{}".format(
+            self.query, verdict, self.method, extra
+        )

@@ -1,0 +1,138 @@
+"""SAT-based CERTAINTY(q) (CAvSAT-style baseline; exact for all queries).
+
+``db`` is a "no"-instance of CERTAINTY(q) iff some repair falsifies ``q``.
+The encoding has one Boolean variable per fact and
+
+* one *at-least-one* clause per block (a repair picks a fact per block);
+* optionally pairwise *at-most-one* clauses per block -- not needed for
+  correctness because path-query satisfaction is monotone (any superset of
+  a satisfying repair still embeds the query), kept as an ablation knob;
+* one *blocking* clause per embedding of ``q`` into ``db``: at least one
+  fact of the embedding must be absent.
+
+The number of embeddings is polynomial in ``|db|`` for fixed ``q`` (data
+complexity), so the encoding is polynomial-sized; the SAT search carries
+the coNP-hardness.  A satisfying assignment yields a falsifying repair,
+which is returned as a checkable certificate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.paths import iter_paths_with_trace
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.queries.generalized import GeneralizedPathQuery
+from repro.queries.path_query import PathQuery
+from repro.solvers.result import CertaintyResult
+from repro.solvers.sat import SatStats, solve_clauses
+from repro.words.word import Word
+
+QueryLike = Union[str, Word, PathQuery, GeneralizedPathQuery, ConjunctiveQuery]
+
+
+def _embeddings(db: DatabaseInstance, query: QueryLike) -> List[frozenset]:
+    """All fact-sets that are images of homomorphisms from *query*."""
+    if isinstance(query, PathQuery):
+        query = query.word
+    images = set()
+    if isinstance(query, (str, Word)):
+        word = Word.coerce(query)
+        for path in iter_paths_with_trace(db, word):
+            images.add(frozenset(path))
+        return sorted(images, key=lambda s: sorted(map(str, s)))
+    if isinstance(query, GeneralizedPathQuery):
+        query = query.to_conjunctive_query()
+    if not isinstance(query, ConjunctiveQuery):
+        raise TypeError("unsupported query type {!r}".format(type(query)))
+    triples = [fact.as_triple() for fact in db.facts]
+    fact_of = {fact.as_triple(): fact for fact in db.facts}
+    for theta in query.homomorphisms_into(triples):
+        image = frozenset(
+            fact_of[
+                (
+                    atom.relation,
+                    atom.substitute(theta).key,
+                    atom.substitute(theta).value,
+                )
+            ]
+            for atom in query.atoms
+        )
+        images.add(image)
+    return sorted(images, key=lambda s: sorted(map(str, s)))
+
+
+def encode_falsifying_repair(
+    db: DatabaseInstance,
+    query: QueryLike,
+    at_most_one: bool = False,
+) -> Tuple[List[List[int]], Dict[int, Fact]]:
+    """CNF clauses satisfiable iff some repair of *db* falsifies *query*.
+
+    Returns ``(clauses, variable_to_fact)``.
+    """
+    fact_var: Dict[Fact, int] = {}
+    var_fact: Dict[int, Fact] = {}
+    for index, fact in enumerate(sorted(db.facts), start=1):
+        fact_var[fact] = index
+        var_fact[index] = fact
+    clauses: List[List[int]] = []
+    for block in db.blocks():
+        members = [fact_var[f] for f in block.facts]
+        clauses.append(members)
+        if at_most_one:
+            for a in range(len(members)):
+                for b in range(a + 1, len(members)):
+                    clauses.append([-members[a], -members[b]])
+    for image in _embeddings(db, query):
+        clauses.append(sorted(-fact_var[f] for f in image))
+    return clauses, var_fact
+
+
+def certain_answer_sat(
+    db: DatabaseInstance,
+    query: QueryLike,
+    at_most_one: bool = False,
+) -> CertaintyResult:
+    """Decide CERTAINTY(query) via the falsifying-repair SAT encoding.
+
+    Exact for every query; intended as the solver for coNP-complete
+    queries and as a cross-checking baseline elsewhere.
+    """
+    clauses, var_fact = encode_falsifying_repair(db, query, at_most_one)
+    stats = SatStats()
+    model = solve_clauses(clauses, stats)
+    name = str(query if not isinstance(query, PathQuery) else query.word)
+    details = {
+        "clauses": len(clauses),
+        "variables": len(var_fact),
+        "decisions": stats.decisions,
+        "propagations": stats.propagations,
+    }
+    if model is None:
+        return CertaintyResult(
+            query=name, answer=True, method="sat", details=details
+        )
+    fact_var = {fact: index for index, fact in var_fact.items()}
+    chosen = []
+    for block in db.blocks():
+        # Pick a fact the model marks present; the at-least-one clause
+        # guarantees one exists.  (Unconstrained variables default false.)
+        selected: Optional[Fact] = None
+        for fact in block.facts:
+            if model.get(fact_var[fact], False):
+                selected = fact
+                break
+        if selected is None:
+            selected = block.facts[0]
+        chosen.append(selected)
+    repair = DatabaseInstance(chosen)
+    return CertaintyResult(
+        query=name,
+        answer=False,
+        method="sat",
+        falsifying_repair=repair,
+        details=details,
+    )

@@ -1,0 +1,103 @@
+"""Independent verification of solver results and certificates.
+
+Every :class:`~repro.solvers.result.CertaintyResult` carries evidence:
+a witness start constant on "yes" (Lemma 7) or a falsifying repair on
+"no".  This module checks that evidence *without trusting the solver
+that produced it* -- the checks only use repair enumeration primitives
+and single-instance query evaluation.
+
+Used by the test-suite and available to downstream users who want
+auditable answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.automata.query_nfa import query_nfa
+from repro.automata.runs import good_product_states
+from repro.db.evaluation import path_query_satisfied
+from repro.db.instance import DatabaseInstance
+from repro.db.repairs import count_repairs, iter_repairs
+from repro.solvers.result import CertaintyResult
+from repro.words.word import Word, WordLike
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of verifying a result's certificate."""
+
+    ok: bool
+    checks: List[str]
+    failures: List[str]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def verify_result(
+    db: DatabaseInstance,
+    q: WordLike,
+    result: CertaintyResult,
+    full_enumeration_limit: Optional[int] = 10_000,
+) -> VerificationReport:
+    """Verify *result* against *db* and *q*.
+
+    * "no" with a falsifying repair: check it is a repair of *db* and
+      does not satisfy *q* -- a complete, trustless proof of "no".
+    * "yes" with a witness constant ``c``: check that every repair has a
+      path from ``c`` accepted by ``NFA(q)`` (sufficient for "yes" under
+      C3 by Lemma 7).  This requires repair enumeration and is only run
+      when the repair count is at most *full_enumeration_limit*.
+    * additionally, when enumeration is affordable, recompute the answer
+      definitionally and compare.
+    """
+    q = Word.coerce(q)
+    checks: List[str] = []
+    failures: List[str] = []
+
+    if not result.answer and result.falsifying_repair is not None:
+        repair = result.falsifying_repair
+        if repair.is_repair_of(db):
+            checks.append("falsifying repair is a repair of db")
+        else:
+            failures.append("claimed falsifying repair is not a repair of db")
+        if not path_query_satisfied(q, repair):
+            checks.append("falsifying repair does not satisfy q")
+        else:
+            failures.append("claimed falsifying repair satisfies q")
+
+    affordable = (
+        full_enumeration_limit is None
+        or count_repairs(db) <= full_enumeration_limit
+    )
+    if affordable:
+        definitional = all(
+            path_query_satisfied(q, repair) for repair in iter_repairs(db)
+        )
+        if definitional == result.answer:
+            checks.append("answer matches definitional repair enumeration")
+        else:
+            failures.append(
+                "answer {} but repair enumeration says {}".format(
+                    result.answer, definitional
+                )
+            )
+        if result.answer and result.witness_constant is not None:
+            nfa = query_nfa(q)
+            witness_ok = all(
+                (result.witness_constant, nfa.initial)
+                in good_product_states(repair, nfa)
+                for repair in iter_repairs(db)
+            )
+            if witness_ok:
+                checks.append(
+                    "witness constant starts an accepted path in every repair"
+                )
+            else:
+                failures.append("witness constant fails in some repair")
+
+    if not checks and not failures:
+        checks.append("nothing verifiable (no certificate, enumeration skipped)")
+    return VerificationReport(ok=not failures, checks=checks, failures=failures)

@@ -1,0 +1,67 @@
+"""Combinatorics of words over the alphabet of relation names.
+
+Path queries are represented as *words* (Section 2 of the paper): the path
+query ``q = R1(x1,x2), ..., Rk(xk,xk+1)`` is identified with the word
+``R1 R2 ... Rk``.  This subpackage provides the word type together with the
+word-combinatorial toolkit the paper relies on:
+
+* :mod:`repro.words.word` -- the :class:`Word` value type;
+* :mod:`repro.words.factors` -- prefixes, suffixes, factors, occurrences and
+  the border/periodicity facts behind Lemma 22;
+* :mod:`repro.words.rewind` -- the *rewinding* operator and exploration of
+  the language ``L↬(q)`` (Definition 4);
+* :mod:`repro.words.episodes` -- *episodes* and the left-/right-repeating
+  analysis of Appendix A (Definitions 19-21, Lemmas 23-24).
+"""
+
+from repro.words.word import Word
+from repro.words.factors import (
+    factors,
+    is_factor,
+    is_prefix,
+    is_proper_prefix,
+    is_proper_suffix,
+    is_self_join_free,
+    is_suffix,
+    occurrences,
+    prefixes,
+    proper_prefixes,
+    suffixes,
+)
+from repro.words.rewind import (
+    enumerate_language,
+    is_closed_under_rewinding_prefix,
+    is_closed_under_rewinding_factor,
+    rewind_at,
+    rewindings,
+)
+from repro.words.episodes import (
+    Episode,
+    episodes,
+    is_left_repeating,
+    is_right_repeating,
+)
+
+__all__ = [
+    "Word",
+    "factors",
+    "is_factor",
+    "is_prefix",
+    "is_proper_prefix",
+    "is_proper_suffix",
+    "is_self_join_free",
+    "is_suffix",
+    "occurrences",
+    "prefixes",
+    "proper_prefixes",
+    "suffixes",
+    "enumerate_language",
+    "is_closed_under_rewinding_prefix",
+    "is_closed_under_rewinding_factor",
+    "rewind_at",
+    "rewindings",
+    "Episode",
+    "episodes",
+    "is_left_repeating",
+    "is_right_repeating",
+]

@@ -1,0 +1,122 @@
+"""Episodes and the repeating lemma (Appendix A, Definitions 19-21).
+
+An *episode* of a word ``q`` is a factor of the form ``R·u·R`` in which the
+symbol ``R`` does not occur in ``u``.  Writing ``q = ℓ·RuR·r`` for a concrete
+occurrence:
+
+* the episode is *right-repeating* if ``r`` is a prefix of ``(uR)^|r|``;
+* the episode is *left-repeating* if ``ℓ`` is a suffix of ``(Ru)^|ℓ|``.
+
+Lemma 23 (repeating lemma): if ``q`` satisfies C3 then every episode of
+``q`` is left-repeating or right-repeating.  Lemma 24: the right-most
+left-repeating episode ``LℓL`` has ``Lℓ`` self-join-free.  These structural
+facts drive the regex characterization of C2/C3 (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.words.factors import is_prefix, is_suffix
+from repro.words.word import Word, WordLike
+
+
+@dataclass(frozen=True)
+class Episode:
+    """An occurrence of an episode ``R·u·R`` inside a word ``q = ℓ·RuR·r``.
+
+    Attributes
+    ----------
+    word:
+        The word ``q`` the episode occurs in.
+    start:
+        Position of the left ``R``.
+    end:
+        Position of the right ``R`` (so the factor is ``word[start:end+1]``).
+    """
+
+    word: Word
+    start: int
+    end: int
+
+    @property
+    def symbol(self) -> str:
+        """The repeated symbol ``R``."""
+        return self.word[self.start]
+
+    @property
+    def inner(self) -> Word:
+        """The word ``u`` strictly between the two occurrences of ``R``."""
+        return self.word[self.start + 1: self.end]
+
+    @property
+    def left_context(self) -> Word:
+        """The word ``ℓ`` preceding the episode."""
+        return self.word[: self.start]
+
+    @property
+    def right_context(self) -> Word:
+        """The word ``r`` following the episode."""
+        return self.word[self.end + 1:]
+
+    @property
+    def factor(self) -> Word:
+        """The episode factor ``R·u·R`` itself."""
+        return self.word[self.start: self.end + 1]
+
+    def __str__(self) -> str:
+        return "{}[{}..{}]={}".format(self.word, self.start, self.end, self.factor)
+
+
+def episodes(q: WordLike) -> List[Episode]:
+    """All episode occurrences of *q*, ordered by start position.
+
+    An episode pairs two *consecutive* occurrences of the same symbol (no
+    occurrence of that symbol strictly in between, by definition).
+    """
+    q = Word.coerce(q)
+    found: List[Episode] = []
+    last_seen = {}
+    for pos, symbol in enumerate(q.symbols):
+        if symbol in last_seen:
+            found.append(Episode(q, last_seen[symbol], pos))
+        last_seen[symbol] = pos
+    found.sort(key=lambda e: (e.start, e.end))
+    return found
+
+
+def is_right_repeating(episode: Episode) -> bool:
+    """True iff *episode* is right-repeating within its word (Definition 19).
+
+    With ``q = ℓ·RuR·r``: check that ``r`` is a prefix of ``(uR)^|r|``.
+    """
+    r = episode.right_context
+    if not r:
+        return True
+    period = episode.inner + Word([episode.symbol])
+    return is_prefix(r, period * (len(r) // len(period) + 1))
+
+
+def is_left_repeating(episode: Episode) -> bool:
+    """True iff *episode* is left-repeating within its word (Definition 19).
+
+    With ``q = ℓ·RuR·r``: check that ``ℓ`` is a suffix of ``(Ru)^|ℓ|``.
+    """
+    left = episode.left_context
+    if not left:
+        return True
+    period = Word([episode.symbol]) + episode.inner
+    return is_suffix(left, period * (len(left) // len(period) + 1))
+
+
+def rightmost_left_repeating(q: WordLike) -> Episode:
+    """The right-most left-repeating episode of *q* (used in Lemma 24).
+
+    Raises :class:`ValueError` if *q* has no left-repeating episode (in
+    particular if *q* is self-join-free).
+    """
+    candidates = [e for e in episodes(q) if is_left_repeating(e)]
+    if not candidates:
+        raise ValueError("word {} has no left-repeating episode".format(q))
+    return max(candidates, key=lambda e: (e.start, e.end))

@@ -1,0 +1,154 @@
+"""Prefixes, suffixes, factors and occurrences of words.
+
+These are the basic notions the syntactic conditions C1-C3 (Section 3) and
+the regex characterizations of Section 4 are phrased in:
+
+* a *prefix* / *suffix* of ``q`` is an initial / final segment of ``q``;
+* a *factor* of ``q`` is a contiguous segment (substring);
+* a word is *self-join-free* if no symbol occurs twice in it;
+* Lemma 22 (Appendix A.1) relates borders to periodicity: if ``w`` is a
+  prefix of ``u·w`` with ``u ≠ ε`` then ``w`` is a prefix of ``u^|w|``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.words.word import Word, WordLike
+
+
+def is_prefix(u: WordLike, w: WordLike) -> bool:
+    """True iff *u* is a prefix of *w* (``u ≤ w`` in the paper's notation)."""
+    u = Word.coerce(u)
+    w = Word.coerce(w)
+    return w.symbols[: len(u)] == u.symbols
+
+
+def is_proper_prefix(u: WordLike, w: WordLike) -> bool:
+    """True iff *u* is a prefix of *w* and ``u ≠ w`` (``u < w``)."""
+    u = Word.coerce(u)
+    w = Word.coerce(w)
+    return len(u) < len(w) and is_prefix(u, w)
+
+
+def is_suffix(u: WordLike, w: WordLike) -> bool:
+    """True iff *u* is a suffix of *w*."""
+    u = Word.coerce(u)
+    w = Word.coerce(w)
+    if len(u) == 0:
+        return True
+    return w.symbols[-len(u):] == u.symbols
+
+
+def is_proper_suffix(u: WordLike, w: WordLike) -> bool:
+    """True iff *u* is a suffix of *w* and ``u ≠ w``."""
+    u = Word.coerce(u)
+    w = Word.coerce(w)
+    return len(u) < len(w) and is_suffix(u, w)
+
+
+def is_factor(u: WordLike, w: WordLike) -> bool:
+    """True iff *u* occurs as a contiguous factor of *w*."""
+    u = Word.coerce(u)
+    w = Word.coerce(w)
+    if len(u) > len(w):
+        return False
+    target = u.symbols
+    haystack = w.symbols
+    span = len(w) - len(u)
+    return any(haystack[i: i + len(u)] == target for i in range(span + 1))
+
+
+def occurrences(u: WordLike, w: WordLike) -> Tuple[int, ...]:
+    """All offsets at which *u* occurs as a factor of *w* (Definition 20).
+
+    ``u`` has *offset* ``n`` in ``w`` if ``w = p·u·s`` with ``|p| = n``.
+    """
+    u = Word.coerce(u)
+    w = Word.coerce(w)
+    if len(u) > len(w):
+        return ()
+    target = u.symbols
+    haystack = w.symbols
+    span = len(w) - len(u)
+    return tuple(i for i in range(span + 1) if haystack[i: i + len(u)] == target)
+
+
+def prefixes(w: WordLike) -> List[Word]:
+    """All prefixes of *w*, from ``ε`` up to ``w`` itself, shortest first."""
+    w = Word.coerce(w)
+    return [w[:i] for i in range(len(w) + 1)]
+
+
+def proper_prefixes(w: WordLike) -> List[Word]:
+    """All prefixes of *w* excluding *w* itself."""
+    w = Word.coerce(w)
+    return [w[:i] for i in range(len(w))]
+
+
+def suffixes(w: WordLike) -> List[Word]:
+    """All suffixes of *w*, from ``ε`` up to ``w`` itself, shortest first."""
+    w = Word.coerce(w)
+    return [w[len(w) - i:] for i in range(len(w) + 1)]
+
+
+def factors(w: WordLike) -> List[Word]:
+    """All distinct factors of *w*, including ``ε``, in length-lex order."""
+    w = Word.coerce(w)
+    seen = {Word.epsilon()}
+    for i in range(len(w)):
+        for j in range(i + 1, len(w) + 1):
+            seen.add(w[i:j])
+    return sorted(seen)
+
+
+def is_self_join_free(w: WordLike) -> bool:
+    """True iff no symbol occurs more than once in *w* (Section 2)."""
+    w = Word.coerce(w)
+    return len(set(w.symbols)) == len(w)
+
+
+def self_join_pairs(w: WordLike) -> Iterator[Tuple[int, int]]:
+    """All position pairs ``(i, j)`` with ``i < j`` and ``w[i] == w[j]``.
+
+    Each pair is a decomposition ``w = u·R·v·R·z`` with ``u = w[:i]``,
+    ``R = w[i]``, ``v = w[i+1:j]``, ``z = w[j+1:]`` -- the decompositions
+    quantified over in conditions C1 and C3.
+    """
+    w = Word.coerce(w)
+    for i in range(len(w)):
+        for j in range(i + 1, len(w)):
+            if w[i] == w[j]:
+                yield (i, j)
+
+
+def consecutive_triples(w: WordLike) -> Iterator[Tuple[int, int, int]]:
+    """All triples ``(i, j, k)`` of *consecutive* occurrences of a symbol.
+
+    ``i < j < k`` are positions carrying the same symbol ``R`` such that
+    ``R`` does not occur strictly between ``i`` and ``j`` nor strictly
+    between ``j`` and ``k``.  These are the decompositions
+    ``w = u·R·v1·R·v2·R·z`` quantified over in the second part of C2.
+    """
+    w = Word.coerce(w)
+    by_symbol = {}
+    for pos, symbol in enumerate(w.symbols):
+        by_symbol.setdefault(symbol, []).append(pos)
+    for positions in by_symbol.values():
+        for a in range(len(positions) - 2):
+            yield (positions[a], positions[a + 1], positions[a + 2])
+
+
+def has_border_period(w: WordLike, u: WordLike) -> bool:
+    """Check the periodicity conclusion of Lemma 22.
+
+    Lemma 22: if ``w`` is a prefix of ``u·w`` with ``u ≠ ε``, then ``w`` is a
+    prefix of ``u^|w|``.  This helper checks whether ``w`` is a prefix of a
+    sufficiently high power of ``u``.
+    """
+    w = Word.coerce(w)
+    u = Word.coerce(u)
+    if not u:
+        raise ValueError("period word u must be nonempty")
+    power = u * (len(w) // len(u) + 1)
+    return is_prefix(w, power)

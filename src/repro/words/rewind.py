@@ -1,0 +1,133 @@
+"""The *rewinding* operator and the language ``L↬(q)`` (Definition 4).
+
+If a word has a factor of the form ``R·v·R`` then *rewinding* that factor
+replaces it with ``R·v·R·v·R``; i.e. ``u·RvR·w`` rewinds to ``u·RvRvR·w``.
+``L↬(q)`` is the smallest language that contains ``q`` and is closed under
+rewinding.  The conditions C1 / C3 of Section 3 say exactly that ``q`` is a
+prefix / factor of every word in ``L↬(q)`` (Lemma 5).
+
+``L↬(q)`` is infinite whenever ``q`` has a self-join, so it can only be
+*explored* up to a length bound; :func:`enumerate_language` does a BFS which
+is exhaustive below the bound.  The exact membership test is via the
+automaton ``NFA(q)`` (Lemma 4), see :mod:`repro.automata.query_nfa`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List, Set, Tuple
+
+from repro.words.factors import is_factor, is_prefix, self_join_pairs
+from repro.words.word import Word, WordLike
+
+
+def rewind_at(w: WordLike, i: int, j: int) -> Word:
+    """Rewind the factor ``R v R`` of *w* located at positions ``i < j``.
+
+    Positions *i* and *j* must carry the same symbol ``R``.  With
+    ``u = w[:i]``, ``v = w[i+1:j]`` and ``z = w[j+1:]`` the result is
+    ``u·R·v·R·v·R·z``, i.e. ``w[:j+1] + w[i+1:j+1] + w[j+1:]``.
+
+    >>> rewind_at(Word("TWITTER"), 0, 3)
+    Word('TWITWITTER')
+    """
+    w = Word.coerce(w)
+    if not (0 <= i < j < len(w)):
+        raise ValueError("need 0 <= i < j < len(w)")
+    if w[i] != w[j]:
+        raise ValueError(
+            "positions {} and {} carry different symbols {!r} != {!r}".format(
+                i, j, w[i], w[j]
+            )
+        )
+    return w[: j + 1] + w[i + 1: j + 1] + w[j + 1:]
+
+
+def rewindings(w: WordLike) -> List[Word]:
+    """All distinct words obtained from *w* by a single rewind.
+
+    The rewind may use *any* pair of equal symbols, not only consecutive
+    occurrences, matching Definition 4(b).
+
+    >>> sorted(str(x) for x in rewindings(Word("RXRY")))
+    ['RXRXRY']
+    """
+    w = Word.coerce(w)
+    results: Set[Word] = set()
+    for i, j in self_join_pairs(w):
+        results.add(rewind_at(w, i, j))
+    return sorted(results)
+
+
+def enumerate_language(
+    q: WordLike, max_length: int, max_words: int = 100_000
+) -> List[Word]:
+    """BFS enumeration of all words of ``L↬(q)`` of length at most *max_length*.
+
+    The enumeration is exhaustive for the given bound: every word of
+    ``L↬(q)`` with length ``<= max_length`` is returned.  This holds because
+    rewinding strictly increases length, so any derivation of a short word
+    only passes through words at most that long.
+
+    Raises :class:`RuntimeError` if more than *max_words* words are explored,
+    as a guard against accidentally huge enumerations.
+    """
+    q = Word.coerce(q)
+    if len(q) > max_length:
+        return []
+    seen: Set[Word] = {q}
+    queue = deque([q])
+    while queue:
+        current = queue.popleft()
+        for successor in rewindings(current):
+            if len(successor) > max_length or successor in seen:
+                continue
+            seen.add(successor)
+            queue.append(successor)
+            if len(seen) > max_words:
+                raise RuntimeError(
+                    "L↬ enumeration exceeded {} words".format(max_words)
+                )
+    return sorted(seen)
+
+
+def iterate_rewinds(q: WordLike, rounds: int) -> Iterator[Tuple[Word, Word]]:
+    """Yield ``(parent, child)`` rewind edges reachable within *rounds* rewinds.
+
+    Useful for visualizing the derivation DAG of ``L↬(q)``.
+    """
+    q = Word.coerce(q)
+    frontier = {q}
+    seen = {q}
+    for _ in range(rounds):
+        next_frontier: Set[Word] = set()
+        for word in sorted(frontier):
+            for child in rewindings(word):
+                yield (word, child)
+                if child not in seen:
+                    seen.add(child)
+                    next_frontier.add(child)
+        frontier = next_frontier
+        if not frontier:
+            return
+
+
+def is_closed_under_rewinding_prefix(q: WordLike, max_length: int) -> bool:
+    """Bounded check that ``q`` is a prefix of every word in ``L↬(q)``.
+
+    By Lemma 5(1) this is equivalent to C1; the bounded check is sound and,
+    for ``max_length >= 3·|q|``, has never been observed to disagree with the
+    exact syntactic test (the equivalence is exercised by property tests).
+    """
+    q = Word.coerce(q)
+    return all(is_prefix(q, p) for p in enumerate_language(q, max_length))
+
+
+def is_closed_under_rewinding_factor(q: WordLike, max_length: int) -> bool:
+    """Bounded check that ``q`` is a factor of every word in ``L↬(q)``.
+
+    By Lemma 5(2) this is equivalent to C3 (same caveats as the prefix
+    variant).
+    """
+    q = Word.coerce(q)
+    return all(is_factor(q, p) for p in enumerate_language(q, max_length))

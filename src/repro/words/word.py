@@ -1,0 +1,180 @@
+"""The :class:`Word` value type: a word over the alphabet of relation names.
+
+The paper (Section 2) represents a path query losslessly as the word of its
+relation names.  Relation names in the paper are single uppercase letters
+(``R``, ``S``, ``X`` ...), and the compact string notation ``"RRX"`` denotes
+the word with symbols ``R``, ``R``, ``X``.  This module supports both the
+compact single-letter notation and arbitrary identifier symbols (useful for
+the fresh ``N`` relation of Definition 22, written e.g. ``Word(["R", "N1"])``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+WordLike = Union["Word", str, Sequence[str]]
+
+
+class Word:
+    """An immutable word over the alphabet of relation names.
+
+    A :class:`Word` behaves like an immutable sequence of symbol strings and
+    supports slicing, concatenation, repetition, hashing and comparison.
+
+    >>> w = Word("RRX")
+    >>> len(w), w[0], w[1:]
+    (3, 'R', Word('RX'))
+    >>> w + Word("R") == Word("RRXR")
+    True
+    >>> Word("RX") * 2
+    Word('RXRX')
+    """
+
+    __slots__ = ("_symbols",)
+
+    def __init__(self, symbols: WordLike = ()) -> None:
+        if isinstance(symbols, Word):
+            self._symbols: Tuple[str, ...] = symbols._symbols
+        elif isinstance(symbols, str):
+            # Compact notation: each character is one relation name.
+            self._symbols = tuple(symbols)
+        else:
+            self._symbols = tuple(str(s) for s in symbols)
+        for symbol in self._symbols:
+            if not symbol:
+                raise ValueError("relation names must be nonempty strings")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def epsilon(cls) -> "Word":
+        """The empty word ``ε``."""
+        return cls(())
+
+    @classmethod
+    def coerce(cls, value: WordLike) -> "Word":
+        """Return *value* as a :class:`Word`, accepting strings and sequences."""
+        if isinstance(value, Word):
+            return value
+        return cls(value)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def symbols(self) -> Tuple[str, ...]:
+        """The underlying tuple of relation names."""
+        return self._symbols
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._symbols)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Word(self._symbols[index])
+        return self._symbols[index]
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._symbols
+
+    def __bool__(self) -> bool:
+        return bool(self._symbols)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: WordLike) -> "Word":
+        return Word(self._symbols + Word.coerce(other)._symbols)
+
+    def __radd__(self, other: WordLike) -> "Word":
+        return Word(Word.coerce(other)._symbols + self._symbols)
+
+    def __mul__(self, times: int) -> "Word":
+        if times < 0:
+            raise ValueError("cannot repeat a word a negative number of times")
+        return Word(self._symbols * times)
+
+    __rmul__ = __mul__
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / ordering
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Word):
+            return self._symbols == other._symbols
+        if isinstance(other, (str, tuple, list)):
+            return self._symbols == Word.coerce(other)._symbols
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Word", self._symbols))
+
+    def __lt__(self, other: "Word") -> bool:
+        # Length-lexicographic order; handy for canonical enumeration.
+        other = Word.coerce(other)
+        return (len(self), self._symbols) < (len(other), other._symbols)
+
+    # ------------------------------------------------------------------
+    # Accessors used throughout the paper
+    # ------------------------------------------------------------------
+
+    def first(self) -> str:
+        """``first(u)``: the first symbol (Definition 2). Requires nonempty."""
+        if not self._symbols:
+            raise ValueError("first() of the empty word is undefined")
+        return self._symbols[0]
+
+    def last(self) -> str:
+        """``last(u)``: the last symbol (Definition 2). Requires nonempty."""
+        if not self._symbols:
+            raise ValueError("last() of the empty word is undefined")
+        return self._symbols[-1]
+
+    def alphabet(self) -> frozenset:
+        """``symbols(q)``: the set of symbols occurring in the word (Def. 21)."""
+        return frozenset(self._symbols)
+
+    def positions_of(self, symbol: str) -> Tuple[int, ...]:
+        """All positions (0-based) where *symbol* occurs."""
+        return tuple(i for i, s in enumerate(self._symbols) if s == symbol)
+
+    def count(self, symbol: str) -> int:
+        """Number of occurrences of *symbol*."""
+        return self._symbols.count(symbol)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def is_compact(self) -> bool:
+        """True if every symbol is a single character (paper notation)."""
+        return all(len(s) == 1 for s in self._symbols)
+
+    def __str__(self) -> str:
+        if self.is_compact():
+            return "".join(self._symbols)
+        return " ".join(self._symbols) if self._symbols else "ε"
+
+    def __repr__(self) -> str:
+        if self.is_compact():
+            return "Word({!r})".format("".join(self._symbols))
+        return "Word({!r})".format(list(self._symbols))
+
+
+def concat(parts: Iterable[WordLike]) -> Word:
+    """Concatenate an iterable of word-likes into a single :class:`Word`."""
+    result: Tuple[str, ...] = ()
+    for part in parts:
+        result += Word.coerce(part).symbols
+    return Word(result)
+
+
+EPSILON = Word.epsilon()

@@ -1,0 +1,26 @@
+"""Workloads: synthetic inconsistent databases and query catalogs.
+
+* :mod:`repro.workloads.generators` -- seeded random instance generators
+  with controlled inconsistency (block sizes);
+* :mod:`repro.workloads.paper_instances` -- every concrete instance from
+  the paper's figures and examples;
+* :mod:`repro.workloads.queries` -- the catalog of queries the paper
+  names, with their proven complexity classes.
+"""
+
+from repro.workloads.generators import (
+    planted_instance,
+    random_instance,
+    random_word,
+)
+from repro.workloads.queries import PAPER_QUERY_CLASSES, paper_queries
+from repro.workloads import paper_instances
+
+__all__ = [
+    "planted_instance",
+    "random_instance",
+    "random_word",
+    "PAPER_QUERY_CLASSES",
+    "paper_queries",
+    "paper_instances",
+]

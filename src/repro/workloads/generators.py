@@ -1,0 +1,143 @@
+"""Seeded random generators for inconsistent database instances.
+
+The paper's algorithms traverse edge-colored directed graphs (facts
+``R(a, b)``), so the generators grow random graphs with controlled
+
+* size (number of facts),
+* alphabet (which relation names appear),
+* inconsistency (fraction of blocks with more than one fact, and block
+  sizes).
+
+All randomness flows through an explicit :class:`random.Random`; the same
+seed always reproduces the same instance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.words.word import Word, WordLike
+
+
+def random_word(
+    rng: random.Random,
+    length: int,
+    alphabet: Sequence[str] = ("R", "S", "X", "Y"),
+) -> Word:
+    """A random word (candidate path query) over *alphabet*."""
+    return Word([rng.choice(list(alphabet)) for _ in range(length)])
+
+
+def random_instance(
+    rng: random.Random,
+    n_constants: int,
+    n_facts: int,
+    alphabet: Sequence[str] = ("R", "X"),
+    conflict_rate: float = 0.4,
+    max_block_size: int = 3,
+) -> DatabaseInstance:
+    """A random instance with controlled inconsistency.
+
+    Facts are drawn by picking a relation and a key; with probability
+    *conflict_rate* a new fact is aimed at an *existing* block (growing a
+    conflict, capped at *max_block_size*), otherwise at a fresh random
+    block.  Values are uniform over the constants.
+    """
+    if n_constants < 1:
+        raise ValueError("need at least one constant")
+    constants = list(range(n_constants))
+    alphabet = list(alphabet)
+    blocks: dict = {}
+    attempts = 0
+    while sum(len(v) for v in blocks.values()) < n_facts:
+        attempts += 1
+        if attempts > 50 * n_facts + 100:
+            break  # saturated (tiny domains cannot host n_facts facts)
+        grow = blocks and rng.random() < conflict_rate
+        if grow:
+            block_id = rng.choice(sorted(blocks, key=str))
+            if len(blocks[block_id]) >= max_block_size:
+                grow = False
+        if not grow:
+            # Aim at a fresh block so conflict_rate=0 yields a consistent
+            # instance (up to domain saturation).
+            block_id = None
+            for _ in range(8):
+                candidate = (rng.choice(alphabet), rng.choice(constants))
+                if candidate not in blocks:
+                    block_id = candidate
+                    break
+            if block_id is None:
+                continue
+            blocks.setdefault(block_id, set())
+        relation, key = block_id
+        value = rng.choice(constants)
+        blocks[block_id].add(Fact(relation, key, value))
+    facts = [fact for members in blocks.values() for fact in members]
+    return DatabaseInstance(facts)
+
+
+def planted_instance(
+    rng: random.Random,
+    q: WordLike,
+    n_constants: int,
+    n_paths: int = 1,
+    n_noise_facts: int = 0,
+    conflict_rate: float = 0.5,
+) -> DatabaseInstance:
+    """An instance with *n_paths* planted ``q``-paths plus random noise.
+
+    Planting guarantees the query is satisfiable in at least one repair,
+    which keeps yes/no answers balanced in the certainty experiments;
+    noise facts then create conflicts that may or may not break the
+    planted paths.
+    """
+    q = Word.coerce(q)
+    constants = list(range(n_constants))
+    facts: List[Fact] = []
+    for _ in range(n_paths):
+        nodes = [rng.choice(constants) for _ in range(len(q) + 1)]
+        for i, relation in enumerate(q):
+            facts.append(Fact(relation, nodes[i], nodes[i + 1]))
+    alphabet = sorted(q.alphabet())
+    existing_keys = sorted({(f.relation, f.key) for f in facts}, key=str)
+    for _ in range(n_noise_facts):
+        if existing_keys and rng.random() < conflict_rate:
+            relation, key = rng.choice(existing_keys)
+        else:
+            relation = rng.choice(alphabet)
+            key = rng.choice(constants)
+        facts.append(Fact(relation, key, rng.choice(constants)))
+        existing_keys.append((relation, key))
+    return DatabaseInstance(facts)
+
+
+def chain_instance(
+    q: WordLike,
+    repetitions: int = 1,
+    conflict_every: Optional[int] = None,
+) -> DatabaseInstance:
+    """A deterministic chain: *repetitions* concatenated ``q``-paths.
+
+    With *conflict_every* set, every that-many-th node gets a second
+    outgoing fact in the same block (a dead-end branch), producing a
+    predictable number of conflicts -- the scaling benchmarks use this to
+    grow instances linearly.
+    """
+    q = Word.coerce(q)
+    facts: List[Fact] = []
+    node = 0
+    for _ in range(repetitions):
+        for relation in q:
+            facts.append(Fact(relation, node, node + 1))
+            node += 1
+    if conflict_every:
+        dead = node + 1
+        for position in range(0, node, conflict_every):
+            relation = q[position % len(q)]
+            facts.append(Fact(relation, position, dead))
+            dead += 1
+    return DatabaseInstance(facts)

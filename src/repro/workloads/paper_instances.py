@@ -1,0 +1,145 @@
+"""Every concrete database instance from the paper's figures and examples.
+
+Each function returns the instance (and, where relevant, the companion
+query); the test-suite asserts the exact claims the paper makes about
+them, which pins the library's semantics to the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.db.instance import DatabaseInstance
+from repro.queries.atoms import Atom, Variable
+from repro.queries.conjunctive import ConjunctiveQuery
+
+
+def figure1_instance() -> DatabaseInstance:
+    """Figure 1: R and S both contain all four pairs over {a, b}.
+
+    A "yes"-instance for ``q1 = ∃x∃y(R(x,y) ∧ R(y,x))`` but a
+    "no"-instance for its self-join-free counterpart with S (Example 1).
+    """
+    triples = []
+    for relation in ("R", "S"):
+        for key in ("a", "b"):
+            for value in ("a", "b"):
+                triples.append((relation, key, value))
+    return DatabaseInstance.from_triples(triples)
+
+
+def example1_q1() -> ConjunctiveQuery:
+    """``q1 = ∃x∃y (R(x,y) ∧ R(y,x))`` -- a self-join, not a path query."""
+    x, y = Variable("x"), Variable("y")
+    return ConjunctiveQuery([Atom("R", x, y), Atom("R", y, x)])
+
+
+def example1_q2() -> ConjunctiveQuery:
+    """``q2 = ∃x∃y (R(x,y) ∧ S(y,x))`` -- the self-join-free counterpart."""
+    x, y = Variable("x"), Variable("y")
+    return ConjunctiveQuery([Atom("R", x, y), Atom("S", y, x)])
+
+
+def example2_q1() -> ConjunctiveQuery:
+    """``q1 = ∃x∃y∃z (R(x,z) ∧ R(y,z))`` from Example 2."""
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    return ConjunctiveQuery([Atom("R", x, z), Atom("R", y, z)])
+
+
+def figure2_instance() -> DatabaseInstance:
+    """Figure 2: the instance for ``q2 = RRX``.
+
+    The only conflicting facts are ``R(1, 2)`` and ``R(1, 3)``; both
+    repairs satisfy RRX, but no single constant starts an exact RRX path
+    in both -- only the rewound language ``RR(R)*X`` has a common start
+    (the constant 0).
+    """
+    return DatabaseInstance.from_triples(
+        [
+            ("R", 0, 1),
+            ("R", 1, 2),
+            ("R", 1, 3),
+            ("R", 2, 3),
+            ("X", 3, 4),
+        ]
+    )
+
+
+def figure3_instance() -> DatabaseInstance:
+    """Figure 3: the bifurcation instance for ``q3 = ARRX``.
+
+    Every repair has a path from 0 with trace in ``ARR(R)*X``, yet the
+    repair containing ``R(a, c)`` does not satisfy ARRX -- the gadget
+    behind coNP-hardness.
+    """
+    return DatabaseInstance.from_triples(
+        [
+            ("A", 0, "a"),
+            ("R", "a", "b"),
+            ("R", "a", "c"),
+            ("R", "b", "b1"),
+            ("X", "b1", "b2"),
+            ("R", "c", "c1"),
+            ("R", "c1", "c2"),
+            ("X", "c2", "c3"),
+        ]
+    )
+
+
+def figure6_instance() -> DatabaseInstance:
+    """Figure 6: the example run of the Figure 5 algorithm for ``q = RRX``.
+
+    A consistent R-chain ``0 -> 1 -> 2 -> 3 -> 4`` with an X-edge
+    ``4 -> 5``; the algorithm derives ``<0, ε>`` after five iterations.
+    """
+    return DatabaseInstance.from_triples(
+        [
+            ("R", 0, 1),
+            ("R", 1, 2),
+            ("R", 2, 3),
+            ("R", 3, 4),
+            ("X", 4, 5),
+        ]
+    )
+
+
+def example5_instance() -> DatabaseInstance:
+    """Example 5: states sets for ``q = RRX``.
+
+    ``ST_q(R(b,c), r) = {R, RR}`` and ``ST_q(R(d,e), r) = ∅``.
+    """
+    return DatabaseInstance.from_triples(
+        [
+            ("R", "a", "b"),
+            ("R", "b", "c"),
+            ("R", "c", "d"),
+            ("X", "d", "e"),
+            ("R", "d", "e"),
+        ]
+    )
+
+
+def example7_instance() -> DatabaseInstance:
+    """Example 7: ``c`` is terminal for RSRT.
+
+    ``db = {R(c,d), S(d,c), R(c,e), T(e,f)}``: the consistent path
+    ``R(c,d), S(d,c)`` cannot be right-extended to a consistent RSRT path.
+    """
+    return DatabaseInstance.from_triples(
+        [
+            ("R", "c", "d"),
+            ("S", "d", "c"),
+            ("R", "c", "e"),
+            ("T", "e", "f"),
+        ]
+    )
+
+
+def intro_rr_fo_instance() -> DatabaseInstance:
+    """A small instance exercising the intro's FO rewriting for ``q = RR``."""
+    return DatabaseInstance.from_triples(
+        [
+            ("R", 0, 1),
+            ("R", 1, 2),
+            ("R", 1, 3),
+            ("R", 3, 0),
+        ]
+    )

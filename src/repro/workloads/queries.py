@@ -1,0 +1,69 @@
+"""The catalog of path queries the paper names, with their proven classes.
+
+These pin the classifier (Theorem 3) to the paper's own examples:
+
+* ``RR``      -- intro: in FO (the formula φ);
+* ``RRX``     -- intro / Figure 2: in NL (and not in FO);
+* ``ARRX``    -- intro / Figure 3: coNP-complete;
+* ``RXRX``    -- Example 3 q1: in FO;
+* ``RXRY``    -- Example 3 q2: NL-complete;
+* ``RXRYRY``  -- Example 3 q3: PTIME-complete;
+* ``RXRXRYRY``-- Example 3 q4: coNP-complete;
+* ``RXRRR``   -- Figure 4's automaton example (violates C2 via the
+  consecutive triple R·X, R·ε, R·R): PTIME-complete;
+* ``RRSRS``   -- the shortest Lemma 3(3a) word: PTIME-complete;
+* ``RSRRR``   -- the shortest Lemma 3(3b) word: PTIME-complete;
+* ``UVUVWV``  -- the Claim 5 example program's query: NL-complete;
+* ``RXRYR``   -- Example 6 (the NFAmin illustration): NL-complete
+  (violates C1 via the factor RXR, satisfies C2: the consecutive triple
+  has ``Rw = R`` a prefix of ``Rv1 = RX``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.classification.classifier import ComplexityClass
+from repro.words.word import Word
+
+#: Query -> complexity class, exactly as proven in the paper.
+PAPER_QUERY_CLASSES: Dict[str, ComplexityClass] = {
+    "RR": ComplexityClass.FO,
+    "RRX": ComplexityClass.NL_COMPLETE,
+    "ARRX": ComplexityClass.CONP_COMPLETE,
+    "RXRX": ComplexityClass.FO,
+    "RXRY": ComplexityClass.NL_COMPLETE,
+    "RXRYRY": ComplexityClass.PTIME_COMPLETE,
+    "RXRXRYRY": ComplexityClass.CONP_COMPLETE,
+    "RXRRR": ComplexityClass.PTIME_COMPLETE,
+    "RRSRS": ComplexityClass.PTIME_COMPLETE,
+    "RSRRR": ComplexityClass.PTIME_COMPLETE,
+    "UVUVWV": ComplexityClass.NL_COMPLETE,
+    "RXRYR": ComplexityClass.NL_COMPLETE,
+}
+
+
+def paper_queries() -> List[Word]:
+    """The catalog as words, in a stable order."""
+    return [Word(text) for text in PAPER_QUERY_CLASSES]
+
+
+#: Scalable query families for the |q|-scaling experiments.
+def fo_family(n: int) -> Word:
+    """``(RX)^n`` -- satisfies C1 for every n."""
+    return Word("RX") * n
+
+
+def nl_family(n: int) -> Word:
+    """``R^n X`` -- NL-complete for n >= 2."""
+    return Word("R") * n + Word("X")
+
+
+def ptime_family(n: int) -> Word:
+    """``RX (RY)^n`` for n >= 2 -- violates C2, satisfies C3."""
+    return Word("RX") + Word("RY") * n
+
+
+def conp_family(n: int) -> Word:
+    """``A R^n X`` for n >= 2 -- violates C3 (the ARRX pattern)."""
+    return Word("A") + Word("R") * n + Word("X")

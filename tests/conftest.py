@@ -1,0 +1,36 @@
+"""Shared fixtures for the test-suite."""
+
+import random
+
+import pytest
+
+from repro.words.word import Word
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded RNG; reseeded per test."""
+    return random.Random(0xC0FFEE)
+
+
+#: The paper's named queries and their proven complexity classes
+#: (Examples 1-3, Figures 2-4, Claim 5, Lemma 3).
+PAPER_TABLE = [
+    ("RR", "FO"),
+    ("RRX", "NL-complete"),
+    ("ARRX", "coNP-complete"),
+    ("RXRX", "FO"),
+    ("RXRY", "NL-complete"),
+    ("RXRYRY", "PTIME-complete"),
+    ("RXRXRYRY", "coNP-complete"),
+    ("RXRRR", "PTIME-complete"),
+    ("RRSRS", "PTIME-complete"),
+    ("RSRRR", "PTIME-complete"),
+    ("UVUVWV", "NL-complete"),
+    ("RXRYR", "NL-complete"),
+]
+
+
+def random_word(rng, max_length=8, alphabet="RSX"):
+    length = rng.randint(0, max_length)
+    return Word("".join(rng.choice(alphabet) for _ in range(length)))

@@ -1,0 +1,115 @@
+"""Tests for DFA operations: subset construction, product, minimization."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import DFA
+from repro.automata.query_nfa import query_nfa
+from repro.words.rewind import enumerate_language
+from repro.words.word import Word
+
+words = st.text(alphabet="RSX", min_size=1, max_size=5).map(Word)
+inputs = st.text(alphabet="RSX", max_size=7)
+
+
+def ab_star_dfa():
+    """Accepts (ab)*."""
+    return DFA(2, ["a", "b"], {(0, "a"): 1, (1, "b"): 0}, [0])
+
+
+class TestBasics:
+    def test_accepts(self):
+        dfa = ab_star_dfa()
+        assert dfa.accepts("")
+        assert dfa.accepts("abab")
+        assert not dfa.accepts("a")
+        assert not dfa.accepts("ba")
+
+    def test_completed_adds_sink(self):
+        dfa = ab_star_dfa().completed()
+        assert dfa.n_states == 3
+        for state in range(dfa.n_states):
+            for symbol in dfa.alphabet:
+                assert (state, symbol) in dfa.transitions
+
+    def test_complement(self):
+        dfa = ab_star_dfa().complement()
+        assert not dfa.accepts("")
+        assert dfa.accepts("a")
+        assert dfa.accepts("ba")
+
+    def test_is_empty(self):
+        assert DFA(1, ["a"], {}, []).is_empty()
+        assert not ab_star_dfa().is_empty()
+
+    def test_shortest_accepted(self):
+        dfa = DFA(3, ["a"], {(0, "a"): 1, (1, "a"): 2}, [2])
+        assert dfa.shortest_accepted() == ("a", "a")
+        assert DFA(1, ["a"], {}, []).shortest_accepted() is None
+
+    def test_enumerate_accepted(self):
+        dfa = ab_star_dfa()
+        accepted = dfa.enumerate_accepted(4)
+        assert () in accepted
+        assert ("a", "b") in accepted
+        assert ("a", "b", "a", "b") in accepted
+        assert len(accepted) == 3
+
+
+class TestProductAndEquivalence:
+    def test_intersection(self):
+        a = ab_star_dfa()
+        b = DFA(1, ["a", "b"], {(0, "a"): 0, (0, "b"): 0}, [0])  # Σ*
+        product = a.product(b, "intersection")
+        assert product.accepts("abab")
+        assert not product.accepts("aa")
+
+    def test_difference_empty_iff_subset(self):
+        a = ab_star_dfa()
+        sigma_star = DFA(1, ["a", "b"], {(0, "a"): 0, (0, "b"): 0}, [0])
+        assert a.product(sigma_star, "difference").is_empty()
+        assert not sigma_star.product(a, "difference").is_empty()
+
+    def test_equivalence(self):
+        a = ab_star_dfa()
+        assert a.equivalent(a.minimized())
+        assert not a.equivalent(a.complement())
+
+
+class TestSubsetConstruction:
+    @settings(max_examples=30, deadline=None)
+    @given(words, inputs)
+    def test_dfa_equals_nfa(self, q, text):
+        nfa = query_nfa(q)
+        dfa = DFA.from_nfa(nfa)
+        assert dfa.accepts(text) == nfa.accepts(text)
+
+
+class TestShortestPrefixTransform:
+    def test_min_language(self):
+        """NFAmin(RRX) accepts RR(R)*X and nothing shorter (Def. 13)."""
+        dfa = DFA.from_nfa(query_nfa("RRX")).shortest_prefix_transform()
+        assert dfa.accepts("RRX")
+        assert dfa.accepts("RRRX")
+        assert not dfa.accepts("RX")
+
+    @settings(max_examples=25, deadline=None)
+    @given(words)
+    def test_no_accepted_proper_prefixes(self, q):
+        base = DFA.from_nfa(query_nfa(q))
+        minimal = base.shortest_prefix_transform()
+        for word in enumerate_language(q, len(q) + 3):
+            if minimal.accepts(word.symbols):
+                for cut in range(len(word)):
+                    assert not base.accepts(word.symbols[:cut])
+
+
+class TestMinimization:
+    @settings(max_examples=25, deadline=None)
+    @given(words, inputs)
+    def test_minimized_preserves_language(self, q, text):
+        dfa = DFA.from_nfa(query_nfa(q))
+        assert dfa.minimized().accepts(text) == dfa.accepts(text)
+
+    def test_minimized_is_no_larger(self):
+        dfa = DFA.from_nfa(query_nfa("RXRRR")).completed()
+        assert dfa.minimized().n_states <= dfa.n_states + 1

@@ -1,0 +1,76 @@
+"""Tests for the generic NFA with ε-moves."""
+
+import pytest
+
+from repro.automata.nfa import NFA
+
+
+def simple_nfa():
+    """Accepts a(b)*c, with an ε shortcut from 1 to 2."""
+    return NFA(
+        states=[0, 1, 2],
+        alphabet=["a", "b", "c"],
+        transitions={(0, "a"): {1}, (1, "b"): {1}, (2, "c"): {2}},
+        epsilon={1: {2}},
+        initial=0,
+        accepting=[2],
+    )
+
+
+class TestValidation:
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ValueError):
+            NFA([0], ["a"], {}, {}, 1, [0])
+
+    def test_unknown_accepting_rejected(self):
+        with pytest.raises(ValueError):
+            NFA([0], ["a"], {}, {}, 0, [5])
+
+    def test_unknown_transition_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            NFA([0], ["a"], {(0, "z"): {0}}, {}, 0, [0])
+
+    def test_unknown_epsilon_target_rejected(self):
+        with pytest.raises(ValueError):
+            NFA([0], ["a"], {}, {0: {7}}, 0, [0])
+
+
+class TestSemantics:
+    def test_epsilon_closure(self):
+        nfa = simple_nfa()
+        assert nfa.epsilon_closure(1) == frozenset({1, 2})
+        assert nfa.epsilon_closure(0) == frozenset({0})
+
+    def test_transitive_epsilon_closure(self):
+        nfa = NFA([0, 1, 2], ["a"], {}, {0: {1}, 1: {2}}, 0, [2])
+        assert nfa.epsilon_closure(0) == frozenset({0, 1, 2})
+        assert nfa.accepts([])
+
+    def test_accepts(self):
+        nfa = simple_nfa()
+        assert nfa.accepts("a")        # a then ε to accepting
+        assert nfa.accepts("abbc")
+        assert nfa.accepts("ac")
+        assert not nfa.accepts("b")
+        assert not nfa.accepts("")
+
+    def test_accepts_from(self):
+        nfa = simple_nfa()
+        assert nfa.accepts_from(1, "")
+        assert nfa.accepts_from(1, "bb")
+        assert not nfa.accepts_from(0, "")
+
+    def test_with_initial(self):
+        nfa = simple_nfa().with_initial(1)
+        assert nfa.accepts("")
+        assert nfa.accepts("bc")
+
+    def test_is_empty(self):
+        nfa = simple_nfa()
+        assert not nfa.is_empty()
+        dead = NFA([0, 1], ["a"], {}, {}, 0, [1])
+        assert dead.is_empty()
+
+    def test_step(self):
+        nfa = simple_nfa()
+        assert nfa.step(frozenset({0}), "a") == frozenset({1, 2})

@@ -1,0 +1,117 @@
+"""Tests for NFA(q), S-NFA(q,u), NFAmin(q) (Definitions 3, 5, 13)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.query_nfa import (
+    backward_transitions,
+    language_contains,
+    nfa_min,
+    query_nfa,
+    s_nfa,
+)
+from repro.words.factors import is_prefix
+from repro.words.rewind import enumerate_language
+from repro.words.word import Word
+
+words = st.text(alphabet="RSX", min_size=1, max_size=6).map(Word)
+
+
+class TestConstruction:
+    def test_figure4_structure(self):
+        """Figure 4: NFA(RXRRR) has 6 states and 6 backward transitions."""
+        q = Word("RXRRR")
+        nfa = query_nfa(q)
+        assert len(nfa.states) == 6
+        assert nfa.initial == 0
+        assert nfa.accepting == frozenset({5})
+        backwards = backward_transitions(q)
+        # Prefix lengths ending in R: 1, 3, 4, 5 -> pairs (j, i), i < j.
+        assert sorted(backwards) == [
+            (3, 1), (4, 1), (4, 3), (5, 1), (5, 3), (5, 4)
+        ]
+
+    def test_empty_word(self):
+        nfa = query_nfa("")
+        assert nfa.accepts([])
+
+    def test_s_nfa_start_state(self):
+        nfa = s_nfa("RRX", 2)
+        assert nfa.accepts("X")
+        # The backward ε-transition RR -> R allows further R-reads.
+        assert nfa.accepts("RX")
+        assert nfa.accepts("RRX")
+        assert not nfa.accepts("")
+        assert not nfa.accepts("XX")
+
+    def test_s_nfa_bounds(self):
+        with pytest.raises(ValueError):
+            s_nfa("RRX", 4)
+
+
+class TestLemma4:
+    """NFA(q) accepts exactly L↬(q)."""
+
+    def test_rrx(self):
+        nfa = query_nfa("RRX")
+        assert nfa.accepts("RRX")
+        assert nfa.accepts("RRRRX")
+        assert not nfa.accepts("RX")
+        assert not nfa.accepts("RRXX")
+
+    @settings(max_examples=30, deadline=None)
+    @given(words)
+    def test_language_equality_bounded(self, q):
+        bound = len(q) + 3
+        language = set(enumerate_language(q, bound))
+        nfa = query_nfa(q)
+        # Every word of L↬(q) is accepted.
+        for word in language:
+            assert nfa.accepts(word.symbols)
+        # Every accepted word up to the bound is in L↬(q).
+        from repro.automata.dfa import DFA
+
+        accepted = DFA.from_nfa(nfa).enumerate_accepted(bound)
+        for tup in accepted:
+            assert Word(tup) in language
+
+    def test_language_contains_helper(self):
+        assert language_contains("RXRY", "RXRXRY")
+        assert not language_contains("RXRY", "RXRRY")
+
+
+class TestNfaMin:
+    def test_example6(self):
+        """Example 6: RXRYRYR accepted by NFA(q) but not NFAmin(q)."""
+        q = Word("RXRYR")
+        assert query_nfa(q).accepts("RXRYRYR")
+        minimal = nfa_min(q)
+        assert not minimal.accepts("RXRYRYR")
+        assert minimal.accepts("RXRYR")
+
+    @settings(max_examples=30, deadline=None)
+    @given(words)
+    def test_lemma15_on_accepted_words(self, q):
+        """NFAmin accepts exactly the accepted words with no accepted
+        proper prefix."""
+        nfa = query_nfa(q)
+        minimal = nfa_min(q)
+        for word in enumerate_language(q, len(q) + 3):
+            symbols = word.symbols
+            has_accepted_prefix = any(
+                nfa.accepts(symbols[:cut]) for cut in range(len(symbols))
+            )
+            assert minimal.accepts(symbols) == (not has_accepted_prefix)
+
+
+class TestC1ViaAutomaton:
+    @settings(max_examples=30, deadline=None)
+    @given(words)
+    def test_lemma5_prefix(self, q):
+        """Lemma 5(1) bounded check: C1 iff q prefixes every L↬ word."""
+        from repro.classification.conditions import satisfies_c1
+
+        language = enumerate_language(q, len(q) + 3)
+        all_prefixed = all(is_prefix(q, p) for p in language)
+        if satisfies_c1(q):
+            assert all_prefixed

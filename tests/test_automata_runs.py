@@ -1,0 +1,78 @@
+"""Tests for automata over database instances (Definitions 6, 7; Lemmas 6, 8)."""
+
+import random
+
+from repro.automata.query_nfa import query_nfa
+from repro.automata.runs import (
+    accepted_start_constants,
+    accepts_path_from,
+    states_set,
+)
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.repairs import iter_repairs
+from repro.solvers.fixpoint import build_minimal_repair
+from repro.workloads.generators import random_instance
+from repro.workloads.paper_instances import example5_instance, figure2_instance
+
+
+class TestExample4:
+    def test_start_sets(self):
+        """Example 4: start(RRX, r1) = {0, 1}, start(RRX, r2) = {0}."""
+        db = figure2_instance()
+        r1 = DatabaseInstance(
+            db.facts - {Fact("R", 1, 3)}
+        )
+        r2 = DatabaseInstance(
+            db.facts - {Fact("R", 1, 2)}
+        )
+        assert accepted_start_constants(r1, "RRX") == frozenset({0, 1})
+        assert accepted_start_constants(r2, "RRX") == frozenset({0})
+
+
+class TestExample5:
+    def test_states_sets(self):
+        """ST_q(R(b,c), r) = {R, RR} and ST_q(R(d,e), r) = ∅ for q = RRX."""
+        r = example5_instance()
+        st_bc = states_set(r, "RRX", Fact("R", "b", "c"))
+        assert st_bc == frozenset({1, 2})  # prefix lengths of R, RR
+        st_de = states_set(r, "RRX", Fact("R", "d", "e"))
+        assert st_de == frozenset()
+
+
+class TestLemma8:
+    def test_upward_closure(self, rng):
+        """If uR in ST_q(f, r) then every longer vR is too (Lemma 8)."""
+        for _ in range(30):
+            db = random_instance(rng, 4, rng.randint(2, 8), ("R", "X"), 0.0)
+            q = "RXRRR"
+            positions = [i + 1 for i, s in enumerate(q) if s == "R"]
+            for fact in db.facts:
+                if fact.relation != "R":
+                    continue
+                st = states_set(db, q, fact)
+                if st:
+                    shortest = min(st)
+                    expected = {p for p in positions if p >= shortest}
+                    assert st == frozenset(expected)
+
+
+class TestAcceptsPathFrom:
+    def test_figure2(self):
+        db = figure2_instance()
+        nfa = query_nfa("RRX")
+        assert accepts_path_from(db, nfa, 0)
+        assert not accepts_path_from(db, nfa, 4)
+
+
+class TestLemma6MinimalRepair:
+    def test_start_minimality(self, rng):
+        """The Lemma 9 repair minimizes start(q, ·) over all repairs."""
+        for _ in range(25):
+            db = random_instance(rng, 4, rng.randint(2, 8), ("R", "X"), 0.5)
+            q = "RRX"
+            r_star = build_minimal_repair(db, q)
+            assert r_star.is_repair_of(db)
+            minimal_start = accepted_start_constants(r_star, q)
+            for repair in iter_repairs(db, limit=200):
+                assert minimal_start <= accepted_start_constants(repair, q)

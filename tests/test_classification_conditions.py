@@ -1,0 +1,96 @@
+"""Tests for the syntactic conditions C1, C2, C3 (Section 3)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.classification.conditions import (
+    satisfies_c1,
+    satisfies_c2,
+    satisfies_c3,
+)
+from repro.words.factors import is_factor, is_prefix, is_self_join_free
+from repro.words.rewind import enumerate_language
+from repro.words.word import Word
+
+words = st.text(alphabet="RSX", max_size=8).map(Word)
+
+
+class TestPaperExamples:
+    def test_example3_q1(self):
+        """RXRX rewinds only to words with RXRX as a prefix: C1."""
+        assert satisfies_c1("RXRX")
+        assert satisfies_c2("RXRX")
+        assert satisfies_c3("RXRX")
+
+    def test_example3_q2(self):
+        """RXRY satisfies C3 and (vacuously) C2, violates C1."""
+        assert not satisfies_c1("RXRY")
+        assert satisfies_c2("RXRY")
+        assert satisfies_c3("RXRY")
+
+    def test_example3_q3(self):
+        """RXRYRY satisfies C3 but violates C2 (v1=X, v2=Y, Rw=RY)."""
+        assert not satisfies_c1("RXRYRY")
+        assert not satisfies_c2("RXRYRY")
+        assert satisfies_c3("RXRYRY")
+
+    def test_example3_q4(self):
+        """RXRXRYRY violates C3."""
+        assert not satisfies_c3("RXRXRYRY")
+
+    def test_intro_queries(self):
+        assert satisfies_c1("RR")
+        assert not satisfies_c1("RRX")
+        assert satisfies_c2("RRX")
+        assert not satisfies_c3("ARRX")
+
+    def test_example2_style(self):
+        # Self-join-free words vacuously satisfy everything.
+        assert satisfies_c1("RSX")
+
+    def test_shortest_lemma3_words(self):
+        """RRSRS and RSRRR: the shortest C3-but-not-C2 words (Lemma 3)."""
+        for q in ("RRSRS", "RSRRR"):
+            assert satisfies_c3(q)
+            assert not satisfies_c2(q)
+
+    def test_empty_and_singleton(self):
+        assert satisfies_c1("")
+        assert satisfies_c1("R")
+        assert satisfies_c1("RR")
+        assert satisfies_c1("RRR")
+
+
+class TestProposition1:
+    @settings(max_examples=300, deadline=None)
+    @given(words)
+    def test_c1_implies_c2_implies_c3(self, q):
+        if satisfies_c1(q):
+            assert satisfies_c2(q)
+        if satisfies_c2(q):
+            assert satisfies_c3(q)
+
+
+class TestLemma5Correspondence:
+    """C1/C3 agree with prefix/factor closure of L↬(q) (bounded check)."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(words)
+    def test_c1_iff_prefix_closed(self, q):
+        language = enumerate_language(q, len(q) + 4)
+        assert satisfies_c1(q) == all(is_prefix(q, p) for p in language)
+
+    @settings(max_examples=120, deadline=None)
+    @given(words)
+    def test_c3_iff_factor_closed(self, q):
+        language = enumerate_language(q, len(q) + 4)
+        assert satisfies_c3(q) == all(is_factor(q, p) for p in language)
+
+
+class TestSelfJoinFree:
+    @settings(max_examples=100, deadline=None)
+    @given(words)
+    def test_self_join_free_satisfies_all(self, q):
+        if is_self_join_free(q):
+            assert satisfies_c1(q)
+            assert satisfies_c2(q)
+            assert satisfies_c3(q)

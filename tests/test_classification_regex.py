@@ -1,0 +1,107 @@
+"""Tests for B1, B2a, B2b, B3 and the Section 4 equivalences (Lemmas 1-3)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.classification.conditions import (
+    satisfies_c1,
+    satisfies_c2,
+    satisfies_c3,
+)
+from repro.classification.regex_conditions import (
+    find_b1,
+    find_b2a,
+    find_b2b,
+    find_b3,
+    satisfies_b1,
+    satisfies_b2a,
+    satisfies_b2b,
+    satisfies_b3,
+)
+from repro.words.factors import is_factor, is_prefix, is_self_join_free
+from repro.words.word import Word
+
+words = st.text(alphabet="RSX", max_size=7).map(Word)
+
+
+class TestWitnessesAreValid:
+    @settings(max_examples=150, deadline=None)
+    @given(words)
+    def test_b1_witness(self, q):
+        witness = find_b1(q)
+        if witness is None:
+            return
+        assert is_self_join_free(witness.v + witness.w)
+        assert is_prefix(q, witness.pumped)
+
+    @settings(max_examples=150, deadline=None)
+    @given(words)
+    def test_b2a_witness(self, q):
+        witness = find_b2a(q)
+        if witness is None:
+            return
+        assert is_self_join_free(witness.u + witness.v + witness.w)
+        assert witness.pumped == witness.u * witness.j + witness.w + witness.v * witness.k
+        assert witness.pumped[witness.offset: witness.offset + len(q)] == q
+
+    @settings(max_examples=150, deadline=None)
+    @given(words)
+    def test_b2b_witness(self, q):
+        witness = find_b2b(q)
+        if witness is None:
+            return
+        assert is_self_join_free(witness.u + witness.v + witness.w)
+        assert witness.pumped == (witness.u + witness.v) * witness.k + witness.w + witness.v
+        assert witness.pumped[witness.offset: witness.offset + len(q)] == q
+
+    @settings(max_examples=150, deadline=None)
+    @given(words)
+    def test_b3_witness(self, q):
+        witness = find_b3(q)
+        if witness is None:
+            return
+        assert is_self_join_free(witness.u + witness.v + witness.w)
+        assert witness.pumped == witness.u + witness.w + (witness.u + witness.v) * witness.k
+        assert is_factor(q, witness.pumped)
+
+
+class TestSection4Equivalences:
+    @settings(max_examples=200, deadline=None)
+    @given(words)
+    def test_lemma1_c1_equals_b1(self, q):
+        assert satisfies_c1(q) == satisfies_b1(q)
+
+    @settings(max_examples=120, deadline=None)
+    @given(words)
+    def test_lemma3_c2_equals_b2a_or_b2b(self, q):
+        assert satisfies_c2(q) == (satisfies_b2a(q) or satisfies_b2b(q))
+
+    @settings(max_examples=120, deadline=None)
+    @given(words)
+    def test_lemma2_c3_equals_b2a_b2b_b3(self, q):
+        assert satisfies_c3(q) == (
+            satisfies_b2a(q) or satisfies_b2b(q) or satisfies_b3(q)
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(words)
+    def test_b1_subset_of_b2a_and_b3(self, q):
+        """Definition 1 remark: B1 ⊆ B2a ∩ B3."""
+        if satisfies_b1(q):
+            assert satisfies_b2a(q)
+            assert satisfies_b3(q)
+
+
+class TestSuffixAlignedWitnesses:
+    def test_rrx(self):
+        witness = find_b2a("RRX", require_suffix=True)
+        assert witness is not None
+        assert witness.offset + 3 == len(witness.pumped)
+
+    def test_uvuvwv(self):
+        witness = find_b2b("UVUVWV", require_suffix=True)
+        assert witness is not None
+        assert len(witness.pumped) == witness.offset + 6
+
+    def test_paper_examples_found(self):
+        assert find_b2b("RXRY", require_suffix=True) is not None
+        assert find_b2a("RRRRX", require_suffix=True) is not None

@@ -1,0 +1,113 @@
+"""Tests for violation witnesses and the Lemma 3 factor forms."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.classification.conditions import satisfies_c2, satisfies_c3
+from repro.classification.witnesses import (
+    PairWitness,
+    TripleWitness,
+    c1_violation,
+    c2_violation,
+    c3_violation,
+    lemma3_factor_witness,
+)
+from repro.words.factors import is_factor, is_prefix, is_self_join_free
+from repro.words.rewind import rewind_at
+from repro.words.word import Word
+
+words = st.text(alphabet="RSX", max_size=8).map(Word)
+
+
+class TestPairWitnesses:
+    def test_c1_violation_for_rrx(self):
+        witness = c1_violation("RRX")
+        assert witness is not None
+        rewound = witness.rewound
+        assert not is_prefix(Word("RRX"), rewound)
+
+    def test_no_c1_violation_for_rxrx(self):
+        assert c1_violation("RXRX") is None
+
+    def test_c3_violation_for_arrx(self):
+        witness = c3_violation("ARRX")
+        assert witness is not None
+        assert not is_factor(Word("ARRX"), witness.rewound)
+        # Lemma 19 needs u nonempty; for ARRX u = A.
+        assert witness.u == Word("A")
+
+    def test_decomposition_reconstructs_query(self):
+        witness = c1_violation("RRX")
+        r = Word([witness.relation])
+        assert witness.u + r + witness.v + r + witness.w == Word("RRX")
+
+    @settings(max_examples=200, deadline=None)
+    @given(words)
+    def test_witness_iff_violation(self, q):
+        from repro.classification.conditions import satisfies_c1
+
+        assert (c1_violation(q) is None) == satisfies_c1(q)
+        assert (c3_violation(q) is None) == satisfies_c3(q)
+        assert (c2_violation(q) is None) == satisfies_c2(q)
+
+
+class TestTripleWitness:
+    def test_rxryry(self):
+        """Example 3: q3 = ε·RX·RY·RY with v1 != v2 and RY not prefix of RX."""
+        witness = c2_violation("RXRYRY")
+        assert isinstance(witness, TripleWitness)
+        assert witness.u == Word("")
+        assert witness.v1 == Word("X")
+        assert witness.v2 == Word("Y")
+        assert witness.w == Word("Y")
+
+    def test_c3_violations_give_pairs(self):
+        witness = c2_violation("RXRXRYRY")
+        assert isinstance(witness, PairWitness)
+
+    @settings(max_examples=150, deadline=None)
+    @given(words)
+    def test_triple_witness_shape(self, q):
+        witness = c2_violation(q)
+        if not isinstance(witness, TripleWitness):
+            return
+        r = Word([witness.relation])
+        rebuilt = (
+            witness.u + r + witness.v1 + r + witness.v2 + r + witness.w
+        )
+        assert rebuilt == q
+        assert witness.v1 != witness.v2
+        assert not is_prefix(r + witness.w, r + witness.v1)
+
+
+class TestLemma3FactorForms:
+    def test_shortest_3a(self):
+        witness = lemma3_factor_witness("RRSRS")
+        assert witness is not None
+        assert witness.form == "3a"
+
+    def test_shortest_3b(self):
+        witness = lemma3_factor_witness("RSRRR")
+        assert witness is not None
+        assert witness.form == "3b"
+
+    @settings(max_examples=100, deadline=None)
+    @given(words)
+    def test_lemma3_equivalence_under_c3(self, q):
+        """Under C3: violates C2 iff a Lemma 3(3) factor exists."""
+        if not satisfies_c3(q):
+            return
+        has_factor = lemma3_factor_witness(q) is not None
+        assert has_factor == (not satisfies_c2(q))
+
+    @settings(max_examples=100, deadline=None)
+    @given(words)
+    def test_witness_words_well_formed(self, q):
+        witness = lemma3_factor_witness(q)
+        if witness is None:
+            return
+        assert witness.u
+        assert is_self_join_free(witness.u + witness.v + witness.w)
+        assert is_factor(witness.factor, q)
+        if witness.form == "3b":
+            assert not witness.v
+            assert witness.w

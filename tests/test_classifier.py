@@ -1,0 +1,123 @@
+"""Tests for the tetrachotomy classifier (Theorems 2, 3) and Section 8."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.classification.classifier import (
+    Classification,
+    ComplexityClass,
+    classify,
+    classify_generalized,
+)
+from repro.classification.generalized import (
+    satisfies_d1,
+    satisfies_d2,
+    satisfies_d3,
+)
+from repro.queries.generalized import GeneralizedPathQuery
+from repro.queries.path_query import PathQuery
+from repro.words.word import Word
+
+from tests.conftest import PAPER_TABLE
+
+words = st.text(alphabet="RSX", max_size=8).map(Word)
+
+
+class TestPaperTable:
+    @pytest.mark.parametrize("query,expected", PAPER_TABLE)
+    def test_paper_query_classes(self, query, expected):
+        assert str(classify(query).complexity) == expected
+
+    def test_accepts_path_query_objects(self):
+        assert classify(PathQuery("RRX")).complexity is ComplexityClass.NL_COMPLETE
+
+    def test_classification_carries_witnesses(self):
+        result = classify("RXRYRY")
+        assert result.c3 and not result.c2 and not result.c1
+        assert result.c1_witness is not None
+        assert result.c2_witness is not None
+        assert result.c3_witness is None
+
+    def test_str_rendering(self):
+        text = str(classify("RRX"))
+        assert "RRX" in text and "NL-complete" in text
+
+
+class TestComplexityClassProperties:
+    def test_tractability(self):
+        assert ComplexityClass.FO.is_tractable
+        assert ComplexityClass.NL_COMPLETE.is_tractable
+        assert ComplexityClass.PTIME_COMPLETE.is_tractable
+        assert not ComplexityClass.CONP_COMPLETE.is_tractable
+
+    def test_first_order_flag(self):
+        assert ComplexityClass.FO.is_first_order
+        assert not ComplexityClass.NL_COMPLETE.is_first_order
+
+
+class TestSelfJoinFreeAlwaysFO:
+    """Theorem 1 corollary: self-join-free path queries are in FO."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.permutations(list("RSXYZ")))
+    def test_permutation_queries(self, symbols):
+        assert classify(Word(symbols)).complexity is ComplexityClass.FO
+
+
+class TestGeneralizedClassifier:
+    def test_constant_free_falls_back(self):
+        q = GeneralizedPathQuery("RRX")
+        assert classify_generalized(q).complexity is ComplexityClass.NL_COMPLETE
+
+    def test_rooted_query_is_fo(self):
+        """Queries starting with a constant: char(q) = ε, trivially D1."""
+        q = GeneralizedPathQuery("RRX", {0: "c"})
+        assert classify_generalized(q).complexity is ComplexityClass.FO
+
+    def test_self_join_free_char_is_fo(self):
+        q = GeneralizedPathQuery("RSX", {3: "c"})
+        assert classify_generalized(q).complexity is ComplexityClass.FO
+
+    def test_terminal_constant_blocks_c1(self):
+        """[[RR, c]]: with a constant, a prefix homomorphism into the
+        rewound word cannot exist, so D1 fails; hom exists, so D2/D3 hold:
+        NL-complete (cf. Theorem 5)."""
+        q = GeneralizedPathQuery("RR", {2: "c"})
+        assert not satisfies_d1(q)
+        assert satisfies_d2(q)
+        assert satisfies_d3(q)
+        assert classify_generalized(q).complexity is ComplexityClass.NL_COMPLETE
+
+    def test_conp_with_constant(self):
+        """[[RXRYRY, c]]: the Example 3 q3 word with a pinned endpoint.
+
+        D3 requires a *suffix* occurrence in the rewound word, which
+        fails, so the query is coNP-complete (Theorem 5: no PTIME level
+        with constants)."""
+        q = GeneralizedPathQuery("RXRYRY", {6: "c"})
+        assert not satisfies_d3(q)
+        assert classify_generalized(q).complexity is ComplexityClass.CONP_COMPLETE
+
+    @settings(max_examples=80, deadline=None)
+    @given(words)
+    def test_theorem5_trichotomy(self, word):
+        """With a constant, the class is never PTIME-complete (Lemma 30)."""
+        q = GeneralizedPathQuery(word, {len(word): "c"})
+        result = classify_generalized(q)
+        assert result.complexity is not ComplexityClass.PTIME_COMPLETE
+
+    @settings(max_examples=80, deadline=None)
+    @given(words)
+    def test_d_implications(self, word):
+        """D1 => D2 => D3, mirroring Proposition 1."""
+        q = GeneralizedPathQuery(word, {len(word): "c"})
+        if satisfies_d1(q):
+            assert satisfies_d2(q)
+        if satisfies_d2(q):
+            assert satisfies_d3(q)
+
+    def test_classify_generalized_on_path_rejects_nothing(self):
+        # classify() on a constant-bearing query routes to the generalized
+        # classifier automatically.
+        q = GeneralizedPathQuery("RR", {2: "c"})
+        assert classify(q).complexity is ComplexityClass.NL_COMPLETE

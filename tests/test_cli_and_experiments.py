@@ -1,0 +1,135 @@
+"""Tests for the CLI and the experiment drivers."""
+
+import pytest
+
+from repro.cli import main, parse_triples
+from repro.experiments.classification_table import (
+    classification_rows,
+    classification_table,
+)
+from repro.experiments.harness import Table, time_call
+from repro.experiments.reductions_report import full_report
+from repro.experiments.scaling import crossover_rows, fixpoint_scaling_rows
+
+
+class TestParseTriples:
+    def test_basic(self):
+        triples = parse_triples("R,0,1;R,1,2")
+        assert triples == [("R", 0, 1), ("R", 1, 2)]
+
+    def test_string_constants(self):
+        assert parse_triples("R,a,b") == [("R", "a", "b")]
+
+    def test_negative_ints(self):
+        assert parse_triples("R,-1,2") == [("R", -1, 2)]
+
+    def test_newlines_and_blanks(self):
+        assert parse_triples("R,0,1\n\nS,1,2;") == [("R", 0, 1), ("S", 1, 2)]
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            parse_triples("R,0")
+
+
+class TestCli:
+    def test_classify(self, capsys):
+        assert main(["classify", "RRX", "ARRX"]) == 0
+        out = capsys.readouterr().out
+        assert "NL-complete" in out and "coNP-complete" in out
+
+    def test_solve_yes(self, capsys):
+        code = main(
+            ["solve", "RRX", "--triples", "R,0,1;R,1,2;R,1,3;R,2,3;X,3,4"]
+        )
+        assert code == 0
+        assert "certain" in capsys.readouterr().out
+
+    def test_solve_no_exit_code(self, capsys):
+        code = main(["solve", "RRR", "--triples", "R,0,1", "-v"])
+        assert code == 1
+        assert "not certain" in capsys.readouterr().out
+
+    def test_solve_requires_facts(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "RRX"])
+
+    def test_answers(self, capsys):
+        assert main(
+            ["answers", "RR", "--triples", "R,0,1;R,1,2;R,2,3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[0, 1]" in out
+
+    def test_answers_tail(self, capsys):
+        assert main(
+            ["answers", "RR", "--triples", "R,0,1;R,1,2;R,2,3",
+             "--position", "tail"]
+        ) == 0
+        assert "[2, 3]" in capsys.readouterr().out
+
+    def test_atlas(self, capsys):
+        assert main(["atlas"]) == 0
+        out = capsys.readouterr().out
+        assert "RXRXRYRY" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "E9" in out and "E8" in out and "E10" in out
+
+    def test_facts_file(self, tmp_path, capsys):
+        path = tmp_path / "facts.txt"
+        path.write_text("R,0,1\nR,1,2\n")
+        assert main(["solve", "RR", "--facts", str(path)]) == 0
+
+
+class TestExperimentDrivers:
+    def test_classification_rows_all_match(self):
+        rows = classification_rows()
+        assert rows
+        assert all(row["matches_paper"] for row in rows)
+
+    def test_classification_table_renders(self):
+        text = classification_table()
+        assert "UVUVWV" in text
+        markdown = classification_table(markdown=True)
+        assert markdown.startswith("|")
+
+    def test_fixpoint_scaling_rows(self):
+        rows = fixpoint_scaling_rows("RRX", sizes=[20, 40], repeats=1)
+        assert [row["facts"] for row in rows] == sorted(
+            row["facts"] for row in rows
+        )
+        assert all(row["seconds"] >= 0 for row in rows)
+
+    def test_crossover_rows(self):
+        rows = crossover_rows(repetitions=(2, 3), repeats=1)
+        assert len(rows) == 2
+        assert all(row["brute_seconds"] is not None for row in rows)
+
+    def test_full_report_agrees(self):
+        for row in full_report(trials=4, seed=1):
+            assert row["agree"] == row["trials"]
+
+
+class TestHarness:
+    def test_time_call(self):
+        result, seconds = time_call(lambda: 42, repeats=2)
+        assert result == 42
+        assert seconds >= 0
+
+    def test_table_render(self):
+        table = Table(["a", "b"])
+        table.add_row([1, "xy"])
+        text = table.render()
+        assert "a" in text and "xy" in text
+
+    def test_table_markdown(self):
+        table = Table(["a"])
+        table.add_row(["v"])
+        assert table.render(markdown=True).count("|") >= 4
+
+    def test_table_row_width_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])

@@ -1,0 +1,165 @@
+"""Tests for the Datalog substrate: syntax, stratification, engine."""
+
+import pytest
+
+from repro.datalog.engine import evaluate_program
+from repro.datalog.stratify import is_linear, stratify
+from repro.datalog.syntax import Literal, Program, Rule, var
+
+X, Y, Z = var("X"), var("Y"), var("Z")
+
+
+def reachability_program():
+    return Program(
+        [
+            Rule(Literal("reach", (X, Y)), (Literal("edge", (X, Y)),)),
+            Rule(
+                Literal("reach", (X, Z)),
+                (Literal("reach", (X, Y)), Literal("edge", (Y, Z))),
+            ),
+        ]
+    )
+
+
+class TestSyntax:
+    def test_literal_substitution(self):
+        lit = Literal("p", (X, "c"))
+        assert lit.substitute({X: "a"}) == Literal("p", ("a", "c"))
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(ValueError):
+            Rule(Literal("p", (X,), negated=True), (Literal("q", (X,)),))
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(ValueError):
+            Program([Rule(Literal("p", (X, Y)), (Literal("q", (X,)),))])
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(ValueError):
+            Program(
+                [Rule(Literal("p", (X,)), (Literal("q", (Y,), negated=True),))]
+            )
+
+    def test_edb_idb_split(self):
+        program = reachability_program()
+        assert program.idb_predicates() == frozenset({"reach"})
+        assert program.edb_predicates() == frozenset({"edge"})
+
+    def test_str_rendering(self):
+        rule = Rule(Literal("p", (X,)), (Literal("q", (X,)),))
+        assert str(rule) == "p(X) :- q(X)."
+
+
+class TestStratification:
+    def test_positive_program_single_stratum(self):
+        strata = stratify(reachability_program())
+        assert ["reach"] == sorted(p for s in strata for p in s)
+
+    def test_negation_pushes_up(self):
+        program = Program(
+            [
+                Rule(Literal("a", (X,)), (Literal("e", (X, Y)),)),
+                Rule(
+                    Literal("b", (X,)),
+                    (Literal("e", (X, Y)), Literal("a", (X,), negated=True)),
+                ),
+            ]
+        )
+        strata = stratify(program)
+        level = {p: i for i, s in enumerate(strata) for p in s}
+        assert level["a"] < level["b"]
+
+    def test_unstratifiable_rejected(self):
+        program = Program(
+            [
+                Rule(
+                    Literal("p", (X,)),
+                    (Literal("e", (X,)), Literal("q", (X,), negated=True)),
+                ),
+                Rule(
+                    Literal("q", (X,)),
+                    (Literal("e", (X,)), Literal("p", (X,), negated=True)),
+                ),
+            ]
+        )
+        with pytest.raises(ValueError):
+            stratify(program)
+
+    def test_linearity(self):
+        assert is_linear(reachability_program())
+        nonlinear = Program(
+            [
+                Rule(Literal("t", (X, Y)), (Literal("e", (X, Y)),)),
+                Rule(
+                    Literal("t", (X, Z)),
+                    (Literal("t", (X, Y)), Literal("t", (Y, Z))),
+                ),
+            ]
+        )
+        assert not is_linear(nonlinear)
+
+
+class TestEngine:
+    def test_transitive_closure(self):
+        edb = {"edge": [(1, 2), (2, 3), (3, 4)]}
+        result = evaluate_program(reachability_program(), edb)
+        assert (1, 4) in result["reach"]
+        assert (4, 1) not in result["reach"]
+        assert len(result["reach"]) == 6
+
+    def test_cyclic_graph_terminates(self):
+        edb = {"edge": [(1, 2), (2, 1)]}
+        result = evaluate_program(reachability_program(), edb)
+        assert (1, 1) in result["reach"]
+
+    def test_negation(self):
+        program = Program(
+            [
+                Rule(Literal("node", (X,)), (Literal("edge", (X, Y)),)),
+                Rule(Literal("node", (Y,)), (Literal("edge", (X, Y)),)),
+                Rule(Literal("haskey", (X,)), (Literal("edge", (X, Y)),)),
+                Rule(
+                    Literal("sink", (X,)),
+                    (Literal("node", (X,)), Literal("haskey", (X,), negated=True)),
+                ),
+            ]
+        )
+        result = evaluate_program(program, {"edge": [(1, 2), (2, 3)]})
+        assert result["sink"] == {(3,)}
+
+    def test_neq_builtin(self):
+        program = Program(
+            [
+                Rule(
+                    Literal("distinct", (X, Y)),
+                    (
+                        Literal("edge", (X, Y)),
+                        Literal("neq", (X, Y)),
+                    ),
+                )
+            ]
+        )
+        result = evaluate_program(program, {"edge": [(1, 1), (1, 2)]})
+        assert result["distinct"] == {(1, 2)}
+
+    def test_constants_in_rules(self):
+        program = Program(
+            [
+                Rule(
+                    Literal("from_one", (Y,)),
+                    (Literal("edge", (1, Y)),),
+                )
+            ]
+        )
+        result = evaluate_program(program, {"edge": [(1, 2), (2, 3)]})
+        assert result["from_one"] == {(2,)}
+
+    def test_facts_as_rules(self):
+        program = Program(
+            [
+                Rule(Literal("p", ("a",)), ()),
+                Rule(Literal("q", (X,)), (Literal("p", (X,)),)),
+            ]
+        )
+        result = evaluate_program(program, {})
+        assert result["q"] == {("a",)}

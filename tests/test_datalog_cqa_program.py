@@ -1,0 +1,77 @@
+"""Tests for the Claim 5 CQA program generator (Lemma 14)."""
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.datalog.cqa_program import (
+    UnsupportedQuery,
+    build_cqa_program,
+    instance_to_edb,
+    split_query,
+    _split_language_dfa,
+)
+from repro.datalog.stratify import is_linear, stratify
+from repro.db.instance import DatabaseInstance
+from repro.automata.query_nfa import nfa_min
+from repro.words.word import Word
+
+NL_QUERIES = ["RRX", "RXRY", "RXRYR", "UVUVWV", "RRRX", "RRRRX"]
+
+
+class TestSplitQuery:
+    @pytest.mark.parametrize("q", NL_QUERIES)
+    def test_split_exists_and_verified(self, q):
+        parts = split_query(q)
+        assert parts is not None
+        assert parts.head + parts.tail == Word(q)
+        assert parts.cycle
+        language = _split_language_dfa(parts.head, parts.cycle, parts.tail)
+        assert language.equivalent(nfa_min(q))
+
+    def test_rrx_split(self):
+        parts = split_query("RRX")
+        assert (str(parts.head), str(parts.cycle), str(parts.tail)) == (
+            "RR", "R", "X"
+        )
+
+    def test_rxry_split(self):
+        parts = split_query("RXRY")
+        assert str(parts.head) == "RXR"
+        assert str(parts.cycle) == "XR"
+        assert str(parts.tail) == "Y"
+
+    def test_uvuvwv_split(self):
+        parts = split_query("UVUVWV")
+        assert str(parts.head) == "UVUV"
+        assert str(parts.cycle) == "UV"
+        assert str(parts.tail) == "WV"
+
+    def test_no_split_for_conp_queries(self):
+        assert split_query("ARRX") is None
+        assert split_query("RXRXRYRY") is None
+
+
+class TestProgramShape:
+    @pytest.mark.parametrize("q", NL_QUERIES)
+    def test_program_is_linear_and_stratified(self, q):
+        """Lemma 14: the program is linear Datalog with stratified negation."""
+        program = build_cqa_program(q).program
+        assert is_linear(program)
+        strata = stratify(program)  # raises if unstratifiable
+        assert strata
+
+    def test_program_has_negation(self):
+        program = build_cqa_program("RRX").program
+        assert any(
+            literal.negated for rule in program.rules for literal in rule.body
+        )
+
+    def test_unsupported_raises(self):
+        with pytest.raises(UnsupportedQuery):
+            build_cqa_program("ARRX")
+
+    def test_instance_to_edb(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("X", 1, 2)])
+        edb = instance_to_edb(db)
+        assert set(edb["adom"]) == {(0,), (1,), (2,)}
+        assert edb["rel_R"] == [(0, 1)]

@@ -1,0 +1,83 @@
+"""Tests for query evaluation over single instances."""
+
+import random
+
+from repro.db.instance import DatabaseInstance
+from repro.db.evaluation import (
+    generalized_query_satisfied,
+    path_query_satisfied,
+    query_satisfied,
+    rooted_path_query_satisfied,
+)
+from repro.db.paths import has_path_with_trace
+from repro.queries.generalized import GeneralizedPathQuery
+from repro.queries.path_query import PathQuery
+from repro.workloads.generators import random_instance
+
+
+class TestPathQuerySatisfaction:
+    def test_simple(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 2), ("X", 2, 3)])
+        assert path_query_satisfied("RRX", db)
+        assert not path_query_satisfied("RRR", db)
+
+    def test_empty_query_always_true(self):
+        assert path_query_satisfied("", DatabaseInstance.empty())
+
+    def test_nonempty_query_on_empty_instance(self):
+        assert not path_query_satisfied("R", DatabaseInstance.empty())
+
+    def test_walk_reuses_facts(self):
+        db = DatabaseInstance.from_triples([("R", 0, 0)])
+        assert path_query_satisfied("RRRRRR", db)
+
+    def test_agrees_with_path_search(self, rng):
+        for _ in range(60):
+            db = random_instance(rng, 4, rng.randint(1, 9), ("R", "X"), 0.4)
+            word = rng.choice(["R", "RX", "RRX", "RR", "XX"])
+            assert path_query_satisfied(word, db) == has_path_with_trace(db, word)
+
+    def test_agrees_with_conjunctive_evaluation(self, rng):
+        for _ in range(40):
+            db = random_instance(rng, 4, rng.randint(1, 8), ("R", "X"), 0.4)
+            word = rng.choice(["R", "RX", "RR", "RXR"])
+            cq = PathQuery(word).to_conjunctive_query()
+            assert path_query_satisfied(word, db) == query_satisfied(cq, db)
+
+
+class TestRootedSatisfaction:
+    def test_rooted(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 2)])
+        assert rooted_path_query_satisfied("RR", 0, db)
+        assert not rooted_path_query_satisfied("RR", 1, db)
+
+    def test_unknown_root(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1)])
+        assert not rooted_path_query_satisfied("R", 99, db)
+
+
+class TestGeneralizedSatisfaction:
+    def test_terminal_constant(self):
+        q = GeneralizedPathQuery("RS", {2: "t"})
+        db = DatabaseInstance.from_triples([("R", "a", "b"), ("S", "b", "t")])
+        assert generalized_query_satisfied(q, db)
+        db2 = DatabaseInstance.from_triples([("R", "a", "b"), ("S", "b", "u")])
+        assert not generalized_query_satisfied(q, db2)
+
+    def test_mid_constant(self):
+        q = GeneralizedPathQuery("RS", {1: "m"})
+        db = DatabaseInstance.from_triples([("R", "a", "m"), ("S", "m", "z")])
+        assert generalized_query_satisfied(q, db)
+        db2 = DatabaseInstance.from_triples([("R", "a", "b"), ("S", "b", "z")])
+        assert not generalized_query_satisfied(q, db2)
+
+    def test_agrees_with_conjunctive_evaluation(self, rng):
+        for _ in range(60):
+            db = random_instance(rng, 4, rng.randint(1, 8), ("R", "S"), 0.4)
+            word = rng.choice(["R", "RS", "RSR"])
+            nodes = [None] * (len(word) + 1)
+            position = rng.randrange(len(nodes))
+            nodes[position] = rng.choice(sorted(db.adom()))
+            q = GeneralizedPathQuery(word, nodes=nodes)
+            expected = query_satisfied(q.to_conjunctive_query(), db)
+            assert generalized_query_satisfied(q, db) == expected

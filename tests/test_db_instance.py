@@ -1,0 +1,105 @@
+"""Tests for facts, blocks and database instances."""
+
+import pytest
+
+from repro.db.facts import Fact
+from repro.db.instance import Block, DatabaseInstance
+
+
+class TestFact:
+    def test_key_equality(self):
+        assert Fact("R", "a", "b").key_equal(Fact("R", "a", "c"))
+        assert not Fact("R", "a", "b").key_equal(Fact("S", "a", "b"))
+        assert not Fact("R", "a", "b").key_equal(Fact("R", "b", "b"))
+
+    def test_block_id(self):
+        assert Fact("R", 1, 2).block_id == ("R", 1)
+
+    def test_ordering_mixed_types(self):
+        facts = [Fact("R", ("v", 1), "x"), Fact("R", "a", "b"), Fact("A", 9, 9)]
+        ordered = sorted(facts)
+        assert ordered[0].relation == "A"
+
+    def test_str(self):
+        assert str(Fact("R", "a", "b")) == "R(a, b)"
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            Fact("", 1, 2)
+
+
+class TestBlock:
+    def test_block_structure(self):
+        block = Block(("R", "a"), [Fact("R", "a", 1), Fact("R", "a", 2)])
+        assert len(block) == 2
+        assert block.is_conflicting()
+        assert block.relation == "R"
+        assert block.key == "a"
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            Block(("R", "a"), [])
+
+    def test_wrong_member_rejected(self):
+        with pytest.raises(ValueError):
+            Block(("R", "a"), [Fact("R", "b", 1)])
+
+
+class TestDatabaseInstance:
+    def test_from_triples(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2)])
+        assert len(db) == 2
+        assert Fact("R", 0, 1) in db
+
+    def test_blocks(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 2), ("S", 0, 1), ("R", 1, 0)]
+        )
+        assert len(db.blocks()) == 3
+        assert len(db.conflicting_blocks()) == 1
+        assert db.block("R", 0) is not None
+        assert db.block("R", 9) is None
+
+    def test_adom(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("X", 1, 5)])
+        assert db.adom() == frozenset({0, 1, 5})
+
+    def test_consistency(self):
+        assert DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 2)]).is_consistent()
+        assert not DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 2)]
+        ).is_consistent()
+
+    def test_out_facts(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2), ("S", 0, 3)])
+        assert {f.value for f in db.out_facts(0, "R")} == {1, 2}
+        assert db.out_facts(5, "R") == ()
+
+    def test_is_repair_of(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2), ("S", 3, 4)])
+        repair = DatabaseInstance.from_triples([("R", 0, 1), ("S", 3, 4)])
+        assert repair.is_repair_of(db)
+        # Consistent but not maximal: misses the S block.
+        partial = DatabaseInstance.from_triples([("R", 0, 1)])
+        assert not partial.is_repair_of(db)
+        # Not a subinstance.
+        other = DatabaseInstance.from_triples([("R", 0, 9), ("S", 3, 4)])
+        assert not other.is_repair_of(db)
+
+    def test_set_operations(self):
+        a = DatabaseInstance.from_triples([("R", 0, 1)])
+        b = DatabaseInstance.from_triples([("S", 0, 1)])
+        union = a.union(b)
+        assert len(union) == 2
+        assert a <= union
+        assert union.without_facts([Fact("S", 0, 1)]) == a
+
+    def test_canonical_iteration(self):
+        db = DatabaseInstance.from_triples([("S", 0, 1), ("R", 0, 1)])
+        assert [f.relation for f in db] == ["R", "S"]
+
+    def test_equality_and_hash(self):
+        a = DatabaseInstance.from_triples([("R", 0, 1)])
+        b = DatabaseInstance.from_triples([("R", 0, 1)])
+        assert a == b
+        assert len({a, b}) == 1

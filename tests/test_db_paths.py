@@ -1,0 +1,124 @@
+"""Tests for paths, traces, consistency, terminals (Defs 6, 15, Lemma 17)."""
+
+import random
+
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.paths import (
+    find_path_with_trace,
+    has_path_with_trace,
+    is_consistent_path,
+    is_path,
+    is_terminal,
+    iter_paths_with_trace,
+    rooted_certainty,
+    trace_of,
+)
+from repro.db.repairs import iter_repairs
+from repro.db.evaluation import rooted_path_query_satisfied
+from repro.workloads.generators import random_instance
+from repro.workloads.paper_instances import example7_instance
+from repro.words.word import Word
+
+
+class TestPathBasics:
+    def test_trace(self):
+        path = (Fact("R", 0, 1), Fact("X", 1, 2))
+        assert trace_of(path) == Word("RX")
+        assert is_path(path)
+
+    def test_not_a_path(self):
+        assert not is_path((Fact("R", 0, 1), Fact("X", 2, 3)))
+
+    def test_consistency(self):
+        consistent = (Fact("R", 0, 1), Fact("R", 1, 0), Fact("R", 0, 1))
+        assert is_consistent_path(consistent)  # repetition of same fact OK
+        inconsistent = (Fact("R", 0, 1), Fact("R", 0, 2))
+        assert not is_consistent_path(inconsistent)
+
+
+class TestPathSearch:
+    def setup_method(self):
+        self.db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 1, 2), ("X", 2, 3), ("R", 1, 0)]
+        )
+
+    def test_iter_paths(self):
+        paths = list(iter_paths_with_trace(self.db, "RRX"))
+        assert len(paths) == 1
+        assert paths[0][0] == Fact("R", 0, 1)
+
+    def test_start_filter(self):
+        assert has_path_with_trace(self.db, "RX", start=1)
+        assert not has_path_with_trace(self.db, "RX", start=0)
+
+    def test_end_filter(self):
+        assert has_path_with_trace(self.db, "RRX", end=3)
+        assert not has_path_with_trace(self.db, "RRX", end=2)
+
+    def test_cyclic_walk_allows_fact_reuse(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 0)])
+        assert has_path_with_trace(db, "RRRR", start=0)
+
+    def test_consistent_only(self):
+        # 0 -R-> 1 -R-> 0 -R-> 2 would need both R(0,1) and R(0,2).
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 1, 0), ("R", 0, 2), ("S", 2, 3)]
+        )
+        assert has_path_with_trace(db, "RRRS", start=0)
+        assert not has_path_with_trace(db, "RRRS", start=0, consistent_only=True)
+
+    def test_empty_trace(self):
+        assert find_path_with_trace(self.db, "", start=0) == ()
+        assert not has_path_with_trace(self.db, "", start=0, end=1)
+
+
+class TestRootedCertainty:
+    def test_simple_chain(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 2)])
+        assert rooted_certainty(db, "RR", 0)
+        assert not rooted_certainty(db, "RRR", 0)
+
+    def test_conflicting_block(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2), ("R", 1, 3)])
+        # The repair choosing R(0,2) has no RR-path from 0.
+        assert not rooted_certainty(db, "RR", 0)
+
+    def test_agrees_with_repair_enumeration(self, rng):
+        """Lemma 12 semantics: rooted certainty == all repairs satisfy q[c]."""
+        for trial in range(60):
+            db = random_instance(rng, 4, rng.randint(2, 9), ("R", "S"), 0.5)
+            word = rng.choice(["R", "RR", "RS", "RSR", "RRS", "RRR"])
+            constant = rng.choice(sorted(db.adom()))
+            expected = all(
+                rooted_path_query_satisfied(word, constant, repair)
+                for repair in iter_repairs(db)
+            )
+            assert rooted_certainty(db, word, constant) == expected
+
+
+class TestTerminal:
+    def test_example7(self):
+        """Example 7: c is terminal for RSRT in db."""
+        db = example7_instance()
+        assert is_terminal(db, "c", "RSRT")
+
+    def test_not_terminal(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("S", 1, 2)])
+        assert not is_terminal(db, 0, "RS")
+
+    def test_empty_word_never_terminal(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1)])
+        assert not is_terminal(db, 0, "")
+
+    def test_lemma17_equivalence(self, rng):
+        """Lemma 17: c terminal for q iff db is a no-instance of q[c]."""
+        for trial in range(40):
+            db = random_instance(rng, 4, rng.randint(2, 8), ("R", "S"), 0.5)
+            word = rng.choice(["RS", "RR", "RSR"])
+            constant = rng.choice(sorted(db.adom()))
+            no_instance = not all(
+                rooted_path_query_satisfied(word, constant, repair)
+                for repair in iter_repairs(db)
+            )
+            assert is_terminal(db, constant, word) == no_instance

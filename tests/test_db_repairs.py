@@ -1,0 +1,99 @@
+"""Tests for repair enumeration, counting, sampling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.repairs import (
+    count_repairs,
+    iter_repairs,
+    random_repair,
+    repair_signature,
+    resolve_block,
+)
+from repro.workloads.generators import random_instance
+
+
+def small_instances():
+    def build(seed):
+        rng = random.Random(seed)
+        return random_instance(rng, 4, rng.randint(1, 8), ("R", "S"), 0.5)
+
+    return st.integers(min_value=0, max_value=10_000).map(build)
+
+
+class TestCounting:
+    def test_count_is_product_of_block_sizes(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 2), ("R", 0, 3), ("S", 0, 1), ("S", 0, 2)]
+        )
+        assert count_repairs(db) == 6
+
+    def test_consistent_instance_has_one_repair(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 2)])
+        assert count_repairs(db) == 1
+        assert list(iter_repairs(db)) == [db]
+
+    def test_empty_instance(self):
+        db = DatabaseInstance.empty()
+        assert count_repairs(db) == 1
+        assert list(iter_repairs(db)) == [db]
+
+
+class TestEnumeration:
+    def test_all_repairs_are_repairs(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 2), ("S", 1, 0), ("S", 1, 2)]
+        )
+        repairs = list(iter_repairs(db))
+        assert len(repairs) == count_repairs(db) == 4
+        assert len(set(repairs)) == 4
+        for repair in repairs:
+            assert repair.is_repair_of(db)
+
+    def test_limit(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 2), ("S", 1, 0), ("S", 1, 2)]
+        )
+        assert len(list(iter_repairs(db, limit=3))) == 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_instances())
+    def test_enumeration_matches_count(self, db):
+        if count_repairs(db) > 500:
+            return
+        repairs = list(iter_repairs(db))
+        assert len(repairs) == count_repairs(db)
+        assert len(set(repairs)) == len(repairs)
+
+
+class TestSamplingAndSignatures:
+    def test_random_repair_is_repair(self, rng):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 2), ("S", 1, 0), ("S", 1, 2), ("T", 2, 2)]
+        )
+        for _ in range(20):
+            assert random_repair(db, rng).is_repair_of(db)
+
+    def test_signature_roundtrip(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 2), ("S", 1, 0), ("S", 1, 2)]
+        )
+        signatures = {repair_signature(db, r) for r in iter_repairs(db)}
+        assert len(signatures) == 4
+
+    def test_signature_rejects_non_repair(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2)])
+        with pytest.raises(ValueError):
+            repair_signature(db, db)
+
+    def test_resolve_block(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2), ("S", 3, 4)])
+        repair = DatabaseInstance.from_triples([("R", 0, 1), ("S", 3, 4)])
+        swapped = resolve_block(repair, Fact("R", 0, 2))
+        assert Fact("R", 0, 2) in swapped
+        assert Fact("R", 0, 1) not in swapped
+        assert swapped.is_repair_of(db)

@@ -1,0 +1,39 @@
+"""Run the doctest examples embedded in the public API docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro",
+    "repro.automata.query_nfa",
+    "repro.classification.conditions",
+    "repro.classification.classifier",
+    "repro.classification.regex_conditions",
+    "repro.db.instance",
+    "repro.experiments.harness",
+    "repro.fo.evaluate",
+    "repro.fo.rewriting",
+    "repro.queries.generalized",
+    "repro.queries.path_query",
+    "repro.solvers.answers",
+    "repro.solvers.certainty",
+    "repro.solvers.fixpoint",
+    "repro.solvers.generalized_solver",
+    "repro.solvers.nl_solver",
+    "repro.solvers.sat",
+    "repro.words.rewind",
+    "repro.words.word",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_doctests(name):
+    # importlib.import_module returns the module itself even when a parent
+    # package re-exports a same-named function (e.g. automata.query_nfa).
+    module = importlib.import_module(name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    # Modules listed here are expected to actually carry examples.
+    assert result.attempted > 0, "no doctests in {}".format(name)

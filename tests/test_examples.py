@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs end-to-end (with its asserts)."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "data_integration_audit",
+    "complexity_atlas",
+    "solver_showdown",
+    "hardness_gadgets",
+    "repair_statistics",
+]
+
+
+def _load_main(name):
+    path = EXAMPLES_DIR / "{}.py".format(name)
+    spec = importlib.util.spec_from_file_location("example_" + name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.main
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    main = _load_main(name)
+    main()
+    out = capsys.readouterr().out
+    assert out.strip(), "example {} produced no output".format(name)

@@ -1,0 +1,134 @@
+"""Tests for the FO substrate and the Lemma 12/13 rewritings."""
+
+import random
+
+from repro.db.instance import DatabaseInstance
+from repro.db.paths import rooted_certainty
+from repro.db.repairs import iter_repairs
+from repro.db.evaluation import path_query_satisfied, rooted_path_query_satisfied
+from repro.fo.evaluate import evaluate, formula_depth, formula_size
+from repro.fo.rewriting import c1_rewriting, rooted_rewriting
+from repro.fo.syntax import (
+    And,
+    Exists,
+    FALSE,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    RelationAtom,
+    TRUE,
+)
+from repro.queries.atoms import Variable
+from repro.workloads.generators import random_instance
+from repro.workloads.paper_instances import intro_rr_fo_instance
+
+import pytest
+
+X = Variable("x")
+Y = Variable("y")
+
+
+class TestEvaluator:
+    def setup_method(self):
+        self.db = DatabaseInstance.from_triples([("R", 1, 2), ("R", 2, 3)])
+
+    def test_atom(self):
+        assert evaluate(RelationAtom("R", 1, 2), self.db)
+        assert not evaluate(RelationAtom("R", 1, 3), self.db)
+
+    def test_connectives(self):
+        a = RelationAtom("R", 1, 2)
+        b = RelationAtom("R", 1, 3)
+        assert evaluate(And((a,)), self.db)
+        assert not evaluate(And((a, b)), self.db)
+        assert evaluate(Or((a, b)), self.db)
+        assert evaluate(Not(b), self.db)
+        assert evaluate(Implies(b, a), self.db)
+        assert evaluate(TRUE, self.db)
+        assert not evaluate(FALSE, self.db)
+
+    def test_quantifiers(self):
+        assert evaluate(Exists(X, RelationAtom("R", 1, X)), self.db)
+        assert not evaluate(Forall(X, RelationAtom("R", 1, X)), self.db)
+        formula = Forall(
+            X,
+            Implies(
+                RelationAtom("R", 1, X),
+                Exists(Y, RelationAtom("R", X, Y)),
+            ),
+        )
+        assert evaluate(formula, self.db)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(ValueError):
+            evaluate(RelationAtom("R", X, 2), self.db)
+
+    def test_operator_sugar(self):
+        a = RelationAtom("R", 1, 2)
+        b = RelationAtom("R", 2, 3)
+        assert evaluate(a & b, self.db)
+        assert evaluate(a | FALSE, self.db)
+        assert evaluate(~FALSE, self.db)
+
+    def test_metrics(self):
+        formula = Exists(X, RelationAtom("R", 1, X))
+        assert formula_size(formula) == 2
+        assert formula_depth(formula) == 2
+
+
+class TestRootedRewriting:
+    def test_intro_formula_shape(self):
+        """The intro's φ for q = RR is exactly the Lemma 12 nesting."""
+        text = str(c1_rewriting("RR"))
+        assert "∃" in text and "∀" in text and "→" in text
+
+    def test_matches_semantic_recursion(self, rng):
+        """Lemma 12: the formula agrees with rooted_certainty everywhere."""
+        for _ in range(40):
+            db = random_instance(rng, 4, rng.randint(2, 8), ("R", "S"), 0.5)
+            word = rng.choice(["R", "RR", "RS", "RRS", "RSR"])
+            formula = rooted_rewriting(word)
+            root_var = Variable("x0")
+            for constant in sorted(db.adom()):
+                semantic = rooted_certainty(db, word, constant)
+                syntactic = evaluate(formula, db, {root_var: constant})
+                assert semantic == syntactic
+
+    def test_lemma12_against_repairs(self, rng):
+        """q[c] certainty equals all-repairs satisfaction, self-joins included."""
+        for _ in range(40):
+            db = random_instance(rng, 3, rng.randint(2, 7), ("R",), 0.6)
+            word = rng.choice(["RR", "RRR"])
+            for constant in sorted(db.adom()):
+                expected = all(
+                    rooted_path_query_satisfied(word, constant, repair)
+                    for repair in iter_repairs(db)
+                )
+                assert rooted_certainty(db, word, constant) == expected
+
+
+class TestC1Rewriting:
+    def test_rejects_non_c1(self):
+        with pytest.raises(ValueError):
+            c1_rewriting("RRX")
+
+    def test_check_false_builds_anyway(self):
+        formula = c1_rewriting("RRX", check=False)
+        assert formula_size(formula) > 0
+
+    def test_intro_rr_instance(self):
+        """Every repair of the intro instance has an R-path of length 2."""
+        db = intro_rr_fo_instance()
+        assert evaluate(c1_rewriting("RR"), db)
+        for repair in iter_repairs(db):
+            assert path_query_satisfied("RR", repair)
+
+    def test_lemma13_against_brute_force(self, rng):
+        from repro.solvers.brute_force import certain_answer_brute_force
+
+        for _ in range(30):
+            db = random_instance(rng, 4, rng.randint(2, 8), ("R", "X"), 0.5)
+            q = rng.choice(["RR", "RXRX", "RX"])
+            expected = certain_answer_brute_force(db, q).answer
+            assert evaluate(c1_rewriting(q), db) == expected

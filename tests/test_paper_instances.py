@@ -1,0 +1,146 @@
+"""The paper's figure/example claims, asserted verbatim against the library."""
+
+from repro.db.evaluation import path_query_satisfied, query_satisfied
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.repairs import count_repairs, iter_repairs
+from repro.solvers.brute_force import certain_answer_brute_force
+from repro.solvers.certainty import certain_answer
+from repro.automata.query_nfa import query_nfa
+from repro.automata.runs import accepts_path_from
+from repro.workloads.paper_instances import (
+    example1_q1,
+    example1_q2,
+    example2_q1,
+    example5_instance,
+    example7_instance,
+    figure1_instance,
+    figure2_instance,
+    figure3_instance,
+    figure6_instance,
+    intro_rr_fo_instance,
+)
+
+
+class TestExample1:
+    """Self-joins matter: db is yes for q1 = R(x,y),R(y,x) but no for its
+    self-join-free counterpart q2 = R(x,y),S(y,x)."""
+
+    def test_figure1_has_16_repairs(self):
+        db = figure1_instance()
+        assert count_repairs(db) == 16
+
+    def test_q1_certain(self):
+        db = figure1_instance()
+        assert certain_answer_brute_force(db, example1_q1()).answer
+
+    def test_q2_not_certain(self):
+        db = figure1_instance()
+        result = certain_answer_brute_force(db, example1_q2())
+        assert not result.answer
+        # The paper's witness repair: {R(a,a), R(b,b), S(a,b), S(b,a)}.
+        witness = DatabaseInstance.from_triples(
+            [("R", "a", "a"), ("R", "b", "b"), ("S", "a", "b"), ("S", "b", "a")]
+        )
+        assert witness.is_repair_of(db)
+        assert not query_satisfied(example1_q2(), witness)
+
+    def test_q1_reasoning(self):
+        """Every repair with R(a,a) or R(b,b) satisfies q1; one without
+        both contains R(a,b) and R(b,a) which also satisfy q1."""
+        db = figure1_instance()
+        q1 = example1_q1()
+        for repair in iter_repairs(db):
+            assert query_satisfied(q1, repair)
+
+
+class TestExample2:
+    def test_q1_fo_characterization(self):
+        """db is a yes-instance of CERTAINTY(R(x,z) ∧ R(y,z)) iff it
+        contains some R-fact."""
+        q1 = example2_q1()
+        some = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2)])
+        assert certain_answer_brute_force(some, q1).answer
+        empty = DatabaseInstance.from_triples([("S", 0, 1)])
+        assert not certain_answer_brute_force(empty, q1).answer
+
+
+class TestIntroRR:
+    def test_rr_certain(self):
+        db = intro_rr_fo_instance()
+        assert certain_answer(db, "RR").answer
+        assert certain_answer(db, "RR").method == "fo"
+
+
+class TestFigure2:
+    def test_two_repairs_both_satisfy(self):
+        db = figure2_instance()
+        repairs = list(iter_repairs(db))
+        assert len(repairs) == 2
+        for repair in repairs:
+            assert path_query_satisfied("RRX", repair)
+
+    def test_no_common_exact_start(self):
+        """No single constant starts an exact RRX path in every repair."""
+        db = figure2_instance()
+        repairs = list(iter_repairs(db))
+        common = set(db.adom())
+        for repair in repairs:
+            starts = set()
+            for c in repair.adom():
+                from repro.db.paths import has_path_with_trace
+
+                if has_path_with_trace(repair, "RRX", start=c):
+                    starts.add(c)
+            common &= starts
+        assert common == set()
+
+    def test_common_rewound_start_is_zero(self):
+        """Both repairs have a path from 0 with trace in RR(R)*X."""
+        db = figure2_instance()
+        nfa = query_nfa("RRX")
+        for repair in iter_repairs(db):
+            assert accepts_path_from(repair, nfa, 0)
+
+    def test_certain(self):
+        assert certain_answer(figure2_instance(), "RRX").answer
+
+
+class TestFigure3:
+    def test_every_repair_has_accepted_path_from_0(self):
+        db = figure3_instance()
+        nfa = query_nfa("ARRX")
+        for repair in iter_repairs(db):
+            assert accepts_path_from(repair, nfa, 0)
+
+    def test_rac_repair_falsifies(self):
+        db = figure3_instance()
+        bad = [r for r in iter_repairs(db) if Fact("R", "a", "c") in r]
+        assert bad
+        for repair in bad:
+            assert not path_query_satisfied("ARRX", repair)
+
+    def test_not_certain(self):
+        assert not certain_answer(figure3_instance(), "ARRX").answer
+
+
+class TestFigure6:
+    def test_consistent_chain(self):
+        db = figure6_instance()
+        assert db.is_consistent()
+        assert certain_answer(db, "RRX").answer
+
+
+class TestExamples5And7:
+    def test_example5_instance_is_consistent(self):
+        assert example5_instance().is_consistent()
+
+    def test_example7_claims(self):
+        from repro.db.paths import is_terminal, has_path_with_trace
+
+        db = example7_instance()
+        assert is_terminal(db, "c", "RSRT")
+        # db |= c --RS->> c --RT->> f but not c --RSRT->> f.
+        assert has_path_with_trace(db, "RS", "c", "c", consistent_only=True)
+        assert has_path_with_trace(db, "RT", "c", "f", consistent_only=True)
+        assert not has_path_with_trace(db, "RSRT", "c", "f", consistent_only=True)

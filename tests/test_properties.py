@@ -1,0 +1,144 @@
+"""Hypothesis property tests tying the whole stack together.
+
+These are the library's strongest correctness guarantees: random queries
+and random inconsistent instances, with every polynomial algorithm checked
+against brute-force repair enumeration, and the paper's structural lemmas
+asserted along the way.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.classification.classifier import ComplexityClass, classify
+from repro.db.evaluation import path_query_satisfied
+from repro.db.repairs import count_repairs, iter_repairs
+from repro.solvers.brute_force import certain_answer_brute_force
+from repro.solvers.certainty import certain_answer
+from repro.solvers.fixpoint import (
+    build_minimal_repair,
+    certain_answer_fixpoint,
+    fixpoint_relation,
+)
+from repro.solvers.sat_encoding import certain_answer_sat
+from repro.words.word import Word
+from repro.workloads.generators import random_instance
+
+
+words = st.text(alphabet="RX", min_size=1, max_size=5).map(Word)
+
+
+def instances(alphabet=("R", "X"), max_facts=10):
+    def build(seed):
+        rng = random.Random(seed)
+        return random_instance(
+            rng, rng.randint(2, 5), rng.randint(1, max_facts), alphabet, 0.5
+        )
+
+    return st.integers(min_value=0, max_value=10**9).map(build)
+
+
+common_settings = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestEndToEnd:
+    @common_settings
+    @given(words, instances())
+    def test_auto_solver_matches_brute_force(self, q, db):
+        if count_repairs(db) > 2000:
+            return
+        expected = certain_answer_brute_force(db, q).answer
+        assert certain_answer(db, q).answer == expected
+
+    @common_settings
+    @given(words, instances())
+    def test_sat_matches_brute_force(self, q, db):
+        if count_repairs(db) > 2000:
+            return
+        expected = certain_answer_brute_force(db, q).answer
+        assert certain_answer_sat(db, q).answer == expected
+
+    @common_settings
+    @given(words, instances())
+    def test_fixpoint_complete_for_c3(self, q, db):
+        if count_repairs(db) > 2000:
+            return
+        if classify(q).complexity is ComplexityClass.CONP_COMPLETE:
+            return
+        expected = certain_answer_brute_force(db, q).answer
+        assert certain_answer_fixpoint(db, q).answer == expected
+
+
+class TestCertificates:
+    @common_settings
+    @given(words, instances())
+    def test_no_answers_carry_falsifying_repairs(self, q, db):
+        if count_repairs(db) > 2000:
+            return
+        result = certain_answer_fixpoint(db, q, require_c3=False)
+        if not result.answer:
+            assert result.falsifying_repair.is_repair_of(db)
+            assert not path_query_satisfied(q, result.falsifying_repair)
+
+
+class TestFixpointSemantics:
+    @common_settings
+    @given(words, instances())
+    def test_lemma10_exact_characterization(self, q, db):
+        """(c, u) ∈ N iff every repair has a path from c accepted by
+        S-NFA(q, u) -- checked by repair enumeration on small instances."""
+        if count_repairs(db) > 64:
+            return
+        from repro.automata.query_nfa import s_nfa
+        from repro.automata.runs import good_product_states
+
+        n = fixpoint_relation(db, q)
+        repairs = list(iter_repairs(db))
+        automaton = s_nfa(q, 0)
+        goods = [good_product_states(repair, automaton) for repair in repairs]
+        for constant in sorted(db.adom(), key=str):
+            for prefix_length in range(len(q) + 1):
+                if prefix_length == len(q):
+                    # Initialization Step: (c, q) holds vacuously for every
+                    # c in adom(db) (the empty path), even when c does not
+                    # occur in some repair's active domain.
+                    assert (constant, prefix_length) in n
+                    continue
+                expected = all(
+                    (constant, prefix_length) in good for good in goods
+                )
+                assert ((constant, prefix_length) in n) == expected
+
+    @common_settings
+    @given(words, instances())
+    def test_minimal_repair_minimizes_start(self, q, db):
+        """Lemma 6 via Lemma 9: start(q, r*) ⊆ start(q, r) for all r."""
+        if count_repairs(db) > 64:
+            return
+        from repro.automata.runs import accepted_start_constants
+
+        r_star = build_minimal_repair(db, q)
+        minimal = accepted_start_constants(r_star, q)
+        for repair in iter_repairs(db):
+            assert minimal <= accepted_start_constants(repair, q)
+
+
+class TestMonotonicity:
+    @common_settings
+    @given(words, instances())
+    def test_certainty_antitone_in_conflicts(self, q, db):
+        """Resolving a conflict (deleting a fact from a conflicting block)
+        can only help certainty: if db is certain, so is any instance
+        obtained by shrinking one conflicting block."""
+        if count_repairs(db) > 2000:
+            return
+        if not certain_answer(db, q).answer:
+            return
+        for block in db.conflicting_blocks():
+            shrunk = db.without_facts([block.facts[0]])
+            assert certain_answer(shrunk, q).answer
+            break

@@ -1,0 +1,63 @@
+"""Tests for terms and atoms."""
+
+import pytest
+
+from repro.queries.atoms import Atom, Variable, is_constant, is_variable
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable_and_ordered(self):
+        assert len({Variable("x"), Variable("x")}) == 1
+        assert Variable("a") < Variable("b")
+
+    def test_str(self):
+        assert str(Variable("x1")) == "x1"
+
+
+class TestTermPredicates:
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable("c")
+        assert not is_variable(0)
+
+    def test_is_constant(self):
+        assert is_constant("c")
+        assert is_constant(0)
+        assert not is_constant(Variable("x"))
+
+
+class TestAtom:
+    def test_construction(self):
+        atom = Atom("R", Variable("x"), "c")
+        assert atom.relation == "R"
+        assert atom.terms == (Variable("x"), "c")
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", Variable("x"), Variable("y"))
+
+    def test_variables_and_constants(self):
+        atom = Atom("R", Variable("x"), "c")
+        assert atom.variables() == frozenset({Variable("x")})
+        assert atom.constants() == frozenset({"c"})
+
+    def test_is_fact(self):
+        assert Atom("R", "a", "b").is_fact()
+        assert not Atom("R", Variable("x"), "b").is_fact()
+
+    def test_substitute(self):
+        atom = Atom("R", Variable("x"), Variable("y"))
+        result = atom.substitute({Variable("x"): "a"})
+        assert result == Atom("R", "a", Variable("y"))
+
+    def test_substitute_is_identity_on_constants(self):
+        atom = Atom("R", "a", Variable("y"))
+        result = atom.substitute({Variable("y"): "b"})
+        assert result == Atom("R", "a", "b")
+
+    def test_str(self):
+        assert str(Atom("R", Variable("x"), "c")) == "R(x, c)"

@@ -1,0 +1,84 @@
+"""Tests for Boolean conjunctive queries and homomorphisms."""
+
+from repro.queries.atoms import Atom, Variable
+from repro.queries.conjunctive import ConjunctiveQuery
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestStructure:
+    def test_variables(self):
+        q = ConjunctiveQuery([Atom("R", X, Y), Atom("S", Y, "c")])
+        assert q.variables() == frozenset({X, Y})
+        assert q.constants() == frozenset({"c"})
+
+    def test_self_join_detection(self):
+        assert ConjunctiveQuery([Atom("R", X, Y), Atom("R", Y, X)]).has_self_join()
+        assert ConjunctiveQuery([Atom("R", X, Y), Atom("S", Y, X)]).is_self_join_free()
+
+    def test_relation_names(self):
+        q = ConjunctiveQuery([Atom("R", X, Y), Atom("S", Y, X)])
+        assert q.relation_names() == frozenset({"R", "S"})
+
+    def test_set_semantics(self):
+        q1 = ConjunctiveQuery([Atom("R", X, Y), Atom("R", X, Y)])
+        assert len(q1) == 1
+
+
+class TestHomomorphisms:
+    def test_simple_satisfaction(self):
+        q = ConjunctiveQuery([Atom("R", X, Y)])
+        assert q.satisfied_by([("R", 1, 2)])
+        assert not q.satisfied_by([("S", 1, 2)])
+
+    def test_join_satisfaction(self):
+        q = ConjunctiveQuery([Atom("R", X, Y), Atom("S", Y, Z)])
+        assert q.satisfied_by([("R", 1, 2), ("S", 2, 3)])
+        assert not q.satisfied_by([("R", 1, 2), ("S", 3, 4)])
+
+    def test_constant_must_match(self):
+        q = ConjunctiveQuery([Atom("R", "a", Y)])
+        assert q.satisfied_by([("R", "a", "b")])
+        assert not q.satisfied_by([("R", "b", "b")])
+
+    def test_non_injective_valuation_allowed(self):
+        # x and y may map to the same constant.
+        q = ConjunctiveQuery([Atom("R", X, Y)])
+        assert q.satisfied_by([("R", 1, 1)])
+
+    def test_self_join_single_fact(self):
+        """Example 1's key observation: one fact can serve two atoms."""
+        q = ConjunctiveQuery([Atom("R", X, Y), Atom("R", Y, X)])
+        assert q.satisfied_by([("R", "a", "a")])
+        assert q.satisfied_by([("R", "a", "b"), ("R", "b", "a")])
+        assert not q.satisfied_by([("R", "a", "b")])
+
+    def test_enumeration_count(self):
+        q = ConjunctiveQuery([Atom("R", X, Y)])
+        homs = list(q.homomorphisms_into([("R", 1, 2), ("R", 3, 4)]))
+        assert len(homs) == 2
+
+    def test_homomorphism_to_query(self):
+        p = ConjunctiveQuery([Atom("R", X, Y)])
+        q = ConjunctiveQuery([Atom("R", Variable("a"), Variable("b")),
+                              Atom("S", Variable("b"), Variable("c"))])
+        assert p.homomorphism_to(q) is not None
+        assert q.homomorphism_to(p) is None
+
+
+class TestComponents:
+    def test_connected_components(self):
+        q = ConjunctiveQuery(
+            [Atom("R", X, Y), Atom("S", Y, Z), Atom("T", Variable("u"), Variable("v"))]
+        )
+        components = q.connected_components()
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2]
+
+    def test_single_component(self):
+        q = ConjunctiveQuery([Atom("R", X, Y), Atom("S", Y, Z)])
+        assert len(q.connected_components()) == 1
+
+    def test_constant_only_atoms_are_singletons(self):
+        q = ConjunctiveQuery([Atom("R", "a", "b"), Atom("S", X, Y)])
+        assert len(q.connected_components()) == 2

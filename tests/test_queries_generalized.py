@@ -1,0 +1,116 @@
+"""Tests for generalized path queries, char(q), ext(q) (Section 8)."""
+
+import pytest
+
+from repro.queries.generalized import (
+    GeneralizedPathQuery,
+    TerminalWord,
+    has_homomorphism,
+    has_prefix_homomorphism,
+    homomorphism_offsets,
+)
+from repro.words.word import Word
+
+
+class TestConstruction:
+    def test_constant_free(self):
+        q = GeneralizedPathQuery("RS")
+        assert q.is_path_query()
+        assert q.constants() == []
+
+    def test_constants_on_nodes(self):
+        q = GeneralizedPathQuery("RS", {2: 0})
+        assert q.constants() == [0]
+        assert not q.is_path_query()
+
+    def test_duplicate_constants_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralizedPathQuery("RST", {0: "c", 2: "c"})
+
+    def test_node_count_validated(self):
+        with pytest.raises(ValueError):
+            GeneralizedPathQuery("RS", nodes=[None, None])
+
+    def test_str_rendering(self):
+        q = GeneralizedPathQuery("RS", {2: 0})
+        assert str(q) == "{R(x1, x2), S(x2, 0)}"
+
+
+class TestCharAndSegments:
+    def test_example8(self):
+        """Example 8: q = R(x,y), S(y,0), T(0,1), R(1,w) has
+        char(q) = {R(x,y), S(y,0)}."""
+        q = GeneralizedPathQuery(["R", "S", "T", "R"], {2: 0, 3: 1})
+        char = q.char()
+        assert char.word == Word("RS")
+        assert char.terminal == 0
+        assert q.char_length() == 2
+
+    def test_char_of_constant_free_query(self):
+        q = GeneralizedPathQuery("RRX")
+        char = q.char()
+        assert char.word == Word("RRX")
+        assert char.terminal is None
+
+    def test_char_empty_when_rooted(self):
+        q = GeneralizedPathQuery("RS", {0: "c"})
+        assert q.char().word == Word("")
+        assert q.char().terminal == "c"
+
+    def test_segments_example8(self):
+        q = GeneralizedPathQuery(["R", "S", "T", "R"], {2: 0, 3: 1})
+        segments = q.segments()
+        assert len(segments) == 2
+        assert (segments[0].root, str(segments[0].word), segments[0].end) == (0, "T", 1)
+        assert (segments[1].root, str(segments[1].word), segments[1].end) == (1, "R", None)
+
+    def test_remainder(self):
+        q = GeneralizedPathQuery(["R", "S", "T", "R"], {2: 0, 3: 1})
+        remainder = q.remainder()
+        assert remainder.word == Word("TR")
+
+
+class TestExt:
+    def test_example10(self):
+        """Example 10: ext of R(x,y),S(y,0),T(0,1),R(1,w) is R,S,N."""
+        q = GeneralizedPathQuery(["R", "S", "T", "R"], {2: 0, 3: 1})
+        ext = q.ext()
+        assert ext.word == Word(["R", "S", "N"])
+
+    def test_ext_constant_free_is_identity(self):
+        q = GeneralizedPathQuery("RRX")
+        assert q.ext().word == Word("RRX")
+
+    def test_ext_fresh_name_uniquified(self):
+        q = GeneralizedPathQuery(["N", "S"], {2: 0})
+        ext = q.ext()
+        assert ext.word[-1] not in ("N",)
+
+
+class TestTerminalWordHomomorphisms:
+    def test_plain_factor_homomorphism(self):
+        source = TerminalWord(Word("RX"))
+        target = TerminalWord(Word("ARXB"))
+        assert homomorphism_offsets(source, target) == [1]
+        assert has_homomorphism(source, target)
+        assert not has_prefix_homomorphism(source, target)
+
+    def test_prefix_homomorphism(self):
+        source = TerminalWord(Word("RX"))
+        target = TerminalWord(Word("RXY"))
+        assert has_prefix_homomorphism(source, target)
+
+    def test_constant_pins_suffix(self):
+        # With a terminal constant the occurrence must end at the end.
+        source = TerminalWord(Word("RX"), 0)
+        assert has_homomorphism(source, TerminalWord(Word("ARX"), 0))
+        assert not has_homomorphism(source, TerminalWord(Word("RXY"), 0))
+        assert not has_homomorphism(source, TerminalWord(Word("ARX"), 1))
+
+    def test_example9(self):
+        """Example 9: hom from char(q) = [[RR, 1]] to [[RRR, 1]] exists,
+        prefix hom does not."""
+        source = TerminalWord(Word("RR"), 1)
+        target = TerminalWord(Word("RRR"), 1)
+        assert has_homomorphism(source, target)
+        assert not has_prefix_homomorphism(source, target)

@@ -1,0 +1,62 @@
+"""Tests for path queries and rooted path queries q[c]."""
+
+import pytest
+
+from repro.queries.atoms import Variable
+from repro.queries.path_query import PathQuery, RootedPathQuery
+from repro.words.word import Word
+
+
+class TestPathQuery:
+    def test_word_roundtrip(self):
+        q = PathQuery("RRX")
+        assert q.word == Word("RRX")
+        assert len(q) == 3
+
+    def test_self_join(self):
+        assert PathQuery("RRX").has_self_join()
+        assert PathQuery("RSX").is_self_join_free()
+
+    def test_canonical_atoms(self):
+        q = PathQuery("RX")
+        atoms = list(q.atoms())
+        assert str(atoms[0]) == "R(x1, x2)"
+        assert str(atoms[1]) == "X(x2, x3)"
+
+    def test_to_conjunctive_query(self):
+        cq = PathQuery("RR").to_conjunctive_query()
+        assert len(cq) == 2
+        assert cq.has_self_join()
+
+    def test_variables_count(self):
+        assert len(PathQuery("RRX").variables()) == 4
+
+    def test_tail(self):
+        assert PathQuery("RRX").tail() == PathQuery("RX")
+        with pytest.raises(ValueError):
+            PathQuery("").tail()
+
+    def test_equality_and_hash(self):
+        assert PathQuery("RX") == PathQuery("RX")
+        assert len({PathQuery("RX"), PathQuery("RX")}) == 1
+
+
+class TestRootedPathQuery:
+    def test_construction(self):
+        rooted = PathQuery("RRX").rooted("c")
+        assert rooted.root == "c"
+        assert rooted.word == Word("RRX")
+        assert str(rooted) == "RRX[c]"
+
+    def test_variable_root_rejected(self):
+        with pytest.raises(TypeError):
+            RootedPathQuery("R", Variable("x"))
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValueError):
+            RootedPathQuery("", "c")
+
+    def test_to_conjunctive_query(self):
+        cq = PathQuery("RX").rooted("c").to_conjunctive_query()
+        atoms = sorted(str(a) for a in cq.atoms)
+        assert atoms == ["R(c, x2)", "X(x2, x3)"]

@@ -1,0 +1,174 @@
+"""End-to-end validation of the Section 7 hardness reductions."""
+
+import pytest
+
+from repro.circuits.circuit import (
+    Gate,
+    MonotoneCircuit,
+    random_assignment,
+    random_monotone_circuit,
+)
+from repro.cnf.formula import Clause, CnfFormula, random_ksat
+from repro.db.repairs import count_repairs
+from repro.graphs.digraph import DiGraph, has_directed_path
+from repro.graphs.generators import random_dag
+from repro.reductions.gadgets import FreshConstants, phi
+from repro.reductions.mcvp import mcvp_reduction
+from repro.reductions.reachability import reachability_reduction
+from repro.reductions.sat_reduction import sat_reduction
+from repro.solvers.brute_force import certain_answer_brute_force
+from repro.solvers.certainty import certain_answer
+
+
+class TestGadgets:
+    def test_phi_shape(self):
+        fresh = FreshConstants()
+        facts = phi("RSX", "a", "b", fresh)
+        assert len(facts) == 3
+        assert facts[0].key == "a"
+        assert facts[-1].value == "b"
+        assert facts[0].value == facts[1].key
+
+    def test_phi_fresh_ends(self):
+        fresh = FreshConstants()
+        facts = phi("R", None, None, fresh)
+        assert facts[0].key != facts[0].value
+        assert fresh.issued == 2
+
+    def test_phi_empty_word(self):
+        assert phi("", "a", "b", FreshConstants()) == []
+
+    def test_gadgets_do_not_share_fresh_constants(self):
+        fresh = FreshConstants()
+        a = phi("RS", "x", None, fresh)
+        b = phi("RS", "x", None, fresh)
+        internal_a = {a[0].value}
+        internal_b = {b[0].value}
+        assert internal_a.isdisjoint(internal_b)
+
+
+class TestReachabilityReduction:
+    def test_rejects_c1_query(self):
+        graph = DiGraph(edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            reachability_reduction("RXRX", graph, 0, 1)
+
+    def test_rejects_cyclic_graph(self):
+        graph = DiGraph(edges=[(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            reachability_reduction("RRX", graph, 0, 1)
+
+    def test_figure8_example(self):
+        """The Figure 8 graph: V = {s, a, t}, E = {(s,a), (a,t)}."""
+        graph = DiGraph(edges=[("s", "a"), ("a", "t")])
+        red = reachability_reduction("RRX", graph, "s", "t")
+        # Reachable, so certainty must be False.
+        assert not certain_answer_brute_force(
+            red.instance, "RRX", repair_limit=None
+        ).answer
+
+    @pytest.mark.parametrize("q", ["RRX", "RXRY", "RXRYRY"])
+    def test_random_dags(self, q, rng):
+        """Reachability(G) == not CERTAINTY on the reduced instance."""
+        for _ in range(12):
+            graph = random_dag(rng.randint(3, 5), 0.4, rng)
+            source, target = 0, len(graph) - 1
+            red = reachability_reduction(q, graph, source, target)
+            if count_repairs(red.instance) > 100_000:
+                continue
+            reachable = has_directed_path(graph, source, target)
+            truth = certain_answer_brute_force(
+                red.instance, q, repair_limit=None
+            ).answer
+            assert truth == red.expected_certainty(reachable)
+            # The polynomial solver agrees (all three queries satisfy C2/C3).
+            assert certain_answer(red.instance, q).answer == truth
+
+
+class TestSatReduction:
+    def test_rejects_c3_query(self):
+        formula = CnfFormula([Clause((("x1", True),))])
+        with pytest.raises(ValueError):
+            sat_reduction("RRX", formula)
+
+    def test_figure9_example(self):
+        """ψ = (x1 ∨ ¬x2) ∧ (¬x2 ∨ x3) is satisfiable -> not certain."""
+        formula = CnfFormula(
+            [
+                Clause((("x1", True), ("x2", False))),
+                Clause((("x2", False), ("x3", True))),
+            ]
+        )
+        red = sat_reduction("ARRX", formula)
+        assert not certain_answer_brute_force(
+            red.instance, "ARRX", repair_limit=None
+        ).answer
+
+    def test_unsatisfiable_formula_gives_yes(self):
+        formula = CnfFormula(
+            [
+                Clause((("x1", True),)),
+                Clause((("x1", False),)),
+            ]
+        )
+        red = sat_reduction("ARRX", formula)
+        assert certain_answer_brute_force(
+            red.instance, "ARRX", repair_limit=None
+        ).answer
+
+    @pytest.mark.parametrize("q", ["ARRX", "RXRXRYRY"])
+    def test_random_formulas(self, q, rng):
+        for _ in range(10):
+            formula = random_ksat(rng.randint(2, 4), rng.randint(1, 5), 2, rng)
+            red = sat_reduction(q, formula)
+            if count_repairs(red.instance) > 100_000:
+                continue
+            truth = certain_answer_brute_force(
+                red.instance, q, repair_limit=None
+            ).answer
+            assert truth == red.expected_certainty(formula.is_satisfiable())
+            # The SAT-based solver agrees with brute force.
+            assert certain_answer(red.instance, q).answer == truth
+
+
+class TestMcvpReduction:
+    def test_rejects_c2_query(self):
+        circuit = MonotoneCircuit(["x1", "x2"], [Gate("g1", "and", "x1", "x2")], "g1")
+        with pytest.raises(ValueError):
+            mcvp_reduction("RRX", circuit, {"x1": True, "x2": True})
+
+    def test_rejects_non_c3_query(self):
+        circuit = MonotoneCircuit(["x1", "x2"], [Gate("g1", "and", "x1", "x2")], "g1")
+        with pytest.raises(ValueError):
+            mcvp_reduction("ARRX", circuit, {"x1": True})
+
+    def test_single_gates(self):
+        for op, inputs, expected in [
+            ("and", {"x1": True, "x2": True}, True),
+            ("and", {"x1": True, "x2": False}, False),
+            ("or", {"x1": False, "x2": True}, True),
+            ("or", {"x1": False, "x2": False}, False),
+        ]:
+            circuit = MonotoneCircuit(
+                ["x1", "x2"], [Gate("g1", op, "x1", "x2")], "g1"
+            )
+            red = mcvp_reduction("RXRYRY", circuit, inputs)
+            truth = certain_answer_brute_force(
+                red.instance, "RXRYRY", repair_limit=None
+            ).answer
+            assert truth == expected
+
+    @pytest.mark.parametrize("q", ["RXRYRY", "RXRRR"])
+    def test_random_circuits(self, q, rng):
+        for _ in range(10):
+            circuit = random_monotone_circuit(rng.randint(2, 3), rng.randint(1, 3), rng)
+            assignment = random_assignment(circuit.inputs, rng)
+            red = mcvp_reduction(q, circuit, assignment)
+            if count_repairs(red.instance) > 150_000:
+                continue
+            truth = certain_answer_brute_force(
+                red.instance, q, repair_limit=None
+            ).answer
+            assert truth == red.expected_certainty(circuit.value(assignment))
+            # The fixpoint solver agrees (both queries satisfy C3).
+            assert certain_answer(red.instance, q).answer == truth

@@ -1,0 +1,67 @@
+"""Tests for non-Boolean certain answers (free variables as constants)."""
+
+from repro.db.evaluation import rooted_path_query_satisfied
+from repro.db.instance import DatabaseInstance
+from repro.db.paths import has_path_with_trace
+from repro.db.repairs import count_repairs, iter_repairs
+from repro.solvers.answers import certain_head_answers, certain_tail_answers
+from repro.workloads.generators import random_instance
+
+
+class TestHeadAnswers:
+    def test_chain(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 1, 2), ("R", 2, 3)]
+        )
+        assert certain_head_answers(db, "RR") == frozenset({0, 1})
+        assert certain_head_answers(db, "RRR") == frozenset({0})
+
+    def test_conflict_removes_answers(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 1, 2), ("R", 1, 9)]
+        )
+        # Both choices in block R(1,*) extend 0's path, so 0 stays a
+        # certain answer of RR(x); but RRR(x) dies in the repair choosing
+        # R(1,9) (no continuation from 9).
+        assert certain_head_answers(db, "RR") == frozenset({0})
+        assert certain_head_answers(db, "RRR") == frozenset()
+
+    def test_differential(self, rng):
+        for _ in range(40):
+            db = random_instance(rng, 4, rng.randint(2, 9), ("R", "S"), 0.5)
+            if count_repairs(db) > 2000:
+                continue
+            for q in ("R", "RS", "RR"):
+                expected = frozenset(
+                    c
+                    for c in db.adom()
+                    if all(
+                        rooted_path_query_satisfied(q, c, repair)
+                        for repair in iter_repairs(db)
+                    )
+                )
+                assert certain_head_answers(db, q) == expected
+
+
+class TestTailAnswers:
+    def test_chain(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 1, 2), ("R", 2, 3)]
+        )
+        assert certain_tail_answers(db, "RR") == frozenset({2, 3})
+
+    def test_differential(self, rng):
+        for _ in range(25):
+            db = random_instance(rng, 4, rng.randint(2, 8), ("R", "S"), 0.5)
+            if count_repairs(db) > 1000:
+                continue
+            for q in ("R", "RS"):
+                expected = frozenset(
+                    d
+                    for d in db.adom()
+                    if all(
+                        has_path_with_trace(repair, q, end=d)
+                        for repair in iter_repairs(db)
+                    )
+                )
+                assert certain_tail_answers(db, q) == expected

@@ -1,0 +1,109 @@
+"""Tests for the Figure 5 fixpoint algorithm (Lemmas 7, 9, 10)."""
+
+import pytest
+
+from repro.db.evaluation import path_query_satisfied
+from repro.db.instance import DatabaseInstance
+from repro.db.repairs import count_repairs, iter_repairs
+from repro.solvers.brute_force import certain_answer_brute_force
+from repro.solvers.fixpoint import (
+    build_minimal_repair,
+    certain_answer_fixpoint,
+    fixpoint_relation,
+)
+from repro.workloads.generators import random_instance
+from repro.workloads.paper_instances import (
+    figure2_instance,
+    figure3_instance,
+    figure6_instance,
+)
+
+
+class TestFigure6Run:
+    def test_paper_derivations_present(self):
+        """The Figure 6 table's tuples are all derived (plus the further
+        tuples the iteration keeps producing, e.g. <1, ε>)."""
+        db = figure6_instance()
+        n = fixpoint_relation(db, "RRX")
+        # Initialization: <c, RRX> for all six constants.
+        for c in range(6):
+            assert (c, 3) in n
+        # Iterations 1-5 of the paper's table.
+        assert (4, 2) in n
+        for c in (3, 2, 1, 0):
+            assert (c, 1) in n and (c, 2) in n
+        assert (0, 0) in n
+
+    def test_no_spurious_constants(self):
+        db = figure6_instance()
+        n = fixpoint_relation(db, "RRX")
+        # 5 has no outgoing facts: nothing below <5, RRX> is derivable.
+        assert (5, 2) not in n and (5, 1) not in n and (5, 0) not in n
+        # 4 has only the X-edge: <4, R> needs an R-block.
+        assert (4, 1) not in n
+
+    def test_yes_with_witness(self):
+        result = certain_answer_fixpoint(figure6_instance(), "RRX")
+        assert result.answer
+        assert result.witness_constant == 0
+
+
+class TestFigures2And3:
+    def test_figure2_yes(self):
+        result = certain_answer_fixpoint(figure2_instance(), "RRX")
+        assert result.answer
+        assert result.witness_constant == 0
+
+    def test_figure3_requires_c3(self):
+        """ARRX violates C3: a bare fixpoint 'yes' must raise."""
+        with pytest.raises(ValueError):
+            certain_answer_fixpoint(figure3_instance(), "ARRX")
+
+    def test_figure3_unsound_yes(self):
+        """Figure 3's point: the fixpoint condition holds although the
+        instance is a 'no'-instance -- C3 is necessary for Lemma 7."""
+        result = certain_answer_fixpoint(
+            figure3_instance(), "ARRX", require_c3=False
+        )
+        assert result.answer
+        assert result.details["sound"] is False
+        assert not certain_answer_brute_force(figure3_instance(), "ARRX").answer
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("q", ["RR", "RRX", "RXRX", "RXRY", "RXRYRY", "RXRRR"])
+    def test_differential(self, q, rng):
+        """Complete for C3 queries (all listed satisfy C3)."""
+        alphabet = sorted(set(q))
+        for _ in range(40):
+            db = random_instance(rng, 4, rng.randint(2, 10), alphabet, 0.5)
+            if count_repairs(db) > 4000:
+                continue
+            expected = certain_answer_brute_force(db, q).answer
+            assert certain_answer_fixpoint(db, q).answer == expected
+
+
+class TestMinimalRepair:
+    def test_is_repair(self, rng):
+        for _ in range(20):
+            db = random_instance(rng, 4, rng.randint(2, 9), ("R", "X"), 0.5)
+            assert build_minimal_repair(db, "RRX").is_repair_of(db)
+
+    def test_no_certificate_falsifies(self, rng):
+        """On 'no' instances the constructed repair falsifies the query --
+        for every query, C3 or not (Lemma 10's direction ⇐)."""
+        for q in ("RRX", "ARRX", "RXRYRY"):
+            found = 0
+            for _ in range(80):
+                db = random_instance(rng, 4, rng.randint(3, 10), sorted(set(q)), 0.6)
+                result = certain_answer_fixpoint(db, q, require_c3=False)
+                if not result.answer:
+                    found += 1
+                    assert result.falsifying_repair.is_repair_of(db)
+                    assert not path_query_satisfied(q, result.falsifying_repair)
+            assert found > 0  # the sweep hit "no" instances
+
+    def test_empty_query(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1)])
+        n = fixpoint_relation(db, "")
+        assert (0, 0) in n and (1, 0) in n

@@ -1,0 +1,120 @@
+"""Tests for the FO solver strategies and the brute-force baseline."""
+
+import pytest
+
+from repro.db.instance import DatabaseInstance
+from repro.db.repairs import count_repairs
+from repro.solvers.brute_force import certain_answer_brute_force
+from repro.solvers.fo_solver import certain_answer_fo
+from repro.workloads.generators import random_instance
+from repro.workloads.paper_instances import intro_rr_fo_instance
+
+
+class TestFoSolver:
+    def test_rejects_non_c1(self):
+        db = intro_rr_fo_instance()
+        with pytest.raises(ValueError):
+            certain_answer_fo(db, "RRX")
+
+    def test_strategies_agree(self, rng):
+        for _ in range(25):
+            db = random_instance(rng, 4, rng.randint(2, 8), ("R", "X"), 0.5)
+            for q in ("RR", "RXRX"):
+                direct = certain_answer_fo(db, q, strategy="direct")
+                formula = certain_answer_fo(db, q, strategy="formula")
+                assert direct.answer == formula.answer
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            certain_answer_fo(intro_rr_fo_instance(), "RR", strategy="magic")
+
+    def test_witness_constant(self):
+        db = intro_rr_fo_instance()
+        result = certain_answer_fo(db, "RR")
+        assert result.answer
+        assert result.witness_constant in db.adom()
+
+    def test_unsound_without_check(self):
+        """With check=False the FO sentence over-approximates on the
+        Figure 2 instance: the sentence is false although the instance is
+        a yes-instance of CERTAINTY(RRX)."""
+        from repro.workloads.paper_instances import figure2_instance
+
+        result = certain_answer_fo(figure2_instance(), "RRX", check=False)
+        assert not result.answer  # the over-strict FO answer
+
+    def test_no_answer_has_certificate(self, rng):
+        from repro.db.evaluation import path_query_satisfied
+
+        found = 0
+        for _ in range(40):
+            db = random_instance(rng, 4, rng.randint(2, 8), ("R", "X"), 0.6)
+            result = certain_answer_fo(db, "RXRX")
+            if not result.answer:
+                found += 1
+                assert result.falsifying_repair.is_repair_of(db)
+                assert not path_query_satisfied("RXRX", result.falsifying_repair)
+        assert found > 0
+
+    def test_differential_vs_brute(self, rng):
+        for _ in range(30):
+            db = random_instance(rng, 4, rng.randint(2, 10), ("R", "X"), 0.5)
+            if count_repairs(db) > 3000:
+                continue
+            for q in ("RR", "RX", "RXRX"):
+                expected = certain_answer_brute_force(db, q).answer
+                assert certain_answer_fo(db, q).answer == expected
+
+
+class TestBruteForce:
+    def test_counts_repairs(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 2), ("R", 1, 3)]
+        )
+        result = certain_answer_brute_force(db, "RR")
+        assert result.details["repairs_total"] == 2
+
+    def test_early_exit_on_no(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 2), ("S", 5, 6), ("S", 5, 7)]
+        )
+        result = certain_answer_brute_force(db, "RR")
+        assert not result.answer
+        assert result.details["repairs_checked"] <= result.details["repairs_total"]
+        assert result.falsifying_repair is not None
+
+    def test_limit_guard(self):
+        facts = []
+        for block in range(25):
+            facts += [("R", block, 0), ("R", block, 1)]
+        db = DatabaseInstance.from_triples(facts)
+        with pytest.raises(RuntimeError):
+            certain_answer_brute_force(db, "RR", repair_limit=1000)
+
+    def test_unsupported_query_type(self):
+        with pytest.raises(TypeError):
+            certain_answer_brute_force(DatabaseInstance.empty(), 42)
+
+    def test_conjunctive_query_support(self):
+        from repro.queries.atoms import Atom, Variable
+        from repro.queries.conjunctive import ConjunctiveQuery
+
+        x = Variable("x")
+        q = ConjunctiveQuery([Atom("R", x, x)])
+        db = DatabaseInstance.from_triples([("R", 0, 0), ("R", 0, 1)])
+        assert not certain_answer_brute_force(db, q).answer
+        db2 = DatabaseInstance.from_triples([("R", 0, 0)])
+        assert certain_answer_brute_force(db2, q).answer
+
+
+class TestResultRendering:
+    def test_str_yes(self):
+        db = intro_rr_fo_instance()
+        text = str(certain_answer_fo(db, "RR"))
+        assert "certain" in text and "fo" in text
+
+    def test_str_no_with_certificate(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2)])
+        text = str(certain_answer_brute_force(db, "RR"))
+        assert "not certain" in text
+        assert "falsifying repair" in text

@@ -1,0 +1,73 @@
+"""Tests for the linear-Datalog NL solver (Lemma 14, Claim 5)."""
+
+import pytest
+
+from repro.db.repairs import count_repairs
+from repro.solvers.brute_force import certain_answer_brute_force
+from repro.solvers.nl_solver import certain_answer_nl, nl_supported
+from repro.workloads.generators import planted_instance, random_instance
+from repro.workloads.paper_instances import figure2_instance
+
+NL_QUERIES = ["RRX", "RXRY", "RXRYR", "UVUVWV", "RRRX"]
+
+
+class TestSupport:
+    @pytest.mark.parametrize("q", NL_QUERIES)
+    def test_supported(self, q):
+        assert nl_supported(q)
+
+    def test_unsupported(self):
+        assert not nl_supported("ARRX")
+
+
+class TestPaperInstances:
+    def test_figure2(self):
+        result = certain_answer_nl(figure2_instance(), "RRX")
+        assert result.answer
+        assert result.witness_constant == 0
+        assert "RR (R)* X" in result.details["decomposition"].replace("  ", " ")
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("q", NL_QUERIES)
+    def test_random_instances(self, q, rng):
+        alphabet = sorted(set(q))
+        for _ in range(40):
+            db = random_instance(rng, 4, rng.randint(2, 11), alphabet, 0.5)
+            if count_repairs(db) > 4000:
+                continue
+            expected = certain_answer_brute_force(db, q).answer
+            assert certain_answer_nl(db, q).answer == expected
+
+    @pytest.mark.parametrize("q", NL_QUERIES)
+    def test_planted_instances(self, q, rng):
+        for _ in range(25):
+            db = planted_instance(
+                rng, q, rng.randint(2, 5),
+                n_paths=rng.randint(1, 2),
+                n_noise_facts=rng.randint(0, 6),
+                conflict_rate=0.6,
+            )
+            if count_repairs(db) > 4000:
+                continue
+            expected = certain_answer_brute_force(db, q).answer
+            assert certain_answer_nl(db, q).answer == expected
+
+    def test_no_answer_on_empty_instance(self):
+        from repro.db.instance import DatabaseInstance
+
+        result = certain_answer_nl(DatabaseInstance.empty(), "RRX")
+        assert not result.answer
+
+    def test_no_answer_has_certificate(self, rng):
+        from repro.db.evaluation import path_query_satisfied
+
+        found = 0
+        for _ in range(40):
+            db = random_instance(rng, 4, rng.randint(2, 9), ("R", "X"), 0.6)
+            result = certain_answer_nl(db, "RRX")
+            if not result.answer:
+                found += 1
+                assert result.falsifying_repair.is_repair_of(db)
+                assert not path_query_satisfied("RRX", result.falsifying_repair)
+        assert found > 0

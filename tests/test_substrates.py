@@ -1,0 +1,119 @@
+"""Tests for the digraph, CNF and circuit substrates."""
+
+import pytest
+
+from repro.circuits.circuit import (
+    Gate,
+    MonotoneCircuit,
+    random_assignment,
+    random_monotone_circuit,
+)
+from repro.cnf.formula import Clause, CnfFormula, random_ksat
+from repro.graphs.digraph import DiGraph, has_directed_path
+from repro.graphs.generators import layered_dag, random_dag
+
+
+class TestDiGraph:
+    def test_edges_and_vertices(self):
+        graph = DiGraph(vertices=[0], edges=[(1, 2), (2, 3)])
+        assert graph.vertices == {0, 1, 2, 3}
+        assert graph.edges == [(1, 2), (2, 3)]
+        assert graph.successors(1) == {2}
+
+    def test_reachability(self):
+        graph = DiGraph(edges=[(0, 1), (1, 2), (3, 4)])
+        assert has_directed_path(graph, 0, 2)
+        assert not has_directed_path(graph, 0, 4)
+        assert has_directed_path(graph, 0, 0)
+
+    def test_acyclicity(self):
+        assert DiGraph(edges=[(0, 1), (1, 2)]).is_acyclic()
+        assert not DiGraph(edges=[(0, 1), (1, 0)]).is_acyclic()
+        assert not DiGraph(edges=[(0, 0)]).is_acyclic()
+
+    def test_random_dag_is_acyclic(self, rng):
+        for _ in range(10):
+            assert random_dag(8, 0.5, rng).is_acyclic()
+
+    def test_layered_dag(self, rng):
+        graph, source, target = layered_dag(4, 3, rng, density=0.6)
+        assert graph.is_acyclic()
+        assert source in graph and target in graph
+
+
+class TestCnf:
+    def test_clause_evaluation(self):
+        clause = Clause((("x", True), ("y", False)))
+        assert clause.satisfied_by({"x": True})
+        assert clause.satisfied_by({"x": False, "y": False})
+        assert not clause.satisfied_by({"x": False, "y": True})
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            Clause(())
+
+    def test_formula_satisfiability(self):
+        sat = CnfFormula([Clause((("x", True),)), Clause((("y", False),))])
+        assert sat.is_satisfiable()
+        model = sat.satisfying_assignment()
+        assert sat.satisfied_by(model)
+        unsat = CnfFormula([Clause((("x", True),)), Clause((("x", False),))])
+        assert not unsat.is_satisfiable()
+
+    def test_int_clause_mapping(self):
+        formula = CnfFormula([Clause((("b", False), ("a", True)))])
+        clauses, numbering = formula.to_int_clauses()
+        assert sorted(numbering) == ["a", "b"]
+        assert sorted(clauses[0]) == [-numbering["b"], numbering["a"]]
+
+    def test_random_ksat_shape(self, rng):
+        formula = random_ksat(5, 7, 3, rng)
+        assert len(formula) == 7
+        for clause in formula.clauses:
+            assert len(clause.literals) == 3
+            assert len(clause.variables()) == 3
+
+    def test_ksat_k_bound(self, rng):
+        with pytest.raises(ValueError):
+            random_ksat(2, 3, 5, rng)
+
+
+class TestCircuits:
+    def test_evaluation(self):
+        circuit = MonotoneCircuit(
+            ["x1", "x2", "x3"],
+            [
+                Gate("g1", "and", "x1", "x2"),
+                Gate("g2", "or", "g1", "x3"),
+            ],
+            "g2",
+        )
+        assert circuit.value({"x1": True, "x2": True, "x3": False})
+        assert not circuit.value({"x1": True, "x2": False, "x3": False})
+        assert circuit.value({"x3": True})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Gate("g", "xor", "a", "b")
+        with pytest.raises(ValueError):
+            MonotoneCircuit(["x"], [Gate("g", "and", "x", "missing")], "g")
+        with pytest.raises(ValueError):
+            MonotoneCircuit(["x", "x"], [], "x")
+        with pytest.raises(ValueError):
+            MonotoneCircuit(["x"], [], "nope")
+
+    def test_monotonicity(self, rng):
+        """Flipping an input 0 -> 1 never flips the output 1 -> 0."""
+        for _ in range(15):
+            circuit = random_monotone_circuit(4, 6, rng)
+            low = random_assignment(circuit.inputs, rng, p_true=0.3)
+            high = dict(low)
+            flip = rng.choice(circuit.inputs)
+            high[flip] = True
+            low[flip] = False
+            assert circuit.value(low) <= circuit.value(high)
+
+    def test_random_circuit_shape(self, rng):
+        circuit = random_monotone_circuit(3, 5, rng)
+        assert len(circuit) == 5
+        assert circuit.output == "g5"

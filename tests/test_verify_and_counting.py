@@ -1,0 +1,114 @@
+"""Tests for certificate verification and ♯CERTAINTY baselines."""
+
+import pytest
+
+from repro.db.instance import DatabaseInstance
+from repro.db.repairs import count_repairs
+from repro.solvers.certainty import certain_answer
+from repro.solvers.counting import (
+    RepairCount,
+    count_satisfying_repairs,
+    estimate_satisfying_fraction,
+)
+from repro.solvers.result import CertaintyResult
+from repro.solvers.verify import verify_result
+from repro.workloads.generators import random_instance
+from repro.workloads.paper_instances import figure2_instance, figure3_instance
+
+
+class TestVerifyResult:
+    def test_verifies_genuine_results(self, rng):
+        for _ in range(30):
+            db = random_instance(rng, 4, rng.randint(2, 9), ("R", "X"), 0.5)
+            for q in ("RRX", "RXRX", "RXRYRY"):
+                result = certain_answer(db, q)
+                report = verify_result(db, q, result)
+                assert report.ok, report.failures
+
+    def test_figure_instances(self):
+        for db, q in ((figure2_instance(), "RRX"), (figure3_instance(), "ARRX")):
+            result = certain_answer(db, q)
+            assert verify_result(db, q, result).ok
+
+    def test_rejects_flipped_answer(self):
+        db = figure2_instance()
+        result = certain_answer(db, "RRX")
+        forged = CertaintyResult(query="RRX", answer=False, method="forged")
+        report = verify_result(db, "RRX", forged)
+        assert not report.ok
+        assert any("enumeration" in f for f in report.failures)
+        assert result.answer  # genuine answer unchanged
+
+    def test_rejects_bogus_repair_certificate(self):
+        db = figure2_instance()
+        bogus = CertaintyResult(
+            query="RRX",
+            answer=False,
+            method="forged",
+            falsifying_repair=DatabaseInstance.from_triples([("R", 9, 9)]),
+        )
+        report = verify_result(db, "RRX", bogus)
+        assert not report.ok
+
+    def test_rejects_bad_witness(self):
+        db = figure2_instance()
+        forged = CertaintyResult(
+            query="RRX", answer=True, method="forged", witness_constant=4
+        )
+        report = verify_result(db, "RRX", forged)
+        assert not report.ok
+        assert any("witness" in f for f in report.failures)
+
+    def test_skips_enumeration_when_too_large(self):
+        db = figure2_instance()
+        result = certain_answer(db, "RRX")
+        report = verify_result(db, "RRX", result, full_enumeration_limit=1)
+        assert report.ok  # nothing falsifiable was checked
+        assert any("nothing verifiable" in c for c in report.checks)
+
+
+class TestCounting:
+    def test_exact_count(self):
+        db = figure2_instance()
+        count = count_satisfying_repairs(db, "RRX")
+        assert count == RepairCount(total=2, satisfying=2)
+        assert count.certain
+        assert count.fraction == 1.0
+
+    def test_partial_count(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 9), ("R", 1, 2)]
+        )
+        count = count_satisfying_repairs(db, "RR")
+        assert count.total == 2
+        assert count.satisfying == 1
+        assert not count.certain
+
+    def test_certain_iff_all(self, rng):
+        for _ in range(30):
+            db = random_instance(rng, 4, rng.randint(2, 9), ("R", "X"), 0.5)
+            if count_repairs(db) > 3000:
+                continue
+            for q in ("RRX", "RXRX"):
+                count = count_satisfying_repairs(db, q)
+                assert count.certain == certain_answer(db, q).answer
+
+    def test_limit_guard(self):
+        facts = []
+        for block in range(25):
+            facts += [("R", block, 0), ("R", block, 1)]
+        db = DatabaseInstance.from_triples(facts)
+        with pytest.raises(RuntimeError):
+            count_satisfying_repairs(db, "RR", repair_limit=100)
+
+    def test_monte_carlo_converges(self, rng):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 9), ("R", 1, 2)]
+        )
+        exact = count_satisfying_repairs(db, "RR").fraction
+        estimate = estimate_satisfying_fraction(db, "RR", 2000, rng)
+        assert abs(estimate - exact) < 0.05
+
+    def test_monte_carlo_needs_samples(self, rng):
+        with pytest.raises(ValueError):
+            estimate_satisfying_fraction(figure2_instance(), "RRX", 0, rng)

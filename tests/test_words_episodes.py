@@ -1,0 +1,96 @@
+"""Tests for episodes and the repeating lemma (Appendix A)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.classification.conditions import satisfies_c3
+from repro.words.episodes import (
+    episodes,
+    is_left_repeating,
+    is_right_repeating,
+    rightmost_left_repeating,
+)
+from repro.words.factors import is_self_join_free
+from repro.words.word import Word
+
+words = st.text(alphabet="RSX", max_size=8).map(Word)
+
+
+class TestEpisodeDetection:
+    def test_simple_episode(self):
+        found = episodes("RXR")
+        assert len(found) == 1
+        episode = found[0]
+        assert episode.symbol == "R"
+        assert episode.inner == Word("X")
+        assert episode.left_context == Word("")
+        assert episode.right_context == Word("")
+        assert episode.factor == Word("RXR")
+
+    def test_consecutive_occurrences_only(self):
+        # R at 0, 2, 4 and X at 1, 3: episodes pair consecutive
+        # occurrences only, so (0, 4) is absent.
+        spans = [(e.start, e.end) for e in episodes("RXRXR")]
+        assert spans == [(0, 2), (1, 3), (2, 4)]
+
+    def test_no_episodes_in_self_join_free(self):
+        assert episodes("RSX") == []
+
+    def test_paper_example_amaa(self):
+        """The word AMAA·MAAMA·MAAMAAMAB from Appendix A has the episodes
+        e1 = MAAM (left-repeating) and e2 = MAAM... as described."""
+        q = Word("AMAAMAAMAMAAMAAMAB")
+        found = episodes(q)
+        assert found  # the word is full of episodes
+        for episode in found:
+            assert episode.symbol not in episode.inner.symbols
+
+
+class TestRepeating:
+    def test_right_repeating(self):
+        # q = ℓ RuR r with R=R, u=X, r=XR: r must be a prefix of (XR)^|r|.
+        q = Word("RXRXR")
+        first = episodes(q)[0]
+        assert is_right_repeating(first)
+
+    def test_left_repeating(self):
+        q = Word("RXRXR")
+        last = episodes(q)[-1]
+        assert is_left_repeating(last)
+
+    def test_not_repeating(self):
+        # RXRY: episode RXR followed by Y, not a prefix of (XR)*.
+        episode = episodes("RXRY")[0]
+        assert not is_right_repeating(episode)
+        assert is_left_repeating(episode)  # empty left context
+
+    def test_rightmost_left_repeating(self):
+        episode = rightmost_left_repeating("RXRXR")
+        assert (episode.start, episode.end) == (2, 4)
+
+    def test_rightmost_raises_without_candidates(self):
+        with pytest.raises(ValueError):
+            rightmost_left_repeating("RSX")
+
+
+class TestRepeatingLemma:
+    @given(words)
+    def test_lemma23(self, q):
+        """Lemma 23: under C3, every episode is left- or right-repeating."""
+        if not satisfies_c3(q):
+            return
+        for episode in episodes(q):
+            assert is_left_repeating(episode) or is_right_repeating(episode)
+
+    @given(words)
+    def test_lemma24(self, q):
+        """Lemma 24: under C3, the right-most left-repeating episode LℓL
+        has Lℓ self-join-free."""
+        if not satisfies_c3(q):
+            return
+        candidates = [e for e in episodes(q) if is_left_repeating(e)]
+        if not candidates:
+            return
+        episode = rightmost_left_repeating(q)
+        prefix = Word([episode.symbol]) + episode.inner
+        assert is_self_join_free(prefix)

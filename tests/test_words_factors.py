@@ -1,0 +1,122 @@
+"""Unit + property tests for prefixes/suffixes/factors (and Lemma 22)."""
+
+from hypothesis import given, strategies as st
+
+from repro.words.factors import (
+    consecutive_triples,
+    factors,
+    has_border_period,
+    is_factor,
+    is_prefix,
+    is_proper_prefix,
+    is_proper_suffix,
+    is_self_join_free,
+    is_suffix,
+    occurrences,
+    prefixes,
+    proper_prefixes,
+    self_join_pairs,
+    suffixes,
+)
+from repro.words.word import Word
+
+words = st.text(alphabet="RSX", max_size=8).map(Word)
+
+
+class TestPrefixSuffixFactor:
+    def test_prefix_basics(self):
+        assert is_prefix("", "RX")
+        assert is_prefix("R", "RX")
+        assert is_prefix("RX", "RX")
+        assert not is_prefix("X", "RX")
+        assert not is_prefix("RXY", "RX")
+
+    def test_proper_prefix(self):
+        assert is_proper_prefix("R", "RX")
+        assert not is_proper_prefix("RX", "RX")
+
+    def test_suffix_basics(self):
+        assert is_suffix("", "RX")
+        assert is_suffix("X", "RX")
+        assert is_suffix("RX", "RX")
+        assert not is_suffix("R", "RX")
+
+    def test_proper_suffix(self):
+        assert is_proper_suffix("X", "RX")
+        assert not is_proper_suffix("RX", "RX")
+
+    def test_factor(self):
+        assert is_factor("XR", "RXRY")
+        assert not is_factor("RY", "RXR")
+        assert is_factor("", "R")
+
+    def test_occurrences(self):
+        assert occurrences("R", "RXRR") == (0, 2, 3)
+        assert occurrences("RR", "RRR") == (0, 1)
+        assert occurrences("Z", "RX") == ()
+
+    def test_prefix_suffix_lists(self):
+        w = Word("RX")
+        assert prefixes(w) == [Word(""), Word("R"), Word("RX")]
+        assert proper_prefixes(w) == [Word(""), Word("R")]
+        assert suffixes(w) == [Word(""), Word("X"), Word("RX")]
+
+    def test_factors_distinct_sorted(self):
+        fs = factors("RR")
+        assert fs == [Word(""), Word("R"), Word("RR")]
+
+
+class TestSelfJoins:
+    def test_self_join_free(self):
+        assert is_self_join_free("RXY")
+        assert not is_self_join_free("RXR")
+        assert is_self_join_free("")
+
+    def test_self_join_pairs(self):
+        assert list(self_join_pairs("RXR")) == [(0, 2)]
+        assert list(self_join_pairs("RR")) == [(0, 1)]
+        assert list(self_join_pairs("RXY")) == []
+
+    def test_consecutive_triples(self):
+        # R at 0, 2, 4: one consecutive triple.
+        assert list(consecutive_triples("RXRXR")) == [(0, 2, 4)]
+        # R at 0, 1, 2, 3: two consecutive triples.
+        assert list(consecutive_triples("RRRR")) == [(0, 1, 2), (1, 2, 3)]
+        assert list(consecutive_triples("RXR")) == []
+
+
+class TestLemma22:
+    def test_border_period_example(self):
+        # w = RXR is a prefix of u·w with u = RX: w prefix of (RX)^|w|.
+        assert has_border_period("RXR", "RX")
+
+    @given(u=st.text(alphabet="RSX", min_size=1, max_size=4).map(Word),
+           n=st.integers(min_value=0, max_value=4),
+           extra=st.integers(min_value=0, max_value=3))
+    def test_lemma22_property(self, u, n, extra):
+        """If w is a prefix of u·w then w is a prefix of u^|w| (Lemma 22)."""
+        w = (u * n)[: max(0, n * len(u) - extra)]
+        if not w:
+            return
+        assert is_prefix(w, u + w)
+        assert has_border_period(w, u)
+
+
+class TestFactorProperties:
+    @given(words, words)
+    def test_prefix_implies_factor(self, a, b):
+        if is_prefix(a, b):
+            assert is_factor(a, b)
+        if is_suffix(a, b):
+            assert is_factor(a, b)
+
+    @given(words, words, words)
+    def test_middle_is_factor(self, a, b, c):
+        assert is_factor(b, a + b + c)
+
+    @given(words, words)
+    def test_occurrences_consistent(self, a, b):
+        offs = occurrences(a, b)
+        assert (len(offs) > 0) == is_factor(a, b) or len(a) == 0
+        for off in offs:
+            assert b[off: off + len(a)] == a

@@ -1,0 +1,94 @@
+"""Tests for the rewinding operator and L↬(q) exploration (Definition 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.automata.query_nfa import language_contains
+from repro.words.factors import is_prefix, self_join_pairs
+from repro.words.rewind import (
+    enumerate_language,
+    is_closed_under_rewinding_factor,
+    is_closed_under_rewinding_prefix,
+    iterate_rewinds,
+    rewind_at,
+    rewindings,
+)
+from repro.words.word import Word
+
+words = st.text(alphabet="RSX", max_size=6).map(Word)
+
+
+class TestRewindAt:
+    def test_twitter_examples(self):
+        """The intro's TWITTER example: three distinct rewinds of T...T."""
+        q = Word("TWITTER")
+        results = {str(w) for w in rewindings(q)}
+        assert "TWITWITTER" in results     # factor TWIT at (0, 3)
+        assert "TWITTWITTER" in results    # factor TWITT at (0, 4)
+        assert "TWITTTER" in results       # factor TT at (3, 4)
+
+    def test_rewind_formula(self):
+        # q = u·R·v·R·w with u=A, v=B, w=C rewinds to u·Rv·Rv·Rw.
+        assert rewind_at(Word("ARBRC"), 1, 3) == Word("ARBRBRC")
+
+    def test_rewind_requires_equal_symbols(self):
+        with pytest.raises(ValueError):
+            rewind_at(Word("RX"), 0, 1)
+
+    def test_rewind_bounds(self):
+        with pytest.raises(ValueError):
+            rewind_at(Word("RR"), 1, 1)
+
+    @given(words)
+    def test_rewind_lengthens(self, w):
+        for i, j in self_join_pairs(w):
+            rewound = rewind_at(w, i, j)
+            assert len(rewound) == len(w) + (j - i)
+            # The rewound word keeps the original prefix up to j+1.
+            assert is_prefix(w[: j + 1], rewound)
+
+
+class TestEnumerateLanguage:
+    def test_self_join_free_language_is_singleton(self):
+        assert enumerate_language("RXY", 20) == [Word("RXY")]
+
+    def test_rrx_language(self):
+        """L↬(RRX) = RR(R)*X (Figure 2 discussion)."""
+        language = enumerate_language("RRX", 8)
+        expected = [Word("RR" + "R" * k + "X") for k in range(6)]
+        assert sorted(language) == sorted(expected)
+
+    def test_rxry_language(self):
+        """L↬(RXRY) = RX(RX)*RY."""
+        language = enumerate_language("RXRY", 10)
+        expected = [Word("RX" * (k + 1) + "RY") for k in range(4)]
+        assert sorted(language) == sorted(expected)
+
+    def test_contains_query(self):
+        for q in ("RR", "RRX", "ARRX", "RXRXRYRY"):
+            assert Word(q) in enumerate_language(q, len(q) + 4)
+
+    @given(words)
+    def test_agrees_with_nfa(self, q):
+        """Lemma 4: NFA(q) accepts exactly L↬(q) (bounded check)."""
+        if len(q) == 0:
+            return
+        bound = len(q) + 3
+        language = set(enumerate_language(q, bound))
+        # Every enumerated word is NFA-accepted.
+        for word in language:
+            assert language_contains(q, word)
+
+    def test_iterate_rewinds_edges(self):
+        edges = list(iterate_rewinds("RR", 2))
+        assert (Word("RR"), Word("RRR")) in edges
+
+
+class TestClosureChecks:
+    def test_prefix_closure_matches_examples(self):
+        assert is_closed_under_rewinding_prefix("RXRX", 12)
+        assert not is_closed_under_rewinding_prefix("RXRY", 12)
+
+    def test_factor_closure_matches_examples(self):
+        assert is_closed_under_rewinding_factor("RXRYRY", 14)
+        assert not is_closed_under_rewinding_factor("RXRXRYRY", 16)

@@ -1,0 +1,113 @@
+"""Unit tests for the Word type."""
+
+import pytest
+
+from repro.words.word import EPSILON, Word, concat
+
+
+class TestConstruction:
+    def test_from_string_splits_characters(self):
+        assert Word("RRX").symbols == ("R", "R", "X")
+
+    def test_from_sequence(self):
+        assert Word(["R", "N1"]).symbols == ("R", "N1")
+
+    def test_from_word_is_identity(self):
+        w = Word("RX")
+        assert Word(w) == w
+
+    def test_epsilon(self):
+        assert len(Word.epsilon()) == 0
+        assert not Word.epsilon()
+        assert EPSILON == Word("")
+
+    def test_empty_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            Word([""])
+
+    def test_coerce(self):
+        assert Word.coerce("RX") == Word(["R", "X"])
+
+
+class TestSequenceProtocol:
+    def test_len_and_iter(self):
+        w = Word("RXY")
+        assert len(w) == 3
+        assert list(w) == ["R", "X", "Y"]
+
+    def test_indexing(self):
+        w = Word("RXY")
+        assert w[0] == "R"
+        assert w[-1] == "Y"
+
+    def test_slicing_returns_word(self):
+        w = Word("RXY")
+        assert w[1:] == Word("XY")
+        assert isinstance(w[1:], Word)
+
+    def test_contains(self):
+        assert "R" in Word("RX")
+        assert "Z" not in Word("RX")
+
+
+class TestAlgebra:
+    def test_concatenation(self):
+        assert Word("RX") + Word("Y") == Word("RXY")
+
+    def test_concatenation_with_string(self):
+        assert Word("RX") + "Y" == Word("RXY")
+        assert "Y" + Word("RX") == Word("YRX")
+
+    def test_repetition(self):
+        assert Word("RX") * 3 == Word("RXRXRX")
+        assert Word("RX") * 0 == EPSILON
+
+    def test_negative_repetition_rejected(self):
+        with pytest.raises(ValueError):
+            Word("R") * -1
+
+    def test_concat_helper(self):
+        assert concat(["RX", Word("Y"), ""]) == Word("RXY")
+
+
+class TestEqualityAndHash:
+    def test_equality_with_string(self):
+        assert Word("RX") == "RX"
+
+    def test_hashable(self):
+        assert len({Word("RX"), Word("RX"), Word("XR")}) == 2
+
+    def test_length_lex_order(self):
+        assert Word("Z") < Word("AA")
+        assert Word("AB") < Word("AC")
+
+
+class TestAccessors:
+    def test_first_last(self):
+        w = Word("RXY")
+        assert w.first() == "R"
+        assert w.last() == "Y"
+
+    def test_first_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            EPSILON.first()
+        with pytest.raises(ValueError):
+            EPSILON.last()
+
+    def test_alphabet(self):
+        assert Word("RRX").alphabet() == frozenset({"R", "X"})
+
+    def test_positions_and_count(self):
+        w = Word("RXRRX")
+        assert w.positions_of("R") == (0, 2, 3)
+        assert w.count("X") == 2
+
+    def test_str_compact(self):
+        assert str(Word("RRX")) == "RRX"
+
+    def test_str_multichar(self):
+        assert str(Word(["R", "N1"])) == "R N1"
+
+    def test_repr_roundtrip(self):
+        w = Word("RXY")
+        assert eval(repr(w)) == w

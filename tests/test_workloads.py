@@ -1,0 +1,94 @@
+"""Tests for the workload generators and query catalog."""
+
+import random
+
+from repro.classification.classifier import classify
+from repro.db.evaluation import path_query_satisfied
+from repro.workloads.generators import (
+    chain_instance,
+    planted_instance,
+    random_instance,
+    random_word,
+)
+from repro.workloads.queries import (
+    PAPER_QUERY_CLASSES,
+    conp_family,
+    fo_family,
+    nl_family,
+    paper_queries,
+    ptime_family,
+)
+from repro.classification.classifier import ComplexityClass
+
+
+class TestRandomInstance:
+    def test_deterministic(self):
+        a = random_instance(random.Random(1), 4, 10, ("R", "X"), 0.4)
+        b = random_instance(random.Random(1), 4, 10, ("R", "X"), 0.4)
+        assert a == b
+
+    def test_size_and_alphabet(self, rng):
+        db = random_instance(rng, 5, 12, ("R",), 0.3)
+        assert len(db) <= 12
+        assert db.relation_names() <= {"R"}
+
+    def test_zero_conflict_rate_consistent(self, rng):
+        for _ in range(10):
+            db = random_instance(rng, 6, 8, ("R", "S"), 0.0)
+            assert db.is_consistent()
+
+    def test_block_size_cap(self, rng):
+        db = random_instance(rng, 3, 20, ("R",), 0.9, max_block_size=2)
+        assert all(len(b) <= 2 for b in db.blocks())
+
+
+class TestPlantedInstance:
+    def test_plant_satisfies_query(self, rng):
+        for _ in range(10):
+            db = planted_instance(rng, "RRX", 6, n_paths=1, n_noise_facts=0)
+            assert path_query_satisfied("RRX", db)
+
+    def test_noise_adds_facts(self, rng):
+        quiet = planted_instance(rng, "RRX", 6, n_paths=1, n_noise_facts=0)
+        noisy = planted_instance(rng, "RRX", 6, n_paths=1, n_noise_facts=10)
+        assert len(noisy) >= len(quiet)
+
+
+class TestChainInstance:
+    def test_consistent_chain(self):
+        db = chain_instance("RRX", repetitions=3)
+        assert db.is_consistent()
+        assert len(db) == 9
+        assert path_query_satisfied("RRX", db)
+
+    def test_conflicts(self):
+        db = chain_instance("RRX", repetitions=3, conflict_every=3)
+        assert not db.is_consistent()
+        assert len(db.conflicting_blocks()) == 3
+
+
+class TestQueryCatalog:
+    def test_catalog_classes_match_classifier(self):
+        for text, expected in PAPER_QUERY_CLASSES.items():
+            assert classify(text).complexity is expected
+
+    def test_paper_queries_order_stable(self):
+        assert [str(w) for w in paper_queries()] == list(PAPER_QUERY_CLASSES)
+
+    def test_families_have_declared_classes(self):
+        for n in (2, 3, 4):
+            assert classify(fo_family(n)).complexity is ComplexityClass.FO
+            assert classify(nl_family(n)).complexity is ComplexityClass.NL_COMPLETE
+            assert (
+                classify(ptime_family(n)).complexity
+                is ComplexityClass.PTIME_COMPLETE
+            )
+            assert (
+                classify(conp_family(n)).complexity
+                is ComplexityClass.CONP_COMPLETE
+            )
+
+    def test_random_word(self, rng):
+        w = random_word(rng, 6, "RS")
+        assert len(w) == 6
+        assert w.alphabet() <= {"R", "S"}
