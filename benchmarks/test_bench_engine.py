@@ -1,0 +1,111 @@
+"""E15: the compile-once certainty engine on repeated-query workloads.
+
+The serving scenario of the engine refactor: a fixed query set against a
+stream of small databases.  Per-call ``certain_answer`` historically paid
+the Theorem 3 classification and the solver-internal condition checks on
+every call; the engine compiles each query once and dispatches instances
+through the cached plan.  The headline assertion is the >= 5x speedup of
+the batched engine over the per-call baseline (kept measurable as
+``per_call_reference``), with answers verified equal.
+
+``REPRO_BENCH_QUICK=1`` shrinks the workload for the CI smoke job (the
+speedup floor drops to 2x there: tiny samples on shared runners are
+noisy; the full benchmark asserts the real bound).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.engine import CertaintyEngine, CompiledQuery
+from repro.experiments.harness import per_call_reference, throughput_comparison
+from repro.solvers.brute_force import certain_answer_brute_force
+from repro.workloads.generators import chain_instance, random_instance
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+#: The repeated-query workload: one query per dispatch route where the
+#: per-query work (classification, condition checks) dominates per-call
+#: cost on small instances.  FO, PTIME-complete, coNP-complete x2.
+WORKLOAD_QUERIES = ["RXRXRXRX", "RXRYRYRY", "RRXRRXRRX", "RRSRSRRSRSRS"]
+
+SPEEDUP_FLOOR = 2.0 if QUICK else 5.0
+N_INSTANCES = 12 if QUICK else 40
+REPEATS = 2 if QUICK else 3
+
+
+def _instances(n):
+    rng = random.Random(0xE15)
+    return [
+        random_instance(
+            rng, 8, 14, alphabet=("R", "S", "X", "Y"), conflict_rate=0.5
+        )
+        for _ in range(n)
+    ]
+
+
+def test_bench_engine_batch_speedup():
+    """Compile-once batching is >= 5x per-call dispatch (the E15 claim)."""
+    report = throughput_comparison(
+        WORKLOAD_QUERIES, _instances(N_INSTANCES), repeats=REPEATS
+    )
+    assert report["agrees"], "engine answers diverged from the baseline"
+    assert report["speedup"] >= SPEEDUP_FLOOR, (
+        "expected >= {}x compile-once speedup, measured {:.1f}x "
+        "({} pairs: per-call {:.4f}s vs engine {:.4f}s)".format(
+            SPEEDUP_FLOOR,
+            report["speedup"],
+            report["pairs"],
+            report["per_call_seconds"],
+            report["engine_seconds"],
+        )
+    )
+
+
+def test_bench_engine_smoke_correctness():
+    """Smoke: the batched engine matches brute force on a small workload."""
+    rng = random.Random(0x57E)
+    engine = CertaintyEngine()
+    pairs = []
+    for query in ["RXRX", "RRX", "RXRYRY", "ARRX"]:
+        for _ in range(3 if QUICK else 6):
+            pairs.append(
+                (random_instance(rng, 4, 8, sorted(set(query)), 0.5), query)
+            )
+    results = engine.solve_batch(pairs)
+    for (db, query), result in zip(pairs, results):
+        assert result.answer == certain_answer_brute_force(db, query).answer
+    assert engine.stats.solves == len(pairs)
+    assert engine.stats.compiles == 4
+
+
+@pytest.mark.parametrize("query", WORKLOAD_QUERIES)
+def test_bench_engine_compile(benchmark, query):
+    """Per-query compilation cost (paid once per plan-cache entry)."""
+    plan = benchmark(CompiledQuery, query)
+    assert plan.word == query
+
+
+@pytest.mark.parametrize("query", WORKLOAD_QUERIES)
+def test_bench_engine_cached_solve(benchmark, query):
+    """Per-instance cost through a warm plan cache."""
+    engine = CertaintyEngine()
+    db = _instances(1)[0]
+    expected = per_call_reference(db, query).answer
+    result = benchmark(engine.solve, db, query)
+    assert result.answer == expected
+
+
+def test_bench_engine_chain_scaling(benchmark):
+    """Engine batch over growing chains; answers pinned to the baseline."""
+    reps = 6 if QUICK else 12
+    dbs = [
+        chain_instance("RRX", repetitions=r, conflict_every=3)
+        for r in range(2, reps)
+    ]
+    engine = CertaintyEngine()
+    pairs = [(db, "RRX") for db in dbs]
+    results = benchmark(engine.solve_batch, pairs)
+    for db, result in zip(dbs, results):
+        assert result.answer == per_call_reference(db, "RRX").answer

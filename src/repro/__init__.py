@@ -22,8 +22,10 @@ Public API
 * data: :class:`Fact`, :class:`DatabaseInstance`, repair utilities;
 * classification: :func:`classify`, :func:`classify_generalized`,
   :class:`ComplexityClass` (Theorem 3 / Theorems 4-5);
-* solving: :func:`certain_answer` (classification-driven dispatch) and
-  the individual solvers in :mod:`repro.solvers`;
+* solving: :func:`certain_answer` (classification-driven dispatch), the
+  compile-once :class:`CertaintyEngine`/:class:`CompiledQuery` pair in
+  :mod:`repro.engine` for repeated-query workloads, and the individual
+  solvers in :mod:`repro.solvers`;
 * hardness reductions, workload generators and the paper's own instances
   in :mod:`repro.reductions` and :mod:`repro.workloads`.
 """
@@ -42,10 +44,11 @@ from repro.classification.classifier import (
     classify,
     classify_generalized,
 )
+from repro.engine import CertaintyEngine, CompiledQuery, default_engine
 from repro.solvers.certainty import certain_answer
 from repro.solvers.result import CertaintyResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Word",
@@ -67,5 +70,8 @@ __all__ = [
     "classify_generalized",
     "certain_answer",
     "CertaintyResult",
+    "CertaintyEngine",
+    "CompiledQuery",
+    "default_engine",
     "__version__",
 ]

@@ -4,6 +4,7 @@ Usage (after ``pip install -e .``)::
 
     python -m repro classify RRX ARRX RXRYRY
     python -m repro solve RRX --triples "R,0,1;R,1,2;R,1,3;R,2,3;X,3,4"
+    python -m repro batch RRX --facts db1.txt db2.txt db3.txt --workers 4
     python -m repro answers RR --triples "R,0,1;R,1,2;R,2,3"
     python -m repro atlas
     python -m repro report --trials 10
@@ -11,6 +12,10 @@ Usage (after ``pip install -e .``)::
 Triples are ``relation,key,value`` separated by ``;`` (or one per line in
 a file passed via ``--facts``).  Numeric constants are parsed as ints so
 CLI inputs match the Python examples.
+
+``solve`` and ``batch`` route through one :class:`CertaintyEngine`: the
+query is compiled once and every instance reuses the cached plan
+(``batch`` additionally fans out over ``--workers`` processes).
 """
 
 from __future__ import annotations
@@ -21,11 +26,11 @@ from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.classification.classifier import classify
 from repro.db.instance import DatabaseInstance
+from repro.engine import CertaintyEngine
 from repro.experiments.classification_table import classification_table
 from repro.experiments.harness import Table
 from repro.experiments.reductions_report import full_report
 from repro.solvers.answers import certain_head_answers, certain_tail_answers
-from repro.solvers.certainty import certain_answer
 
 
 def _parse_constant(text: str) -> Hashable:
@@ -82,13 +87,48 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     db = _load_instance(args)
-    result = certain_answer(db, args.query, method=args.method)
+    engine = CertaintyEngine()
+    result = engine.solve(db, args.query, method=args.method)
     print(result)
     if args.verbose:
         print("  details:", result.details)
         if result.falsifying_repair is not None:
             print("  falsifying repair:", result.falsifying_repair)
     return 0 if result.answer else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    instances = []
+    for path in args.facts:
+        with open(path) as handle:
+            instances.append(
+                (path, DatabaseInstance.from_triples(parse_triples(handle.read())))
+            )
+    engine = CertaintyEngine()
+    labels = [
+        (query, path, db)
+        for query in args.queries
+        for path, db in instances
+    ]
+    pairs = [(db, query) for query, _, db in labels]
+    results = engine.solve_batch(
+        pairs, method=args.method, workers=args.workers
+    )
+    table = Table(["query", "instance", "facts", "answer", "method"])
+    for (query, path, db), result in zip(labels, results):
+        table.add_row(
+            [
+                query,
+                path,
+                len(db),
+                "certain" if result.answer else "not certain",
+                result.method,
+            ]
+        )
+    print(table.render())
+    if args.stats:
+        print(engine.stats)
+    return 0 if all(r.answer for r in results) else 1
 
 
 def _cmd_answers(args: argparse.Namespace) -> int:
@@ -146,6 +186,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve_parser.add_argument("-v", "--verbose", action="store_true")
     solve_parser.set_defaults(handler=_cmd_solve)
+
+    batch_parser = commands.add_parser(
+        "batch",
+        help="decide CERTAINTY(q) for queries x instances through one engine",
+    )
+    batch_parser.add_argument("queries", nargs="+")
+    batch_parser.add_argument(
+        "--facts",
+        nargs="+",
+        required=True,
+        help="files with one 'relation,key,value' triple per line",
+    )
+    batch_parser.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "fo", "nl", "fixpoint", "sat", "brute_force"],
+    )
+    batch_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the batch out over N processes",
+    )
+    batch_parser.add_argument(
+        "--stats", action="store_true", help="print engine statistics"
+    )
+    batch_parser.set_defaults(handler=_cmd_batch)
 
     answers_parser = commands.add_parser(
         "answers", help="certain answers of the unary query q(x)"

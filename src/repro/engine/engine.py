@@ -1,0 +1,308 @@
+"""The batched certainty engine: compile once per query, solve per instance.
+
+:class:`CertaintyEngine` owns an LRU cache of compiled plans keyed by the
+query word (generalized queries by the query itself), per-engine counters
+(:class:`EngineStats`), and two entry points:
+
+* ``solve(db, query, method="auto")`` -- one instance through its cached
+  plan;
+* ``solve_batch(pairs, workers=N)`` -- a workload of ``(db, query)``
+  pairs; with ``workers > 1`` the batch fans out over a multiprocessing
+  pool (each worker process keeps its own plan cache, populated on first
+  use via fork or re-compiled after spawn).
+
+``certain_answer`` is a thin shim over the process-wide
+:func:`default_engine`, so library users get plan caching for free;
+construct a private engine to isolate caches or statistics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from collections import Counter, OrderedDict
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.db.instance import DatabaseInstance
+from repro.engine.plan import (
+    CompiledGeneralizedQuery,
+    CompiledQuery,
+    PlanQuery,
+)
+from repro.queries.generalized import GeneralizedPathQuery
+from repro.queries.path_query import PathQuery
+from repro.solvers.result import CertaintyResult
+from repro.words.word import Word
+
+EngineQuery = Union[str, Word, PathQuery, GeneralizedPathQuery]
+Pair = Tuple[DatabaseInstance, EngineQuery]
+
+#: Default number of plans kept by an engine's LRU cache.
+DEFAULT_CACHE_SIZE = 128
+
+
+class EngineStats:
+    """Per-engine counters: compiles, cache hits, solves, wall time."""
+
+    __slots__ = (
+        "compiles",
+        "cache_hits",
+        "solves",
+        "batches",
+        "parallel_batches",
+        "method_counts",
+        "wall_seconds",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.compiles = 0
+        self.cache_hits = 0
+        self.solves = 0
+        self.batches = 0
+        self.parallel_batches = 0
+        self.method_counts: Counter = Counter()
+        self.wall_seconds = 0.0
+
+    def record(self, result: CertaintyResult, seconds: float) -> None:
+        self.solves += 1
+        self.method_counts[result.method] += 1
+        self.wall_seconds += seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "compiles": self.compiles,
+            "cache_hits": self.cache_hits,
+            "solves": self.solves,
+            "batches": self.batches,
+            "parallel_batches": self.parallel_batches,
+            "method_counts": dict(self.method_counts),
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def __str__(self) -> str:
+        methods = ", ".join(
+            "{}={}".format(m, c) for m, c in sorted(self.method_counts.items())
+        )
+        return (
+            "EngineStats(solves={}, compiles={}, cache_hits={}, "
+            "wall={:.4f}s, methods: {})".format(
+                self.solves,
+                self.compiles,
+                self.cache_hits,
+                self.wall_seconds,
+                methods or "-",
+            )
+        )
+
+
+class CertaintyEngine:
+    """A CERTAINTY(q) serving engine with a per-query plan cache.
+
+    *cache_size* bounds the LRU plan cache; ``0`` disables caching (every
+    solve recompiles -- the pre-engine behavior, kept measurable for the
+    compile-once benchmarks).
+
+    >>> engine = CertaintyEngine()
+    >>> db = DatabaseInstance.from_triples(
+    ...     [("R", "a", "a"), ("R", "a", "b"), ("R", "b", "a"), ("R", "b", "b")])
+    >>> engine.solve(db, "RR").answer
+    True
+    >>> engine.solve(db, "RR").answer        # second call hits the plan cache
+    True
+    >>> engine.stats.cache_hits
+    1
+    """
+
+    def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self.cache_size = cache_size
+        self.stats = EngineStats()
+        self._plans: "OrderedDict[Hashable, object]" = OrderedDict()
+        # Guards the LRU bookkeeping: certain_answer was thread-safe
+        # before it routed through a shared engine, so it must stay so.
+        self._cache_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _cache_key(query: EngineQuery) -> Hashable:
+        if isinstance(query, GeneralizedPathQuery):
+            if query.has_constants():
+                return ("generalized", query)
+            return ("word", query.word)
+        if isinstance(query, PathQuery):
+            return ("word", query.word)
+        return ("word", Word.coerce(query))
+
+    def compile(self, query: EngineQuery):
+        """Return the cached plan for *query*, compiling on first use.
+
+        The cache is keyed by the query word (generalized queries by the
+        query itself), so ``"RRX"``, ``Word("RRX")`` and
+        ``PathQuery("RRX")`` share one plan.
+        """
+        key = self._cache_key(query)
+        with self._cache_lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.stats.cache_hits += 1
+                return plan
+        if isinstance(query, GeneralizedPathQuery) and query.has_constants():
+            plan = CompiledGeneralizedQuery(query)
+        else:
+            plan = CompiledQuery(key[1])
+        with self._cache_lock:
+            self.stats.compiles += 1
+            if self.cache_size > 0:
+                self._plans[key] = plan
+                while len(self._plans) > self.cache_size:
+                    self._plans.popitem(last=False)
+        return plan
+
+    def cache_info(self) -> dict:
+        return {
+            "size": len(self._plans),
+            "max_size": self.cache_size,
+            "hits": self.stats.cache_hits,
+            "compiles": self.stats.compiles,
+        }
+
+    def clear_cache(self) -> None:
+        with self._cache_lock:
+            self._plans.clear()
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        db: DatabaseInstance,
+        query: EngineQuery,
+        method: str = "auto",
+    ) -> CertaintyResult:
+        """Decide whether every repair of *db* satisfies *query*."""
+        start = time.perf_counter()
+        plan = self.compile(query)
+        if isinstance(plan, CompiledGeneralizedQuery):
+            result = plan.solve(db, method=method, solve_word=self._solve_word)
+        else:
+            result = plan.solve(db, method=method)
+        self.stats.record(result, time.perf_counter() - start)
+        return result
+
+    def _solve_word(self, db: DatabaseInstance, word: Word, method: str):
+        """Inner dispatch for generalized plans (cached, not re-counted)."""
+        plan = self.compile(word)
+        return plan.solve(db, method=method)
+
+    def solve_batch(
+        self,
+        pairs: Iterable[Pair],
+        method: str = "auto",
+        workers: Optional[int] = None,
+    ) -> List[CertaintyResult]:
+        """Solve a workload of ``(db, query)`` pairs, in order.
+
+        With ``workers`` > 1 the batch fans out over a multiprocessing
+        pool; results are identical to the sequential path (each item is
+        independent), so batch mode is purely a throughput knob.
+        """
+        items = list(pairs)
+        self.stats.batches += 1
+        if workers is not None and workers > 1 and len(items) > 1:
+            return self._solve_batch_parallel(items, method, workers)
+        return self._solve_batch_sequential(items, method)
+
+    def _solve_batch_sequential(
+        self, items: Sequence[Pair], method: str
+    ) -> List[CertaintyResult]:
+        start = time.perf_counter()
+        # One plan lookup per distinct query for the whole batch -- unless
+        # caching is disabled, whose contract is one compile per solve.
+        plans: dict = {}
+        results: List[CertaintyResult] = []
+        for db, query in items:
+            if self.cache_size == 0:
+                plan = self.compile(query)
+            else:
+                key = self._cache_key(query)
+                plan = plans.get(key)
+                if plan is None:
+                    plan = plans[key] = self.compile(query)
+            if isinstance(plan, CompiledGeneralizedQuery):
+                result = plan.solve(db, method=method, solve_word=self._solve_word)
+            else:
+                result = plan.solve(db, method=method)
+            results.append(result)
+        elapsed = time.perf_counter() - start
+        self.stats.wall_seconds += elapsed
+        self.stats.solves += len(results)
+        for result in results:
+            self.stats.method_counts[result.method] += 1
+        return results
+
+    def _solve_batch_parallel(
+        self, items: Sequence[Pair], method: str, workers: int
+    ) -> List[CertaintyResult]:
+        global _WORKER_ENGINE
+        start = time.perf_counter()
+        # Warm the parent cache (one compile per distinct query) so
+        # fork-started workers inherit the plans.
+        distinct = {self._cache_key(query): query for _, query in items}
+        for query in distinct.values():
+            self.compile(query)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        payload = [(db, query, method) for db, query in items]
+        _WORKER_ENGINE = self
+        try:
+            with context.Pool(processes=min(workers, len(items))) as pool:
+                results = pool.map(_solve_one, payload)
+        finally:
+            _WORKER_ENGINE = None
+        elapsed = time.perf_counter() - start
+        self.stats.parallel_batches += 1
+        self.stats.wall_seconds += elapsed
+        self.stats.solves += len(results)
+        for result in results:
+            self.stats.method_counts[result.method] += 1
+        return results
+
+
+#: The process-wide engine behind ``certain_answer``.
+_DEFAULT_ENGINE: Optional[CertaintyEngine] = None
+
+#: The batching engine, visible to fork-started pool workers (carries the
+#: pre-warmed plan cache across the fork; None outside a parallel batch).
+_WORKER_ENGINE: Optional[CertaintyEngine] = None
+
+_DEFAULT_ENGINE_LOCK = threading.Lock()
+
+
+def default_engine() -> CertaintyEngine:
+    """The process-wide engine behind ``certain_answer``."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        with _DEFAULT_ENGINE_LOCK:
+            if _DEFAULT_ENGINE is None:
+                _DEFAULT_ENGINE = CertaintyEngine()
+    return _DEFAULT_ENGINE
+
+
+def _solve_one(item: Tuple[DatabaseInstance, EngineQuery, str]) -> CertaintyResult:
+    """Pool worker: route one pair through the inherited batch engine
+    (fork start method) or the worker's own default engine (spawn)."""
+    db, query, method = item
+    engine = _WORKER_ENGINE if _WORKER_ENGINE is not None else default_engine()
+    return engine.solve(db, query, method=method)

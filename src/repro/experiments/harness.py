@@ -1,9 +1,9 @@
-"""Small experiment utilities: wall-clock timing and text tables."""
+"""Experiment utilities: timing, text tables, engine throughput probes."""
 
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -64,3 +64,92 @@ class Table:
 
     def __str__(self) -> str:
         return self.render()
+
+
+def per_call_reference(db, query, method: str = "auto"):
+    """The pre-engine ``certain_answer``: re-classify and dispatch per call.
+
+    Kept as the measurable baseline for the compile-once benchmarks: every
+    call re-runs the Theorem 3 classification and the per-query condition
+    checks inside the stock solvers, exactly as ``certain_answer`` did
+    before it routed through the plan cache.
+    """
+    from repro.classification.classifier import ComplexityClass, classify
+    from repro.datalog.cqa_program import UnsupportedQuery
+    from repro.engine.plan import conp_solve
+    from repro.solvers.brute_force import certain_answer_brute_force
+    from repro.solvers.fixpoint import certain_answer_fixpoint
+    from repro.solvers.fo_solver import certain_answer_fo
+    from repro.solvers.nl_solver import certain_answer_nl
+    from repro.solvers.sat_encoding import certain_answer_sat
+    from repro.words.word import Word
+
+    q = Word.coerce(query)
+    if method == "fo":
+        return certain_answer_fo(db, q)
+    if method == "nl":
+        return certain_answer_nl(db, q)
+    if method == "fixpoint":
+        return certain_answer_fixpoint(db, q)
+    if method == "sat":
+        return certain_answer_sat(db, q)
+    if method == "brute_force":
+        return certain_answer_brute_force(db, q)
+    if method != "auto":
+        raise ValueError("unknown method {!r}".format(method))
+    classification = classify(q)
+    complexity = classification.complexity
+    if complexity is ComplexityClass.FO:
+        result = certain_answer_fo(db, q)
+    elif complexity is ComplexityClass.NL_COMPLETE:
+        try:
+            result = certain_answer_nl(db, q)
+        except UnsupportedQuery:
+            result = certain_answer_fixpoint(db, q)
+            result.details["nl_fallback"] = True
+    elif complexity is ComplexityClass.PTIME_COMPLETE:
+        result = certain_answer_fixpoint(db, q)
+    else:
+        result = conp_solve(db, q)
+    result.details["complexity"] = str(complexity)
+    return result
+
+
+def throughput_comparison(
+    queries: Sequence[object],
+    instances: Sequence[object],
+    repeats: int = 3,
+    method: str = "auto",
+    workers: Optional[int] = None,
+    engine=None,
+) -> Dict[str, object]:
+    """Per-call baseline vs compile-once engine on the ``queries x
+    instances`` grid.
+
+    Returns the pair count, best-of-*repeats* wall times for both paths, the
+    speedup ratio, and whether every answer agreed -- the measurement behind
+    ``benchmarks/test_bench_engine.py`` and the scaling reports.
+    """
+    from repro.engine import CertaintyEngine
+
+    pairs = [(db, q) for q in queries for db in instances]
+    baseline, per_call_seconds = time_call(
+        lambda: [per_call_reference(db, q, method=method) for db, q in pairs],
+        repeats=repeats,
+    )
+    engine = engine if engine is not None else CertaintyEngine()
+    for q in queries:
+        engine.compile(q)
+    batched, engine_seconds = time_call(
+        lambda: engine.solve_batch(pairs, method=method, workers=workers),
+        repeats=repeats,
+    )
+    return {
+        "pairs": len(pairs),
+        "per_call_seconds": per_call_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": per_call_seconds / engine_seconds if engine_seconds else float("inf"),
+        "agrees": all(
+            b.answer == e.answer for b, e in zip(baseline, batched)
+        ),
+    }

@@ -14,37 +14,39 @@ the matching algorithm:
 
 A specific method can be forced with ``method=``; applicability is
 checked against the classification.
+
+Since the engine refactor this module is a thin compatibility shim: the
+classification and every other per-query artifact are compiled once and
+cached by the process-wide :func:`repro.engine.default_engine`, and each
+call performs per-instance work only.  Use
+:class:`repro.engine.CertaintyEngine` directly for batched workloads,
+private plan caches, or per-engine statistics.
 """
 
 from __future__ import annotations
 
 from typing import Union
 
-from repro.classification.classifier import Classification, ComplexityClass, classify
-from repro.datalog.cqa_program import UnsupportedQuery
 from repro.db.instance import DatabaseInstance
 from repro.queries.generalized import GeneralizedPathQuery
 from repro.queries.path_query import PathQuery
-from repro.solvers.brute_force import certain_answer_brute_force
-from repro.solvers.fixpoint import certain_answer_fixpoint, fixpoint_relation
-from repro.solvers.fo_solver import certain_answer_fo
-from repro.solvers.nl_solver import certain_answer_nl
 from repro.solvers.result import CertaintyResult
-from repro.solvers.sat_encoding import certain_answer_sat
 from repro.words.word import Word, WordLike
 
 QueryLike = Union[str, Word, PathQuery, GeneralizedPathQuery]
 
 
 def _conp_solve(db: DatabaseInstance, q: Word) -> CertaintyResult:
-    """SAT with the sound fixpoint "no" pre-filter."""
-    prefilter = certain_answer_fixpoint(db, q, require_c3=False)
-    if not prefilter.answer:
-        prefilter.method = "fixpoint-prefilter"
-        return prefilter
-    result = certain_answer_sat(db, q)
-    result.details["prefilter"] = "fixpoint-yes"
-    return result
+    """SAT with the sound fixpoint "no" pre-filter.
+
+    Returns a *fresh* :class:`CertaintyResult` on the pre-filter path --
+    the pre-filter's own result object (which cached plans may also hand
+    out) is never mutated, so ``method``/``details`` cannot go stale
+    across calls.
+    """
+    from repro.engine.plan import conp_solve
+
+    return conp_solve(db, q)
 
 
 def certain_answer(
@@ -62,40 +64,6 @@ def certain_answer(
     >>> certain_answer(db, "RR").answer        # Example 1 flavor: q1 = RR
     True
     """
-    if isinstance(query, GeneralizedPathQuery):
-        from repro.solvers.generalized_solver import certain_answer_generalized
+    from repro.engine.engine import default_engine
 
-        return certain_answer_generalized(db, query, method=method)
-    if isinstance(query, PathQuery):
-        query = query.word
-    q = Word.coerce(query)
-
-    if method == "fo":
-        return certain_answer_fo(db, q)
-    if method == "nl":
-        return certain_answer_nl(db, q)
-    if method == "fixpoint":
-        return certain_answer_fixpoint(db, q)
-    if method == "sat":
-        return certain_answer_sat(db, q)
-    if method == "brute_force":
-        return certain_answer_brute_force(db, q)
-    if method != "auto":
-        raise ValueError("unknown method {!r}".format(method))
-
-    classification = classify(q)
-    complexity = classification.complexity
-    if complexity is ComplexityClass.FO:
-        result = certain_answer_fo(db, q)
-    elif complexity is ComplexityClass.NL_COMPLETE:
-        try:
-            result = certain_answer_nl(db, q)
-        except UnsupportedQuery:
-            result = certain_answer_fixpoint(db, q)
-            result.details["nl_fallback"] = True
-    elif complexity is ComplexityClass.PTIME_COMPLETE:
-        result = certain_answer_fixpoint(db, q)
-    else:
-        result = _conp_solve(db, q)
-    result.details["complexity"] = str(complexity)
-    return result
+    return default_engine().solve(db, query, method=method)

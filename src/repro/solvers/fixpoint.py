@@ -26,6 +26,7 @@ running in ``O(|q|·|db| + |q|²·|adom|)``.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.classification.conditions import satisfies_c3
@@ -37,8 +38,48 @@ from repro.words.word import Word, WordLike
 NPair = Tuple[Hashable, int]
 
 
-def fixpoint_relation(db: DatabaseInstance, q: WordLike) -> Set[NPair]:
+@dataclass(frozen=True)
+class FixpointTables:
+    """The instance-independent prefix tables of the Figure 5 algorithm.
+
+    ``longer_same_end`` drives the backward closure (prefix length ``i``
+    maps to the longer prefixes ending in the same symbol); ``ends_with``
+    maps each relation name to the prefix lengths ending with it (used by
+    the Lemma 9 repair construction).  Built once per query by
+    :meth:`build`; compiled plans cache them across instances.
+    """
+
+    query: Word
+    longer_same_end: Dict[int, Tuple[int, ...]]
+    ends_with: Dict[str, Tuple[int, ...]]
+
+    @classmethod
+    def build(cls, q: WordLike) -> "FixpointTables":
+        q = Word.coerce(q)
+        k = len(q)
+        longer_same_end = {
+            i: tuple(j for j in range(i + 1, k + 1) if q[j - 1] == q[i - 1])
+            for i in range(1, k + 1)
+        }
+        ends_with: Dict[str, List[int]] = {}
+        for i, symbol in enumerate(q):
+            ends_with.setdefault(symbol, []).append(i + 1)
+        return cls(
+            query=q,
+            longer_same_end=longer_same_end,
+            ends_with={s: tuple(v) for s, v in ends_with.items()},
+        )
+
+
+def fixpoint_relation(
+    db: DatabaseInstance,
+    q: WordLike,
+    tables: Optional[FixpointTables] = None,
+) -> Set[NPair]:
     """The relation ``N`` of Figure 5; pairs ``(constant, prefix_length)``.
+
+    *tables* may carry the precomputed :class:`FixpointTables` for *q*
+    (compiled plans pass them; ad-hoc callers leave them to be built).
 
     >>> db = DatabaseInstance.from_triples(
     ...     [("R", 0, 1), ("R", 1, 2), ("R", 2, 3), ("R", 3, 4), ("X", 4, 5)])
@@ -52,11 +93,9 @@ def fixpoint_relation(db: DatabaseInstance, q: WordLike) -> Set[NPair]:
 
     # Backward closure: for each prefix length i >= 1 (ending with symbol
     # q[i-1]), the longer prefixes j > i with the same ending symbol.
-    longer_same_end: Dict[int, List[int]] = {}
-    for i in range(1, k + 1):
-        longer_same_end[i] = [
-            j for j in range(i + 1, k + 1) if q[j - 1] == q[i - 1]
-        ]
+    if tables is None:
+        tables = FixpointTables.build(q)
+    longer_same_end = tables.longer_same_end
 
     # Incoming index: (value, relation) -> keys c with relation(c, value).
     in_index: Dict[Tuple[Hashable, str], List[Hashable]] = {}
@@ -102,7 +141,10 @@ def fixpoint_relation(db: DatabaseInstance, q: WordLike) -> Set[NPair]:
 
 
 def build_minimal_repair(
-    db: DatabaseInstance, q: WordLike, n_relation: Optional[Set[NPair]] = None
+    db: DatabaseInstance,
+    q: WordLike,
+    n_relation: Optional[Set[NPair]] = None,
+    tables: Optional[FixpointTables] = None,
 ) -> DatabaseInstance:
     """The repair ``r*`` of Lemmas 9 / 10.
 
@@ -117,11 +159,11 @@ def build_minimal_repair(
     falsifies ``q``.
     """
     q = Word.coerce(q)
+    if tables is None:
+        tables = FixpointTables.build(q)
     if n_relation is None:
-        n_relation = fixpoint_relation(db, q)
-    ends_with: Dict[str, List[int]] = {}
-    for i, symbol in enumerate(q):
-        ends_with.setdefault(symbol, []).append(i + 1)
+        n_relation = fixpoint_relation(db, q, tables=tables)
+    ends_with = tables.ends_with
 
     chosen: List[Fact] = []
     for block in db.blocks():
@@ -150,6 +192,8 @@ def certain_answer_fixpoint(
     db: DatabaseInstance,
     q: WordLike,
     require_c3: bool = True,
+    tables: Optional[FixpointTables] = None,
+    is_c3: Optional[bool] = None,
 ) -> CertaintyResult:
     """Decide CERTAINTY(q) with the Figure 5 algorithm.
 
@@ -159,15 +203,22 @@ def certain_answer_fixpoint(
     is raised on a "yes" for a non-C3 query unless *require_c3* is
     disabled (which flags the result as unsound instead -- used by the
     Figure 3 demonstration and as a cheap pre-filter for the SAT solver).
+
+    *tables* and *is_c3* let compiled plans supply the per-query prefix
+    tables and the (already classified) C3 status, so the per-instance
+    call does no per-query work.
     """
     q = Word.coerce(q)
-    n_relation = fixpoint_relation(db, q)
+    if tables is None:
+        tables = FixpointTables.build(q)
+    n_relation = fixpoint_relation(db, q, tables=tables)
     witnesses = sorted(
         (c for c in db.adom() if (c, 0) in n_relation), key=str
     )
     details: Dict[str, object] = {"n_size": len(n_relation)}
     if witnesses:
-        is_c3 = satisfies_c3(q)
+        if is_c3 is None:
+            is_c3 = satisfies_c3(q)
         if not is_c3:
             if require_c3:
                 raise ValueError(
@@ -185,7 +236,7 @@ def certain_answer_fixpoint(
             witness_constant=witnesses[0],
             details=details,
         )
-    repair = build_minimal_repair(db, q, n_relation)
+    repair = build_minimal_repair(db, q, n_relation, tables=tables)
     details["sound"] = True
     return CertaintyResult(
         query=str(q),

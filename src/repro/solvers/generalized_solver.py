@@ -16,7 +16,6 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.db.instance import DatabaseInstance
-from repro.db.facts import Fact
 from repro.db.paths import rooted_certainty
 from repro.queries.generalized import GeneralizedPathQuery, Segment
 from repro.solvers.result import CertaintyResult
@@ -64,58 +63,23 @@ def certain_answer_generalized(
     db: DatabaseInstance,
     query: GeneralizedPathQuery,
     method: str = "auto",
+    engine=None,
 ) -> CertaintyResult:
     """Decide CERTAINTY(q) for a generalized path query.
+
+    The segment split, ``char(q)`` and the ``ext(q)`` reduction word are
+    compiled once per query and cached by *engine* (the process-wide
+    :func:`repro.engine.default_engine` when omitted); this call performs
+    only the per-instance segment checks and the inner ``ext(q)``
+    decision.
 
     >>> q = GeneralizedPathQuery("RS", {2: "t"})       # R(x,y), S(y,'t')
     >>> db = DatabaseInstance.from_triples([("R", "a", "b"), ("S", "b", "t")])
     >>> certain_answer_generalized(db, q).answer
     True
     """
-    from repro.solvers.certainty import certain_answer
+    if engine is None:
+        from repro.engine.engine import default_engine
 
-    if not query.has_constants():
-        return certain_answer(db, query.word, method=method)
-
-    details = {}
-    # 1. The constant-rooted remainder, segment by segment (Lemma 27).
-    failed_segment = None
-    for segment in query.segments():
-        if not _segment_certain(db, segment):
-            failed_segment = segment
-            break
-    if failed_segment is not None:
-        return CertaintyResult(
-            query=str(query),
-            answer=False,
-            method="generalized",
-            details={"failed_segment": str(failed_segment)},
-        )
-
-    # 2. The characteristic prefix, via the ext(q) reduction (Lemma 29).
-    char = query.char()
-    if not char.word:
-        return CertaintyResult(
-            query=str(query),
-            answer=True,
-            method="generalized",
-            details={"char": "empty"},
-        )
-    ext_query = query.ext()
-    fresh_relation = ext_query.word.last()
-    fresh_constant = "_ext_sink"
-    while fresh_constant in db.adom():
-        fresh_constant += "_"
-    extended = db.with_facts(
-        [Fact(fresh_relation, char.terminal, fresh_constant)]
-    )
-    inner = certain_answer(extended, ext_query.word, method=method)
-    details["char_reduction"] = str(ext_query.word)
-    details["inner_method"] = inner.method
-    return CertaintyResult(
-        query=str(query),
-        answer=inner.answer,
-        method="generalized",
-        witness_constant=inner.witness_constant,
-        details=details,
-    )
+        engine = default_engine()
+    return engine.solve(db, query, method=method)

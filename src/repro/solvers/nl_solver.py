@@ -11,7 +11,7 @@ trace in ``head (cycle)* tail``; by Lemmas 7 and 15 the instance is a
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.datalog.cqa_program import (
     CqaProgram,
@@ -41,8 +41,15 @@ def cached_program(q: WordLike) -> CqaProgram:
     return program
 
 
-def certain_answer_nl(db: DatabaseInstance, q: WordLike) -> CertaintyResult:
+def certain_answer_nl(
+    db: DatabaseInstance,
+    q: WordLike,
+    program: Optional[CqaProgram] = None,
+) -> CertaintyResult:
     """Decide CERTAINTY(q) for a C2 path query via linear Datalog.
+
+    *program* may carry the precompiled Claim 5 program for *q* (compiled
+    plans pass their own copy; ad-hoc callers hit the module cache).
 
     >>> db = DatabaseInstance.from_triples(
     ...     [("R", 0, 1), ("R", 1, 2), ("R", 2, 3), ("R", 3, 4), ("X", 4, 5)])
@@ -50,7 +57,7 @@ def certain_answer_nl(db: DatabaseInstance, q: WordLike) -> CertaintyResult:
     True
     """
     q = Word.coerce(q)
-    cqa = cached_program(q)
+    cqa = program if program is not None else cached_program(q)
     edb = instance_to_edb(db)
     relations = evaluate_program(cqa.program, edb)
     o_constants = {row[0] for row in relations.get("o", ())}

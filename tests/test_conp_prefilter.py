@@ -1,0 +1,157 @@
+"""Regression tests for the coNP route: prefilter soundness and result
+freshness.
+
+The coNP dispatch (``conp_solve``) runs the Figure 5 fixpoint algorithm
+as a pre-filter: by Lemma 10 its "no" answers are sound for *every* path
+query (the Lemma 9 minimal repair falsifies q), so SAT only runs on
+fixpoint-"yes" instances.  These tests pin
+
+* fixpoint-"no" implies SAT-"no" on coNP-hard queries, including the
+  Figure 3 counterexample family where the *yes* direction overshoots;
+* the pre-filter path returns a *fresh* ``CertaintyResult`` -- no
+  ``method``/``details`` state is aliased across calls of a cached plan.
+"""
+
+import random
+
+import pytest
+
+from repro.db.instance import DatabaseInstance
+from repro.engine import CertaintyEngine, conp_solve
+from repro.solvers.certainty import _conp_solve, certain_answer
+from repro.solvers.fixpoint import certain_answer_fixpoint
+from repro.solvers.sat_encoding import certain_answer_sat
+from repro.words.word import Word
+from repro.workloads.generators import planted_instance, random_instance
+from repro.workloads.paper_instances import figure3_instance
+
+CONP_QUERIES = ["ARRX", "RXRXRYRY", "RRXRRX"]
+
+
+def bifurcation_instance(depth, copies=1):
+    """The Figure 3 family: ``copies`` disjoint bifurcation gadgets.
+
+    Each gadget forks at ``a``: the ``b`` branch carries an exact ARRX
+    path; the ``c`` branch carries ``A R^depth X`` with ``depth != 2``
+    R-steps after the fork, so the repair choosing ``R(a, c)`` falsifies
+    ARRX while every repair keeps a path with trace in ``ARR(R)*X``.
+    """
+    assert depth >= 3
+    triples = []
+    for g in range(copies):
+        p = "g{}_".format(g)
+        triples += [
+            ("A", p + "0", p + "a"),
+            ("R", p + "a", p + "b"),
+            ("R", p + "a", p + "c"),
+            ("R", p + "b", p + "b1"),
+            ("X", p + "b1", p + "b2"),
+        ]
+        prev = p + "c"
+        for i in range(1, depth):
+            triples.append(("R", prev, p + "c{}".format(i)))
+            prev = p + "c{}".format(i)
+        triples.append(("X", prev, p + "sink"))
+    return DatabaseInstance.from_triples(triples)
+
+
+class TestFigure3Family:
+    def test_figure3_is_fixpoint_yes_sat_no(self):
+        db = figure3_instance()
+        unsound = certain_answer_fixpoint(db, "ARRX", require_c3=False)
+        assert unsound.answer and unsound.details["sound"] is False
+        assert not certain_answer_sat(db, "ARRX").answer
+        result = certain_answer(db, "ARRX")
+        assert not result.answer
+        assert result.method == "sat"
+        assert result.details["prefilter"] == "fixpoint-yes"
+
+    @pytest.mark.parametrize("depth", [3, 4, 5])
+    @pytest.mark.parametrize("copies", [1, 2])
+    def test_family_prefilter_cannot_say_no(self, depth, copies):
+        db = bifurcation_instance(depth, copies)
+        unsound = certain_answer_fixpoint(db, "ARRX", require_c3=False)
+        assert unsound.answer, "the gadget must fool the fixpoint"
+        result = conp_solve(db, "ARRX")
+        assert not result.answer
+        assert result.method == "sat"
+        # The certificate must be a genuine falsifying repair.
+        assert result.falsifying_repair.is_repair_of(db)
+
+    def test_engine_auto_matches_sat_on_family(self):
+        engine = CertaintyEngine()
+        for depth in (3, 4):
+            db = bifurcation_instance(depth)
+            assert (
+                engine.solve(db, "ARRX").answer
+                == certain_answer_sat(db, "ARRX").answer
+            )
+
+
+class TestPrefilterSoundness:
+    @pytest.mark.parametrize("query", CONP_QUERIES)
+    def test_fixpoint_no_implies_sat_no(self, query):
+        rng = random.Random(0xC09)
+        alphabet = sorted(set(query))
+        prefilter_nos = 0
+        for _ in range(30):
+            db = random_instance(rng, 4, rng.randint(2, 12), alphabet, 0.5)
+            fixpoint = certain_answer_fixpoint(db, query, require_c3=False)
+            if not fixpoint.answer:
+                prefilter_nos += 1
+                assert not certain_answer_sat(db, query).answer, (query, db)
+        assert prefilter_nos > 0, "workload never exercised the prefilter"
+
+    @pytest.mark.parametrize("query", CONP_QUERIES)
+    def test_conp_solve_matches_sat(self, query):
+        rng = random.Random(0x5A7)
+        for _ in range(10):
+            db = planted_instance(
+                rng, query, rng.randint(2, 5),
+                n_paths=1, n_noise_facts=rng.randint(0, 6), conflict_rate=0.5,
+            )
+            assert (
+                conp_solve(db, query).answer
+                == certain_answer_sat(db, query).answer
+            ), (query, db)
+
+
+class TestResultFreshness:
+    def _no_instance(self):
+        # Empty-ish instance: the prefilter answers "no" immediately.
+        return DatabaseInstance.from_triples([("R", 0, 1)])
+
+    def test_conp_solve_returns_fresh_result(self):
+        db = self._no_instance()
+        q = Word("ARRX")
+        first = _conp_solve(db, q)
+        second = _conp_solve(db, q)
+        assert first.method == second.method == "fixpoint-prefilter"
+        assert first.details is not second.details
+        assert first is not second
+
+    def test_prefilter_result_not_aliased_with_fixpoint(self):
+        db = self._no_instance()
+        q = Word("ARRX")
+        fixpoint = certain_answer_fixpoint(db, q, require_c3=False)
+        filtered = conp_solve(db, q)
+        assert filtered.method == "fixpoint-prefilter"
+        assert fixpoint.method == "fixpoint"
+        assert filtered.details is not fixpoint.details
+
+    def test_cached_plan_details_not_aliased_across_calls(self):
+        engine = CertaintyEngine()
+        db = self._no_instance()
+        results = [engine.solve(db, "ARRX") for _ in range(2)]
+        assert results[0].details is not results[1].details
+        results[0].details["marker"] = "first"
+        assert "marker" not in results[1].details
+        # Same guarantee on the SAT path of the cached plan.
+        fig3 = [engine.solve(figure3_instance(), "ARRX") for _ in range(2)]
+        assert fig3[0].details is not fig3[1].details
+
+    def test_auto_and_prefilter_details_consistent(self):
+        result = certain_answer(self._no_instance(), "ARRX")
+        assert result.method == "fixpoint-prefilter"
+        assert result.details["complexity"] == "coNP-complete"
+        assert result.falsifying_repair is not None

@@ -12,6 +12,9 @@ MODULE_NAMES = [
     "repro.classification.classifier",
     "repro.classification.regex_conditions",
     "repro.db.instance",
+    "repro.engine",
+    "repro.engine.engine",
+    "repro.engine.plan",
     "repro.experiments.harness",
     "repro.fo.evaluate",
     "repro.fo.rewriting",
