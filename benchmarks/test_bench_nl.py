@@ -2,12 +2,18 @@
 
 Measures program generation (per query, cached in production use) and
 evaluation scaling; asserts agreement with the fixpoint algorithm, the
-cross-check that the generated Claim 5 programs are faithful.
+cross-check that the generated Claim 5 programs are faithful.  The
+hash-indexed join engine is asserted >= 2x over the preserved
+scan-and-unify baseline on the aggregate NL workload.
 """
+
+import os
+import time
 
 import pytest
 
-from repro.datalog.cqa_program import build_cqa_program
+from repro.datalog.cqa_program import build_cqa_program, instance_to_edb
+from repro.datalog.engine import evaluate_program, evaluate_program_naive
 from repro.solvers.fixpoint import certain_answer_fixpoint
 from repro.solvers.nl_solver import certain_answer_nl
 from repro.workloads.generators import chain_instance, planted_instance
@@ -15,6 +21,56 @@ from repro.workloads.generators import chain_instance, planted_instance
 from conftest import seeded
 
 NL_QUERIES = ["RRX", "RXRY", "UVUVWV"]
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+#: Indexed joins vs scan-and-unify on the aggregate workload below.
+INDEXED_SPEEDUP_FLOOR = 1.5 if QUICK else 2.0
+
+
+def _indexed_workloads():
+    """The E7 instances, paired with their Claim 5 programs."""
+    workloads = []
+    n_facts = 80 if QUICK else 160
+    for query in NL_QUERIES:
+        rng = seeded(n_facts * 13 + len(query))
+        db = planted_instance(
+            rng, query, n_constants=max(6, n_facts // 8),
+            n_paths=n_facts // (4 * len(query)) + 1,
+            n_noise_facts=n_facts // 2, conflict_rate=0.4,
+        )
+        workloads.append((build_cqa_program(query), instance_to_edb(db)))
+    chain = chain_instance(
+        "RRX", repetitions=20 if QUICK else 40, conflict_every=4
+    )
+    workloads.append((build_cqa_program("RRX"), instance_to_edb(chain)))
+    return workloads
+
+
+def test_bench_e7_indexed_joins_speedup():
+    """Hash-indexed joins are >= 2x the scan-and-unify inner loop."""
+    workloads = _indexed_workloads()
+    naive_seconds = 0.0
+    indexed_seconds = 0.0
+    for cqa, edb in workloads:
+        best_naive = best_indexed = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            naive = evaluate_program_naive(cqa.program, edb)
+            best_naive = min(best_naive, time.perf_counter() - start)
+            start = time.perf_counter()
+            indexed = evaluate_program(cqa.program, edb)
+            best_indexed = min(best_indexed, time.perf_counter() - start)
+        assert indexed == naive, "indexed joins diverged from the baseline"
+        naive_seconds += best_naive
+        indexed_seconds += best_indexed
+    speedup = naive_seconds / indexed_seconds
+    assert speedup >= INDEXED_SPEEDUP_FLOOR, (
+        "expected >= {}x indexed-join speedup over scan-and-unify, "
+        "measured {:.1f}x (naive {:.4f}s vs indexed {:.4f}s)".format(
+            INDEXED_SPEEDUP_FLOOR, speedup, naive_seconds, indexed_seconds
+        )
+    )
 
 
 @pytest.mark.parametrize("query", NL_QUERIES)

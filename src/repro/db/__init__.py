@@ -7,6 +7,7 @@ is an inclusion-maximal consistent subinstance (one fact per block).
 
 from repro.db.facts import Fact
 from repro.db.instance import Block, DatabaseInstance
+from repro.db.delta import Delta, DeltaInstance
 from repro.db.repairs import (
     count_repairs,
     iter_repairs,
@@ -31,6 +32,8 @@ __all__ = [
     "Fact",
     "Block",
     "DatabaseInstance",
+    "Delta",
+    "DeltaInstance",
     "count_repairs",
     "iter_repairs",
     "random_repair",

@@ -84,7 +84,15 @@ class DatabaseInstance:
     1
     """
 
-    __slots__ = ("_facts", "_blocks", "_adom", "_out_index", "_hash")
+    __slots__ = (
+        "_facts",
+        "_blocks",
+        "_adom",
+        "_out_index",
+        "_hash",
+        "_sorted_adom",
+        "_refcounts",
+    )
 
     def __init__(self, facts: Iterable[Fact]) -> None:
         self._facts: FrozenSet[Fact] = frozenset(facts)
@@ -104,6 +112,31 @@ class DatabaseInstance:
             key: tuple(sorted(facts_)) for key, facts_ in out_index.items()
         }
         self._hash: Optional[int] = None
+        self._sorted_adom: Optional[Tuple[Hashable, ...]] = None
+        self._refcounts: Optional[Dict[Hashable, int]] = None
+
+    @classmethod
+    def _from_parts(
+        cls,
+        facts: FrozenSet[Fact],
+        blocks: Dict[BlockId, Block],
+        adom: FrozenSet[Hashable],
+        out_index: Dict[Tuple[Hashable, str], Tuple[Fact, ...]],
+        refcounts: Optional[Dict[Hashable, int]] = None,
+    ) -> "DatabaseInstance":
+        """Assemble an instance from prebuilt structures without the O(db)
+        re-indexing pass.  Used by :class:`repro.db.delta.DeltaInstance` to
+        commit O(delta)-patched copies of an existing instance's indexes;
+        callers are responsible for the structures being consistent."""
+        instance = cls.__new__(cls)
+        instance._facts = facts
+        instance._blocks = blocks
+        instance._adom = adom
+        instance._out_index = out_index
+        instance._hash = None
+        instance._sorted_adom = None
+        instance._refcounts = refcounts
+        return instance
 
     # ------------------------------------------------------------------
     # Constructors
@@ -172,6 +205,34 @@ class DatabaseInstance:
     def adom(self) -> FrozenSet[Hashable]:
         """``adom(db)``: the active domain (all constants occurring)."""
         return self._adom
+
+    def sorted_adom(self) -> Tuple[Hashable, ...]:
+        """The active domain in canonical (string) order, cached.
+
+        Every deterministic sweep over the domain -- the FO solver probing
+        constants, the generic FO evaluator's quantifier ranges, path
+        enumeration -- needs this order; computing it once per instance
+        instead of per call keeps repeated probes O(1) after the first.
+        """
+        if self._sorted_adom is None:
+            self._sorted_adom = tuple(sorted(self._adom, key=str))
+        return self._sorted_adom
+
+    def adom_refcounts(self) -> Dict[Hashable, int]:
+        """Occurrence counts of each constant (key + value positions).
+
+        A constant is in ``adom`` iff its count is positive; delta overlays
+        patch these counts to maintain the domain in O(delta) under fact
+        removal.  Built lazily once per instance; callers must not mutate
+        the returned dict.
+        """
+        if self._refcounts is None:
+            counts: Dict[Hashable, int] = {}
+            for fact in self._facts:
+                counts[fact.key] = counts.get(fact.key, 0) + 1
+                counts[fact.value] = counts.get(fact.value, 0) + 1
+            self._refcounts = counts
+        return self._refcounts
 
     def relation_names(self) -> FrozenSet[str]:
         return frozenset(f.relation for f in self._facts)

@@ -83,7 +83,7 @@ def iter_paths_with_trace(
 
     if not trace:
         # The empty path starts at every constant (or the given one).
-        starts = [start] if start is not None else sorted(db.adom(), key=str)
+        starts = [start] if start is not None else db.sorted_adom()
         for constant in starts:
             yield ()
         return
@@ -91,7 +91,7 @@ def iter_paths_with_trace(
     if start is not None:
         yield from extend(0, start, ())
     else:
-        for constant in sorted(db.adom(), key=str):
+        for constant in db.sorted_adom():
             yield from extend(0, constant, ())
 
 

@@ -17,6 +17,7 @@ compilation (:class:`CompiledQuery`) from per-instance execution
 
 from repro.engine.engine import (
     DEFAULT_CACHE_SIZE,
+    DEFAULT_STATE_CACHE_SIZE,
     CertaintyEngine,
     EngineStats,
     default_engine,
@@ -30,6 +31,7 @@ from repro.engine.plan import (
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_STATE_CACHE_SIZE",
     "CertaintyEngine",
     "EngineStats",
     "default_engine",

@@ -9,7 +9,15 @@ query word (generalized queries by the query itself), per-engine counters
 * ``solve_batch(pairs, workers=N)`` -- a workload of ``(db, query)``
   pairs; with ``workers > 1`` the batch fans out over a multiprocessing
   pool (each worker process keeps its own plan cache, populated on first
-  use via fork or re-compiled after spawn).
+  use via fork or re-compiled after spawn);
+* ``solve_batch_iter(pairs, workers=N)`` -- the streaming variant:
+  yields ``(index, result)`` as instances finish (a generator locally,
+  ``imap_unordered`` across a pool with ``workers > 1``);
+* ``solve_delta(db, delta, query)`` -- CERTAINTY on ``db`` with a
+  :class:`~repro.db.delta.Delta` applied, served by incrementally
+  maintaining the cached :class:`~repro.solvers.fixpoint.FixpointState`
+  instead of re-solving from scratch (per-engine stats count incremental
+  hits vs full re-solves).
 
 ``certain_answer`` is a thin shim over the process-wide
 :func:`default_engine`, so library users get plan caching for free;
@@ -22,8 +30,18 @@ import multiprocessing
 import threading
 import time
 from collections import Counter, OrderedDict
-from typing import Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.db.delta import Delta, DeltaInstance
 from repro.db.instance import DatabaseInstance
 from repro.engine.plan import (
     CompiledGeneralizedQuery,
@@ -32,14 +50,19 @@ from repro.engine.plan import (
 )
 from repro.queries.generalized import GeneralizedPathQuery
 from repro.queries.path_query import PathQuery
+from repro.solvers.fixpoint import FixpointState, certain_answer_incremental
 from repro.solvers.result import CertaintyResult
 from repro.words.word import Word
 
 EngineQuery = Union[str, Word, PathQuery, GeneralizedPathQuery]
 Pair = Tuple[DatabaseInstance, EngineQuery]
+IndexedResult = Tuple[int, CertaintyResult]
 
 #: Default number of plans kept by an engine's LRU cache.
 DEFAULT_CACHE_SIZE = 128
+
+#: Default number of incremental fixpoint states kept per engine.
+DEFAULT_STATE_CACHE_SIZE = 64
 
 
 class EngineStats:
@@ -51,6 +74,9 @@ class EngineStats:
         "solves",
         "batches",
         "parallel_batches",
+        "delta_solves",
+        "incremental_hits",
+        "full_resolves",
         "method_counts",
         "wall_seconds",
     )
@@ -64,6 +90,9 @@ class EngineStats:
         self.solves = 0
         self.batches = 0
         self.parallel_batches = 0
+        self.delta_solves = 0
+        self.incremental_hits = 0
+        self.full_resolves = 0
         self.method_counts: Counter = Counter()
         self.wall_seconds = 0.0
 
@@ -79,6 +108,9 @@ class EngineStats:
             "solves": self.solves,
             "batches": self.batches,
             "parallel_batches": self.parallel_batches,
+            "delta_solves": self.delta_solves,
+            "incremental_hits": self.incremental_hits,
+            "full_resolves": self.full_resolves,
             "method_counts": dict(self.method_counts),
             "wall_seconds": self.wall_seconds,
         }
@@ -89,10 +121,14 @@ class EngineStats:
         )
         return (
             "EngineStats(solves={}, compiles={}, cache_hits={}, "
+            "delta_solves={}, incremental_hits={}, full_resolves={}, "
             "wall={:.4f}s, methods: {})".format(
                 self.solves,
                 self.compiles,
                 self.cache_hits,
+                self.delta_solves,
+                self.incremental_hits,
+                self.full_resolves,
                 self.wall_seconds,
                 methods or "-",
             )
@@ -117,12 +153,25 @@ class CertaintyEngine:
     1
     """
 
-    def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        state_cache_size: int = DEFAULT_STATE_CACHE_SIZE,
+    ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if state_cache_size < 0:
+            raise ValueError("state_cache_size must be >= 0")
         self.cache_size = cache_size
+        self.state_cache_size = state_cache_size
         self.stats = EngineStats()
         self._plans: "OrderedDict[Hashable, object]" = OrderedDict()
+        #: Maintained fixpoint states, keyed by (plan key, instance); the
+        #: instance key advances as deltas are applied, so a stream of
+        #: updates against the same logical database keeps hitting.
+        self._states: "OrderedDict[Tuple[Hashable, DatabaseInstance], FixpointState]" = (
+            OrderedDict()
+        )
         # Guards the LRU bookkeeping: certain_answer was thread-safe
         # before it routed through a shared engine, so it must stay so.
         self._cache_lock = threading.Lock()
@@ -178,6 +227,7 @@ class CertaintyEngine:
     def clear_cache(self) -> None:
         with self._cache_lock:
             self._plans.clear()
+            self._states.clear()
 
     # ------------------------------------------------------------------
     # Solving
@@ -217,20 +267,160 @@ class CertaintyEngine:
         independent), so batch mode is purely a throughput knob.
         """
         items = list(pairs)
+        results: List[Optional[CertaintyResult]] = [None] * len(items)
+        for index, result in self.solve_batch_iter(
+            items, method=method, workers=workers
+        ):
+            results[index] = result
+        return results
+
+
+    # ------------------------------------------------------------------
+    # Incremental solving
+    # ------------------------------------------------------------------
+
+    def _state_get(self, key) -> Optional[FixpointState]:
+        with self._cache_lock:
+            state = self._states.pop(key, None)
+        return state
+
+    def _state_put(self, key, state: FixpointState) -> None:
+        if self.state_cache_size == 0:
+            return
+        with self._cache_lock:
+            self._states[key] = state
+            self._states.move_to_end(key)
+            while len(self._states) > self.state_cache_size:
+                self._states.popitem(last=False)
+
+    def solve_delta(
+        self,
+        db: DatabaseInstance,
+        delta: Union[Delta, DeltaInstance],
+        query: EngineQuery,
+        method: str = "auto",
+    ) -> CertaintyResult:
+        """Decide CERTAINTY(query) on *db* with *delta* applied.
+
+        Semantically identical to ``solve(delta.apply_to(db).commit(),
+        query)``; operationally, the engine maintains a
+        :class:`~repro.solvers.fixpoint.FixpointState` per ``(query,
+        instance)`` and folds the delta into it, so a stream of updates
+        against the same logical database pays O(delta) *solver* work per
+        decision (plus the shallow O(db) dict copies of
+        ``DeltaInstance.commit`` -- cheap next to re-running the
+        fixpoint, but not delta-sized):
+
+        * FO / NL-complete / PTIME-complete queries satisfy C3, where the
+          Figure 5 relation ``N`` decides CERTAINTY exactly -- the
+          maintained state answers directly;
+        * coNP-complete queries violate C3: the maintained state stays a
+          sound "no" pre-filter (Lemma 10), and a "yes" falls back to a
+          full SAT re-solve on the updated instance.
+
+        ``stats.incremental_hits`` counts decisions served from a
+        maintained state; ``stats.full_resolves`` counts fallbacks (first
+        sight of an instance, forced non-auto methods, generalized
+        queries, and coNP SAT re-solves).  To chain updates, apply the
+        same delta on the caller side (``delta.apply_to(db).commit()``)
+        and pass the committed instance as the next call's *db* --
+        value-equal instances hit the same maintained state.
+        """
+        start = time.perf_counter()
+        if isinstance(delta, DeltaInstance):
+            if delta.base is not db:
+                raise ValueError(
+                    "the DeltaInstance overlay must be rooted at db"
+                )
+            overlay = delta
+        else:
+            overlay = delta.apply_to(db)
+        new_db = overlay.commit()
+        self.stats.delta_solves += 1
+
+        plan = self.compile(query)
+        incremental = (
+            method == "auto"
+            and isinstance(plan, CompiledQuery)
+            and len(plan.word) > 0
+        )
+        if not incremental:
+            result = (
+                plan.solve(new_db, method=method, solve_word=self._solve_word)
+                if isinstance(plan, CompiledGeneralizedQuery)
+                else plan.solve(new_db, method=method)
+            )
+            result.details["incremental"] = False
+            self.stats.full_resolves += 1
+            self.stats.record(result, time.perf_counter() - start)
+            return result
+
+        key = self._cache_key(query)
+        state = self._state_get((key, db))
+        fresh_state = state is None
+        if fresh_state:
+            state = FixpointState.compute(new_db, plan.word, tables=plan.tables)
+        else:
+            state.apply_delta(
+                new_db, overlay.added_facts, overlay.removed_facts
+            )
+
+        is_c3 = plan.classification.c3
+        result = certain_answer_incremental(
+            state, require_c3=False, is_c3=is_c3
+        )
+        # Publish only after the answer has been read off the state: a
+        # concurrent solve_delta popping the entry would mutate it in
+        # place while certain_answer_incremental iterates it.
+        self._state_put((key, new_db), state)
+        if not is_c3 and result.answer:
+            # C3-violating query and the pre-filter did not dismiss it:
+            # the maintained "yes" is unsound, re-solve fully via SAT.
+            result = plan.sat_skeleton.solve(new_db)
+            result.details["prefilter"] = "fixpoint-incremental-yes"
+            result.details["incremental"] = False
+            self.stats.full_resolves += 1
+        else:
+            result.details["incremental"] = not fresh_state
+            if fresh_state:
+                self.stats.full_resolves += 1
+            else:
+                self.stats.incremental_hits += 1
+        result.details["complexity"] = str(plan.complexity)
+        self.stats.record(result, time.perf_counter() - start)
+        return result
+
+    # ------------------------------------------------------------------
+    # Streaming batches
+    # ------------------------------------------------------------------
+
+    def solve_batch_iter(
+        self,
+        pairs: Iterable[Pair],
+        method: str = "auto",
+        workers: Optional[int] = None,
+    ) -> Iterator[IndexedResult]:
+        """Stream a workload: yield ``(index, result)`` as instances finish.
+
+        The sequential path is a lazy generator over the cached plans (the
+        first result is available before the last instance is touched);
+        with ``workers > 1`` the batch fans out over a multiprocessing
+        pool via ``imap_unordered``, so results arrive in completion
+        order, not submission order.  Per-item results are identical to
+        ``solve``; ``solve_batch`` remains the collect-everything variant.
+        """
+        items = list(pairs)
         self.stats.batches += 1
         if workers is not None and workers > 1 and len(items) > 1:
-            return self._solve_batch_parallel(items, method, workers)
-        return self._solve_batch_sequential(items, method)
+            return self._iter_parallel(items, method, workers)
+        return self._iter_sequential(items, method)
 
-    def _solve_batch_sequential(
+    def _iter_sequential(
         self, items: Sequence[Pair], method: str
-    ) -> List[CertaintyResult]:
-        start = time.perf_counter()
-        # One plan lookup per distinct query for the whole batch -- unless
-        # caching is disabled, whose contract is one compile per solve.
+    ) -> Iterator[IndexedResult]:
         plans: dict = {}
-        results: List[CertaintyResult] = []
-        for db, query in items:
+        for index, (db, query) in enumerate(items):
+            start = time.perf_counter()
             if self.cache_size == 0:
                 plan = self.compile(query)
             else:
@@ -242,19 +432,13 @@ class CertaintyEngine:
                 result = plan.solve(db, method=method, solve_word=self._solve_word)
             else:
                 result = plan.solve(db, method=method)
-            results.append(result)
-        elapsed = time.perf_counter() - start
-        self.stats.wall_seconds += elapsed
-        self.stats.solves += len(results)
-        for result in results:
-            self.stats.method_counts[result.method] += 1
-        return results
+            self.stats.record(result, time.perf_counter() - start)
+            yield index, result
 
-    def _solve_batch_parallel(
+    def _iter_parallel(
         self, items: Sequence[Pair], method: str, workers: int
-    ) -> List[CertaintyResult]:
+    ) -> Iterator[IndexedResult]:
         global _WORKER_ENGINE
-        start = time.perf_counter()
         # Warm the parent cache (one compile per distinct query) so
         # fork-started workers inherit the plans.
         distinct = {self._cache_key(query): query for _, query in items}
@@ -264,20 +448,27 @@ class CertaintyEngine:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context()
-        payload = [(db, query, method) for db, query in items]
+        payload = [
+            (index, db, query, method)
+            for index, (db, query) in enumerate(items)
+        ]
+        self.stats.parallel_batches += 1
         _WORKER_ENGINE = self
+        pool = context.Pool(processes=min(workers, len(items)))
         try:
-            with context.Pool(processes=min(workers, len(items))) as pool:
-                results = pool.map(_solve_one, payload)
+            start = time.perf_counter()
+            for index, result in pool.imap_unordered(
+                _solve_one_indexed, payload
+            ):
+                self.stats.record(result, time.perf_counter() - start)
+                yield index, result
+                # Restart the clock only after the consumer resumes us, so
+                # its per-result processing time is not billed to wall.
+                start = time.perf_counter()
         finally:
             _WORKER_ENGINE = None
-        elapsed = time.perf_counter() - start
-        self.stats.parallel_batches += 1
-        self.stats.wall_seconds += elapsed
-        self.stats.solves += len(results)
-        for result in results:
-            self.stats.method_counts[result.method] += 1
-        return results
+            pool.terminate()
+            pool.join()
 
 
 #: The process-wide engine behind ``certain_answer``.
@@ -300,9 +491,12 @@ def default_engine() -> CertaintyEngine:
     return _DEFAULT_ENGINE
 
 
-def _solve_one(item: Tuple[DatabaseInstance, EngineQuery, str]) -> CertaintyResult:
-    """Pool worker: route one pair through the inherited batch engine
-    (fork start method) or the worker's own default engine (spawn)."""
-    db, query, method = item
+
+def _solve_one_indexed(
+    item: Tuple[int, DatabaseInstance, EngineQuery, str]
+) -> Tuple[int, CertaintyResult]:
+    """Pool worker for the streaming batch: keeps the submission index so
+    ``imap_unordered`` consumers can reassociate completion-order results."""
+    index, db, query, method = item
     engine = _WORKER_ENGINE if _WORKER_ENGINE is not None else default_engine()
-    return engine.solve(db, query, method=method)
+    return index, engine.solve(db, query, method=method)

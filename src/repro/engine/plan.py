@@ -96,7 +96,9 @@ def conp_solve(
             query=prefilter.query,
             answer=False,
             method="fixpoint-prefilter",
-            falsifying_repair=prefilter.falsifying_repair,
+            # Forward the certificate source unresolved: reading the
+            # property here would force the lazy Lemma 9 construction.
+            falsifying_repair=prefilter._repair_source,
             details=dict(prefilter.details),
         )
     if skeleton is None:

@@ -46,7 +46,7 @@ def evaluate(
     True
     """
     env = dict(env or {})
-    adom = sorted(db.adom(), key=str)
+    adom = db.sorted_adom()
 
     def rec(f: Formula, bindings: Dict[Variable, Hashable]) -> bool:
         if isinstance(f, RelationAtom):

@@ -20,8 +20,10 @@
 
 from repro.solvers.result import CertaintyResult
 from repro.solvers.fixpoint import (
+    FixpointState,
     build_minimal_repair,
     certain_answer_fixpoint,
+    certain_answer_incremental,
     fixpoint_relation,
 )
 from repro.solvers.fo_solver import certain_answer_fo
@@ -40,8 +42,10 @@ from repro.solvers.verify import verify_result
 
 __all__ = [
     "CertaintyResult",
+    "FixpointState",
     "build_minimal_repair",
     "certain_answer_fixpoint",
+    "certain_answer_incremental",
     "fixpoint_relation",
     "certain_answer_fo",
     "certain_answer_nl",

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.classification.conditions import satisfies_c3
 from repro.db.facts import Fact
@@ -140,6 +140,253 @@ def fixpoint_relation(
     return n_set
 
 
+class FixpointState:
+    """Persistent Figure 5 state for one ``(db, q)``, maintainable under
+    fact deltas.
+
+    Holds the relation ``N``, the incoming-edge index, and the per-query
+    prefix tables.  ``apply_delta`` folds a batch of inserted/removed
+    facts into ``N`` with the DRed discipline: *over-delete* every pair
+    whose derivation may have passed through a touched block (closing
+    transitively over the old edges and the backward-companion rule),
+    then *re-derive* from the surviving pairs -- the worklist is seeded
+    with the touched blocks' candidate pairs, the deleted pairs
+    themselves, and the init axioms of newly arrived constants, so the
+    work is proportional to the affected region, not the database.
+
+    The init axioms ``(c, |q|)`` for ``c ∈ adom`` are never suspected
+    (they hold by definition while ``c`` survives in the domain).
+    """
+
+    __slots__ = (
+        "db",
+        "query",
+        "tables",
+        "n_set",
+        "in_index",
+        "starts",
+        "_shorter",
+    )
+
+    def __init__(
+        self,
+        db: DatabaseInstance,
+        query: Word,
+        tables: FixpointTables,
+        n_set: Set[NPair],
+        in_index: Dict[Tuple[Hashable, str], Set[Hashable]],
+    ) -> None:
+        self.db = db
+        self.query = query
+        self.tables = tables
+        self.n_set = n_set
+        self.in_index = in_index
+        #: Constants c with (c, ε) ∈ N -- the certainty witnesses (Lemma
+        #: 7), maintained so answers need no domain scan.
+        self.starts: Set[Hashable] = {
+            c for c, length in n_set if length == 0
+        }
+        # Reverse of longer_same_end: for each prefix length, the shorter
+        # prefixes ending in the same symbol (backward-derivability probe).
+        shorter: Dict[int, List[int]] = {}
+        for i, longer in tables.longer_same_end.items():
+            for j in longer:
+                shorter.setdefault(j, []).append(i)
+        self._shorter = {j: tuple(v) for j, v in shorter.items()}
+
+    @classmethod
+    def compute(
+        cls,
+        db: DatabaseInstance,
+        q: WordLike,
+        tables: Optional[FixpointTables] = None,
+    ) -> "FixpointState":
+        """Full Figure 5 run, retaining the state for incremental upkeep."""
+        q = Word.coerce(q)
+        if tables is None:
+            tables = FixpointTables.build(q)
+        n_set = fixpoint_relation(db, q, tables=tables)
+        in_index: Dict[Tuple[Hashable, str], Set[Hashable]] = {}
+        for fact in db.facts:
+            in_index.setdefault((fact.value, fact.relation), set()).add(
+                fact.key
+            )
+        return cls(db, q, tables, n_set, in_index)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+
+    def apply_delta(
+        self,
+        new_db: DatabaseInstance,
+        added: Iterable[Fact],
+        removed: Iterable[Fact],
+    ) -> None:
+        """Update ``N`` in place so it equals ``fixpoint_relation(new_db)``.
+
+        *added* / *removed* is the effective fact delta from ``self.db``
+        to *new_db* (as produced by
+        :class:`repro.db.delta.DeltaInstance`).
+        """
+        added = list(added)
+        removed = list(removed)
+        q, k = self.query, len(self.query)
+        if k == 0:
+            self.n_set = {(c, 0) for c in new_db.adom()}
+            self.starts = {c for c, _ in self.n_set}
+            self._reindex(added, removed)
+            self.db = new_db
+            return
+
+        touched = {f.block_id for f in added} | {f.block_id for f in removed}
+        # Domain churn is read off the refcounts of the constants the
+        # delta mentions -- O(delta), not an O(adom) set difference.
+        old_counts = self.db.adom_refcounts()
+        new_counts = new_db.adom_refcounts()
+        delta_constants = set()
+        for fact in added:
+            delta_constants.add(fact.key)
+            delta_constants.add(fact.value)
+        for fact in removed:
+            delta_constants.add(fact.key)
+            delta_constants.add(fact.value)
+        gone_constants = [
+            c for c in delta_constants if c in old_counts and c not in new_counts
+        ]
+        new_constants = [
+            c for c in delta_constants if c not in old_counts and c in new_counts
+        ]
+        ends_with = self.tables.ends_with
+        longer_same_end = self.tables.longer_same_end
+        n_set = self.n_set
+
+        # --- Over-deletion: close the suspects over old edges. ---------
+        suspects: Set[NPair] = set()
+        queue = deque()
+
+        def suspect(pair: NPair) -> None:
+            if pair in suspects or pair not in n_set:
+                return
+            if pair[1] == k and pair[0] in new_counts:
+                return  # init axiom: valid while the constant survives
+            suspects.add(pair)
+            queue.append(pair)
+
+        for relation, key in touched:
+            for length in ends_with.get(relation, ()):
+                suspect((key, length - 1))
+        for constant in gone_constants:
+            for length in range(k + 1):
+                suspect((constant, length))
+        while queue:
+            y, j = queue.popleft()
+            for j2 in longer_same_end.get(j, ()):
+                suspect((y, j2))  # backward companions derived from (y, j)
+            if j >= 1:
+                relation = q[j - 1]
+                for c in self.in_index.get((y, relation), ()):
+                    suspect((c, j - 1))
+        n_set -= suspects
+        for c, length in suspects:
+            if length == 0:
+                self.starts.discard(c)
+
+        # --- Switch the index and db over to the new instance. ---------
+        self._reindex(added, removed)
+        self.db = new_db
+
+        # --- Re-derivation from the affected frontier. -----------------
+        worklist = deque()
+
+        def add(c: Hashable, length: int) -> None:
+            pair = (c, length)
+            if pair in n_set:
+                return
+            n_set.add(pair)
+            if length == 0:
+                self.starts.add(c)
+            worklist.append(pair)
+
+        def derive(c: Hashable, length: int) -> None:
+            add(c, length)
+            if length >= 1:
+                for j in longer_same_end[length]:
+                    add(c, j)
+
+        def block_satisfied(c: Hashable, relation: str, j: int) -> bool:
+            facts = new_db.out_facts(c, relation)
+            return bool(facts) and all(
+                (f.value, j) in n_set for f in facts
+            )
+
+        for constant in new_constants:
+            add(constant, k)
+        candidates: Set[NPair] = set(suspects)
+        for relation, key in touched:
+            for length in ends_with.get(relation, ()):
+                candidates.add((key, length - 1))
+        for c, i in candidates:
+            if (c, i) in n_set:
+                continue
+            if i == k:
+                if c in new_counts:
+                    add(c, k)
+                continue
+            if block_satisfied(c, q[i], i + 1) or any(
+                (c, i2) in n_set for i2 in self._shorter.get(i, ())
+            ):
+                derive(c, i)
+        while worklist:
+            y, j = worklist.popleft()
+            if j == 0:
+                continue
+            relation = q[j - 1]
+            for c in self.in_index.get((y, relation), ()):
+                if (c, j - 1) in n_set:
+                    continue
+                if block_satisfied(c, relation, j):
+                    derive(c, j - 1)
+
+    def _reindex(
+        self, added: Iterable[Fact], removed: Iterable[Fact]
+    ) -> None:
+        for fact in removed:
+            key = (fact.value, fact.relation)
+            keys = self.in_index.get(key)
+            if keys is not None:
+                keys.discard(fact.key)
+                if not keys:
+                    del self.in_index[key]
+        for fact in added:
+            self.in_index.setdefault(
+                (fact.value, fact.relation), set()
+            ).add(fact.key)
+
+
+def certain_answer_incremental(
+    state: FixpointState,
+    require_c3: bool = True,
+    is_c3: Optional[bool] = None,
+) -> CertaintyResult:
+    """Read a CERTAINTY(q) answer off a maintained :class:`FixpointState`.
+
+    Same semantics and soundness envelope as
+    :func:`certain_answer_fixpoint`, with the ``N`` relation taken from
+    the incrementally maintained state instead of a fresh run.
+    """
+    return _result_from_relation(
+        state.db,
+        state.query,
+        state.tables,
+        state.n_set,
+        require_c3=require_c3,
+        is_c3=is_c3,
+        method="fixpoint-incremental",
+        starts=state.starts,
+    )
+
+
 def build_minimal_repair(
     db: DatabaseInstance,
     q: WordLike,
@@ -212,11 +459,36 @@ def certain_answer_fixpoint(
     if tables is None:
         tables = FixpointTables.build(q)
     n_relation = fixpoint_relation(db, q, tables=tables)
-    witnesses = sorted(
-        (c for c in db.adom() if (c, 0) in n_relation), key=str
+    return _result_from_relation(
+        db, q, tables, n_relation, require_c3, is_c3, method="fixpoint"
     )
+
+
+def _result_from_relation(
+    db: DatabaseInstance,
+    q: Word,
+    tables: FixpointTables,
+    n_relation: Set[NPair],
+    require_c3: bool,
+    is_c3: Optional[bool],
+    method: str,
+    starts: Optional[Set[Hashable]] = None,
+) -> CertaintyResult:
+    """Shared answer construction for the fresh and incremental paths.
+
+    *starts* may carry the maintained witness set ``{c : (c, ε) ∈ N}``
+    (the incremental state passes it), replacing the domain scan.
+    """
+    if starts is not None:
+        witness = min(starts, key=str) if starts else None
+    else:
+        witness = None
+        for c in db.sorted_adom():
+            if (c, 0) in n_relation:
+                witness = c
+                break
     details: Dict[str, object] = {"n_size": len(n_relation)}
-    if witnesses:
+    if witness is not None:
         if is_c3 is None:
             is_c3 = satisfies_c3(q)
         if not is_c3:
@@ -232,16 +504,21 @@ def certain_answer_fixpoint(
         return CertaintyResult(
             query=str(q),
             answer=True,
-            method="fixpoint",
-            witness_constant=witnesses[0],
+            method=method,
+            witness_constant=witness,
             details=details,
         )
-    repair = build_minimal_repair(db, q, n_relation, tables=tables)
     details["sound"] = True
     return CertaintyResult(
         query=str(q),
         answer=False,
-        method="fixpoint",
-        falsifying_repair=repair,
+        method=method,
+        # Lazy: the Lemma 9 construction is O(db); an update stream that
+        # never reads the certificate should not pay for it per decision.
+        # The (rarely read) certificate recomputes its own N on demand:
+        # the incremental path's maintained N mutates under later deltas,
+        # and holding the O(|q|·|adom|) relation alive on every unread
+        # "no" result costs more than the occasional re-run.
+        falsifying_repair=lambda: build_minimal_repair(db, q, tables=tables),
         details=details,
     )

@@ -44,17 +44,20 @@ def certain_answer_fo(
         )
     if strategy == "direct":
         witness = None
-        for constant in sorted(db.adom(), key=str):
+        # The canonical constant order is cached on the instance, so a
+        # probe stream over one database sorts the domain exactly once.
+        for constant in db.sorted_adom():
             if rooted_certainty(db, q, constant):
                 witness = constant
                 break
         repair = None
         if witness is None:
             # Certificate: the Lemma 9 minimal repair falsifies q on
-            # "no"-instances (its construction is query-generic).
+            # "no"-instances (its construction is query-generic); built
+            # lazily on first access.
             from repro.solvers.fixpoint import build_minimal_repair
 
-            repair = build_minimal_repair(db, q)
+            repair = lambda: build_minimal_repair(db, q)
         return CertaintyResult(
             query=str(q),
             answer=witness is not None,

@@ -11,12 +11,11 @@ trace in ``head (cycle)* tail``; by Lemmas 7 and 15 the instance is a
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.datalog.cqa_program import (
     CqaProgram,
     UnsupportedQuery,
-    build_cqa_program,
     instance_to_edb,
 )
 from repro.datalog.engine import evaluate_program
@@ -24,20 +23,25 @@ from repro.db.instance import DatabaseInstance
 from repro.solvers.result import CertaintyResult
 from repro.words.word import Word, WordLike
 
-_PROGRAM_CACHE: Dict[Word, CqaProgram] = {}
-
 
 def cached_program(q: WordLike) -> CqaProgram:
-    """Build (or fetch) the Claim 5 program for *q*.
+    """Fetch the Claim 5 program for *q* from the engine's plan cache.
+
+    Historically this module kept its own unbounded program dict; Claim 5
+    programs are now cached on the :class:`~repro.engine.plan.CompiledQuery`
+    plans of the process-wide engine, so there is a single cache with a
+    single (LRU) eviction policy for all per-query artifacts.
 
     Raises :class:`~repro.datalog.cqa_program.UnsupportedQuery` when no
     language-verified decomposition exists.
     """
-    q = Word.coerce(q)
-    program = _PROGRAM_CACHE.get(q)
+    # Imported lazily: the engine package builds on the solvers.
+    from repro.engine.engine import default_engine
+
+    plan = default_engine().compile(Word.coerce(q))
+    program = plan.datalog_program
     if program is None:
-        program = build_cqa_program(q)
-        _PROGRAM_CACHE[q] = program
+        raise UnsupportedQuery(plan._datalog_error)
     return program
 
 
@@ -61,9 +65,7 @@ def certain_answer_nl(
     edb = instance_to_edb(db)
     relations = evaluate_program(cqa.program, edb)
     o_constants = {row[0] for row in relations.get("o", ())}
-    witnesses = sorted(
-        (c for c in db.adom() if c not in o_constants), key=str
-    )
+    witnesses = [c for c in db.sorted_adom() if c not in o_constants]
     details = {
         "decomposition": str(cqa.parts),
         "program_rules": len(cqa.program),
@@ -72,10 +74,11 @@ def certain_answer_nl(
     repair = None
     if not witnesses:
         # Certificate: the Lemma 9 minimal repair falsifies q on
-        # "no"-instances (query-generic construction).
+        # "no"-instances (query-generic construction); built lazily on
+        # first access.
         from repro.solvers.fixpoint import build_minimal_repair
 
-        repair = build_minimal_repair(db, q)
+        repair = lambda: build_minimal_repair(db, q)
     return CertaintyResult(
         query=str(q),
         answer=bool(witnesses),

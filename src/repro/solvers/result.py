@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional
+from typing import Callable, Dict, Hashable, Optional, Union
 
 from repro.db.instance import DatabaseInstance
 
+RepairSource = Union[DatabaseInstance, Callable[[], DatabaseInstance], None]
 
-@dataclass
+
 class CertaintyResult:
     """Outcome of a CERTAINTY(q) decision.
 
@@ -27,29 +27,116 @@ class CertaintyResult:
     falsifying_repair:
         For "no" answers, when available: a repair that does not satisfy
         the query -- a certificate that can be checked independently.
+        Solvers may supply it *lazily* as a zero-argument callable; the
+        certificate is then constructed on first access (the incremental
+        engine answers update streams without paying the Lemma 9 repair
+        construction for certificates nobody reads) and cached.
     details:
         Method-specific diagnostics (iteration counts, clause counts, ...).
     """
 
-    query: str
-    answer: bool
-    method: str
-    witness_constant: Optional[Hashable] = None
-    falsifying_repair: Optional[DatabaseInstance] = None
-    details: Dict[str, object] = field(default_factory=dict)
+    __slots__ = (
+        "query",
+        "answer",
+        "method",
+        "witness_constant",
+        "_repair_source",
+        "details",
+    )
+
+    def __init__(
+        self,
+        query: str,
+        answer: bool,
+        method: str,
+        witness_constant: Optional[Hashable] = None,
+        falsifying_repair: RepairSource = None,
+        details: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.query = query
+        self.answer = answer
+        self.method = method
+        self.witness_constant = witness_constant
+        self._repair_source = falsifying_repair
+        self.details: Dict[str, object] = details if details is not None else {}
+
+    @property
+    def falsifying_repair(self) -> Optional[DatabaseInstance]:
+        if callable(self._repair_source):
+            self._repair_source = self._repair_source()
+        return self._repair_source
+
+    @property
+    def has_lazy_repair(self) -> bool:
+        """True iff the certificate exists but has not been built yet."""
+        return callable(self._repair_source)
+
+    def __getstate__(self):
+        # Resolve lazy certificates before crossing process boundaries
+        # (closures are not picklable; pool workers ship results back).
+        return (
+            self.query,
+            self.answer,
+            self.method,
+            self.witness_constant,
+            self.falsifying_repair,
+            self.details,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.query,
+            self.answer,
+            self.method,
+            self.witness_constant,
+            self._repair_source,
+            self.details,
+        ) = state
+
+    def __eq__(self, other: object) -> bool:
+        # Field-wise equality, as when this was a dataclass.  Comparing
+        # resolves lazy certificates: the former field held the instance.
+        if not isinstance(other, CertaintyResult):
+            return NotImplemented
+        return (
+            self.query == other.query
+            and self.answer == other.answer
+            and self.method == other.method
+            and self.witness_constant == other.witness_constant
+            and self.falsifying_repair == other.falsifying_repair
+            and self.details == other.details
+        )
+
+    # Unhashable, matching the former non-frozen dataclass.
+    __hash__ = None  # type: ignore[assignment]
 
     def __bool__(self) -> bool:
         return self.answer
+
+    def __repr__(self) -> str:
+        return (
+            "CertaintyResult(query={!r}, answer={!r}, method={!r}, "
+            "witness_constant={!r}, details={!r})".format(
+                self.query,
+                self.answer,
+                self.method,
+                self.witness_constant,
+                self.details,
+            )
+        )
 
     def __str__(self) -> str:
         verdict = "certain" if self.answer else "not certain"
         extra = ""
         if self.answer and self.witness_constant is not None:
             extra = " (witness start: {})".format(self.witness_constant)
-        if not self.answer and self.falsifying_repair is not None:
-            extra = " (falsifying repair with {} facts)".format(
-                len(self.falsifying_repair)
-            )
+        if not self.answer and self._repair_source is not None:
+            if callable(self._repair_source):
+                extra = " (falsifying repair available)"
+            else:
+                extra = " (falsifying repair with {} facts)".format(
+                    len(self._repair_source)
+                )
         return "CERTAINTY({}) = {} via {}{}".format(
             self.query, verdict, self.method, extra
         )

@@ -11,6 +11,7 @@ MODULE_NAMES = [
     "repro.classification.conditions",
     "repro.classification.classifier",
     "repro.classification.regex_conditions",
+    "repro.db.delta",
     "repro.db.instance",
     "repro.engine",
     "repro.engine.engine",

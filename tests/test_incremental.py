@@ -1,0 +1,365 @@
+"""The incremental execution layer: delta solves must equal from-scratch.
+
+Three levels are pinned differentially across randomized update
+sequences:
+
+* :class:`FixpointState` -- the maintained Figure 5 relation ``N`` must
+  equal a fresh :func:`fixpoint_relation` run after every delta
+  (inserts, removes, constants arriving/leaving the domain);
+* :class:`DatalogState.resume` -- the resumed materialization of the
+  Claim 5 programs must equal full re-evaluation under EDB insert
+  streams (positive strata reseed semi-naively; negation-reading strata
+  recompute);
+* ``CertaintyEngine.solve_delta`` -- answers must equal ``solve`` on the
+  updated instance for queries from all four Theorem 2 complexity
+  classes, including the C3-violating (coNP) fallback through the sound
+  pre-filter plus full SAT re-solve.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog.cqa_program import (
+    ADOM,
+    build_cqa_program,
+    instance_to_edb,
+    rel,
+)
+from repro.datalog.engine import (
+    DatalogState,
+    evaluate_program,
+    evaluate_program_naive,
+)
+from repro.db.delta import Delta, DeltaInstance
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.engine import CertaintyEngine
+from repro.solvers.fixpoint import (
+    FixpointState,
+    certain_answer_incremental,
+    fixpoint_relation,
+)
+from repro.workloads.generators import planted_instance, random_instance
+
+#: Two queries per Theorem 2 complexity class (as in the engine tests).
+CLASS_QUERIES = [
+    ("RR", "FO"),
+    ("RXRX", "FO"),
+    ("RRX", "NL-complete"),
+    ("RXRY", "NL-complete"),
+    ("RXRYRY", "PTIME-complete"),
+    ("RXRRR", "PTIME-complete"),
+    ("ARRX", "coNP-complete"),
+    ("RXRXRYRY", "coNP-complete"),
+]
+
+
+def random_update(rng, db, alphabet, n_constants=6):
+    """A random effective single-step delta over *db*."""
+    overlay = DeltaInstance(db)
+    for _ in range(rng.randint(1, 3)):
+        current = sorted(overlay.facts)
+        if current and rng.random() < 0.45:
+            overlay.remove_fact(rng.choice(current))
+        else:
+            overlay.insert_fact(
+                Fact(
+                    rng.choice(alphabet),
+                    rng.randint(0, n_constants - 1),
+                    rng.randint(0, n_constants - 1),
+                )
+            )
+    return overlay
+
+
+class TestFixpointStateDifferential:
+    @pytest.mark.parametrize("query,_cls", CLASS_QUERIES)
+    def test_apply_delta_matches_fresh_relation(self, query, _cls):
+        rng = random.Random(0x1DC + sum(map(ord, query)))
+        alphabet = sorted(set(query))
+        for trial in range(6):
+            db = random_instance(rng, 5, rng.randint(2, 14), alphabet, 0.5)
+            state = FixpointState.compute(db, query)
+            for _step in range(8):
+                overlay = random_update(rng, state.db, alphabet)
+                new_db = overlay.commit()
+                state.apply_delta(
+                    new_db, overlay.added_facts, overlay.removed_facts
+                )
+                assert state.n_set == fixpoint_relation(new_db, query), (
+                    query,
+                    trial,
+                    new_db,
+                )
+
+    def test_incremental_answer_carries_certificates(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 1, 2), ("X", 2, 3)]
+        )
+        state = FixpointState.compute(db, "RRX")
+        result = certain_answer_incremental(state)
+        assert result.answer is True
+        assert result.method == "fixpoint-incremental"
+        assert result.witness_constant == 0
+        # Break the path: the falsifying repair certificate must appear.
+        overlay = DeltaInstance(db)
+        overlay.remove_fact(Fact("X", 2, 3))
+        new_db = overlay.commit()
+        state.apply_delta(new_db, overlay.added_facts, overlay.removed_facts)
+        result = certain_answer_incremental(state)
+        assert result.answer is False
+        assert result.falsifying_repair is not None
+        assert result.falsifying_repair.is_repair_of(new_db)
+
+    def test_empty_query_state(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1)])
+        state = FixpointState.compute(db, "")
+        overlay = DeltaInstance(db)
+        overlay.insert_fact(Fact("R", 5, 6))
+        new_db = overlay.commit()
+        state.apply_delta(new_db, overlay.added_facts, overlay.removed_facts)
+        assert state.n_set == fixpoint_relation(new_db, "")
+
+    def test_domain_churn(self):
+        """Constants leaving and re-entering adom keep N exact."""
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 2)])
+        state = FixpointState.compute(db, "RR")
+        steps = [
+            Delta.removing(("R", 1, 2)),          # 2 leaves adom
+            Delta.inserting(("R", 1, 2)),          # 2 returns
+            Delta.removing(("R", 0, 1), ("R", 1, 2)),  # everything gone
+            Delta.inserting(("R", 7, 8), ("R", 8, 9)),  # new component
+        ]
+        for delta in steps:
+            overlay = delta.apply_to(state.db)
+            new_db = overlay.commit()
+            state.apply_delta(
+                new_db, overlay.added_facts, overlay.removed_facts
+            )
+            assert state.n_set == fixpoint_relation(new_db, "RR")
+
+
+class TestDatalogResume:
+    NL_QUERIES = ["RRX", "RXRY", "UVUVWV"]
+
+    @pytest.mark.parametrize("query", NL_QUERIES)
+    def test_resume_matches_full_evaluation(self, query):
+        rng = random.Random(0xDA7A + sum(map(ord, query)))
+        cqa = build_cqa_program(query)
+        for trial in range(4):
+            db = planted_instance(
+                rng, query, 6, n_paths=2, n_noise_facts=8, conflict_rate=0.5
+            )
+            facts = sorted(db.facts)
+            keep = max(1, len(facts) - 4)
+            base = DatabaseInstance(facts[:keep])
+            state = DatalogState.evaluate(cqa.program, instance_to_edb(base))
+            current = list(facts[:keep])
+            for fact in facts[keep:]:
+                current.append(fact)
+                delta = {
+                    rel(fact.relation): [(fact.key, fact.value)],
+                    ADOM: [(fact.key,), (fact.value,)],
+                }
+                resumed = state.resume(delta)
+                full = evaluate_program(
+                    cqa.program,
+                    instance_to_edb(DatabaseInstance(current)),
+                )
+                assert resumed == full, (query, trial, fact)
+
+    @pytest.mark.parametrize("query", NL_QUERIES)
+    def test_indexed_equals_naive(self, query):
+        rng = random.Random(0x1DE + sum(map(ord, query)))
+        cqa = build_cqa_program(query)
+        for _ in range(6):
+            db = random_instance(
+                rng, 5, rng.randint(3, 18), sorted(set(query)), 0.5
+            )
+            edb = instance_to_edb(db)
+            assert evaluate_program(cqa.program, edb) == (
+                evaluate_program_naive(cqa.program, edb)
+            )
+
+    def test_resume_ignores_duplicate_tuples(self):
+        cqa = build_cqa_program("RRX")
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 1, 2), ("X", 2, 3)]
+        )
+        state = DatalogState.evaluate(cqa.program, instance_to_edb(db))
+        before = {p: set(rows) for p, rows in state.relations.items()}
+        state.resume({rel("R"): [(0, 1)], ADOM: [(0,)]})
+        assert {p: set(rows) for p, rows in state.relations.items()} == before
+
+
+class TestSolveDeltaDifferential:
+    @pytest.mark.parametrize("query,expected_class", CLASS_QUERIES)
+    def test_solve_delta_matches_solve(self, query, expected_class):
+        rng = random.Random(0x5D17 + sum(map(ord, query)))
+        alphabet = sorted(set(query))
+        engine = CertaintyEngine()
+        reference = CertaintyEngine()
+        assert str(engine.compile(query).complexity) == expected_class
+        for trial in range(4):
+            db = random_instance(rng, 5, rng.randint(2, 12), alphabet, 0.5)
+            for _step in range(6):
+                overlay = random_update(rng, db, alphabet)
+                delta = Delta(
+                    removes=tuple(sorted(overlay.removed_facts)),
+                    inserts=tuple(sorted(overlay.added_facts)),
+                )
+                result = engine.solve_delta(db, delta, query)
+                new_db = delta.apply_to(db).commit()
+                expected = reference.solve(new_db, query)
+                assert result.answer == expected.answer, (
+                    query,
+                    trial,
+                    result.method,
+                    new_db,
+                )
+                db = new_db
+        # The update stream must be served mostly incrementally.
+        assert engine.stats.delta_solves == 4 * 6
+        assert engine.stats.incremental_hits > 0
+        if expected_class != "coNP-complete":
+            # One full solve per fresh instance; the rest are hits.
+            assert engine.stats.incremental_hits >= 4 * 6 - 4 - 2
+
+    def test_conp_fallback_is_flagged(self):
+        """A C3-violating query that survives the pre-filter re-solves
+        via SAT, and the result says so."""
+        engine = CertaintyEngine()
+        # Figure 3 flavor: ARRX on a fixpoint-yes instance.
+        db = DatabaseInstance.from_triples(
+            [("A", "a", "b"), ("R", "b", "c"), ("R", "c", "d"), ("X", "d", "e")]
+        )
+        delta = Delta.inserting(("R", "b", "b"))
+        result = engine.solve_delta(db, delta, "ARRX")
+        reference = CertaintyEngine().solve(
+            delta.apply_to(db).commit(), "ARRX"
+        )
+        assert result.answer == reference.answer
+        if result.method == "sat":
+            assert result.details.get("prefilter") == "fixpoint-incremental-yes"
+
+    def test_incremental_stats_and_details(self):
+        engine = CertaintyEngine()
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 2)])
+        first = engine.solve_delta(db, Delta.inserting(("R", 2, 3)), "RRX")
+        assert first.details["incremental"] is False
+        assert engine.stats.full_resolves == 1
+        db2 = Delta.inserting(("R", 2, 3)).apply_to(db).commit()
+        second = engine.solve_delta(db2, Delta.inserting(("R", 0, 9)), "RRX")
+        assert second.details["incremental"] is True
+        assert second.method == "fixpoint-incremental"
+        assert engine.stats.incremental_hits == 1
+        assert engine.stats.delta_solves == 2
+
+    def test_overlay_argument(self):
+        engine = CertaintyEngine()
+        db = DatabaseInstance.from_triples([("R", 0, 1)])
+        overlay = DeltaInstance(db)
+        overlay.insert_fact(Fact("R", 1, 2))
+        result = engine.solve_delta(db, overlay, "RR")
+        assert result.answer == CertaintyEngine().solve(
+            overlay.commit(), "RR"
+        ).answer
+        with pytest.raises(ValueError):
+            engine.solve_delta(
+                DatabaseInstance.empty(), overlay, "RR"
+            )
+
+    def test_forced_method_falls_back_to_full(self):
+        engine = CertaintyEngine()
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 2)])
+        result = engine.solve_delta(
+            db, Delta.inserting(("R", 2, 3)), "RRX", method="fixpoint"
+        )
+        assert result.method == "fixpoint"
+        assert result.details["incremental"] is False
+        assert engine.stats.full_resolves == 1
+        assert engine.stats.incremental_hits == 0
+
+    def test_generalized_query_full_solve(self):
+        from repro.queries.generalized import GeneralizedPathQuery
+
+        engine = CertaintyEngine()
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 2)])
+        gq = GeneralizedPathQuery("RR", {1: 0})
+        result = engine.solve_delta(db, Delta.inserting(("R", 2, 3)), gq)
+        reference = CertaintyEngine().solve(
+            Delta.inserting(("R", 2, 3)).apply_to(db).commit(), gq
+        )
+        assert result.answer == reference.answer
+        assert result.details["incremental"] is False
+
+
+class TestSolveBatchIter:
+    def _pairs(self, n=8):
+        rng = random.Random(0xBA7)
+        pairs = []
+        for query, _cls in CLASS_QUERIES[:4]:
+            for _ in range(n // 4):
+                pairs.append(
+                    (
+                        random_instance(
+                            rng, 4, 8, sorted(set(query)), 0.5
+                        ),
+                        query,
+                    )
+                )
+        return pairs
+
+    def test_sequential_stream_matches_batch(self):
+        pairs = self._pairs()
+        engine = CertaintyEngine()
+        batch = engine.solve_batch(pairs)
+        streamed = list(engine.solve_batch_iter(pairs))
+        assert [i for i, _ in streamed] == list(range(len(pairs)))
+        assert [r.answer for _, r in streamed] == [r.answer for r in batch]
+        assert [r.method for _, r in streamed] == [r.method for r in batch]
+
+    def test_sequential_stream_is_lazy(self):
+        pairs = self._pairs()
+        engine = CertaintyEngine()
+        iterator = engine.solve_batch_iter(pairs)
+        solves_before = engine.stats.solves
+        index, _result = next(iterator)
+        assert index == 0
+        # Only the first instance has been solved so far.
+        assert engine.stats.solves == solves_before + 1
+        iterator.close()
+
+    def test_parallel_stream_matches_sequential(self):
+        pairs = self._pairs()
+        engine = CertaintyEngine()
+        expected = engine.solve_batch(pairs)
+        streamed = sorted(engine.solve_batch_iter(pairs, workers=2))
+        assert [i for i, _ in streamed] == list(range(len(pairs)))
+        assert [r.answer for _, r in streamed] == [
+            r.answer for r in expected
+        ]
+        assert engine.stats.parallel_batches == 1
+
+
+@pytest.mark.slow
+class TestIncrementalSweep:
+    """Longer randomized update sequences, excluded from the fast lane."""
+
+    @pytest.mark.parametrize("query,_cls", CLASS_QUERIES)
+    def test_long_update_streams(self, query, _cls):
+        rng = random.Random(0x10F6 + sum(map(ord, query)))
+        alphabet = sorted(set(query))
+        engine = CertaintyEngine()
+        reference = CertaintyEngine()
+        db = random_instance(rng, 6, 10, alphabet, 0.5)
+        for _step in range(40):
+            overlay = random_update(rng, db, alphabet, n_constants=7)
+            delta = Delta(
+                removes=tuple(sorted(overlay.removed_facts)),
+                inserts=tuple(sorted(overlay.added_facts)),
+            )
+            result = engine.solve_delta(db, delta, query)
+            db = delta.apply_to(db).commit()
+            assert result.answer == reference.solve(db, query).answer
