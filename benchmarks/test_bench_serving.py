@@ -1,0 +1,109 @@
+"""E17: shard-warm async serving vs per-call solves.
+
+The serving scenario of the PR 3 subsystem: a resident fleet of
+databases behind the :class:`~repro.serving.server.AsyncCertaintyServer`,
+receiving a mixed FO / NL-complete / PTIME-complete request stream that
+keeps re-asking the same ``(instance, query)`` pairs.  The baseline
+answers every request with a per-call solve through a warm plan cache
+(PR 1's ``solve_batch``); the serving path answers from each shard's
+maintained fixpoint state after one cold solve per distinct pair, and
+coalesces identical concurrent requests inside micro-batches.  The
+headline assertion pins the serving throughput at >= 2x the per-call
+baseline (measured two to three orders of magnitude higher); answers are
+verified equal along the stream.
+
+``REPRO_BENCH_QUICK=1`` shrinks the fleet and the stream for the CI
+smoke job; the >= 2x floor is the acceptance bound either way.
+"""
+
+import asyncio
+import os
+
+from repro.serving import AsyncCertaintyServer
+from repro.serving.bench import run_serving_benchmark
+from repro.workloads.generators import chain_instance
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+SPEEDUP_FLOOR = 2.0
+NUM_INSTANCES = 3 if QUICK else 6
+REPETITIONS = 12 if QUICK else 40
+N_REQUESTS = 90 if QUICK else 240
+
+
+def test_bench_serving_throughput_floor():
+    """Shard-warm serving is >= 2x per-call solve_batch (the E17 claim)."""
+    # Serving wall time is tiny (tens of microseconds per request), so a
+    # scheduler hiccup inside the measured window could sink the ratio;
+    # take the best of three passes.  Noise in the (much slower) naive
+    # loop only overstates the baseline, which cannot fake a pass.
+    best = None
+    for _pass in range(3):
+        report = run_serving_benchmark(
+            num_shards=4,
+            num_instances=NUM_INSTANCES,
+            repetitions=REPETITIONS,
+            n_requests=N_REQUESTS,
+        )
+        assert report["agrees"], "serving answers diverged from per-call"
+        if best is None or report["speedup"] > best["speedup"]:
+            best = report
+        if best["speedup"] >= 10 * SPEEDUP_FLOOR:
+            break
+    assert best["speedup"] >= SPEEDUP_FLOOR, (
+        "expected >= {}x shard-warm serving speedup, measured {:.1f}x "
+        "(per-call {:.4f}s vs serving {:.4f}s over {} requests)".format(
+            SPEEDUP_FLOOR,
+            best["speedup"],
+            best["naive_seconds"],
+            best["serving_seconds"],
+            best["requests"],
+        )
+    )
+
+
+def test_bench_serving_stays_warm():
+    """After the warm pass, no shard performs another cold solve."""
+    report = run_serving_benchmark(
+        num_shards=4,
+        num_instances=NUM_INSTANCES,
+        repetitions=REPETITIONS,
+        n_requests=N_REQUESTS,
+    )
+    shards = report["server_stats"]["shards"]
+    distinct_pairs = NUM_INSTANCES * 3  # every (instance, query) combination
+    cold = sum(s["cold_solves"] for s in shards)
+    assert cold == distinct_pairs, (
+        "expected exactly one cold solve per distinct pair, got {} "
+        "(distinct pairs: {})".format(cold, distinct_pairs)
+    )
+    # Every measured request was served warm -- from the maintained state
+    # directly, or by fan-out from a coalesced companion's result.
+    warm = sum(s["warm_hits"] for s in shards)
+    coalesced = sum(s["coalesced"] for s in shards)
+    assert warm + coalesced >= report["requests"]
+
+
+def test_bench_serving_latency_bound_smoke():
+    """max_delay is a *bound*: a lone request is served after at most the
+    coalescing window -- the batcher never holds it until the batch fills."""
+
+    async def lone_request():
+        async with AsyncCertaintyServer(
+            num_shards=1, max_delay=0.05, max_batch=8
+        ) as server:
+            await server.register(
+                "toy", chain_instance("RRX", repetitions=3, conflict_every=3)
+            )
+            await server.solve("toy", "RRX")  # warm
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            await server.solve("toy", "RRX")
+            return loop.time() - start
+
+    elapsed = asyncio.run(lone_request())
+    # The lone request pays at most the 50ms coalescing window plus the
+    # (microsecond) warm execution; a batch-full batcher would hang here.
+    assert elapsed < 0.5, (
+        "lone request exceeded the max-latency bound: {:.3f}s".format(elapsed)
+    )

@@ -5,6 +5,8 @@ Usage (after ``pip install -e .``)::
     python -m repro classify RRX ARRX RXRYRY
     python -m repro solve RRX --triples "R,0,1;R,1,2;R,1,3;R,2,3;X,3,4"
     python -m repro batch RRX --facts db1.txt db2.txt db3.txt --workers 4
+    python -m repro serve --instance orders=db1.txt --workload reqs.txt
+    python -m repro bench-serve --shards 4 --requests 240
     python -m repro answers RR --triples "R,0,1;R,1,2;R,2,3"
     python -m repro atlas
     python -m repro report --trials 10
@@ -16,6 +18,13 @@ CLI inputs match the Python examples.
 ``solve`` and ``batch`` route through one :class:`CertaintyEngine`: the
 query is compiled once and every instance reuses the cached plan
 (``batch`` additionally fans out over ``--workers`` processes).
+
+``serve`` runs a request workload through the sharded async serving
+layer (:mod:`repro.serving`): named instances become shard residents,
+``solve``/``delta`` lines are admitted concurrently, and per-shard
+warm/cold statistics are reported at the end.  ``bench-serve`` runs the
+mixed-workload benchmark comparing shard-warm serving against per-call
+solves.  See ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -131,6 +140,176 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if all(r.answer for r in results) else 1
 
 
+def _parse_delta_edits(text: str):
+    """Parse ``"+R,0,1;-R,1,2"`` into a :class:`repro.db.delta.Delta`."""
+    from repro.db.delta import Delta
+
+    inserts, removes = [], []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if chunk[0] not in "+-" or len(chunk) < 2:
+            raise ValueError(
+                "delta edit must be +relation,key,value or "
+                "-relation,key,value, got {!r}".format(chunk)
+            )
+        triple = parse_triples(chunk[1:])[0]
+        (inserts if chunk[0] == "+" else removes).append(triple)
+    return Delta.removing(*removes).then_inserting(*inserts)
+
+
+def parse_workload(lines) -> List[Tuple[str, str, str, Optional[str]]]:
+    """Parse serve-workload lines into ``(op, name, query, edits)`` tuples.
+
+    Two request forms (blank lines and ``#`` comments are skipped)::
+
+        solve NAME QUERY
+        delta NAME QUERY +R,0,1;-R,1,2
+    """
+    requests = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "solve" and len(parts) == 3:
+            requests.append(("solve", parts[1], parts[2], None))
+        elif parts[0] == "delta" and len(parts) == 4:
+            requests.append(("delta", parts[1], parts[2], parts[3]))
+        else:
+            raise SystemExit(
+                "workload line {}: expected 'solve NAME QUERY' or "
+                "'delta NAME QUERY EDITS', got {!r}".format(lineno, line)
+            )
+    return requests
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving import AsyncCertaintyServer
+
+    instances = {}
+    for spec in args.instance:
+        name, _, path = spec.partition("=")
+        if not path:
+            raise SystemExit(
+                "--instance expects NAME=FILE, got {!r}".format(spec)
+            )
+        with open(path) as handle:
+            instances[name] = DatabaseInstance.from_triples(
+                parse_triples(handle.read())
+            )
+    if args.workload:
+        with open(args.workload) as handle:
+            requests = parse_workload(handle)
+    else:
+        requests = parse_workload(sys.stdin)
+
+    async def _run():
+        async with AsyncCertaintyServer(
+            num_shards=args.shards,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+        ) as server:
+            for name, db in sorted(instances.items()):
+                await server.register(name, db)
+
+            async def one(op, name, query, edits):
+                if op == "delta":
+                    return await server.solve_delta(
+                        name, _parse_delta_edits(edits), query
+                    )
+                return await server.solve(name, query)
+
+            # One failing request (unknown name, bad edit string) must
+            # not abort its siblings: collect exceptions per row.
+            results = await asyncio.gather(
+                *(one(*request) for request in requests),
+                return_exceptions=True,
+            )
+            return results, server.stats()
+
+    results, stats = asyncio.run(_run())
+    failures = 0
+    table = Table(["#", "op", "instance", "query", "answer", "method"])
+    for index, ((op, name, query, _edits), result) in enumerate(
+        zip(requests, results)
+    ):
+        if isinstance(result, BaseException):
+            failures += 1
+            answer, method = "error", "{}: {}".format(
+                type(result).__name__, result
+            )
+        else:
+            answer = "certain" if result.answer else "not certain"
+            method = result.method
+        table.add_row([index, op, name, query, answer, method])
+    print(table.render())
+    if args.stats:
+        admission = stats["admission"]
+        print(
+            "admission: submitted={} completed={} failed={}".format(
+                admission["submitted"],
+                admission["completed"],
+                admission["failed"],
+            )
+        )
+        for shard in stats["shards"]:
+            if not shard["requests"]:
+                continue
+            print(
+                "shard {}: requests={} batches={} mean_batch={:.1f} "
+                "coalesced={} warm={} cold={}".format(
+                    shard["shard"],
+                    shard["requests"],
+                    shard["batches"],
+                    shard["mean_batch_size"],
+                    shard["coalesced"],
+                    shard["warm_hits"],
+                    shard["cold_solves"],
+                )
+            )
+    if failures:
+        return 2
+    return 0 if all(r.answer for r in results) else 1
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serving.bench import run_serving_benchmark
+
+    report = run_serving_benchmark(
+        num_shards=args.shards,
+        num_instances=args.instances,
+        repetitions=args.repetitions,
+        n_requests=args.requests,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+    )
+    table = Table(["path", "seconds", "requests/s"])
+    table.add_row(
+        ["per-call solve_batch", "{:.4f}".format(report["naive_seconds"]),
+         "{:.0f}".format(report["naive_rps"])]
+    )
+    table.add_row(
+        ["sharded async serving", "{:.4f}".format(report["serving_seconds"]),
+         "{:.0f}".format(report["serving_rps"])]
+    )
+    print(table.render())
+    print(
+        "speedup: {:.1f}x over {} requests on {} shards "
+        "(answers agree: {}, warm hits: {})".format(
+            report["speedup"],
+            report["requests"],
+            report["num_shards"],
+            report["agrees"],
+            report["warm_hits"],
+        )
+    )
+    return 0 if report["agrees"] else 1
+
+
 def _cmd_answers(args: argparse.Namespace) -> int:
     db = _load_instance(args)
     if args.position == "head":
@@ -213,6 +392,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print engine statistics"
     )
     batch_parser.set_defaults(handler=_cmd_batch)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run a request workload through the sharded async serving layer",
+    )
+    serve_parser.add_argument(
+        "--instance",
+        action="append",
+        default=[],
+        metavar="NAME=FILE",
+        help="register FILE (one triple per line) as the resident NAME",
+    )
+    serve_parser.add_argument(
+        "--workload",
+        help="file of 'solve NAME QUERY' / 'delta NAME QUERY EDITS' lines "
+        "(default: stdin)",
+    )
+    serve_parser.add_argument("--shards", type=int, default=4)
+    serve_parser.add_argument("--max-batch", type=int, default=32)
+    serve_parser.add_argument("--max-delay", type=float, default=0.002)
+    serve_parser.add_argument(
+        "--stats", action="store_true", help="print admission and shard stats"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    bench_serve_parser = commands.add_parser(
+        "bench-serve",
+        help="benchmark shard-warm async serving against per-call solves",
+    )
+    bench_serve_parser.add_argument("--shards", type=int, default=4)
+    bench_serve_parser.add_argument("--instances", type=int, default=6)
+    bench_serve_parser.add_argument("--repetitions", type=int, default=40)
+    bench_serve_parser.add_argument("--requests", type=int, default=240)
+    bench_serve_parser.add_argument("--max-batch", type=int, default=32)
+    bench_serve_parser.add_argument("--max-delay", type=float, default=0.001)
+    bench_serve_parser.set_defaults(handler=_cmd_bench_serve)
 
     answers_parser = commands.add_parser(
         "answers", help="certain answers of the unary query q(x)"

@@ -14,6 +14,35 @@ Block is rebuilt and no Fact re-sorted outside the touched blocks.
 :class:`Delta` is the immutable description of an update batch (facts to
 remove, facts to insert) that the certainty engine's ``solve_delta``
 accepts; it applies removals before insertions.
+
+The copy-on-write overlay contract
+----------------------------------
+
+Consumers (the engine's ``solve_delta``, ``FixpointState.apply_delta``,
+the serving layer's shard workers) rely on these invariants:
+
+* **The base is never mutated.**  Every read on the overlay
+  (``block``, ``out_facts``, ``facts``, ``adom`` ...) sees base +
+  edits; the base instance stays valid, hashable, and cache-keyable
+  throughout.  Committing does not invalidate the overlay either --
+  further edits and a re-commit are allowed.
+* **Exposed deltas are effective, not literal.**  ``added_facts`` /
+  ``removed_facts`` cancel round-trips: inserting a fact that was just
+  removed yields an empty effective delta.  Incremental maintainers may
+  therefore treat them as a set difference between base and overlay.
+* **Cost is O(edits), not O(db).**  Edits patch only the touched
+  blocks, the refcount deltas, and the touched out-edge entries;
+  ``commit()`` shallow-copies the base's index dicts (C-level copies,
+  linear in *entries* but with no re-sorting, re-hashing, or Block
+  reconstruction outside touched blocks).
+* **Commit is memoized and aliasing-safe.**  ``commit()`` returns the
+  same instance object until the next edit, so the engine (which
+  commits to key its state cache) and a registry holding the committed
+  instance agree by identity, not just value.  An overlay with no
+  effective edits commits to the base itself.
+* **Value-equal means interchangeable.**  A committed instance equals
+  (``==``, ``hash``) a from-scratch ``DatabaseInstance`` with the same
+  facts; caches keyed by instance may mix both freely.
 """
 
 from __future__ import annotations
@@ -109,7 +138,14 @@ class DeltaInstance:
     True
     """
 
-    __slots__ = ("_base", "_touched", "_added", "_removed", "_ref_delta")
+    __slots__ = (
+        "_base",
+        "_touched",
+        "_added",
+        "_removed",
+        "_ref_delta",
+        "_committed",
+    )
 
     def __init__(self, base: DatabaseInstance) -> None:
         self._base = base
@@ -119,6 +155,8 @@ class DeltaInstance:
         self._removed: Set[Fact] = set()
         #: Net refcount change per constant (key + value occurrences).
         self._ref_delta: Dict[Hashable, int] = {}
+        #: Memoized result of commit(); invalidated by every edit.
+        self._committed: Optional[DatabaseInstance] = None
 
     # ------------------------------------------------------------------
     # Edits
@@ -163,6 +201,7 @@ class DeltaInstance:
             fact = Fact(*fact)
         if fact in self:
             return False
+        self._committed = None
         self._block_facts(fact.block_id).append(fact)
         if fact in self._removed:
             self._removed.discard(fact)
@@ -178,6 +217,7 @@ class DeltaInstance:
             fact = Fact(*fact)
         if fact not in self:
             return False
+        self._committed = None
         self._block_facts(fact.block_id).remove(fact)
         if fact in self._added:
             self._added.discard(fact)
@@ -274,9 +314,19 @@ class DeltaInstance:
         are shallow-copied and only the entries for touched blocks are
         rebuilt, so commit cost is O(delta) block work on top of the
         C-level dict copies (no per-fact re-sorting or re-hashing).
+
+        The result is memoized until the next edit, so committing the
+        same overlay twice (the engine commits inside ``solve_delta``;
+        the serving layer commits again to advance its registry) pays the
+        dict copies once and both callers share one instance object.
         """
+        if self._committed is not None:
+            return self._committed
         base = self._base
-        if not self._touched and not self._added and not self._removed:
+        if not self._added and not self._removed:
+            # No *effective* edits (round-trips cancelled out): the
+            # touched blocks hold exactly their base facts, so the
+            # overlay commits to the base itself.
             return base
         facts = self.facts
         blocks = dict(base._blocks)
@@ -298,13 +348,14 @@ class DeltaInstance:
             else:
                 refcounts.pop(constant, None)
         adom = frozenset(refcounts)
-        return DatabaseInstance._from_parts(
+        self._committed = DatabaseInstance._from_parts(
             facts=facts,
             blocks=blocks,
             adom=adom,
             out_index=out_index,
             refcounts=refcounts,
         )
+        return self._committed
 
     def __str__(self) -> str:
         return "DeltaInstance(+{}, -{} over {} facts)".format(

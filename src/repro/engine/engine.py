@@ -22,6 +22,36 @@ query word (generalized queries by the query itself), per-engine counters
 ``certain_answer`` is a thin shim over the process-wide
 :func:`default_engine`, so library users get plan caching for free;
 construct a private engine to isolate caches or statistics.
+
+The plan-LRU contract
+---------------------
+
+The plan cache is keyed by the *query word* (generalized queries with
+constants by the query itself), so ``"RRX"``, ``Word("RRX")`` and
+``PathQuery("RRX")`` share one plan.  Invariants callers may rely on:
+
+* **Plans are immutable after compilation** (lazily built members --
+  NFA, DFA, FO sentence -- are compute-once and idempotent), so a plan
+  may be handed to any number of threads or fork-started workers; the
+  LRU never mutates a plan, only drops references.
+* **Eviction is capacity-only.**  A plan is evicted solely when the
+  cache exceeds ``cache_size`` (least recently used first); there is no
+  TTL, and eviction never invalidates results -- a re-compile produces
+  an equivalent plan.  ``cache_size=0`` disables caching (every solve
+  recompiles; the measured pre-engine baseline).
+* **Counters**: ``stats.compiles`` counts cache misses (plan
+  constructions), ``stats.cache_hits`` counts served lookups; both are
+  monotone between ``stats.reset()`` calls.  Concurrent misses on the
+  same key may each compile (the lock covers bookkeeping, not
+  compilation -- plans are equivalent, so last-write-wins is safe).
+
+The *state* cache (incremental :class:`FixpointState`\\ s keyed by
+``(plan key, instance)``) lives in a separate
+:class:`~repro.solvers.state_cache.StateCache` with checkout semantics
+-- see that module for its contract.  ``solve_delta`` checks a state
+out, folds the delta in, reads the answer, and only then publishes the
+state back under the updated instance's key, so a state observable in
+the cache is never mid-mutation.
 """
 
 from __future__ import annotations
@@ -52,6 +82,7 @@ from repro.queries.generalized import GeneralizedPathQuery
 from repro.queries.path_query import PathQuery
 from repro.solvers.fixpoint import FixpointState, certain_answer_incremental
 from repro.solvers.result import CertaintyResult
+from repro.solvers.state_cache import StateCache
 from repro.words.word import Word
 
 EngineQuery = Union[str, Word, PathQuery, GeneralizedPathQuery]
@@ -160,18 +191,13 @@ class CertaintyEngine:
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
-        if state_cache_size < 0:
-            raise ValueError("state_cache_size must be >= 0")
         self.cache_size = cache_size
-        self.state_cache_size = state_cache_size
         self.stats = EngineStats()
         self._plans: "OrderedDict[Hashable, object]" = OrderedDict()
         #: Maintained fixpoint states, keyed by (plan key, instance); the
         #: instance key advances as deltas are applied, so a stream of
         #: updates against the same logical database keeps hitting.
-        self._states: "OrderedDict[Tuple[Hashable, DatabaseInstance], FixpointState]" = (
-            OrderedDict()
-        )
+        self.state_cache = StateCache(state_cache_size)
         # Guards the LRU bookkeeping: certain_answer was thread-safe
         # before it routed through a shared engine, so it must stay so.
         self._cache_lock = threading.Lock()
@@ -222,12 +248,13 @@ class CertaintyEngine:
             "max_size": self.cache_size,
             "hits": self.stats.cache_hits,
             "compiles": self.stats.compiles,
+            "states": self.state_cache.info(),
         }
 
     def clear_cache(self) -> None:
         with self._cache_lock:
             self._plans.clear()
-            self._states.clear()
+        self.state_cache.clear()
 
     # ------------------------------------------------------------------
     # Solving
@@ -278,20 +305,6 @@ class CertaintyEngine:
     # ------------------------------------------------------------------
     # Incremental solving
     # ------------------------------------------------------------------
-
-    def _state_get(self, key) -> Optional[FixpointState]:
-        with self._cache_lock:
-            state = self._states.pop(key, None)
-        return state
-
-    def _state_put(self, key, state: FixpointState) -> None:
-        if self.state_cache_size == 0:
-            return
-        with self._cache_lock:
-            self._states[key] = state
-            self._states.move_to_end(key)
-            while len(self._states) > self.state_cache_size:
-                self._states.popitem(last=False)
 
     def solve_delta(
         self,
@@ -356,7 +369,7 @@ class CertaintyEngine:
             return result
 
         key = self._cache_key(query)
-        state = self._state_get((key, db))
+        state = self.state_cache.take((key, db))
         fresh_state = state is None
         if fresh_state:
             state = FixpointState.compute(new_db, plan.word, tables=plan.tables)
@@ -370,9 +383,9 @@ class CertaintyEngine:
             state, require_c3=False, is_c3=is_c3
         )
         # Publish only after the answer has been read off the state: a
-        # concurrent solve_delta popping the entry would mutate it in
-        # place while certain_answer_incremental iterates it.
-        self._state_put((key, new_db), state)
+        # concurrent solve_delta checking the entry out would mutate it
+        # in place while certain_answer_incremental iterates it.
+        self.state_cache.put((key, new_db), state)
         if not is_c3 and result.answer:
             # C3-violating query and the pre-filter did not dismiss it:
             # the maintained "yes" is unsound, re-solve fully via SAT.

@@ -1,0 +1,43 @@
+"""The sharded async serving layer in front of the certainty engine.
+
+Where :mod:`repro.engine` made *compilation* pay once per query (PR 1)
+and the incremental layer made *execution* pay once per delta (PR 2),
+this package makes both survive **across requests**: registered
+:class:`~repro.db.instance.DatabaseInstance`\\ s live on shards, each
+served by a persistent worker whose engine -- plan LRU plus the
+:class:`~repro.solvers.state_cache.StateCache` of maintained
+:class:`~repro.solvers.fixpoint.FixpointState`\\ s -- stays warm for the
+process lifetime.  Concurrent ``await``\\ s coalesce into per-shard
+micro-batches with a bounded added latency.
+
+* :class:`ShardRouter` -- hash or explicit placement of instances onto
+  shards (sticky; deterministic across processes).
+* :class:`ShardWorker` -- one persistent thread per shard: resident
+  instances, a private engine, the micro-batch drain loop.
+* :class:`AsyncCertaintyServer` -- the asyncio front door:
+  ``await solve(...)``, ``await solve_delta(...)``, admission stats and
+  per-shard warm/cold counters via :meth:`AsyncCertaintyServer.stats`.
+* :mod:`repro.serving.bench` -- the mixed-workload benchmark behind
+  ``python -m repro bench-serve`` and the pinned >= 2x throughput
+  assertion.
+
+See ``docs/serving.md`` for the architecture and a worked example.
+"""
+
+from repro.serving.server import AsyncCertaintyServer
+from repro.serving.shard import (
+    EMPTY_DELTA,
+    ShardRequest,
+    ShardRouter,
+    ShardWorker,
+    stable_shard,
+)
+
+__all__ = [
+    "AsyncCertaintyServer",
+    "EMPTY_DELTA",
+    "ShardRequest",
+    "ShardRouter",
+    "ShardWorker",
+    "stable_shard",
+]

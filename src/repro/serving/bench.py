@@ -1,0 +1,132 @@
+"""The serving benchmark: shard-warm async throughput vs per-call solves.
+
+Shared by ``python -m repro bench-serve`` and
+``benchmarks/test_bench_serving.py`` so the CLI demo and the pinned
+assertion measure the same workload the same way.
+
+The workload is the serving scenario the subsystem exists for: a fixed
+fleet of resident databases, a mixed FO / NL-complete / PTIME-complete
+query set, and a request stream that keeps re-asking those pairs (as
+traffic from many clients does).  The **naive** baseline answers each
+request with a per-call solve through a warm *plan* cache -- PR 1's
+``solve_batch``, re-running the per-instance solver every time.  The
+**serving** path routes the same stream through the
+:class:`~repro.serving.server.AsyncCertaintyServer`: after one cold solve
+per distinct ``(instance, query)`` pair, every request is answered from
+the shard's maintained fixpoint state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Tuple
+
+from repro.db.instance import DatabaseInstance
+from repro.engine import CertaintyEngine
+from repro.serving.server import AsyncCertaintyServer
+from repro.workloads.generators import chain_instance
+
+#: One query per polynomial-time route of the tetrachotomy (all C3, so
+#: the maintained state answers them exactly).
+MIXED_QUERIES: Tuple[Tuple[str, str], ...] = (
+    ("RXRX", "FO"),
+    ("RRX", "NL-complete"),
+    ("RXRYRY", "PTIME-complete"),
+)
+
+
+def mixed_workload(
+    num_instances: int = 6,
+    repetitions: int = 40,
+    n_requests: int = 240,
+) -> Tuple[Dict[str, DatabaseInstance], List[Tuple[str, str]]]:
+    """Named chain instances plus a round-robin request stream.
+
+    Chains are built per query family (so every query has instances it
+    can traverse) with a conflicting dead-end branch every few nodes;
+    sizes stagger with the index so shards hold unequal residents.
+    """
+    instances: Dict[str, DatabaseInstance] = {}
+    for i in range(num_instances):
+        query = MIXED_QUERIES[i % len(MIXED_QUERIES)][0]
+        instances["db{}".format(i)] = chain_instance(
+            query,
+            repetitions=repetitions + 3 * i,
+            conflict_every=4,
+        )
+    names = sorted(instances)
+    # Walk every (instance, query) combination so each shard maintains
+    # several states per resident, not one hot pair.
+    requests = [
+        (
+            names[i % len(names)],
+            MIXED_QUERIES[(i // len(names)) % len(MIXED_QUERIES)][0],
+        )
+        for i in range(n_requests)
+    ]
+    return instances, requests
+
+
+def run_serving_benchmark(
+    num_shards: int = 4,
+    num_instances: int = 6,
+    repetitions: int = 40,
+    n_requests: int = 240,
+    max_batch: int = 32,
+    max_delay: float = 0.001,
+) -> Dict[str, object]:
+    """Measure the request stream both ways; returns the comparison.
+
+    The returned dict carries ``naive_seconds`` / ``serving_seconds``
+    (measured over the same *n_requests* stream, shard states warm),
+    ``speedup``, both throughputs in requests/second, ``agrees`` (the
+    answer streams are identical), and the server's final ``stats()``.
+    """
+    instances, requests = mixed_workload(
+        num_instances=num_instances,
+        repetitions=repetitions,
+        n_requests=n_requests,
+    )
+
+    # -- Naive per-call baseline: warm plans, cold per-instance solves.
+    naive_engine = CertaintyEngine()
+    for _, query in MIXED_QUERIES:
+        naive_engine.compile(query)
+    pairs = [(instances[name], query) for name, query in requests]
+    start = time.perf_counter()
+    naive_results = naive_engine.solve_batch(pairs)
+    naive_seconds = time.perf_counter() - start
+
+    # -- Sharded serving: register, warm each distinct pair once, then
+    #    time the identical stream end-to-end through the async API.
+    async def _serve():
+        async with AsyncCertaintyServer(
+            num_shards=num_shards, max_batch=max_batch, max_delay=max_delay
+        ) as server:
+            for name, db in sorted(instances.items()):
+                await server.register(name, db)
+            distinct = sorted(set(requests))
+            await server.solve_many(distinct)  # one cold solve per pair
+            start = time.perf_counter()
+            results = await server.solve_many(requests)
+            seconds = time.perf_counter() - start
+            return results, seconds, server.stats()
+
+    serving_results, serving_seconds, server_stats = asyncio.run(_serve())
+
+    answers_naive = [r.answer for r in naive_results]
+    answers_serving = [r.answer for r in serving_results]
+    warm_hits = sum(s["warm_hits"] for s in server_stats["shards"])
+    return {
+        "requests": len(requests),
+        "num_shards": num_shards,
+        "naive_seconds": naive_seconds,
+        "serving_seconds": serving_seconds,
+        "speedup": naive_seconds / serving_seconds,
+        "naive_rps": len(requests) / naive_seconds,
+        "serving_rps": len(requests) / serving_seconds,
+        "agrees": answers_naive == answers_serving,
+        "warm_hits": warm_hits,
+        "server_stats": server_stats,
+    }

@@ -1,0 +1,241 @@
+"""The asyncio front door: admission, routing, and micro-batched dispatch.
+
+:class:`AsyncCertaintyServer` is the serving subsystem's public surface.
+Client coroutines ``await`` CERTAINTY decisions; the server routes each
+request to the shard owning its instance (via the
+:class:`~repro.serving.shard.ShardRouter`), where a persistent
+:class:`~repro.serving.shard.ShardWorker` drains requests in
+micro-batches through its warm engine.  Because everything stays in one
+process, plans and maintained fixpoint states are *shared by reference*
+between requests -- the cross-process plan-sharing problem of
+spawn-start multiprocessing pools does not exist here.
+
+>>> import asyncio
+>>> from repro.db.instance import DatabaseInstance
+>>> async def demo():
+...     async with AsyncCertaintyServer(num_shards=2) as server:
+...         db = DatabaseInstance.from_triples(
+...             [("R", 0, 1), ("R", 1, 2), ("X", 2, 3)])
+...         await server.register("toy", db)
+...         first = await server.solve("toy", "RRX")
+...         again = await server.solve("toy", "RRX")   # served shard-warm
+...         return first.answer, again.answer
+>>> asyncio.run(demo())
+(True, True)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.db.delta import Delta
+from repro.db.instance import DatabaseInstance
+from repro.engine.engine import CertaintyEngine, EngineQuery
+from repro.serving.shard import ShardRequest, ShardRouter, ShardWorker
+from repro.solvers.result import CertaintyResult
+
+Target = Union[str, DatabaseInstance]
+
+
+class AsyncCertaintyServer:
+    """Async serving layer over sharded certainty engines.
+
+    *num_shards* workers are spawned on :meth:`start` (or on entering the
+    ``async with`` block); each owns a private engine built by
+    *engine_factory*.  *max_batch* / *max_delay* tune the per-shard
+    micro-batcher: the first request of a batch waits at most *max_delay*
+    seconds for companions, so worst-case added latency is bounded while
+    bursts are served in one drain (identical concurrent reads coalesce
+    into a single engine call).
+
+    The server must be used from a running event loop; all public
+    coroutines are safe to call concurrently.  Operations on the *same*
+    instance are totally ordered by its shard's queue, so a ``solve``
+    awaited after a ``solve_delta`` on the same name observes the update.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        router: Optional[ShardRouter] = None,
+        max_batch: int = 32,
+        max_delay: float = 0.002,
+        engine_factory=CertaintyEngine,
+    ) -> None:
+        self.router = router or ShardRouter(num_shards)
+        if router is not None:
+            num_shards = router.num_shards
+        self.workers: List[ShardWorker] = [
+            ShardWorker(
+                shard,
+                engine_factory=engine_factory,
+                max_batch=max_batch,
+                max_delay=max_delay,
+            )
+            for shard in range(num_shards)
+        ]
+        self._started = False
+        self._closed = False
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "AsyncCertaintyServer":
+        """Spawn the shard workers (idempotent until :meth:`close`)."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if not self._started:
+            for worker in self.workers:
+                worker.start()
+            self._started = True
+        return self
+
+    def close(self) -> None:
+        """Drain and stop every shard worker (idempotent)."""
+        if self._started:
+            for worker in self.workers:
+                worker.stop()
+        self._started = False
+        self._closed = True
+
+    async def __aenter__(self) -> "AsyncCertaintyServer":
+        return self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, shard: int, request: ShardRequest):
+        if not self._started:
+            raise RuntimeError(
+                "server not running (use 'async with' or call start())"
+            )
+        loop = asyncio.get_running_loop()
+        request.loop = loop
+        request.future = loop.create_future()
+        request.future.add_done_callback(self._account)
+        self._submitted += 1
+        self.workers[shard].submit(request)
+        return await request.future
+
+    def _account(self, future: "asyncio.Future") -> None:
+        if future.cancelled() or future.exception() is not None:
+            self._failed += 1
+        else:
+            self._completed += 1
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    async def register(
+        self,
+        name: str,
+        db: DatabaseInstance,
+        shard: Optional[int] = None,
+    ) -> int:
+        """Make *db* resident under *name*; returns its shard.
+
+        Placement is sticky (see :meth:`ShardRouter.register`);
+        re-registering a name on its own shard replaces the instance.
+        """
+        placed = self.router.register(name, shard=shard)
+        await self._dispatch(placed, ShardRequest("register", name=name, db=db))
+        return placed
+
+    async def solve(
+        self,
+        target: Target,
+        query: EngineQuery,
+        method: str = "auto",
+    ) -> CertaintyResult:
+        """Decide CERTAINTY(query) for *target*.
+
+        A string *target* names a resident instance -- served from the
+        shard's warm state (``method="auto"``) or through a forced
+        solver.  A raw :class:`DatabaseInstance` rides through its
+        content-hash shard with a warm plan cache but no resident state.
+        """
+        shard = self.router.shard_of(target)
+        if isinstance(target, str):
+            request = ShardRequest(
+                "solve", name=target, query=query, method=method
+            )
+        else:
+            request = ShardRequest(
+                "solve", db=target, query=query, method=method
+            )
+        return await self._dispatch(shard, request)
+
+    async def solve_delta(
+        self,
+        name: str,
+        delta: Delta,
+        query: EngineQuery,
+        method: str = "auto",
+    ) -> CertaintyResult:
+        """Apply *delta* to the resident instance *name* and decide
+        CERTAINTY(query) on the result.
+
+        The shard folds the delta into its maintained state (O(delta)
+        solver work on the C3 routes) and advances the registry, so
+        subsequent reads observe -- and stay warm on -- the updated
+        instance.
+        """
+        shard = self.router.shard_of(name)
+        request = ShardRequest(
+            "delta", name=name, delta=delta, query=query, method=method
+        )
+        return await self._dispatch(shard, request)
+
+    async def solve_many(
+        self,
+        requests: Iterable[Tuple[Target, EngineQuery]],
+        method: str = "auto",
+    ) -> List[CertaintyResult]:
+        """Gather ``solve`` over *requests*, preserving order.
+
+        Concurrent admission is the point: requests hitting the same
+        shard coalesce into micro-batches, different shards proceed
+        independently.
+        """
+        return list(
+            await asyncio.gather(
+                *(
+                    self.solve(target, query, method=method)
+                    for target, query in requests
+                )
+            )
+        )
+
+    async def get_instance(self, name: str) -> DatabaseInstance:
+        """The current resident instance for *name* (shard-ordered read)."""
+        shard = self.router.shard_of(name)
+        return await self._dispatch(shard, ShardRequest("get", name=name))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Admission counters plus per-shard worker/engine statistics."""
+        completed = self._completed
+        failed = self._failed
+        return {
+            "admission": {
+                "submitted": self._submitted,
+                "completed": completed,
+                "failed": failed,
+                "in_flight": self._submitted - completed - failed,
+            },
+            "placement": self.router.assignments(),
+            "shards": [worker.stats() for worker in self.workers],
+        }

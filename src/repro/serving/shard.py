@@ -1,0 +1,387 @@
+"""Shards: locality-aware placement of instances and persistent workers.
+
+A flat multiprocessing fan-out (the engine's ``workers=N`` pools) ships
+every instance to whichever process is free, so nothing stays warm: on
+spawn-start platforms each call re-pickles the database and the worker
+recompiles plans it has seen before.  The serving layer instead treats
+registered :class:`~repro.db.instance.DatabaseInstance`\\ s as residents
+of **shards**.  A :class:`ShardRouter` assigns every instance name to a
+shard -- by stable hash, or by explicit placement for operators who know
+their hot keys -- and every request for that instance is routed to the
+same shard forever.  Each shard is served by one :class:`ShardWorker`: a
+persistent thread owning a private :class:`~repro.engine.CertaintyEngine`
+(its plan LRU and its :class:`~repro.solvers.state_cache.StateCache` of
+maintained :class:`~repro.solvers.fixpoint.FixpointState`\\ s), so
+repeated queries against a resident instance are answered from warm
+incremental state -- no pickling, no recompilation, no re-running the
+fixpoint.
+
+>>> router = ShardRouter(num_shards=4)
+>>> router.register("orders")  in range(4)      # stable hash placement
+True
+>>> router.register("users", shard=2)           # explicit placement
+2
+>>> router.shard_of("users")
+2
+>>> router.shard_of("orders") == router.shard_of("orders")
+True
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import zlib
+from typing import Callable, Dict, Hashable, List, Optional, Union
+
+from repro.db.delta import Delta
+from repro.db.instance import DatabaseInstance
+from repro.engine.engine import CertaintyEngine, EngineQuery
+
+#: The empty update batch: routes a plain read through ``solve_delta`` so
+#: it is served from (and installs) the maintained fixpoint state.
+EMPTY_DELTA = Delta()
+
+_STOP = object()
+
+
+def stable_shard(name: str, num_shards: int) -> int:
+    """Deterministic shard of *name* (crc32, stable across processes)."""
+    return zlib.crc32(name.encode("utf-8")) % num_shards
+
+
+class ShardRouter:
+    """Partitions instance names over ``num_shards`` shards.
+
+    Placement is sticky: a name registered once keeps its shard for the
+    router's lifetime (explicit placement wins over the hash).  Routing
+    unregistered names is allowed -- they fall back to the stable hash --
+    so the router never blocks admission; the worker decides whether the
+    name actually resolves to a resident instance.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        placement: Optional[Dict[str, int]] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self._placement: Dict[str, int] = {}
+        for name, shard in (placement or {}).items():
+            self.register(name, shard=shard)
+
+    def register(self, name: str, shard: Optional[int] = None) -> int:
+        """Pin *name* to a shard (explicit, or the stable hash) and return it."""
+        if shard is None:
+            shard = self._placement.get(name, stable_shard(name, self.num_shards))
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                "shard {} out of range [0, {})".format(shard, self.num_shards)
+            )
+        current = self._placement.get(name)
+        if current is not None and current != shard:
+            raise ValueError(
+                "{!r} is already placed on shard {}".format(name, current)
+            )
+        self._placement[name] = shard
+        return shard
+
+    def shard_of(self, target: Union[str, DatabaseInstance]) -> int:
+        """The shard serving *target* (a registered/ad-hoc name, or a raw
+        instance routed by its content hash)."""
+        if isinstance(target, str):
+            placed = self._placement.get(target)
+            if placed is not None:
+                return placed
+            return stable_shard(target, self.num_shards)
+        return hash(target) % self.num_shards
+
+    def assignments(self) -> Dict[str, int]:
+        """Registered name -> shard (a copy)."""
+        return dict(self._placement)
+
+
+class ShardRequest:
+    """One operation bound for a shard worker.
+
+    *op* is ``"solve"``, ``"delta"``, ``"register"`` or ``"get"``.  The
+    worker fulfils the request by calling :meth:`resolve` or :meth:`fail`;
+    with an asyncio *loop* and *future* attached the completion is posted
+    thread-safely onto the loop, otherwise it is stored on the request
+    (the synchronous path used by direct ``execute()`` calls and tests).
+    """
+
+    __slots__ = (
+        "op",
+        "name",
+        "db",
+        "delta",
+        "query",
+        "method",
+        "loop",
+        "future",
+        "result",
+        "error",
+    )
+
+    def __init__(
+        self,
+        op: str,
+        name: Optional[str] = None,
+        db: Optional[DatabaseInstance] = None,
+        delta: Optional[Delta] = None,
+        query: Optional[EngineQuery] = None,
+        method: str = "auto",
+        loop=None,
+        future=None,
+    ) -> None:
+        self.op = op
+        self.name = name
+        self.db = db
+        self.delta = delta
+        self.query = query
+        self.method = method
+        self.loop = loop
+        self.future = future
+        self.result = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, result) -> None:
+        self.result = result
+        if self.future is not None:
+            self.loop.call_soon_threadsafe(self._set_result, result)
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        if self.future is not None:
+            self.loop.call_soon_threadsafe(self._set_error, error)
+
+    def _set_result(self, result) -> None:
+        if not self.future.done():
+            self.future.set_result(result)
+
+    def _set_error(self, error: BaseException) -> None:
+        if not self.future.done():
+            self.future.set_exception(error)
+
+
+class ShardWorker:
+    """A persistent worker serving one shard.
+
+    Owns the shard's resident instances (``name -> DatabaseInstance``,
+    advanced in place by delta requests) and a private engine whose plan
+    cache and state cache stay warm across requests.  Requests arrive on
+    a queue and are drained in **micro-batches**: the first request of a
+    batch waits at most *max_delay* seconds for companions (up to
+    *max_batch*), and identical concurrent reads inside one batch are
+    **coalesced** into a single engine call whose result fans out to all
+    of their futures.
+
+    The worker thread is the only mutator of the shard's registry and
+    engine state, so per-shard operations are totally ordered: a solve
+    enqueued after a delta observes the updated instance
+    (read-your-writes per shard).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        engine_factory: Callable[[], CertaintyEngine] = CertaintyEngine,
+        max_batch: int = 32,
+        max_delay: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        self.shard_id = shard_id
+        self.engine = engine_factory()
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.instances: Dict[str, DatabaseInstance] = {}
+        self.requests = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_observed = 0
+        self.coalesced = 0
+        self.errors = 0
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run,
+            name="repro-shard-{}".format(self.shard_id),
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._queue.put(_STOP)
+        self._thread.join()
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def submit(self, request: ShardRequest) -> None:
+        self._queue.put(request)
+
+    # ------------------------------------------------------------------
+    # The micro-batching loop
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            batch, stopped = self._drain()
+            if batch:
+                self.execute(batch)
+            if stopped:
+                return
+
+    def _drain(self):
+        """Block for one request, then gather companions until the batch
+        is full or *max_delay* has elapsed."""
+        first = self._queue.get()
+        if first is _STOP:
+            return [], True
+        batch: List[ShardRequest] = [first]
+        deadline = time.monotonic() + self.max_delay
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _STOP:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, batch: List[ShardRequest]) -> None:
+        """Serve *batch* in arrival order, coalescing duplicate reads.
+
+        Public so tests (and synchronous embedders) can drive a worker
+        without its thread; the threaded loop calls it too.
+        """
+        self.batches += 1
+        self.batched_requests += len(batch)
+        self.max_batch_observed = max(self.max_batch_observed, len(batch))
+        memo: Dict[Hashable, object] = {}
+        for request in batch:
+            self.requests += 1
+            try:
+                if request.op == "solve":
+                    self._execute_solve(request, memo)
+                elif request.op == "delta":
+                    # Writes invalidate coalesced reads of the same name.
+                    self._forget(memo, request.name)
+                    self._execute_delta(request)
+                elif request.op == "register":
+                    self._forget(memo, request.name)
+                    self.instances[request.name] = request.db
+                    request.resolve(request.name)
+                elif request.op == "get":
+                    request.resolve(self._resident(request.name))
+                else:
+                    raise ValueError("unknown op {!r}".format(request.op))
+            except BaseException as error:  # noqa: BLE001 - forwarded
+                self.errors += 1
+                request.fail(error)
+
+    def _resident(self, name: str) -> DatabaseInstance:
+        db = self.instances.get(name)
+        if db is None:
+            raise KeyError(
+                "shard {} has no instance named {!r}".format(
+                    self.shard_id, name
+                )
+            )
+        return db
+
+    @staticmethod
+    def _forget(memo: Dict[Hashable, object], name: Optional[str]) -> None:
+        for key in [k for k in memo if k[0] == name]:
+            del memo[key]
+
+    def _execute_solve(self, request: ShardRequest, memo: Dict) -> None:
+        if request.db is not None:
+            # Ad-hoc instance riding through the shard: plan cache warm,
+            # no resident state to serve from.
+            request.resolve(
+                self.engine.solve(request.db, request.query, request.method)
+            )
+            return
+        db = self._resident(request.name)
+        memo_key = (
+            request.name,
+            CertaintyEngine._cache_key(request.query),
+            request.method,
+        )
+        cached = memo.get(memo_key)
+        if cached is not None:
+            self.coalesced += 1
+            request.resolve(cached)
+            return
+        if request.method == "auto":
+            # The empty delta reads the answer off the maintained state
+            # (installing it on first sight) -- the shard-warm hot path.
+            result = self.engine.solve_delta(db, EMPTY_DELTA, request.query)
+        else:
+            result = self.engine.solve(db, request.query, request.method)
+        memo[memo_key] = result
+        request.resolve(result)
+
+    def _execute_delta(self, request: ShardRequest) -> None:
+        db = self._resident(request.name)
+        overlay = request.delta.apply_to(db)
+        result = self.engine.solve_delta(
+            db, overlay, request.query, method=request.method
+        )
+        # commit() is memoized, so this is the instance the engine keyed
+        # the maintained state under -- future reads hit it directly.
+        self.instances[request.name] = overlay.commit()
+        request.resolve(result)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Shard counters plus the owned engine's cache/stat counters."""
+        engine_stats = self.engine.stats
+        return {
+            "shard": self.shard_id,
+            "residents": sorted(self.instances),
+            "requests": self.requests,
+            "batches": self.batches,
+            "mean_batch_size": (
+                self.batched_requests / self.batches if self.batches else 0.0
+            ),
+            "max_batch_size": self.max_batch_observed,
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "warm_hits": engine_stats.incremental_hits,
+            "cold_solves": engine_stats.full_resolves,
+            "engine": engine_stats.as_dict(),
+            "plan_cache": self.engine.cache_info(),
+            "state_cache": self.engine.state_cache.info(),
+        }

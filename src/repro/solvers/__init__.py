@@ -26,6 +26,7 @@ from repro.solvers.fixpoint import (
     certain_answer_incremental,
     fixpoint_relation,
 )
+from repro.solvers.state_cache import StateCache
 from repro.solvers.fo_solver import certain_answer_fo
 from repro.solvers.nl_solver import certain_answer_nl
 from repro.solvers.brute_force import certain_answer_brute_force

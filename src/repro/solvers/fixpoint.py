@@ -21,6 +21,40 @@ accepted path from any constant, hence falsifying ``q``.
 
 The implementation is a worklist fixpoint with per-block counters,
 running in ``O(|q|·|db| + |q|²·|adom|)``.
+
+The DRed maintenance contract
+-----------------------------
+
+:class:`FixpointState` keeps ``N`` alive across updates and maintains it
+under fact deltas with the delete-and-rederive (DRed) discipline:
+
+* **Over-delete** every pair whose derivation *may* have passed through
+  a touched block or a departed constant, closing transitively over the
+  old edge index and the backward-companion rule.  Init axioms
+  ``(c, |q|)`` are never suspected while ``c`` survives in the domain.
+* **Re-derive** from the affected frontier only: the worklist is seeded
+  with the suspects, the touched blocks' candidate pairs, and the init
+  axioms of newly arrived constants -- work is proportional to the
+  affected region, not to ``|db|``.
+
+Callers must uphold, and may rely on, the following:
+
+* ``apply_delta(new_db, added, removed)`` receives the **effective**
+  delta from the state's current ``db`` to *new_db* (exactly what
+  :class:`repro.db.delta.DeltaInstance` exposes); passing a stale or
+  partial delta silently corrupts ``N``.
+* After ``apply_delta`` returns, ``state.n_set`` equals
+  ``fixpoint_relation(new_db, q)`` exactly -- maintenance is sound *and*
+  complete for every path query, independent of C3 (the differential
+  tests in ``tests/test_incremental.py`` pin this).
+* ``starts`` is the maintained witness set ``{c : (c, ε) ∈ N}``; answer
+  reads are O(1) set probes and never scan the domain.
+* The state is **single-owner**: ``apply_delta`` mutates in place with
+  no internal locking.  The engine enforces ownership by checking
+  states out of its :class:`~repro.solvers.state_cache.StateCache`
+  (checkout semantics) and re-publishing them only after the answer has
+  been read; shard workers get ownership for free from their
+  single-threaded execution loop.
 """
 
 from __future__ import annotations

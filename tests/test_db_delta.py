@@ -187,3 +187,40 @@ class TestRandomizedInvariants:
                 current
             ).adom_refcounts()
         assert_equivalent(db, DatabaseInstance(current))
+
+
+class TestCommitIdentity:
+    """The PR 3 contract: memoized commits and base-identity fast paths."""
+
+    def _base(self):
+        return DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 2)])
+
+    def test_commit_is_memoized_until_next_edit(self):
+        overlay = DeltaInstance(self._base())
+        overlay.insert_fact(Fact("R", 0, 9))
+        first = overlay.commit()
+        assert overlay.commit() is first  # same object, no re-copy
+        overlay.insert_fact(Fact("R", 5, 6))
+        second = overlay.commit()
+        assert second is not first
+        assert Fact("R", 5, 6) in second
+
+    def test_untouched_overlay_commits_to_base(self):
+        base = self._base()
+        assert DeltaInstance(base).commit() is base
+
+    def test_round_trip_commits_to_base(self):
+        """Insert-then-remove cancels out: commit returns the base itself."""
+        base = self._base()
+        overlay = DeltaInstance(base)
+        overlay.insert_fact(Fact("R", 0, 9))
+        overlay.remove_fact(Fact("R", 0, 9))
+        assert not overlay.added_facts and not overlay.removed_facts
+        assert overlay.commit() is base
+
+    def test_remove_then_reinsert_commits_to_base(self):
+        base = self._base()
+        overlay = DeltaInstance(base)
+        overlay.remove_fact(Fact("R", 0, 1))
+        overlay.insert_fact(Fact("R", 0, 1))
+        assert overlay.commit() is base

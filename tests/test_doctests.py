@@ -21,6 +21,9 @@ MODULE_NAMES = [
     "repro.fo.rewriting",
     "repro.queries.generalized",
     "repro.queries.path_query",
+    "repro.serving.server",
+    "repro.serving.shard",
+    "repro.solvers.state_cache",
     "repro.solvers.answers",
     "repro.solvers.certainty",
     "repro.solvers.fixpoint",

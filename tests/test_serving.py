@@ -1,0 +1,351 @@
+"""The sharded async serving layer: routing, workers, server, CLI."""
+
+import asyncio
+
+import pytest
+
+from repro.cli import main, parse_workload
+from repro.db.delta import Delta
+from repro.db.instance import DatabaseInstance
+from repro.engine import CertaintyEngine
+from repro.serving import (
+    AsyncCertaintyServer,
+    ShardRequest,
+    ShardRouter,
+    ShardWorker,
+    stable_shard,
+)
+from repro.workloads.generators import chain_instance
+
+MIXED = ["RXRX", "RRX", "RXRYRY", "ARRX"]  # FO, NL, PTIME, coNP
+
+
+def _toy(extra=()):
+    return DatabaseInstance.from_triples(
+        [("R", 0, 1), ("R", 1, 2), ("X", 2, 3), *extra]
+    )
+
+
+class TestShardRouter:
+    def test_hash_placement_is_deterministic(self):
+        first = ShardRouter(num_shards=8)
+        second = ShardRouter(num_shards=8)
+        for name in ("orders", "users", "events"):
+            assert first.register(name) == second.register(name)
+            assert first.shard_of(name) == stable_shard(name, 8)
+
+    def test_explicit_placement_wins_and_sticks(self):
+        router = ShardRouter(num_shards=4, placement={"hot": 3})
+        assert router.shard_of("hot") == 3
+        assert router.register("hot") == 3  # re-register keeps the pin
+        with pytest.raises(ValueError):
+            router.register("hot", shard=1)  # conflicting move refused
+
+    def test_shard_out_of_range_rejected(self):
+        router = ShardRouter(num_shards=2)
+        with pytest.raises(ValueError):
+            router.register("x", shard=2)
+        with pytest.raises(ValueError):
+            ShardRouter(num_shards=0)
+
+    def test_unregistered_and_instance_routing(self):
+        router = ShardRouter(num_shards=4)
+        assert router.shard_of("never-registered") in range(4)
+        assert router.shard_of(_toy()) in range(4)
+
+    def test_assignments_copy(self):
+        router = ShardRouter(num_shards=2, placement={"a": 1})
+        assignments = router.assignments()
+        assignments["a"] = 0
+        assert router.shard_of("a") == 1
+
+
+class TestShardWorker:
+    """Drive execute() directly -- deterministic, no thread."""
+
+    def test_register_solve_and_warm_state(self):
+        worker = ShardWorker(0)
+        register = ShardRequest("register", name="toy", db=_toy())
+        first = ShardRequest("solve", name="toy", query="RRX")
+        second = ShardRequest("solve", name="toy", query="RRX")
+        worker.execute([register])
+        worker.execute([first])
+        worker.execute([second])
+        assert first.result.answer is True
+        assert second.result.answer is True
+        assert worker.engine.stats.full_resolves == 1
+        assert worker.engine.stats.incremental_hits == 1
+        assert worker.stats()["warm_hits"] == 1
+
+    def test_duplicate_reads_coalesce_within_batch(self):
+        worker = ShardWorker(0)
+        worker.execute([ShardRequest("register", name="toy", db=_toy())])
+        requests = [
+            ShardRequest("solve", name="toy", query="RRX") for _ in range(5)
+        ]
+        worker.execute(requests)
+        assert all(r.result.answer is True for r in requests)
+        assert worker.coalesced == 4  # one engine call served five futures
+        assert requests[0].result is requests[4].result
+
+    def test_delta_invalidates_coalesced_read(self):
+        worker = ShardWorker(0)
+        worker.execute([ShardRequest("register", name="toy", db=_toy())])
+        before = ShardRequest("solve", name="toy", query="RRX")
+        delta = ShardRequest(
+            "delta",
+            name="toy",
+            delta=Delta.removing(("X", 2, 3)),
+            query="RRX",
+        )
+        after = ShardRequest("solve", name="toy", query="RRX")
+        worker.execute([before, delta, after])
+        assert before.result.answer is True
+        assert delta.result.answer is False
+        assert after.result.answer is False  # not served from the memo
+
+    def test_delta_advances_registry_to_committed_instance(self):
+        worker = ShardWorker(0)
+        worker.execute([ShardRequest("register", name="toy", db=_toy())])
+        delta = ShardRequest(
+            "delta",
+            name="toy",
+            delta=Delta.inserting(("R", 5, 6)),
+            query="RRX",
+        )
+        worker.execute([delta])
+        assert ("R", 5, 6) in {
+            (f.relation, f.key, f.value) for f in worker.instances["toy"].facts
+        }
+
+    def test_unknown_name_fails_request(self):
+        worker = ShardWorker(0)
+        request = ShardRequest("solve", name="ghost", query="RRX")
+        worker.execute([request])
+        assert isinstance(request.error, KeyError)
+        assert worker.errors == 1
+
+    def test_forced_method_bypasses_warm_path(self):
+        worker = ShardWorker(0)
+        worker.execute([ShardRequest("register", name="toy", db=_toy())])
+        forced = ShardRequest("solve", name="toy", query="RRX", method="sat")
+        worker.execute([forced])
+        assert forced.result.method == "sat"
+        assert worker.engine.stats.delta_solves == 0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ShardWorker(0, max_batch=0)
+        with pytest.raises(ValueError):
+            ShardWorker(0, max_delay=-1.0)
+
+
+class TestAsyncCertaintyServer:
+    def test_answers_match_engine_across_classes(self):
+        reference = CertaintyEngine()
+        instances = {
+            "chain{}".format(i): chain_instance(q, repetitions=3, conflict_every=3)
+            for i, q in enumerate(MIXED)
+        }
+
+        async def scenario():
+            async with AsyncCertaintyServer(num_shards=3) as server:
+                for name, db in sorted(instances.items()):
+                    await server.register(name, db)
+                requests = [
+                    (name, query)
+                    for name in sorted(instances)
+                    for query in MIXED
+                ]
+                # Twice: the second pass is served fully shard-warm.
+                cold = await server.solve_many(requests)
+                warm = await server.solve_many(requests)
+                return requests, cold, warm, server.stats()
+
+        requests, cold, warm, stats = asyncio.run(scenario())
+        for (name, query), cold_r, warm_r in zip(requests, cold, warm):
+            expected = reference.solve(instances[name], query).answer
+            assert cold_r.answer == expected, (name, query)
+            assert warm_r.answer == expected, (name, query)
+        assert stats["admission"]["failed"] == 0
+        assert stats["admission"]["in_flight"] == 0
+        assert sum(s["warm_hits"] for s in stats["shards"]) > 0
+
+    def test_read_your_writes_per_instance(self):
+        async def scenario():
+            async with AsyncCertaintyServer(num_shards=2) as server:
+                await server.register("toy", _toy())
+                answers = [(await server.solve("toy", "RRX")).answer]
+                result = await server.solve_delta(
+                    "toy", Delta.removing(("X", 2, 3)), "RRX"
+                )
+                answers.append(result.answer)
+                answers.append((await server.solve("toy", "RRX")).answer)
+                result = await server.solve_delta(
+                    "toy", Delta.inserting(("X", 2, 9)), "RRX"
+                )
+                answers.append(result.answer)
+                answers.append((await server.solve("toy", "RRX")).answer)
+                db = await server.get_instance("toy")
+                return answers, db
+
+        answers, db = asyncio.run(scenario())
+        assert answers == [True, False, False, True, True]
+        # The registry advanced to the twice-updated instance.
+        assert db == Delta.removing(("X", 2, 3)).then_inserting(
+            ("X", 2, 9)
+        ).apply_to(_toy()).commit()
+
+    def test_adhoc_instance_passthrough(self):
+        async def scenario():
+            async with AsyncCertaintyServer(num_shards=2) as server:
+                return await server.solve(_toy(), "RRX")
+
+        result = asyncio.run(scenario())
+        assert result.answer is True
+
+    def test_unknown_name_raises_for_awaiter(self):
+        async def scenario():
+            async with AsyncCertaintyServer(num_shards=2) as server:
+                with pytest.raises(KeyError):
+                    await server.solve("ghost", "RRX")
+                return server.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["admission"]["failed"] == 1
+
+    def test_lifecycle_guards(self):
+        server = AsyncCertaintyServer(num_shards=1)
+
+        async def not_started():
+            with pytest.raises(RuntimeError):
+                await server.solve("toy", "RRX")
+
+        asyncio.run(not_started())
+        server.start()
+        server.close()
+        server.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            server.start()  # a closed server cannot be restarted
+
+    def test_explicit_placement_routes_to_that_shard(self):
+        async def scenario():
+            async with AsyncCertaintyServer(num_shards=3) as server:
+                shard = await server.register("pinned", _toy(), shard=2)
+                await server.solve("pinned", "RRX")
+                return shard, server.stats()
+
+        shard, stats = asyncio.run(scenario())
+        assert shard == 2
+        assert stats["placement"]["pinned"] == 2
+        assert stats["shards"][2]["requests"] == 2  # register + solve
+        assert stats["shards"][0]["requests"] == 0
+
+    def test_concurrent_burst_is_batched(self):
+        async def scenario():
+            async with AsyncCertaintyServer(
+                num_shards=1, max_batch=64, max_delay=0.05
+            ) as server:
+                await server.register("toy", _toy())
+                await server.solve("toy", "RRX")  # warm the state
+                burst = await asyncio.gather(
+                    *(server.solve("toy", "RRX") for _ in range(32))
+                )
+                return burst, server.stats()["shards"][0]
+
+        burst, shard = asyncio.run(scenario())
+        assert all(r.answer is True for r in burst)
+        # The burst was admitted concurrently, so at least one drain
+        # served multiple requests in a single micro-batch.
+        assert shard["max_batch_size"] > 1
+
+
+class TestServeCli:
+    def _write_instance(self, tmp_path, name, lines):
+        path = tmp_path / "{}.txt".format(name)
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_serve_workload_end_to_end(self, tmp_path, capsys):
+        db_a = self._write_instance(
+            tmp_path, "a", ["R,0,1", "R,1,2", "X,2,3"]
+        )
+        workload = tmp_path / "workload.txt"
+        workload.write_text(
+            "# demo\n"
+            "solve a RRX\n"
+            "delta a RRX -X,2,3\n"
+            "solve a RRX\n"
+        )
+        code = main(
+            [
+                "serve",
+                "--instance",
+                "a={}".format(db_a),
+                "--workload",
+                str(workload),
+                "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # last answers are "not certain"
+        assert "not certain" in out
+        assert "admission: submitted=4 completed=4 failed=0" in out
+        assert "warm=" in out
+
+    def test_serve_reports_per_request_errors(self, tmp_path, capsys):
+        """A failing workload line is reported in its row, not a traceback."""
+        db_a = self._write_instance(
+            tmp_path, "a", ["R,0,1", "R,1,2", "X,2,3"]
+        )
+        workload = tmp_path / "workload.txt"
+        workload.write_text(
+            "solve a RRX\n"
+            "solve ghost RRX\n"      # unregistered name
+            "delta a RRX +\n"        # malformed edit
+            "solve a RRX\n"
+        )
+        code = main(
+            [
+                "serve",
+                "--instance",
+                "a={}".format(db_a),
+                "--workload",
+                str(workload),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 2
+        assert out.count("error") == 2
+        assert "KeyError" in out and "ValueError" in out
+        assert out.count("certain") >= 2  # healthy rows still served
+
+    def test_serve_rejects_bad_instance_spec(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--instance", "nofile", "--workload", "x"])
+
+    def test_parse_workload_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            parse_workload(["solve onlytwo"])
+        assert parse_workload(["", "# comment", "solve a RRX"]) == [
+            ("solve", "a", "RRX", None)
+        ]
+
+    def test_bench_serve_cli_smoke(self, capsys):
+        code = main(
+            [
+                "bench-serve",
+                "--instances",
+                "2",
+                "--repetitions",
+                "3",
+                "--requests",
+                "12",
+                "--shards",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup:" in out
+        assert "answers agree: True" in out

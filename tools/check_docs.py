@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Documentation checker: links resolve, examples run, APIs exist.
+
+Run from the repository root (CI's ``docs`` job and the tier-1 test
+``tests/test_docs.py`` both do)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Three checks over ``README.md`` and ``docs/*.md``:
+
+1. **Links** -- every relative markdown link ``[text](path)`` must
+   resolve to an existing file (anchors are stripped; ``http(s)://`` and
+   ``mailto:`` links are skipped -- no network).
+2. **Examples** -- every fenced ``pycon`` block is executed with
+   :mod:`doctest`.  Blocks within one file share a namespace, in order,
+   so a page reads as one session.  A block preceded by the marker
+   ``<!-- doctest: skip -->`` is skipped (for illustrative fragments).
+3. **API references** -- every backticked dotted name starting with
+   ``repro.`` must import (modules) or resolve via attribute access
+   (functions/classes), so documented APIs cannot silently drift.
+
+Exit status 0 when clean; 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import io
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(
+    r"(^|\n)(?P<skip><!--\s*doctest:\s*skip\s*-->\s*\n)?"
+    r"```pycon\n(?P<body>.*?)\n```",
+    re.DOTALL,
+)
+API_RE = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z_0-9]*)+)`")
+
+
+def _rel(path: Path):
+    """Repo-relative display path (verbatim for files outside the repo)."""
+    try:
+        return path.relative_to(ROOT)
+    except ValueError:
+        return path
+
+
+def doc_files():
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links(path: Path, text: str, problems: list) -> int:
+    checked = 0
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue  # pure anchor into the same page
+        resolved = (path.parent / target).resolve()
+        checked += 1
+        if not resolved.exists():
+            problems.append(
+                "{}: broken link -> {}".format(_rel(path), target)
+            )
+    return checked
+
+
+def check_examples(path: Path, text: str, problems: list) -> int:
+    """Run the file's ``pycon`` fences as one doctest session."""
+    blocks = []
+    for match in FENCE_RE.finditer(text):
+        if match.group("skip"):
+            continue
+        blocks.append(match.group("body"))
+    if not blocks:
+        return 0
+    source = "\n\n".join(blocks) + "\n"
+    parser = doctest.DocTestParser()
+    name = str(_rel(path))
+    try:
+        test = parser.get_doctest(source, {"__name__": "__docs__"}, name, name, 0)
+    except ValueError as error:
+        problems.append("{}: unparsable example: {}".format(name, error))
+        return 0
+    out = io.StringIO()
+    runner = doctest.DocTestRunner(
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+    )
+    runner.run(test, out=out.write)
+    if runner.failures:
+        problems.append(
+            "{}: {} of {} examples failed\n{}".format(
+                name, runner.failures, runner.tries, out.getvalue().rstrip()
+            )
+        )
+    return len(test.examples)
+
+
+def check_api_references(path: Path, text: str, problems: list) -> int:
+    checked = 0
+    for match in API_RE.finditer(text):
+        dotted = match.group(1)
+        checked += 1
+        if not _resolves(dotted):
+            problems.append(
+                "{}: documented API does not resolve: {}".format(
+                    _rel(path), dotted
+                )
+            )
+    return checked
+
+
+def _resolves(dotted: str) -> bool:
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def main() -> int:
+    problems: list = []
+    links = examples = apis = 0
+    files = doc_files()
+    if len(files) < 2:
+        problems.append("docs/ tree missing (expected README.md + docs/*.md)")
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        links += check_links(path, text, problems)
+        examples += check_examples(path, text, problems)
+        apis += check_api_references(path, text, problems)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    print(
+        "docs ok: {} files, {} links, {} examples, {} API references".format(
+            len(files), links, examples, apis
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
