@@ -2,8 +2,12 @@
 
 Provides the DFA operations the paper's constructions need:
 
-* subset construction from an :class:`~repro.automata.nfa.NFA`;
-* completion, complement, product (intersection / difference);
+* subset construction from an :class:`~repro.automata.nfa.NFA`, run on
+  the NFA's :class:`~repro.automata.nfa.DenseNFA` bitmask tables (a
+  subset is one int, a step is an OR loop);
+* completion, complement, product (intersection / difference) -- the
+  product walks :meth:`dense_tables`, the flat int transition arrays
+  with dense symbol ids;
 * the *shortest-prefix* transform behind ``NFAmin(q)`` (Definition 13):
   a word is accepted iff it is accepted by the original automaton and no
   proper prefix is -- obtained by deleting all transitions out of
@@ -14,6 +18,7 @@ Provides the DFA operations the paper's constructions need:
 from __future__ import annotations
 
 import itertools
+from array import array
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.automata.nfa import NFA
@@ -29,7 +34,7 @@ class DFA:
     dead ends (partial DFA).
     """
 
-    __slots__ = ("n_states", "alphabet", "transitions", "accepting")
+    __slots__ = ("n_states", "alphabet", "transitions", "accepting", "_dense")
 
     def __init__(
         self,
@@ -42,6 +47,7 @@ class DFA:
         self.alphabet: FrozenSet[Symbol] = frozenset(alphabet)
         self.transitions = dict(transitions)
         self.accepting: FrozenSet[int] = frozenset(accepting)
+        self._dense = None
         for (state, symbol), target in self.transitions.items():
             if not (0 <= state < n_states and 0 <= target < n_states):
                 raise ValueError("transition out of range")
@@ -54,27 +60,64 @@ class DFA:
 
     @classmethod
     def from_nfa(cls, nfa: NFA) -> "DFA":
-        """Subset construction (ε-closures included)."""
-        initial = nfa.epsilon_closure(nfa.initial)
-        index: Dict[FrozenSet, int] = {initial: 0}
-        order: List[FrozenSet] = [initial]
+        """Subset construction (ε-closures included), over bitmasks.
+
+        Subsets are single ints from the NFA's dense compilation; the
+        accepted language is identical to the frozenset-based
+        construction this replaces, with deterministic state numbering
+        (discovery order over sorted symbols).
+        """
+        dense = nfa.dense()
+        symbols = dense.symbols
+        step = dense.step_mask
+        n_symbols = len(symbols)
+        initial = dense.initial_mask
+        index: Dict[int, int] = {initial: 0}
+        order: List[int] = [initial]
         transitions: Dict[Tuple[int, Symbol], int] = {}
         queue = [initial]
         while queue:
             current = queue.pop()
-            for symbol in nfa.alphabet:
-                target = nfa.step(current, symbol)
+            current_index = index[current]
+            for si in range(n_symbols):
+                target = step(current, si)
                 if not target:
                     continue
-                if target not in index:
-                    index[target] = len(order)
+                target_index = index.get(target)
+                if target_index is None:
+                    target_index = index[target] = len(order)
                     order.append(target)
                     queue.append(target)
-                transitions[(index[current], symbol)] = index[target]
-        accepting = [
-            i for i, subset in enumerate(order) if subset & nfa.accepting
-        ]
+                transitions[(current_index, symbols[si])] = target_index
+        accept_mask = dense.accept_mask
+        accepting = [i for i, mask in enumerate(order) if mask & accept_mask]
         return cls(len(order), nfa.alphabet, transitions, accepting)
+
+    def dense_tables(self) -> Tuple[Tuple[Symbol, ...], "array", bytearray]:
+        """Flat int transition tables ``(symbols, table, accepting)``.
+
+        ``table[state * len(symbols) + si]`` is the successor of *state*
+        on ``symbols[si]`` (sorted symbol order, the same dense symbol
+        numbering :class:`~repro.automata.nfa.DenseNFA` uses), or ``-1``
+        for the implicit dead state; ``accepting`` is one byte per
+        state.  Built once and cached -- the product construction and
+        the split-language equivalence sweeps of
+        :func:`repro.datalog.cqa_program.split_query` iterate these
+        instead of hashing ``(state, symbol)`` tuples.
+        """
+        if self._dense is not None:
+            return self._dense
+        symbols = tuple(sorted(self.alphabet))
+        symbol_index = {symbol: i for i, symbol in enumerate(symbols)}
+        n_symbols = len(symbols)
+        table = array("l", [-1]) * (self.n_states * n_symbols)
+        for (state, symbol), target in self.transitions.items():
+            table[state * n_symbols + symbol_index[symbol]] = target
+        accepting = bytearray(self.n_states)
+        for state in self.accepting:
+            accepting[state] = 1
+        self._dense = (symbols, table, accepting)
+        return self._dense
 
     def completed(self, alphabet: Optional[Iterable[Symbol]] = None) -> "DFA":
         """A complete DFA (total transition function) adding a sink state."""
@@ -103,40 +146,54 @@ class DFA:
         )
 
     def product(self, other: "DFA", mode: str = "intersection") -> "DFA":
-        """Product automaton; *mode* is ``intersection`` or ``difference``."""
-        a = self.completed(self.alphabet | other.alphabet)
-        b = other.completed(self.alphabet | other.alphabet)
-        index: Dict[Tuple[int, int], int] = {(0, 0): 0}
-        order = [(0, 0)]
+        """Product automaton; *mode* is ``intersection`` or ``difference``.
+
+        Walks the dense int tables of both completed automata -- a
+        product state is the single int ``state_a * n_b + state_b`` --
+        so the reachability sweep does integer arithmetic instead of
+        pair-tuple hashing (this runs inside every language-equivalence
+        check of the Claim 5 split search).
+        """
+        if mode not in ("intersection", "difference"):
+            raise ValueError("unknown product mode {!r}".format(mode))
+        alphabet = self.alphabet | other.alphabet
+        a = self.completed(alphabet)
+        b = other.completed(alphabet)
+        symbols, table_a, accept_a = a.dense_tables()
+        _, table_b, accept_b = b.dense_tables()
+        n_symbols = len(symbols)
+        n_b = b.n_states
+        index: Dict[int, int] = {0: 0}  # code 0 == (state 0, state 0)
+        order: List[int] = [0]
         transitions: Dict[Tuple[int, Symbol], int] = {}
-        queue = [(0, 0)]
+        queue = [0]
         while queue:
-            pair = queue.pop()
-            for symbol in a.alphabet:
-                target = (
-                    a.transitions[(pair[0], symbol)],
-                    b.transitions[(pair[1], symbol)],
-                )
-                if target not in index:
-                    index[target] = len(order)
+            code = queue.pop()
+            code_index = index[code]
+            state_a, state_b = divmod(code, n_b)
+            base_a = state_a * n_symbols
+            base_b = state_b * n_symbols
+            for si in range(n_symbols):
+                target = table_a[base_a + si] * n_b + table_b[base_b + si]
+                target_index = index.get(target)
+                if target_index is None:
+                    target_index = index[target] = len(order)
                     order.append(target)
                     queue.append(target)
-                transitions[(index[pair], symbol)] = index[target]
+                transitions[(code_index, symbols[si])] = target_index
         if mode == "intersection":
             accepting = [
                 i
-                for i, (x, y) in enumerate(order)
-                if x in a.accepting and y in b.accepting
-            ]
-        elif mode == "difference":
-            accepting = [
-                i
-                for i, (x, y) in enumerate(order)
-                if x in a.accepting and y not in b.accepting
+                for i, code in enumerate(order)
+                if accept_a[code // n_b] and accept_b[code % n_b]
             ]
         else:
-            raise ValueError("unknown product mode {!r}".format(mode))
-        return DFA(len(order), a.alphabet, transitions, accepting)
+            accepting = [
+                i
+                for i, code in enumerate(order)
+                if accept_a[code // n_b] and not accept_b[code % n_b]
+            ]
+        return DFA(len(order), alphabet, transitions, accepting)
 
     def shortest_prefix_transform(self) -> "DFA":
         """Accept exactly the accepted words none of whose proper prefixes

@@ -3,6 +3,13 @@
 A small, general NFA implementation sufficient for the paper's needs:
 membership testing, ε-closures, and conversion material for the subset
 construction in :mod:`repro.automata.dfa`.
+
+:meth:`NFA.dense` compiles the automaton into a :class:`DenseNFA`: states
+renumbered ``0..n-1``, symbols numbered densely in sorted order, and the
+transition relation flattened into per-symbol *bitmask* tables -- one
+int per state whose bits are the ε-closed successor set.  State sets
+become single ints, so the subset construction and membership stepping
+reduce to OR and AND loops instead of frozenset algebra.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from typing import (
     FrozenSet,
     Hashable,
     Iterable,
+    List,
     Mapping,
     Set,
     Tuple,
@@ -19,6 +27,77 @@ from typing import (
 
 State = Hashable
 Symbol = str
+
+
+class DenseNFA:
+    """An immutable integer/bitmask compilation of an :class:`NFA`.
+
+    States are renumbered ``0..n-1`` and symbols numbered densely in
+    sorted order (``symbol_index``); ``trans_masks[si][i]`` is the
+    bitmask of ``closure(δ(state_i, symbols[si]))``, and a *set* of
+    states is the int whose bit ``i`` stands for ``states[i]``.
+    """
+
+    __slots__ = (
+        "states",
+        "index_of",
+        "symbols",
+        "symbol_index",
+        "trans_masks",
+        "initial_mask",
+        "accept_mask",
+    )
+
+    def __init__(self, nfa: "NFA") -> None:
+        self.states: Tuple[State, ...] = tuple(
+            sorted(nfa.states, key=str)
+        )
+        self.index_of: Dict[State, int] = {
+            state: i for i, state in enumerate(self.states)
+        }
+        self.symbols: Tuple[Symbol, ...] = tuple(sorted(nfa.alphabet))
+        self.symbol_index: Dict[Symbol, int] = {
+            symbol: i for i, symbol in enumerate(self.symbols)
+        }
+
+        def mask_of(states: Iterable[State]) -> int:
+            mask = 0
+            for state in states:
+                mask |= 1 << self.index_of[state]
+            return mask
+
+        self.trans_masks: List[List[int]] = [
+            [
+                mask_of(nfa.closure_of(nfa.successors(state, symbol)))
+                for state in self.states
+            ]
+            for symbol in self.symbols
+        ]
+        self.initial_mask: int = mask_of(nfa.epsilon_closure(nfa.initial))
+        self.accept_mask: int = mask_of(nfa.accepting)
+
+    def step_mask(self, mask: int, symbol_index: int) -> int:
+        """One ε-closed input step on a bitmask state set."""
+        table = self.trans_masks[symbol_index]
+        out = 0
+        while mask:
+            low = mask & -mask
+            out |= table[low.bit_length() - 1]
+            mask ^= low
+        return out
+
+    def accepts(self, word: Iterable[Symbol]) -> bool:
+        """Bitmask membership test (agrees with :meth:`NFA.accepts`)."""
+        mask = self.initial_mask
+        symbol_index = self.symbol_index
+        for symbol in word:
+            si = symbol_index.get(symbol)
+            if si is None:
+                return False
+            mask = self.step_mask(mask, si)
+            if not mask:
+                return False
+        return bool(mask & self.accept_mask)
 
 
 class NFA:
@@ -48,6 +127,7 @@ class NFA:
         "_initial",
         "_accepting",
         "_closure_cache",
+        "_dense",
     )
 
     def __init__(
@@ -71,6 +151,7 @@ class NFA:
         self._accepting: FrozenSet[State] = frozenset(accepting)
         self._validate()
         self._closure_cache: Dict[State, FrozenSet[State]] = {}
+        self._dense: "DenseNFA" = None
 
     def _validate(self) -> None:
         if self._initial not in self._states:
@@ -112,6 +193,16 @@ class NFA:
 
     def epsilon_successors(self, state: State) -> FrozenSet[State]:
         return self._epsilon.get(state, frozenset())
+
+    def dense(self) -> DenseNFA:
+        """The :class:`DenseNFA` bitmask compilation, built once.
+
+        The subset construction (:meth:`repro.automata.dfa.DFA.from_nfa`)
+        and batch membership tests run on this form.
+        """
+        if self._dense is None:
+            self._dense = DenseNFA(self)
+        return self._dense
 
     def with_initial(self, initial: State) -> "NFA":
         """The same automaton started at a different state (Definition 5)."""

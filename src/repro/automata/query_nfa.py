@@ -84,14 +84,25 @@ def nfa_min(q: WordLike) -> DFA:
     """``NFAmin(q)`` (Definition 13) as a deterministic automaton.
 
     Accepts ``w`` iff ``w ∈ L↬(q)`` and no proper prefix of ``w`` is in
-    ``L↬(q)``.  Built by determinizing ``NFA(q)`` and deleting outgoing
+    ``L↬(q)``.  Built by determinizing ``NFA(q)`` (bitmask subset
+    construction over the dense tables) and deleting outgoing
     transitions from accepting states.
     """
     return DFA.from_nfa(query_nfa(q)).shortest_prefix_transform()
+
+
+def query_nfa_dense(q: WordLike):
+    """The :class:`~repro.automata.nfa.DenseNFA` of ``NFA(q)``.
+
+    Integer states are already the prefix lengths; the dense form adds
+    the per-symbol bitmask transition tables, the representation the
+    subset construction and batch membership sweeps step through.
+    """
+    return query_nfa(q).dense()
 
 
 def language_contains(q: WordLike, word: WordLike) -> bool:
     """Membership test ``word ∈ L↬(q)`` via ``NFA(q)`` (Lemma 4)."""
     q = Word.coerce(q)
     word = Word.coerce(word)
-    return query_nfa(q).accepts(word.symbols)
+    return query_nfa_dense(q).accepts(word.symbols)

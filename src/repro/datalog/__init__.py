@@ -8,7 +8,12 @@ bottom-up engine, and the generator of the Claim 5 CQA programs.
 
 from repro.datalog.syntax import Literal, Program, Rule
 from repro.datalog.stratify import is_linear, stratify
-from repro.datalog.engine import evaluate_program
+from repro.datalog.engine import (
+    CompactProgram,
+    compact_program,
+    evaluate_program,
+    evaluate_program_compact,
+)
 from repro.datalog.cqa_program import build_cqa_program, CqaProgram
 
 __all__ = [
@@ -18,6 +23,9 @@ __all__ = [
     "is_linear",
     "stratify",
     "evaluate_program",
+    "evaluate_program_compact",
+    "CompactProgram",
+    "compact_program",
     "build_cqa_program",
     "CqaProgram",
 ]

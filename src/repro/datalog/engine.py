@@ -20,14 +20,32 @@ calls and exposes ``resume(delta_edb)``: the semi-naive loop re-runs
 seeded with the delta tuples only, so strata untouched by the delta are
 skipped entirely.  Strata whose *negated* inputs changed (or that sit
 downstream of a retraction) are soundly recomputed from scratch.
+
+Three engines share the semi-naive skeleton, fastest first:
+
+* the **compact engine** (:class:`CompactProgram`,
+  :func:`evaluate_program_compact`) -- constants interned to dense ints
+  (:mod:`repro.db.interner`), rules compiled once into register
+  programs (variables become list slots, probe keys become precomputed
+  extractor tuples), rows are int tuples.  No per-row binding dict is
+  allocated and no :class:`~repro.queries.atoms.Variable` is hashed on
+  the hot path.  This is what the NL solver runs.
+* the **object-level indexed engine** (:func:`evaluate_program`,
+  :class:`DatalogState`) -- hash-indexed joins over object tuples with
+  generic unification; retained as the differential baseline for the
+  compact engine (and still the engine behind ``resume``).
+* the **scan-and-unify baseline** (:func:`evaluate_program_naive`) --
+  the historical pre-index inner loop, kept measurable.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.datalog.stratify import stratify
 from repro.datalog.syntax import Literal, Program, Rule
+from repro.db.interner import Interner, global_interner
 from repro.queries.atoms import Variable, is_variable
 
 Tuple_ = Tuple[Hashable, ...]
@@ -438,6 +456,416 @@ def evaluate_program(
     EDB insertions.
     """
     return DatalogState.evaluate(program, edb).relations
+
+
+# ----------------------------------------------------------------------
+# The compact engine: interned constants, register-compiled rules
+# ----------------------------------------------------------------------
+
+_EMPTY_SET: frozenset = frozenset()
+
+# Row-op kinds (third field of an op triple (pos, slot_or_const, kind)):
+_OP_SET = 0    # regs[slot] = row[pos]          (first variable occurrence)
+_OP_CHECK = 1  # row[pos] == regs[slot] or cut  (bound / repeated variable)
+_OP_CONST = 2  # row[pos] == const or cut       (constant; delta path only)
+
+
+class _LitAccess:
+    """One positive body literal compiled to its access path.
+
+    ``sig`` / ``key_parts`` describe the index probe (positions holding
+    constants or variables bound by earlier literals; each key part is
+    ``(is_register, slot_or_interned_const)``); ``ops`` validate and
+    bind the remaining positions of an indexed candidate row; and
+    ``delta_ops`` re-validate *every* position (used when this literal
+    is bound to the semi-naive delta, which bypasses the index).
+    """
+
+    __slots__ = (
+        "pred",
+        "arity",
+        "sig",
+        "key_parts",
+        "ops",
+        "delta_ops",
+        "all_bound",
+        "single",
+    )
+
+    def __init__(self, pred, arity, sig, key_parts, ops, delta_ops):
+        self.pred = pred
+        self.arity = arity
+        self.sig = sig
+        self.key_parts = key_parts
+        self.ops = ops
+        self.delta_ops = delta_ops
+        self.all_bound = len(sig) == arity
+        self.single = len(sig) == 1
+
+
+class _CheckAccess:
+    """A tail check (negated / builtin / fully-bound positive literal)."""
+
+    __slots__ = ("pred", "parts", "negated", "is_neq")
+
+    def __init__(self, pred, parts, negated, is_neq):
+        self.pred = pred
+        self.parts = parts
+        self.negated = negated
+        self.is_neq = is_neq
+
+
+class _CompactRule:
+    """A rule compiled to a register program over interned constants.
+
+    Variables are numbered into register slots once at compile time;
+    evaluating the rule allocates a single ``regs`` list and never
+    touches a binding dict or hashes a :class:`Variable`.  Backtracking
+    needs no undo: a register is written only by the first occurrence
+    of its variable, so deeper join levels never clobber shallower
+    ones, and re-entry overwrites cleanly.
+    """
+
+    __slots__ = ("head_pred", "head_out", "n_regs", "lits", "checks")
+
+    def __init__(self, rule: Rule, intern_const) -> None:
+        body = _reordered_body(rule)
+        positives = [l for l in body if not l.negated and not l.is_builtin]
+        registers: Dict[Variable, int] = {}
+
+        self.lits: List[_LitAccess] = []
+        bound: Set[Variable] = set()
+        for literal in positives:
+            sig: List[int] = []
+            key_parts: List[Tuple[bool, int]] = []
+            ops: List[Tuple[int, int, int]] = []
+            delta_ops: List[Tuple[int, int, int]] = []
+            seen_here: Dict[Variable, int] = {}
+            for pos, arg in enumerate(literal.args):
+                if not is_variable(arg):
+                    cid = intern_const(arg)
+                    sig.append(pos)
+                    key_parts.append((False, cid))
+                    delta_ops.append((pos, cid, _OP_CONST))
+                elif arg in bound:
+                    slot = registers[arg]
+                    sig.append(pos)
+                    key_parts.append((True, slot))
+                    delta_ops.append((pos, slot, _OP_CHECK))
+                elif arg in seen_here:
+                    slot = seen_here[arg]
+                    ops.append((pos, slot, _OP_CHECK))
+                    delta_ops.append((pos, slot, _OP_CHECK))
+                else:
+                    slot = registers.setdefault(arg, len(registers))
+                    seen_here[arg] = slot
+                    ops.append((pos, slot, _OP_SET))
+                    delta_ops.append((pos, slot, _OP_SET))
+            bound |= literal.variables()
+            self.lits.append(
+                _LitAccess(
+                    literal.predicate,
+                    len(literal.args),
+                    tuple(sig),
+                    tuple(key_parts),
+                    tuple(ops),
+                    tuple(delta_ops),
+                )
+            )
+
+        self.checks: List[_CheckAccess] = []
+        for literal in body[len(positives):]:
+            parts = tuple(
+                (True, registers[arg]) if is_variable(arg)
+                else (False, intern_const(arg))
+                for arg in literal.args
+            )
+            is_neq = literal.is_builtin
+            if is_neq and literal.predicate != "neq":
+                raise ValueError(
+                    "unknown builtin {}".format(literal.predicate)
+                )
+            self.checks.append(
+                _CheckAccess(literal.predicate, parts, literal.negated, is_neq)
+            )
+
+        self.head_pred = rule.head.predicate
+        self.head_out = tuple(
+            (True, registers[arg]) if is_variable(arg)
+            else (False, intern_const(arg))
+            for arg in rule.head.args
+        )
+        self.n_regs = len(registers)
+
+
+class _CompactStore:
+    """Int-tuple relations plus lazily built, maintained join indexes.
+
+    The compact twin of :class:`RelationStore`: rows are tuples of
+    interned constant ids, and single-position signatures are keyed by
+    the bare int instead of a 1-tuple (the dominant probe shape of the
+    Claim 5 chain rules).
+    """
+
+    __slots__ = ("relations", "_indexes")
+
+    def __init__(self, relations: Database) -> None:
+        self.relations = relations
+        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Dict] = {}
+
+    def add(self, predicate: str, fresh: Iterable[Tuple_]) -> None:
+        relation = self.relations.setdefault(predicate, set())
+        added = [row for row in fresh if row not in relation]
+        relation.update(added)
+        if not added:
+            return
+        for (pred, signature), index in self._indexes.items():
+            if pred != predicate:
+                continue
+            if len(signature) == 1:
+                p = signature[0]
+                for row in added:
+                    index.setdefault(row[p], []).append(row)
+            else:
+                for row in added:
+                    key = tuple(row[p] for p in signature)
+                    index.setdefault(key, []).append(row)
+
+    def lookup(
+        self, predicate: str, signature: Tuple[int, ...], key
+    ) -> List[Tuple_]:
+        index = self._indexes.get((predicate, signature))
+        if index is None:
+            index = {}
+            rows = self.relations.get(predicate, _EMPTY_SET)
+            if len(signature) == 1:
+                p = signature[0]
+                for row in rows:
+                    index.setdefault(row[p], []).append(row)
+            else:
+                for row in rows:
+                    index.setdefault(
+                        tuple(row[p] for p in signature), []
+                    ).append(row)
+            self._indexes[(predicate, signature)] = index
+        return index.get(key, _EMPTY)
+
+
+def _eval_rule_compact(
+    plan: _CompactRule,
+    store: _CompactStore,
+    delta_predicate: Optional[str] = None,
+    delta: Optional[Set[Tuple_]] = None,
+) -> Set[Tuple_]:
+    """All head rows derivable from *plan*, via the register program."""
+    lits = plan.lits
+    n_pos = len(lits)
+    results: Set[Tuple_] = set()
+
+    if delta_predicate is None:
+        delta_positions: Tuple[Optional[int], ...] = (None,)
+    else:
+        delta_positions = tuple(
+            i for i, l in enumerate(lits) if l.pred == delta_predicate
+        )
+        if not delta_positions:
+            return results
+
+    regs: List[Optional[int]] = [None] * plan.n_regs
+    relations = store.relations
+    lookup = store.lookup
+    checks = plan.checks
+    head_out = plan.head_out
+    add_result = results.add
+
+    def tail_ok() -> bool:
+        for check in checks:
+            if check.is_neq:
+                (fa, va), (fb, vb) = check.parts
+                if (regs[va] if fa else va) == (regs[vb] if fb else vb):
+                    return False
+            else:
+                row = tuple(
+                    regs[v] if f else v for f, v in check.parts
+                )
+                present = row in relations.get(check.pred, _EMPTY_SET)
+                if present == check.negated:
+                    return False
+        return True
+
+    def join(i: int, delta_at: Optional[int]) -> None:
+        if i == n_pos:
+            if tail_ok():
+                add_result(
+                    tuple(regs[v] if f else v for f, v in head_out)
+                )
+            return
+        lit = lits[i]
+        i1 = i + 1
+        if delta_at == i:
+            ops = lit.delta_ops
+            for row in delta or _EMPTY:
+                for pos, v, kind in ops:
+                    x = row[pos]
+                    if kind:
+                        if x != (regs[v] if kind == _OP_CHECK else v):
+                            break
+                    else:
+                        regs[v] = x
+                else:
+                    join(i1, delta_at)
+            return
+        sig = lit.sig
+        if not sig:
+            rows: Iterable[Tuple_] = relations.get(lit.pred, _EMPTY_SET)
+        elif lit.all_bound:
+            key = tuple(regs[v] if f else v for f, v in lit.key_parts)
+            if key in relations.get(lit.pred, _EMPTY_SET):
+                join(i1, delta_at)
+            return
+        else:
+            if lit.single:
+                f, v = lit.key_parts[0]
+                key = regs[v] if f else v
+            else:
+                key = tuple(regs[v] if f else v for f, v in lit.key_parts)
+            rows = lookup(lit.pred, sig, key)
+        ops = lit.ops
+        for row in rows:
+            for pos, v, kind in ops:
+                x = row[pos]
+                if kind:
+                    if x != regs[v]:
+                        break
+                else:
+                    regs[v] = x
+            else:
+                join(i1, delta_at)
+
+    for delta_at in delta_positions:
+        join(0, delta_at)
+    return results
+
+
+def _run_stratum_compact(
+    plans: List[_CompactRule],
+    store: _CompactStore,
+    stratum: Set[str],
+) -> None:
+    """Semi-naive fixpoint of one stratum over the compact store.
+
+    Full evaluation only: the resumable delta-seeded re-entry still
+    lives on the object engine (:meth:`DatalogState.resume`).
+    """
+    delta: Dict[str, Set[Tuple_]] = {p: set() for p in stratum}
+    for plan in plans:
+        derived = _eval_rule_compact(plan, store)
+        fresh = derived - store.relations.get(plan.head_pred, _EMPTY_SET)
+        store.add(plan.head_pred, fresh)
+        delta[plan.head_pred] |= fresh
+    while any(delta.values()):
+        next_delta: Dict[str, Set[Tuple_]] = {p: set() for p in stratum}
+        for plan in plans:
+            for predicate, changed in delta.items():
+                if not changed:
+                    continue
+                derived = _eval_rule_compact(plan, store, predicate, changed)
+                fresh = derived - store.relations[plan.head_pred]
+                store.add(plan.head_pred, fresh)
+                next_delta[plan.head_pred] |= fresh
+        delta = next_delta
+
+
+class CompactProgram:
+    """A program compiled once for the compact engine.
+
+    Rule compilation (register numbering, probe signatures, constant
+    interning through the process-wide
+    :func:`~repro.db.interner.global_interner`) happens here, so every
+    :meth:`evaluate` call does instance-dependent work only.  Obtain
+    instances through :func:`compact_program`, which memoizes one
+    compiled form per :class:`~repro.datalog.syntax.Program`.
+    """
+
+    __slots__ = ("program", "interner", "strata", "_plans_by_stratum")
+
+    def __init__(
+        self, program: Program, interner: Optional[Interner] = None
+    ) -> None:
+        self.program = program
+        self.interner = interner if interner is not None else global_interner()
+        intern_const = self.interner.constant_id
+        self.strata = stratify(program)
+        self._plans_by_stratum: List[List[_CompactRule]] = [
+            [
+                _CompactRule(rule, intern_const)
+                for rule in program.rules
+                if rule.head.predicate in stratum
+            ]
+            for stratum in self.strata
+        ]
+
+    def evaluate(
+        self, edb_int: Dict[str, Iterable[Tuple_]]
+    ) -> Database:
+        """Bottom-up evaluation over already-interned int rows.
+
+        *edb_int* maps EDB predicate names to rows of interned constant
+        ids (``CompactInstance`` exports / ``interner.constant_id``).
+        Returns the full int-row materialization.
+        """
+        relations: Database = {
+            predicate: set(map(tuple, rows))
+            for predicate, rows in edb_int.items()
+        }
+        for predicate in self.program.idb_predicates():
+            relations.setdefault(predicate, set())
+        for predicate in self.program.edb_predicates():
+            relations.setdefault(predicate, set())
+        store = _CompactStore(relations)
+        for plans, stratum in zip(self._plans_by_stratum, self.strata):
+            _run_stratum_compact(plans, store, stratum)
+        return relations
+
+
+#: One compiled CompactProgram per Program object, dropped with it.
+_COMPACT_PROGRAMS: "weakref.WeakKeyDictionary[Program, CompactProgram]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compact_program(program: Program) -> CompactProgram:
+    """The memoized compact compilation of *program*."""
+    compiled = _COMPACT_PROGRAMS.get(program)
+    if compiled is None:
+        compiled = _COMPACT_PROGRAMS[program] = CompactProgram(program)
+    return compiled
+
+
+def evaluate_program_compact(
+    program: Program, edb: Dict[str, Iterable[Tuple_]]
+) -> Database:
+    """Evaluate *program* on an object-level EDB via the compact engine.
+
+    Constants are interned on the way in and the materialization decoded
+    on the way out, so the result is directly comparable to
+    :func:`evaluate_program` (the differential tests do exactly that).
+    Callers holding pre-interned rows (the NL solver reading a
+    :class:`~repro.db.compact.CompactInstance`) should call
+    :meth:`CompactProgram.evaluate` and skip both conversions.
+    """
+    compiled = compact_program(program)
+    intern = compiled.interner.constant_id
+    decode = compiled.interner.constant
+    edb_int = {
+        predicate: [tuple(intern(v) for v in row) for row in rows]
+        for predicate, rows in edb.items()
+    }
+    materialization = compiled.evaluate(edb_int)
+    return {
+        predicate: {tuple(decode(v) for v in row) for row in rows}
+        for predicate, rows in materialization.items()
+    }
 
 
 # ----------------------------------------------------------------------

@@ -8,6 +8,8 @@ is an inclusion-maximal consistent subinstance (one fact per block).
 from repro.db.facts import Fact
 from repro.db.instance import Block, DatabaseInstance
 from repro.db.delta import Delta, DeltaInstance
+from repro.db.compact import CompactInstance
+from repro.db.interner import Interner, global_interner
 from repro.db.repairs import (
     count_repairs,
     iter_repairs,
@@ -34,6 +36,9 @@ __all__ = [
     "DatabaseInstance",
     "Delta",
     "DeltaInstance",
+    "CompactInstance",
+    "Interner",
+    "global_interner",
     "count_repairs",
     "iter_repairs",
     "random_repair",

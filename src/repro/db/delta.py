@@ -334,7 +334,8 @@ class DeltaInstance:
         for block_id, block_facts in self._touched.items():
             relation, key = block_id
             if block_facts:
-                block = Block(block_id, block_facts)
+                block_facts.sort()
+                block = Block.presorted(block_id, tuple(block_facts))
                 blocks[block_id] = block
                 out_index[(key, relation)] = block.facts
             else:
@@ -348,13 +349,21 @@ class DeltaInstance:
             else:
                 refcounts.pop(constant, None)
         adom = frozenset(refcounts)
-        self._committed = DatabaseInstance._from_parts(
+        committed = DatabaseInstance._from_parts(
             facts=facts,
             blocks=blocks,
             adom=adom,
             out_index=out_index,
             refcounts=refcounts,
         )
+        if base._compact is not None:
+            # Carry the compact execution view forward: patch the
+            # parent's view in O(delta) instead of letting the committed
+            # instance recompile it from scratch on first kernel use.
+            committed._compact = base._compact.patched(
+                self._added, self._removed, refcounts
+            )
+        self._committed = committed
         return self._committed
 
     def __str__(self) -> str:

@@ -40,6 +40,22 @@ class Block:
                     "fact {} does not belong to block {}".format(fact, block_id)
                 )
 
+    @classmethod
+    def presorted(cls, block_id: BlockId, facts: Tuple[Fact, ...]) -> "Block":
+        """Assemble a block from an already-sorted, validated fact tuple.
+
+        Trusted internal fast path (instance construction, overlay
+        commits): skips the per-construction re-sort and membership
+        validation of ``__init__``, which dominate block construction
+        cost on hot update paths.  Callers must pass a nonempty tuple of
+        facts sorted in :class:`~repro.db.facts.Fact` order, all
+        belonging to *block_id*.
+        """
+        block = cls.__new__(cls)
+        block._id = block_id
+        block._facts = facts
+        return block
+
     @property
     def block_id(self) -> BlockId:
         return self._id
@@ -92,28 +108,34 @@ class DatabaseInstance:
         "_hash",
         "_sorted_adom",
         "_refcounts",
+        "_compact",
     )
 
     def __init__(self, facts: Iterable[Fact]) -> None:
         self._facts: FrozenSet[Fact] = frozenset(facts)
-        blocks: Dict[BlockId, List[Fact]] = {}
+        grouped: Dict[BlockId, List[Fact]] = {}
         adom = set()
-        out_index: Dict[Tuple[Hashable, str], List[Fact]] = {}
         for fact in self._facts:
-            blocks.setdefault(fact.block_id, []).append(fact)
+            grouped.setdefault(fact.block_id, []).append(fact)
             adom.add(fact.key)
             adom.add(fact.value)
-            out_index.setdefault((fact.key, fact.relation), []).append(fact)
-        self._blocks: Dict[BlockId, Block] = {
-            block_id: Block(block_id, facts_) for block_id, facts_ in blocks.items()
-        }
+        # The out-edge index partitions facts exactly like the blocks do
+        # ((key, relation) vs (relation, key)), so one sort per block
+        # serves both; Block.presorted skips the redundant re-sort.
+        blocks: Dict[BlockId, Block] = {}
+        out_index: Dict[Tuple[Hashable, str], Tuple[Fact, ...]] = {}
+        for block_id, facts_ in grouped.items():
+            facts_.sort()
+            block = Block.presorted(block_id, tuple(facts_))
+            blocks[block_id] = block
+            out_index[(block_id[1], block_id[0])] = block.facts
+        self._blocks = blocks
         self._adom: FrozenSet[Hashable] = frozenset(adom)
-        self._out_index = {
-            key: tuple(sorted(facts_)) for key, facts_ in out_index.items()
-        }
+        self._out_index = out_index
         self._hash: Optional[int] = None
         self._sorted_adom: Optional[Tuple[Hashable, ...]] = None
         self._refcounts: Optional[Dict[Hashable, int]] = None
+        self._compact = None
 
     @classmethod
     def _from_parts(
@@ -136,6 +158,7 @@ class DatabaseInstance:
         instance._hash = None
         instance._sorted_adom = None
         instance._refcounts = refcounts
+        instance._compact = None
         return instance
 
     # ------------------------------------------------------------------
@@ -192,6 +215,12 @@ class DatabaseInstance:
     def __le__(self, other: "DatabaseInstance") -> bool:
         """Subinstance test."""
         return self._facts <= other._facts
+
+    def __reduce__(self):
+        # Ship only the facts: the indexes rebuild deterministically on
+        # the receiving side, and the cached CompactInstance must NOT
+        # cross process boundaries (its interner ids are process-local).
+        return (DatabaseInstance, (tuple(self._facts),))
 
     def __str__(self) -> str:
         return "{" + ", ".join(str(f) for f in self) + "}"
@@ -252,6 +281,20 @@ class DatabaseInstance:
     def out_facts(self, constant: Hashable, relation: str) -> Tuple[Fact, ...]:
         """All facts ``relation(constant, *)`` -- the block as a tuple."""
         return self._out_index.get((constant, relation), ())
+
+    def compact(self):
+        """The array-backed :class:`~repro.db.compact.CompactInstance`.
+
+        Compiled lazily on first use and cached for the lifetime of this
+        (immutable) instance; overlay commits carry the cache forward by
+        patching it in O(delta), see
+        :meth:`repro.db.delta.DeltaInstance.commit`.
+        """
+        if self._compact is None:
+            from repro.db.compact import CompactInstance
+
+            self._compact = CompactInstance.build(self)
+        return self._compact
 
     def is_consistent(self) -> bool:
         """True iff no block contains more than one fact."""

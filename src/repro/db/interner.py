@@ -1,0 +1,126 @@
+"""Process-wide interning of relation names and constants to dense ints.
+
+The object-level data plane carries arbitrary hashable constants (strings,
+ints, tuples from reduction gadgets) through every hot loop, paying a
+structural hash and equality comparison per set probe.  The compact data
+plane (:mod:`repro.db.compact`, the array-backed kernels in
+:mod:`repro.solvers.fixpoint` and :mod:`repro.datalog.engine`) replaces
+them with dense integer ids handed out by a process-wide
+:class:`Interner`:
+
+* **relation ids** number relation names;
+* **constant ids** number constants.
+
+Ids are dense (``0, 1, 2, ...`` in first-seen order), stable for the
+lifetime of the process, and never recycled, so any two compact
+structures built in the same process agree on what an id means.  Ids are
+**not** stable across processes: nothing interned may be pickled (the
+compact structures are deliberately excluded from
+:class:`~repro.db.instance.DatabaseInstance` pickling, which rebuilds
+them on first use in the receiving process).
+
+>>> interner = Interner()
+>>> interner.constant_id("a"), interner.constant_id(7), interner.constant_id("a")
+(0, 1, 0)
+>>> interner.constant(1)
+7
+>>> interner.relation_id("R"), interner.relation_id("X"), interner.relation_id("R")
+(0, 1, 0)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, Iterable, List
+
+
+class Interner:
+    """A bidirectional map from relation names / constants to dense ids.
+
+    Thread-safe: interning takes a lock on the miss path only (reads of
+    an already-interned value are lock-free dict lookups).
+    """
+
+    __slots__ = (
+        "_lock",
+        "_constant_ids",
+        "_constants",
+        "_relation_ids",
+        "_relations",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._constant_ids: Dict[Hashable, int] = {}
+        self._constants: List[Hashable] = []
+        self._relation_ids: Dict[str, int] = {}
+        self._relations: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Constants
+    # ------------------------------------------------------------------
+
+    def constant_id(self, value: Hashable) -> int:
+        """The dense id of *value*, interning it on first sight."""
+        cid = self._constant_ids.get(value)
+        if cid is not None:
+            return cid
+        with self._lock:
+            cid = self._constant_ids.get(value)
+            if cid is None:
+                cid = len(self._constants)
+                self._constants.append(value)
+                self._constant_ids[value] = cid
+            return cid
+
+    def constant(self, cid: int) -> Hashable:
+        """The constant behind *cid* (inverse of :meth:`constant_id`)."""
+        return self._constants[cid]
+
+    def constant_ids(self, values: Iterable[Hashable]) -> List[int]:
+        """Intern a batch of constants; returns their ids in order."""
+        intern = self.constant_id
+        return [intern(value) for value in values]
+
+    @property
+    def n_constants(self) -> int:
+        return len(self._constants)
+
+    # ------------------------------------------------------------------
+    # Relations (shared with the automata as dense symbol ids)
+    # ------------------------------------------------------------------
+
+    def relation_id(self, name: str) -> int:
+        """The dense id of relation name *name*, interning on first sight."""
+        rid = self._relation_ids.get(name)
+        if rid is not None:
+            return rid
+        with self._lock:
+            rid = self._relation_ids.get(name)
+            if rid is None:
+                rid = len(self._relations)
+                self._relations.append(name)
+                self._relation_ids[name] = rid
+            return rid
+
+    def relation(self, rid: int) -> str:
+        return self._relations[rid]
+
+    @property
+    def n_relations(self) -> int:
+        return len(self._relations)
+
+    def __reduce__(self):
+        raise TypeError(
+            "Interner ids are process-local and must not cross process "
+            "boundaries; pickle the object-level structures instead"
+        )
+
+
+#: The process-wide interner behind every cached CompactInstance.
+_GLOBAL: Interner = Interner()
+
+
+def global_interner() -> Interner:
+    """The process-wide :class:`Interner` used by compact structures."""
+    return _GLOBAL

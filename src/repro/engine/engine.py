@@ -286,17 +286,23 @@ class CertaintyEngine:
         pairs: Iterable[Pair],
         method: str = "auto",
         workers: Optional[int] = None,
+        strip_certificates: bool = False,
     ) -> List[CertaintyResult]:
         """Solve a workload of ``(db, query)`` pairs, in order.
 
         With ``workers`` > 1 the batch fans out over a multiprocessing
         pool; results are identical to the sequential path (each item is
-        independent), so batch mode is purely a throughput knob.
+        independent), so batch mode is purely a throughput knob.  With
+        *strip_certificates* the falsifying-repair certificates are
+        dropped (see :meth:`solve_batch_iter`).
         """
         items = list(pairs)
         results: List[Optional[CertaintyResult]] = [None] * len(items)
         for index, result in self.solve_batch_iter(
-            items, method=method, workers=workers
+            items,
+            method=method,
+            workers=workers,
+            strip_certificates=strip_certificates,
         ):
             results[index] = result
         return results
@@ -412,6 +418,7 @@ class CertaintyEngine:
         pairs: Iterable[Pair],
         method: str = "auto",
         workers: Optional[int] = None,
+        strip_certificates: bool = False,
     ) -> Iterator[IndexedResult]:
         """Stream a workload: yield ``(index, result)`` as instances finish.
 
@@ -421,15 +428,25 @@ class CertaintyEngine:
         pool via ``imap_unordered``, so results arrive in completion
         order, not submission order.  Per-item results are identical to
         ``solve``; ``solve_batch`` remains the collect-everything variant.
+
+        *strip_certificates* is for callers that only read ``.answer``:
+        each worker calls :meth:`~repro.solvers.result.CertaintyResult.
+        strip` before the result crosses the pool boundary, so "no"
+        answers ship without their falsifying-repair certificate (lazy
+        or otherwise).  Without it, lazy certificates stay *lazy* across
+        the boundary -- they are picklable data carriers, and nothing is
+        resolved at pickle time.
         """
         items = list(pairs)
         self.stats.batches += 1
         if workers is not None and workers > 1 and len(items) > 1:
-            return self._iter_parallel(items, method, workers)
-        return self._iter_sequential(items, method)
+            return self._iter_parallel(
+                items, method, workers, strip_certificates
+            )
+        return self._iter_sequential(items, method, strip_certificates)
 
     def _iter_sequential(
-        self, items: Sequence[Pair], method: str
+        self, items: Sequence[Pair], method: str, strip_certificates: bool
     ) -> Iterator[IndexedResult]:
         plans: dict = {}
         for index, (db, query) in enumerate(items):
@@ -445,11 +462,17 @@ class CertaintyEngine:
                 result = plan.solve(db, method=method, solve_word=self._solve_word)
             else:
                 result = plan.solve(db, method=method)
+            if strip_certificates:
+                result.strip()
             self.stats.record(result, time.perf_counter() - start)
             yield index, result
 
     def _iter_parallel(
-        self, items: Sequence[Pair], method: str, workers: int
+        self,
+        items: Sequence[Pair],
+        method: str,
+        workers: int,
+        strip_certificates: bool,
     ) -> Iterator[IndexedResult]:
         global _WORKER_ENGINE
         # Warm the parent cache (one compile per distinct query) so
@@ -462,7 +485,7 @@ class CertaintyEngine:
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context()
         payload = [
-            (index, db, query, method)
+            (index, db, query, method, strip_certificates)
             for index, (db, query) in enumerate(items)
         ]
         self.stats.parallel_batches += 1
@@ -506,10 +529,15 @@ def default_engine() -> CertaintyEngine:
 
 
 def _solve_one_indexed(
-    item: Tuple[int, DatabaseInstance, EngineQuery, str]
+    item: Tuple[int, DatabaseInstance, EngineQuery, str, bool]
 ) -> Tuple[int, CertaintyResult]:
     """Pool worker for the streaming batch: keeps the submission index so
-    ``imap_unordered`` consumers can reassociate completion-order results."""
-    index, db, query, method = item
+    ``imap_unordered`` consumers can reassociate completion-order results.
+    Strips certificates before pickling when the caller opted out of
+    them; otherwise lazy certificates ship back still-lazy."""
+    index, db, query, method, strip_certificates = item
     engine = _WORKER_ENGINE if _WORKER_ENGINE is not None else default_engine()
-    return index, engine.solve(db, query, method=method)
+    result = engine.solve(db, query, method=method)
+    if strip_certificates:
+        result.strip()
+    return index, result

@@ -127,6 +127,7 @@ class CompiledQuery:
         "sat_skeleton",
         "_datalog",
         "_datalog_error",
+        "_datalog_compact",
         "_nfa",
         "_minimal_dfa",
         "_fo_sentence",
@@ -141,6 +142,7 @@ class CompiledQuery:
         self.sat_skeleton = SatSkeleton(self.word)
         self._datalog: Union[CqaProgram, None, object] = _UNSET
         self._datalog_error: Optional[str] = None
+        self._datalog_compact = None
         if self.complexity is ComplexityClass.NL_COMPLETE:
             self._build_datalog()
         self._nfa = None
@@ -169,6 +171,16 @@ class CompiledQuery:
         """The Claim 5 program, or ``None`` when no verified decomposition
         exists (built on first access for non-NL queries)."""
         return self._build_datalog()
+
+    def _compact_datalog(self, program: CqaProgram):
+        """The compact-engine compilation of the Claim 5 program, built
+        once per plan so the per-instance NL solve skips even the
+        module-level memo lookup."""
+        if self._datalog_compact is None:
+            from repro.datalog.engine import compact_program
+
+            self._datalog_compact = compact_program(program.program)
+        return self._datalog_compact
 
     @property
     def nfa(self):
@@ -229,7 +241,10 @@ class CompiledQuery:
             program = self._build_datalog()
             if program is None:
                 raise UnsupportedQuery(self._datalog_error)
-            return certain_answer_nl(db, self.word, program=program)
+            return certain_answer_nl(
+                db, self.word, program=program,
+                compiled=self._compact_datalog(program),
+            )
         if method == "fixpoint":
             return self._fixpoint(db, require_c3=True)
         if method == "sat":
@@ -254,7 +269,10 @@ class CompiledQuery:
         if complexity is ComplexityClass.NL_COMPLETE:
             program = self._build_datalog()
             if program is not None:
-                return certain_answer_nl(db, self.word, program=program)
+                return certain_answer_nl(
+                    db, self.word, program=program,
+                    compiled=self._compact_datalog(program),
+                )
             result = self._fixpoint(db, require_c3=False)
             result.details["nl_fallback"] = True
             return result

@@ -19,14 +19,28 @@ query.  By Lemma 7 (reification), for queries satisfying **C3**,
 sound: the Lemma 9/10 repair construction yields a single repair with no
 accepted path from any constant, hence falsifying ``q``.
 
-The implementation is a worklist fixpoint with per-block counters,
-running in ``O(|q|·|db| + |q|²·|adom|)``.
+Two kernels compute ``N``:
+
+* :func:`fixpoint_bits` -- the production kernel.  It runs over the
+  :class:`~repro.db.compact.CompactInstance` of the database: a pair
+  ``(c, u)`` is the single integer ``c_lid * (k+1) + |u|``, membership
+  is a ``bytearray`` bit per pair, the per-block countdown counters are
+  one flat ``array('l')`` seeded by slice-copying the compact view's
+  per-block fact counts, and the in-edge probe indexes the int
+  adjacency directly -- no tuple is hashed on the hot path.
+* :func:`fixpoint_relation` -- the historical object-level worklist
+  over ``(constant, length)`` tuple pairs, retained as the differential
+  baseline (``tests/test_compact.py`` pins kernel agreement,
+  ``benchmarks/test_bench_compact.py`` pins the compact speedup).
+
+Both run in ``O(|q|·|db| + |q|²·|adom|)``.
 
 The DRed maintenance contract
 -----------------------------
 
-:class:`FixpointState` keeps ``N`` alive across updates and maintains it
-under fact deltas with the delete-and-rederive (DRed) discipline:
+:class:`FixpointState` keeps ``N`` alive across updates -- on the
+compact representation -- and maintains it under fact deltas with the
+delete-and-rederive (DRed) discipline:
 
 * **Over-delete** every pair whose derivation *may* have passed through
   a touched block or a departed constant, closing transitively over the
@@ -46,7 +60,8 @@ Callers must uphold, and may rely on, the following:
 * After ``apply_delta`` returns, ``state.n_set`` equals
   ``fixpoint_relation(new_db, q)`` exactly -- maintenance is sound *and*
   complete for every path query, independent of C3 (the differential
-  tests in ``tests/test_incremental.py`` pin this).
+  tests in ``tests/test_incremental.py`` and ``tests/test_compact.py``
+  pin this).
 * ``starts`` is the maintained witness set ``{c : (c, ε) ∈ N}``; answer
   reads are O(1) set probes and never scan the domain.
 * The state is **single-owner**: ``apply_delta`` mutates in place with
@@ -59,14 +74,16 @@ Callers must uphold, and may rely on, the following:
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.classification.conditions import satisfies_c3
+from repro.db.compact import CompactInstance
 from repro.db.facts import Fact
 from repro.db.instance import DatabaseInstance
-from repro.solvers.result import CertaintyResult
+from repro.solvers.result import CertaintyResult, LazyMinimalRepair
 from repro.words.word import Word, WordLike
 
 NPair = Tuple[Hashable, int]
@@ -104,6 +121,28 @@ class FixpointTables:
             ends_with={s: tuple(v) for s, v in ends_with.items()},
         )
 
+    def longer_list(self) -> List[Tuple[int, ...]]:
+        """``longer_same_end`` as a dense list indexed by prefix length."""
+        k = len(self.query)
+        return [self.longer_same_end.get(i, ()) for i in range(k + 1)]
+
+    def shorter_list(self) -> List[Tuple[int, ...]]:
+        """Reverse of ``longer_same_end``, indexed by prefix length."""
+        k = len(self.query)
+        shorter: List[List[int]] = [[] for _ in range(k + 1)]
+        for i, longer in self.longer_same_end.items():
+            for j in longer:
+                shorter[j].append(i)
+        return [tuple(v) for v in shorter]
+
+
+def _compact_of(db) -> Optional[CompactInstance]:
+    """The cached compact view of *db*, or None for plain overlays."""
+    builder = getattr(db, "compact", None)
+    if builder is None:
+        return None
+    return builder()
+
 
 def fixpoint_relation(
     db: DatabaseInstance,
@@ -112,6 +151,9 @@ def fixpoint_relation(
 ) -> Set[NPair]:
     """The relation ``N`` of Figure 5; pairs ``(constant, prefix_length)``.
 
+    This is the **object-level baseline kernel** (tuple pairs, dict/set
+    membership), retained as the differential reference the compact
+    kernel :func:`fixpoint_bits` is tested and benchmarked against.
     *tables* may carry the precomputed :class:`FixpointTables` for *q*
     (compiled plans pass them; ad-hoc callers leave them to be built).
 
@@ -174,31 +216,209 @@ def fixpoint_relation(
     return n_set
 
 
+class CompactNRelation:
+    """The Figure 5 relation ``N`` as a bitset over a compact instance.
+
+    One byte per pair ``(c, u)`` at index ``c_lid * (k+1) + |u|``.
+    Supports the membership protocol the object-level consumers use
+    (``(constant, length) in n``), ``len`` (pair count), and decoding
+    back to the tuple-pair set for differential testing.
+    """
+
+    __slots__ = ("compact", "k", "stride", "bits", "_count")
+
+    def __init__(self, compact: CompactInstance, k: int, bits: bytearray) -> None:
+        self.compact = compact
+        self.k = k
+        self.stride = k + 1
+        self.bits = bits
+        self._count: Optional[int] = None
+
+    def __contains__(self, pair: NPair) -> bool:
+        constant, length = pair
+        lid = self.compact.local_of.get(constant)
+        if lid is None or not 0 <= length <= self.k:
+            return False
+        return self.bits[lid * self.stride + length] != 0
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = self.bits.count(1)
+        return self._count
+
+    def __iter__(self) -> Iterator[NPair]:
+        consts = self.compact.consts
+        stride = self.stride
+        for index, bit in enumerate(self.bits):
+            if bit:
+                yield (consts[index // stride], index % stride)
+
+    def to_set(self) -> Set[NPair]:
+        """Decode into the object-level pair set (differential tests)."""
+        return set(self)
+
+    def start_constants(self) -> List[Hashable]:
+        """The constants ``c`` with ``(c, ε) ∈ N`` (Lemma 7 witnesses)."""
+        consts = self.compact.consts
+        return [
+            consts[lid]
+            for lid, bit in enumerate(self.bits[0 :: self.stride])
+            if bit
+        ]
+
+
+def _kernel_plan(compact: CompactInstance, syms: Tuple[str, ...]):
+    """The per-``(instance, query-shape)`` arrays of the compact kernel.
+
+    ``inflat[p]`` for the encoded pair ``p = y*(k+1) + j`` is the tuple
+    of encoded pairs ``(c, j-1)`` for the in-edges ``q[j-1](c, y)`` --
+    the probe targets, pre-scaled so the hot loop does no arithmetic per
+    edge.  ``counters`` is the countdown template: the counter of
+    ``(c, j-1)`` starts at the fact count of the block ``q[j-1](c, *)``
+    (the compact view's per-block counts array slice-copies straight
+    into the right positions; zero-degree blocks never receive a
+    decrement, so 0 is safe there).  Cached on the immutable view, so a
+    warm instance pays only the worklist per solve.
+    """
+
+    def build():
+        k = len(syms)
+        stride = k + 1
+        n_all = compact.n * stride
+        inflat: List[Tuple[int, ...]] = [()] * n_all
+        counters = array("l", [0]) * n_all
+        for pos, symbol in enumerate(syms):
+            in_rows = compact.in_.get(symbol)
+            if in_rows is None:
+                continue
+            j = pos + 1
+            for y, srcs in enumerate(in_rows):
+                if srcs:
+                    inflat[y * stride + j] = tuple(
+                        c * stride + pos for c in srcs
+                    )
+            counters[pos::stride] = compact.out_deg[symbol]
+        return counters, inflat
+
+    return compact.cached_plan(("fixpoint", syms), build)
+
+
+def fixpoint_bits(
+    db,
+    q: WordLike,
+    tables: Optional[FixpointTables] = None,
+    compact: Optional[CompactInstance] = None,
+) -> CompactNRelation:
+    """The Figure 5 relation ``N``, computed by the compact kernel.
+
+    Semantically identical to :func:`fixpoint_relation`; operationally a
+    worklist of ``(const_lid, prefix_len)`` pairs encoded as single
+    integers, with bitset membership, per-block countdown counters in
+    one flat array, and a pre-scaled in-edge adjacency cached per
+    ``(instance, query)`` on the compact view.  *compact* may carry a
+    prebuilt view (kernels chained on the same instance reuse it);
+    otherwise ``db.compact()`` supplies the cached one.
+
+    >>> db = DatabaseInstance.from_triples(
+    ...     [("R", 0, 1), ("R", 1, 2), ("R", 2, 3), ("R", 3, 4), ("X", 4, 5)])
+    >>> n = fixpoint_bits(db, "RRX")
+    >>> (0, 0) in n and n.to_set() == fixpoint_relation(db, "RRX")
+    True
+    """
+    q = Word.coerce(q)
+    if compact is None:
+        compact = _compact_of(db)
+        if compact is None:
+            compact = CompactInstance.build(db)
+    k = len(q)
+    n = compact.n
+    stride = k + 1
+    alive = compact.alive
+    bits = bytearray(n * stride)
+    if n == 0:
+        return CompactNRelation(compact, k, bits)
+    # Init axioms (c, |q|) for every live constant, via byte-slice copy.
+    bits[k::stride] = alive
+    if k == 0:
+        return CompactNRelation(compact, 0, bits)
+    if tables is None:
+        tables = FixpointTables.build(q)
+    longer = tables.longer_list()
+    # Backward companions as offsets from the derived pair's encoding:
+    # deriving p2 = c*stride + i also derives p2 + (j2 - i) for each
+    # longer prefix j2 ending like i.
+    comp_off = [tuple(j2 - i for j2 in longer[i]) for i in range(stride)]
+    counter_template, inflat = _kernel_plan(compact, q.symbols)
+    counters = array("l", counter_template)
+
+    if alive.count(0) == 0:
+        work = list(range(k, n * stride, stride))
+    else:
+        work = [p for p in range(k, n * stride, stride) if bits[p]]
+    push = work.append
+    pop = work.pop
+    while work:
+        p = pop()
+        j = p % stride
+        if j == 0:
+            continue
+        srcs = inflat[p]
+        if not srcs:
+            continue
+        offs = comp_off[j - 1]
+        for p2 in srcs:
+            if bits[p2]:
+                continue
+            count = counters[p2] - 1
+            counters[p2] = count
+            if count == 0:
+                # Forward derivation of (c, j-1) plus its backward
+                # companions (the longer prefixes ending the same way).
+                bits[p2] = 1
+                push(p2)
+                for off in offs:
+                    p3 = p2 + off
+                    if not bits[p3]:
+                        bits[p3] = 1
+                        push(p3)
+    return CompactNRelation(compact, k, bits)
+
+
 class FixpointState:
     """Persistent Figure 5 state for one ``(db, q)``, maintainable under
-    fact deltas.
+    fact deltas -- held in the compact integer representation.
 
-    Holds the relation ``N``, the incoming-edge index, and the per-query
-    prefix tables.  ``apply_delta`` folds a batch of inserted/removed
-    facts into ``N`` with the DRed discipline: *over-delete* every pair
-    whose derivation may have passed through a touched block (closing
-    transitively over the old edges and the backward-companion rule),
-    then *re-derive* from the surviving pairs -- the worklist is seeded
-    with the touched blocks' candidate pairs, the deleted pairs
-    themselves, and the init axioms of newly arrived constants, so the
-    work is proportional to the affected region, not the database.
+    Holds the relation ``N`` as a growable pair bitset, per-query-symbol
+    int in/out adjacency (sparse dicts keyed by local constant id), and
+    the per-query prefix tables.  ``apply_delta`` folds a batch of
+    inserted/removed facts into ``N`` with the DRed discipline:
+    *over-delete* every pair whose derivation may have passed through a
+    touched block (closing transitively over the old edges and the
+    backward-companion rule), then *re-derive* from the surviving pairs
+    -- the worklist is seeded with the touched blocks' candidate pairs,
+    the deleted pairs themselves, and the init axioms of newly arrived
+    constants, so the work is proportional to the affected region, not
+    the database.
 
     The init axioms ``(c, |q|)`` for ``c ∈ adom`` are never suspected
     (they hold by definition while ``c`` survives in the domain).
+    Constants keep their local id for the lifetime of the state;
+    departed constants simply hold no pairs and no edges.
     """
 
     __slots__ = (
         "db",
         "query",
         "tables",
-        "n_set",
-        "in_index",
         "starts",
+        "_consts",
+        "_local_of",
+        "_stride",
+        "_bits",
+        "_count",
+        "_in",
+        "_out",
+        "_longer",
         "_shorter",
     )
 
@@ -207,26 +427,39 @@ class FixpointState:
         db: DatabaseInstance,
         query: Word,
         tables: FixpointTables,
-        n_set: Set[NPair],
-        in_index: Dict[Tuple[Hashable, str], Set[Hashable]],
+        n_bits: CompactNRelation,
     ) -> None:
         self.db = db
         self.query = query
         self.tables = tables
-        self.n_set = n_set
-        self.in_index = in_index
+        compact = n_bits.compact
+        self._consts: List[Hashable] = list(compact.consts)
+        self._local_of: Dict[Hashable, int] = dict(compact.local_of)
+        self._stride = n_bits.stride
+        self._bits = bytearray(n_bits.bits)
+        self._count = len(n_bits)
         #: Constants c with (c, ε) ∈ N -- the certainty witnesses (Lemma
         #: 7), maintained so answers need no domain scan.
-        self.starts: Set[Hashable] = {
-            c for c, length in n_set if length == 0
-        }
-        # Reverse of longer_same_end: for each prefix length, the shorter
-        # prefixes ending in the same symbol (backward-derivability probe).
-        shorter: Dict[int, List[int]] = {}
-        for i, longer in tables.longer_same_end.items():
-            for j in longer:
-                shorter.setdefault(j, []).append(i)
-        self._shorter = {j: tuple(v) for j, v in shorter.items()}
+        self.starts: Set[Hashable] = set(n_bits.start_constants())
+        # Mutable per-symbol adjacency over local ids, restricted to the
+        # query's alphabet (the only relations the Figure 5 rules read).
+        self._in: Dict[str, Dict[int, Set[int]]] = {}
+        self._out: Dict[str, Dict[int, Set[int]]] = {}
+        for symbol in set(query.symbols):
+            in_rows = compact.in_.get(symbol)
+            out_rows = compact.out.get(symbol)
+            self._in[symbol] = (
+                {v: set(srcs) for v, srcs in enumerate(in_rows) if srcs}
+                if in_rows is not None
+                else {}
+            )
+            self._out[symbol] = (
+                {c: set(vals) for c, vals in enumerate(out_rows) if vals}
+                if out_rows is not None
+                else {}
+            )
+        self._longer = tables.longer_list()
+        self._shorter = tables.shorter_list()
 
     @classmethod
     def compute(
@@ -239,13 +472,46 @@ class FixpointState:
         q = Word.coerce(q)
         if tables is None:
             tables = FixpointTables.build(q)
-        n_set = fixpoint_relation(db, q, tables=tables)
-        in_index: Dict[Tuple[Hashable, str], Set[Hashable]] = {}
-        for fact in db.facts:
-            in_index.setdefault((fact.value, fact.relation), set()).add(
-                fact.key
-            )
-        return cls(db, q, tables, n_set, in_index)
+        return cls(db, q, tables, fixpoint_bits(db, q, tables=tables))
+
+    # ------------------------------------------------------------------
+    # The N-relation protocol (what answer construction reads)
+    # ------------------------------------------------------------------
+
+    def __contains__(self, pair: NPair) -> bool:
+        constant, length = pair
+        lid = self._local_of.get(constant)
+        if lid is None or not 0 <= length < self._stride:
+            return False
+        return self._bits[lid * self._stride + length] != 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def n_set(self) -> Set[NPair]:
+        """The maintained relation decoded to object-level pairs.
+
+        O(|adom|·|q|) per access -- differential tests compare it
+        against a fresh :func:`fixpoint_relation` run; hot paths read
+        ``starts`` / membership instead.
+        """
+        stride = self._stride
+        consts = self._consts
+        return {
+            (consts[index // stride], index % stride)
+            for index, bit in enumerate(self._bits)
+            if bit
+        }
+
+    def _ensure(self, constant: Hashable) -> int:
+        lid = self._local_of.get(constant)
+        if lid is None:
+            lid = len(self._consts)
+            self._local_of[constant] = lid
+            self._consts.append(constant)
+            self._bits.extend(b"\x00" * self._stride)
+        return lid
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -265,19 +531,12 @@ class FixpointState:
         """
         added = list(added)
         removed = list(removed)
-        q, k = self.query, len(self.query)
-        if k == 0:
-            self.n_set = {(c, 0) for c in new_db.adom()}
-            self.starts = {c for c, _ in self.n_set}
-            self._reindex(added, removed)
-            self.db = new_db
-            return
-
-        touched = {f.block_id for f in added} | {f.block_id for f in removed}
-        # Domain churn is read off the refcounts of the constants the
-        # delta mentions -- O(delta), not an O(adom) set difference.
-        old_counts = self.db.adom_refcounts()
+        q = self.query
+        k = len(q)
+        stride = self._stride
+        bits = self._bits
         new_counts = new_db.adom_refcounts()
+
         delta_constants = set()
         for fact in added:
             delta_constants.add(fact.key)
@@ -285,6 +544,30 @@ class FixpointState:
         for fact in removed:
             delta_constants.add(fact.key)
             delta_constants.add(fact.value)
+        for constant in delta_constants:
+            self._ensure(constant)
+        bits = self._bits  # _ensure may have grown the bitset
+        local_of = self._local_of
+        consts = self._consts
+
+        if k == 0:
+            for constant in delta_constants:
+                lid = local_of[constant]
+                here = constant in new_counts
+                if here and not bits[lid]:
+                    bits[lid] = 1
+                    self._count += 1
+                    self.starts.add(constant)
+                elif not here and bits[lid]:
+                    bits[lid] = 0
+                    self._count -= 1
+                    self.starts.discard(constant)
+            self.db = new_db
+            return
+
+        # Domain churn is read off the refcounts of the constants the
+        # delta mentions -- O(delta), not an O(adom) set difference.
+        old_counts = self.db.adom_refcounts()
         gone_constants = [
             c for c in delta_constants if c in old_counts and c not in new_counts
         ]
@@ -292,110 +575,148 @@ class FixpointState:
             c for c in delta_constants if c not in old_counts and c in new_counts
         ]
         ends_with = self.tables.ends_with
-        longer_same_end = self.tables.longer_same_end
-        n_set = self.n_set
+        longer = self._longer
+        shorter = self._shorter
+        qsyms = q.symbols
+        touched = {f.block_id for f in added} | {f.block_id for f in removed}
 
         # --- Over-deletion: close the suspects over old edges. ---------
-        suspects: Set[NPair] = set()
+        suspects: Set[int] = set()
         queue = deque()
 
-        def suspect(pair: NPair) -> None:
-            if pair in suspects or pair not in n_set:
+        def suspect(p: int) -> None:
+            if p in suspects or not bits[p]:
                 return
-            if pair[1] == k and pair[0] in new_counts:
+            if p % stride == k and consts[p // stride] in new_counts:
                 return  # init axiom: valid while the constant survives
-            suspects.add(pair)
-            queue.append(pair)
+            suspects.add(p)
+            queue.append(p)
 
         for relation, key in touched:
-            for length in ends_with.get(relation, ()):
-                suspect((key, length - 1))
+            lengths = ends_with.get(relation)
+            if lengths:
+                base = local_of[key] * stride
+                for length in lengths:
+                    suspect(base + length - 1)
         for constant in gone_constants:
-            for length in range(k + 1):
-                suspect((constant, length))
+            base = local_of[constant] * stride
+            for length in range(stride):
+                suspect(base + length)
         while queue:
-            y, j = queue.popleft()
-            for j2 in longer_same_end.get(j, ()):
-                suspect((y, j2))  # backward companions derived from (y, j)
+            p = queue.popleft()
+            j = p % stride
+            y = p // stride
+            base = y * stride
+            for j2 in longer[j]:
+                suspect(base + j2)  # backward companions derived from (y, j)
             if j >= 1:
-                relation = q[j - 1]
-                for c in self.in_index.get((y, relation), ()):
-                    suspect((c, j - 1))
-        n_set -= suspects
-        for c, length in suspects:
-            if length == 0:
-                self.starts.discard(c)
+                srcs = self._in[qsyms[j - 1]].get(y)
+                if srcs:
+                    for c in srcs:
+                        suspect(c * stride + j - 1)
+        for p in suspects:
+            bits[p] = 0
+            if p % stride == 0:
+                self.starts.discard(consts[p // stride])
+        self._count -= len(suspects)
 
         # --- Switch the index and db over to the new instance. ---------
         self._reindex(added, removed)
         self.db = new_db
 
         # --- Re-derivation from the affected frontier. -----------------
-        worklist = deque()
+        work: List[int] = []
+        push = work.append
 
-        def add(c: Hashable, length: int) -> None:
-            pair = (c, length)
-            if pair in n_set:
+        def add(p: int) -> None:
+            if bits[p]:
                 return
-            n_set.add(pair)
-            if length == 0:
-                self.starts.add(c)
-            worklist.append(pair)
+            bits[p] = 1
+            self._count += 1
+            if p % stride == 0:
+                self.starts.add(consts[p // stride])
+            push(p)
 
-        def derive(c: Hashable, length: int) -> None:
-            add(c, length)
+        def derive(c: int, length: int) -> None:
+            base = c * stride
+            add(base + length)
             if length >= 1:
-                for j in longer_same_end[length]:
-                    add(c, j)
+                for j in longer[length]:
+                    add(base + j)
 
-        def block_satisfied(c: Hashable, relation: str, j: int) -> bool:
-            facts = new_db.out_facts(c, relation)
-            return bool(facts) and all(
-                (f.value, j) in n_set for f in facts
-            )
+        def block_satisfied(c: int, symbol: str, j: int) -> bool:
+            vals = self._out[symbol].get(c)
+            if not vals:
+                return False
+            for v in vals:
+                if not bits[v * stride + j]:
+                    return False
+            return True
 
         for constant in new_constants:
-            add(constant, k)
-        candidates: Set[NPair] = set(suspects)
+            add(local_of[constant] * stride + k)
+        candidates: Set[int] = set(suspects)
         for relation, key in touched:
-            for length in ends_with.get(relation, ()):
-                candidates.add((key, length - 1))
-        for c, i in candidates:
-            if (c, i) in n_set:
+            lengths = ends_with.get(relation)
+            if lengths:
+                base = local_of[key] * stride
+                for length in lengths:
+                    candidates.add(base + length - 1)
+        for p in candidates:
+            if bits[p]:
                 continue
+            c = p // stride
+            i = p % stride
             if i == k:
-                if c in new_counts:
-                    add(c, k)
+                if consts[c] in new_counts:
+                    add(p)
                 continue
-            if block_satisfied(c, q[i], i + 1) or any(
-                (c, i2) in n_set for i2 in self._shorter.get(i, ())
+            if block_satisfied(c, qsyms[i], i + 1) or any(
+                bits[c * stride + i2] for i2 in shorter[i]
             ):
                 derive(c, i)
-        while worklist:
-            y, j = worklist.popleft()
+        while work:
+            p = work.pop()
+            j = p % stride
             if j == 0:
                 continue
-            relation = q[j - 1]
-            for c in self.in_index.get((y, relation), ()):
-                if (c, j - 1) in n_set:
-                    continue
-                if block_satisfied(c, relation, j):
-                    derive(c, j - 1)
+            symbol = qsyms[j - 1]
+            srcs = self._in[symbol].get(p // stride)
+            if srcs:
+                jm1 = j - 1
+                for c in srcs:
+                    if bits[c * stride + jm1]:
+                        continue
+                    if block_satisfied(c, symbol, j):
+                        derive(c, jm1)
 
     def _reindex(
         self, added: Iterable[Fact], removed: Iterable[Fact]
     ) -> None:
+        local_of = self._local_of
         for fact in removed:
-            key = (fact.value, fact.relation)
-            keys = self.in_index.get(key)
-            if keys is not None:
-                keys.discard(fact.key)
-                if not keys:
-                    del self.in_index[key]
+            in_sym = self._in.get(fact.relation)
+            if in_sym is None:
+                continue  # relation outside the query alphabet
+            key, value = local_of[fact.key], local_of[fact.value]
+            srcs = in_sym.get(value)
+            if srcs is not None:
+                srcs.discard(key)
+                if not srcs:
+                    del in_sym[value]
+            out_sym = self._out[fact.relation]
+            vals = out_sym.get(key)
+            if vals is not None:
+                vals.discard(value)
+                if not vals:
+                    del out_sym[key]
         for fact in added:
-            self.in_index.setdefault(
-                (fact.value, fact.relation), set()
-            ).add(fact.key)
+            in_sym = self._in.get(fact.relation)
+            if in_sym is None:
+                continue
+            key, value = local_of[fact.key], local_of[fact.value]
+            in_sym.setdefault(value, set()).add(key)
+            self._out[fact.relation].setdefault(key, set()).add(value)
 
 
 def certain_answer_incremental(
@@ -413,7 +734,7 @@ def certain_answer_incremental(
         state.db,
         state.query,
         state.tables,
-        state.n_set,
+        state,
         require_c3=require_c3,
         is_c3=is_c3,
         method="fixpoint-incremental",
@@ -424,7 +745,7 @@ def certain_answer_incremental(
 def build_minimal_repair(
     db: DatabaseInstance,
     q: WordLike,
-    n_relation: Optional[Set[NPair]] = None,
+    n_relation=None,
     tables: Optional[FixpointTables] = None,
 ) -> DatabaseInstance:
     """The repair ``r*`` of Lemmas 9 / 10.
@@ -433,6 +754,10 @@ def build_minimal_repair(
     ``q[ℓ-1] = R``, take the largest with ``(a, ℓ-1) ∉ N`` and insert a
     fact ``R(a, b)`` with ``(b, ℓ) ∉ N``; if every such prefix has
     ``(a, ℓ-1) ∈ N``, insert an arbitrary fact.
+
+    *n_relation* may be any ``N`` supporting pair membership (the
+    object-level pair set or a :class:`CompactNRelation`); by default
+    the compact kernel computes a fresh one.
 
     This repair is ⪯_q-minimal (Lemma 9); in particular it minimizes
     ``start(q, ·)`` over all repairs (Lemma 6), and whenever ``(c, ε) ∉ N``
@@ -443,7 +768,7 @@ def build_minimal_repair(
     if tables is None:
         tables = FixpointTables.build(q)
     if n_relation is None:
-        n_relation = fixpoint_relation(db, q, tables=tables)
+        n_relation = fixpoint_bits(db, q, tables=tables)
     ends_with = tables.ends_with
 
     chosen: List[Fact] = []
@@ -487,11 +812,22 @@ def certain_answer_fixpoint(
 
     *tables* and *is_c3* let compiled plans supply the per-query prefix
     tables and the (already classified) C3 status, so the per-instance
-    call does no per-query work.
+    call does no per-query work.  Runs the compact kernel
+    (:func:`fixpoint_bits`) whenever *db* carries a compact view
+    (``DatabaseInstance`` always does); plain overlays fall back to the
+    object-level baseline.
     """
     q = Word.coerce(q)
     if tables is None:
         tables = FixpointTables.build(q)
+    compact = _compact_of(db)
+    if compact is not None:
+        n_relation = fixpoint_bits(db, q, tables=tables, compact=compact)
+        starts = set(n_relation.start_constants())
+        return _result_from_relation(
+            db, q, tables, n_relation, require_c3, is_c3,
+            method="fixpoint", starts=starts,
+        )
     n_relation = fixpoint_relation(db, q, tables=tables)
     return _result_from_relation(
         db, q, tables, n_relation, require_c3, is_c3, method="fixpoint"
@@ -502,7 +838,7 @@ def _result_from_relation(
     db: DatabaseInstance,
     q: Word,
     tables: FixpointTables,
-    n_relation: Set[NPair],
+    n_relation,
     require_c3: bool,
     is_c3: Optional[bool],
     method: str,
@@ -510,8 +846,10 @@ def _result_from_relation(
 ) -> CertaintyResult:
     """Shared answer construction for the fresh and incremental paths.
 
-    *starts* may carry the maintained witness set ``{c : (c, ε) ∈ N}``
-    (the incremental state passes it), replacing the domain scan.
+    *n_relation* is any ``N`` view supporting ``len`` and pair
+    membership; *starts* may carry the witness set ``{c : (c, ε) ∈ N}``
+    (the compact kernel and the incremental state pass it), replacing
+    the domain scan.
     """
     if starts is not None:
         witness = min(starts, key=str) if starts else None
@@ -552,7 +890,8 @@ def _result_from_relation(
         # The (rarely read) certificate recomputes its own N on demand:
         # the incremental path's maintained N mutates under later deltas,
         # and holding the O(|q|·|adom|) relation alive on every unread
-        # "no" result costs more than the occasional re-run.
-        falsifying_repair=lambda: build_minimal_repair(db, q, tables=tables),
+        # "no" result costs more than the occasional re-run.  The source
+        # is a picklable data carrier, so laziness survives pool hops.
+        falsifying_repair=LazyMinimalRepair(db, q),
         details=details,
     )

@@ -16,11 +16,16 @@ from typing import Optional
 from repro.datalog.cqa_program import (
     CqaProgram,
     UnsupportedQuery,
+    instance_edb_compact,
     instance_to_edb,
 )
-from repro.datalog.engine import evaluate_program
+from repro.datalog.engine import (
+    CompactProgram,
+    compact_program,
+    evaluate_program,
+)
 from repro.db.instance import DatabaseInstance
-from repro.solvers.result import CertaintyResult
+from repro.solvers.result import CertaintyResult, LazyMinimalRepair
 from repro.words.word import Word, WordLike
 
 
@@ -49,11 +54,16 @@ def certain_answer_nl(
     db: DatabaseInstance,
     q: WordLike,
     program: Optional[CqaProgram] = None,
+    compiled: Optional[CompactProgram] = None,
 ) -> CertaintyResult:
     """Decide CERTAINTY(q) for a C2 path query via linear Datalog.
 
-    *program* may carry the precompiled Claim 5 program for *q* (compiled
-    plans pass their own copy; ad-hoc callers hit the module cache).
+    *program* may carry the precompiled Claim 5 program for *q*, and
+    *compiled* its compact-engine compilation (compiled plans pass both;
+    ad-hoc callers hit the module caches).  The evaluation runs on the
+    compact engine over the instance's interned EDB whenever *db*
+    carries a compact view (``DatabaseInstance`` always does); plain
+    overlays fall back to the object-level indexed engine.
 
     >>> db = DatabaseInstance.from_triples(
     ...     [("R", 0, 1), ("R", 1, 2), ("R", 2, 3), ("R", 3, 4), ("X", 4, 5)])
@@ -62,23 +72,40 @@ def certain_answer_nl(
     """
     q = Word.coerce(q)
     cqa = program if program is not None else cached_program(q)
-    edb = instance_to_edb(db)
-    relations = evaluate_program(cqa.program, edb)
-    o_constants = {row[0] for row in relations.get("o", ())}
-    witnesses = [c for c in db.sorted_adom() if c not in o_constants]
+    if getattr(db, "compact", None) is not None:
+        view = db.compact()
+        if compiled is None:
+            compiled = compact_program(cqa.program)
+        relations = compiled.evaluate(instance_edb_compact(view))
+        o_gids = {row[0] for row in relations.get("o", ())}
+        gids = view.gids
+        consts = view.consts
+        witnesses = sorted(
+            (
+                consts[lid]
+                for lid in view.alive_lids()
+                if gids[lid] not in o_gids
+            ),
+            key=str,
+        )
+        o_size = len(o_gids)
+    else:
+        edb = instance_to_edb(db)
+        relations = evaluate_program(cqa.program, edb)
+        o_constants = {row[0] for row in relations.get("o", ())}
+        witnesses = [c for c in db.sorted_adom() if c not in o_constants]
+        o_size = len(o_constants)
     details = {
         "decomposition": str(cqa.parts),
         "program_rules": len(cqa.program),
-        "o_size": len(o_constants),
+        "o_size": o_size,
     }
     repair = None
     if not witnesses:
         # Certificate: the Lemma 9 minimal repair falsifies q on
         # "no"-instances (query-generic construction); built lazily on
-        # first access.
-        from repro.solvers.fixpoint import build_minimal_repair
-
-        repair = lambda: build_minimal_repair(db, q)
+        # first access, picklable so laziness survives pool hops.
+        repair = LazyMinimalRepair(db, q)
     return CertaintyResult(
         query=str(q),
         answer=bool(witnesses),

@@ -9,6 +9,32 @@ from repro.db.instance import DatabaseInstance
 RepairSource = Union[DatabaseInstance, Callable[[], DatabaseInstance], None]
 
 
+class LazyMinimalRepair:
+    """A *picklable* lazy falsifying-repair certificate.
+
+    Carries the ``(db, query)`` data needed to run the Lemma 9
+    construction instead of capturing it in a closure, so results can
+    cross process boundaries (pool workers shipping answers back)
+    without forcing the O(db) certificate construction at pickle time.
+    The construction still runs at most once per consumer process, on
+    first ``falsifying_repair`` access.
+    """
+
+    __slots__ = ("db", "query")
+
+    def __init__(self, db: DatabaseInstance, query) -> None:
+        self.db = db
+        self.query = query
+
+    def __call__(self) -> DatabaseInstance:
+        from repro.solvers.fixpoint import build_minimal_repair
+
+        return build_minimal_repair(self.db, self.query)
+
+    def __reduce__(self):
+        return (LazyMinimalRepair, (self.db, self.query))
+
+
 class CertaintyResult:
     """Outcome of a CERTAINTY(q) decision.
 
@@ -71,15 +97,31 @@ class CertaintyResult:
         """True iff the certificate exists but has not been built yet."""
         return callable(self._repair_source)
 
+    def strip(self) -> "CertaintyResult":
+        """Drop the falsifying-repair certificate; returns ``self``.
+
+        For consumers that only read ``.answer``: an unread certificate
+        costs an O(db) construction the moment the result is compared,
+        resolved, or (for non-picklable sources) pickled.  Batch workers
+        strip results when the caller opted out of certificates, so
+        nothing heavier than the answer crosses the pool boundary.
+        """
+        self._repair_source = None
+        return self
+
     def __getstate__(self):
-        # Resolve lazy certificates before crossing process boundaries
+        # Keep data-carrying lazy certificates (LazyMinimalRepair) lazy
+        # across process boundaries; resolve only opaque callables
         # (closures are not picklable; pool workers ship results back).
+        source = self._repair_source
+        if callable(source) and not isinstance(source, LazyMinimalRepair):
+            source = self.falsifying_repair
         return (
             self.query,
             self.answer,
             self.method,
             self.witness_constant,
-            self.falsifying_repair,
+            source,
             self.details,
         )
 

@@ -1,0 +1,453 @@
+"""The compact integer data plane: kernels must equal the object plane.
+
+Differential coverage for PR 4's interned / array-backed execution
+representation:
+
+* :class:`~repro.db.interner.Interner` id stability;
+* :class:`~repro.db.compact.CompactInstance` -- the view built fresh
+  and the view carried forward by O(delta) ``patched`` commits must
+  describe the same instance (same adjacency, same live domain);
+* :func:`~repro.solvers.fixpoint.fixpoint_bits` (compact kernel) ==
+  :func:`~repro.solvers.fixpoint.fixpoint_relation` (object baseline)
+  across all four Theorem 2 complexity classes and random instances;
+* :func:`~repro.datalog.engine.evaluate_program_compact` ==
+  :func:`~repro.datalog.engine.evaluate_program` on the Claim 5
+  programs and on handwritten programs with constants, builtins and
+  negation;
+* ``solve_delta`` update sequences and direct
+  :class:`~repro.solvers.fixpoint.FixpointState` maintenance on the
+  compact representation (the compact view being patched along the
+  update chain, never recompiled);
+* dense automata tables (:meth:`NFA.dense`, :meth:`DFA.dense_tables`)
+  agreeing with the object-level semantics;
+* the satellite contracts: ``Block.presorted``, instance pickling
+  without the compact cache, lazy certificates surviving pickling
+  unresolved, and ``CertaintyResult.strip``.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.automata.query_nfa import query_nfa, query_nfa_dense
+from repro.datalog.cqa_program import build_cqa_program, instance_to_edb
+from repro.datalog.engine import (
+    compact_program,
+    evaluate_program,
+    evaluate_program_compact,
+)
+from repro.datalog.syntax import Literal, Program, Rule, var
+from repro.db.compact import CompactInstance
+from repro.db.delta import Delta, DeltaInstance
+from repro.db.facts import Fact
+from repro.db.instance import Block, DatabaseInstance
+from repro.db.interner import Interner, global_interner
+from repro.engine import CertaintyEngine
+from repro.solvers.fixpoint import (
+    FixpointState,
+    fixpoint_bits,
+    fixpoint_relation,
+)
+from repro.solvers.result import CertaintyResult, LazyMinimalRepair
+from repro.workloads.generators import (
+    chain_instance,
+    planted_instance,
+    random_instance,
+)
+
+#: Two queries per Theorem 2 complexity class (as in the engine tests).
+CLASS_QUERIES = [
+    ("RR", "FO"),
+    ("RXRX", "FO"),
+    ("RRX", "NL-complete"),
+    ("RXRY", "NL-complete"),
+    ("RXRYRY", "PTIME-complete"),
+    ("RXRRR", "PTIME-complete"),
+    ("ARRX", "coNP-complete"),
+    ("RXRXRYRY", "coNP-complete"),
+]
+
+
+def decoded_edges(view):
+    """The view's adjacency decoded to (relation, key, value) triples."""
+    triples = set()
+    for relation in view.relations:
+        rows = view.out[relation]
+        for key_lid, values in enumerate(rows):
+            for value_lid in values:
+                triples.add(
+                    (relation, view.consts[key_lid], view.consts[value_lid])
+                )
+    return triples
+
+
+def assert_views_equivalent(patched, fresh):
+    """Structural equivalence of a patched view and a fresh build."""
+    assert decoded_edges(patched) == decoded_edges(fresh)
+    live_patched = {patched.consts[lid] for lid in patched.alive_lids()}
+    live_fresh = {fresh.consts[lid] for lid in fresh.alive_lids()}
+    assert live_patched == live_fresh
+    # In-adjacency and degrees agree with the out-adjacency.
+    for view in (patched, fresh):
+        for relation in view.relations:
+            for key_lid, values in enumerate(view.out[relation]):
+                assert view.out_deg[relation][key_lid] == len(values)
+                for value_lid in values:
+                    assert key_lid in view.in_[relation][value_lid]
+
+
+def random_update(rng, db, alphabet, n_constants=7):
+    """A random effective delta overlay over *db*."""
+    overlay = DeltaInstance(db)
+    facts = sorted(db.facts)
+    for _ in range(rng.randint(1, 3)):
+        if facts and rng.random() < 0.5:
+            overlay.remove_fact(rng.choice(facts))
+        else:
+            overlay.insert_fact(
+                Fact(
+                    rng.choice(alphabet),
+                    rng.randrange(n_constants + 3),
+                    rng.randrange(n_constants + 3),
+                )
+            )
+    return overlay
+
+
+class TestInterner:
+    def test_ids_dense_and_stable(self):
+        interner = Interner()
+        ids = [interner.constant_id(v) for v in ("a", 0, ("t", 1), "a", 0)]
+        assert ids == [0, 1, 2, 0, 1]
+        assert [interner.constant(i) for i in (0, 1, 2)] == ["a", 0, ("t", 1)]
+        assert interner.relation_id("R") == 0
+        assert interner.relation_id("X") == 1
+        assert interner.relation(1) == "X"
+
+    def test_global_interner_is_shared(self):
+        assert global_interner() is global_interner()
+
+    def test_interner_refuses_pickle(self):
+        with pytest.raises(TypeError):
+            pickle.dumps(Interner())
+
+
+class TestCompactInstance:
+    def test_build_matches_instance(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 2), ("X", 2, 0), ("R", 2, 2)]
+        )
+        view = db.compact()
+        assert view.n == 3
+        assert decoded_edges(view) == {f.as_triple() for f in db.facts}
+        assert db.compact() is view  # cached on the instance
+
+    def test_csr_offsets_are_block_counts(self):
+        db = DatabaseInstance.from_triples(
+            [("R", 0, 1), ("R", 0, 2), ("R", 1, 2)]
+        )
+        view = db.compact()
+        block_keys, offsets, values = view.csr("R")
+        counts = {
+            view.consts[block_keys[i]]: offsets[i + 1] - offsets[i]
+            for i in range(len(block_keys))
+        }
+        assert counts == {0: 2, 1: 1}
+        assert len(values) == 3
+
+    def test_patched_equals_fresh_build_random_chains(self):
+        rng = random.Random(0xC0)
+        alphabet = ["R", "X"]
+        db = random_instance(rng, 7, 14, alphabet=alphabet)
+        db.compact()  # warm, so commits patch instead of recompiling
+        for _ in range(25):
+            overlay = random_update(rng, db, alphabet)
+            committed = overlay.commit()
+            patched = committed.compact()
+            assert_views_equivalent(
+                patched, CompactInstance.build(committed)
+            )
+            db = committed
+
+    def test_patched_constant_arrival_and_departure(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1)])
+        db.compact()
+        grown = Delta.inserting(("R", 1, 2)).apply_to(db).commit()
+        view = grown.compact()
+        assert {view.consts[l] for l in view.alive_lids()} == {0, 1, 2}
+        shrunk = (
+            Delta.removing(("R", 1, 2), ("R", 0, 1))
+            .then_inserting(("X", 5, 6))
+            .apply_to(grown)
+            .commit()
+        )
+        view = shrunk.compact()
+        assert {view.consts[l] for l in view.alive_lids()} == {5, 6}
+        assert_views_equivalent(view, CompactInstance.build(shrunk))
+
+    def test_compact_refuses_pickle_and_instance_drops_it(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1)])
+        view = db.compact()
+        with pytest.raises(TypeError):
+            pickle.dumps(view)
+        clone = pickle.loads(pickle.dumps(db))
+        assert clone == db and clone.blocks()[0].facts == db.blocks()[0].facts
+
+
+class TestCompactFixpointKernel:
+    @pytest.mark.parametrize("query,_cls", CLASS_QUERIES)
+    def test_kernel_agreement_all_classes(self, query, _cls):
+        rng = random.Random(len(query) * 131)
+        for trial in range(6):
+            db = planted_instance(
+                rng,
+                query,
+                n_constants=6,
+                n_paths=2,
+                n_noise_facts=12,
+                conflict_rate=0.5,
+            )
+            assert fixpoint_bits(db, query).to_set() == fixpoint_relation(
+                db, query
+            ), (query, trial)
+
+    def test_kernel_agreement_random_words(self):
+        rng = random.Random(0xF1)
+        for trial in range(60):
+            word = "".join(
+                rng.choice("RX") for _ in range(rng.randint(0, 5))
+            )
+            db = random_instance(rng, 6, 12, alphabet=["R", "X"])
+            n = fixpoint_bits(db, word)
+            assert n.to_set() == fixpoint_relation(db, word), (word, trial)
+            assert len(n) == len(fixpoint_relation(db, word))
+
+    def test_kernel_on_patched_views(self):
+        """The kernel must be exact on views carried forward by commits
+        (dead local ids keep no pairs; arrivals get init axioms)."""
+        rng = random.Random(0xF2)
+        db = random_instance(rng, 6, 12, alphabet=["R", "X"])
+        db.compact()
+        for _ in range(20):
+            overlay = random_update(rng, db, ["R", "X"])
+            db = overlay.commit()
+            for query in ("RRX", "RXRX"):
+                assert fixpoint_bits(db, query).to_set() == fixpoint_relation(
+                    db, query
+                )
+
+    def test_empty_query_and_empty_instance(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1)])
+        assert fixpoint_bits(db, "").to_set() == {(0, 0), (1, 0)}
+        empty = DatabaseInstance.empty()
+        assert fixpoint_bits(empty, "RRX").to_set() == set()
+
+
+class TestCompactDatalog:
+    @pytest.mark.parametrize("query", ["RRX", "RXRY", "UVUVWV"])
+    def test_cqa_materializations_equal(self, query):
+        rng = random.Random(len(query))
+        cqa = build_cqa_program(query)
+        for n_noise in (8, 20):
+            db = planted_instance(
+                rng,
+                query,
+                n_constants=7,
+                n_paths=2,
+                n_noise_facts=n_noise,
+                conflict_rate=0.4,
+            )
+            edb = instance_to_edb(db)
+            assert evaluate_program_compact(
+                cqa.program, edb
+            ) == evaluate_program(cqa.program, edb)
+
+    def test_constants_builtins_negation(self):
+        x, y = var("X"), var("Y")
+        program = Program(
+            [
+                Rule(Literal("base", (x,)), (Literal("e", (x, y)),)),
+                Rule(
+                    Literal("p", (x, y)),
+                    (
+                        Literal("e", (x, y)),
+                        Literal("neq", (x, "a")),
+                        Literal("e", (y, "c"), negated=True),
+                    ),
+                ),
+                Rule(
+                    Literal("anchored", (x,)),
+                    (Literal("e", ("a", x)),),
+                ),
+                Rule(
+                    Literal("diag", (x,)),
+                    (Literal("e", (x, x)),),
+                ),
+            ]
+        )
+        edb = {
+            "e": [("a", "b"), ("b", "c"), ("c", "a"), ("d", "d"), ("b", "b")]
+        }
+        assert evaluate_program_compact(program, edb) == evaluate_program(
+            program, edb
+        )
+
+    def test_compact_program_memoized(self):
+        program = build_cqa_program("RRX").program
+        assert compact_program(program) is compact_program(program)
+
+
+class TestSolveDeltaOnCompactPlane:
+    @pytest.mark.parametrize("query,expected", CLASS_QUERIES)
+    def test_delta_sequences_match_scratch(self, query, expected):
+        rng = random.Random(len(query) * 17 + 1)
+        alphabet = sorted(set(query))
+        db = planted_instance(
+            rng, query, n_constants=6, n_paths=2,
+            n_noise_facts=10, conflict_rate=0.5,
+        )
+        engine = CertaintyEngine()
+        assert str(engine.compile(query).complexity) == expected
+        scratch = CertaintyEngine()
+        db.compact()  # ensure the chain patches the compact view
+        for step in range(8):
+            overlay = random_update(rng, db, alphabet)
+            delta = Delta(
+                removes=tuple(overlay.removed_facts),
+                inserts=tuple(overlay.added_facts),
+            )
+            incremental = engine.solve_delta(db, delta, query)
+            db = delta.apply_to(db).commit()
+            fresh = scratch.solve(db, query)
+            assert incremental.answer == fresh.answer, (query, step)
+
+    def test_fixpoint_state_maintenance_on_patched_views(self):
+        rng = random.Random(0xD5)
+        for query in ("RRX", "RXRYRY", "ARRX"):
+            db = planted_instance(
+                rng, query, n_constants=6, n_paths=2,
+                n_noise_facts=10, conflict_rate=0.5,
+            )
+            db.compact()
+            state = FixpointState.compute(db, query)
+            for step in range(12):
+                overlay = random_update(rng, db, sorted(set(query)))
+                new_db = overlay.commit()
+                state.apply_delta(
+                    new_db, overlay.added_facts, overlay.removed_facts
+                )
+                assert state.n_set == fixpoint_relation(new_db, query), (
+                    query,
+                    step,
+                )
+                assert state.starts == {
+                    c for c, length in state.n_set if length == 0
+                }
+                db = new_db
+
+
+class TestDenseAutomata:
+    @pytest.mark.parametrize("query", ["RRX", "RXRRR", "UVUVWV"])
+    def test_dense_nfa_accepts_agrees(self, query):
+        rng = random.Random(len(query) * 5)
+        nfa = query_nfa(query)
+        dense = query_nfa_dense(query)
+        alphabet = sorted(nfa.alphabet) + ["Z"]
+        for _ in range(80):
+            word = [
+                rng.choice(alphabet)
+                for _ in range(rng.randint(0, 2 * len(query)))
+            ]
+            assert dense.accepts(word) == nfa.accepts(word), word
+
+    def test_dense_symbol_numbering(self):
+        dense = query_nfa_dense("RRX")
+        assert dense.symbols == ("R", "X")
+        assert dense.symbol_index == {"R": 0, "X": 1}
+        assert len(dense.trans_masks) == len(dense.symbols)
+
+    def test_dense_tables_match_transitions(self):
+        dfa = DFA.from_nfa(query_nfa("RXRRR"))
+        symbols, table, accepting = dfa.dense_tables()
+        n_symbols = len(symbols)
+        for state in range(dfa.n_states):
+            assert accepting[state] == (state in dfa.accepting)
+            for si, symbol in enumerate(symbols):
+                expected = dfa.transitions.get((state, symbol), -1)
+                assert table[state * n_symbols + si] == expected
+
+
+class TestSatellites:
+    def test_block_presorted_trusted_path(self):
+        facts = tuple(sorted([Fact("R", 0, 2), Fact("R", 0, 1)]))
+        block = Block.presorted(("R", 0), facts)
+        assert block.facts == facts
+        assert block == block and block.is_conflicting()
+        # The regular constructor still validates and sorts.
+        assert Block(("R", 0), reversed(facts)).facts == facts
+        with pytest.raises(ValueError):
+            Block(("R", 1), facts)
+
+    def test_commit_blocks_equal_fresh_instance_blocks(self):
+        base = DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 2)])
+        overlay = DeltaInstance(base)
+        overlay.insert_fact(Fact("R", 0, 9))
+        overlay.insert_fact(Fact("R", 0, 0))
+        committed = overlay.commit()
+        fresh = DatabaseInstance(committed.facts)
+        assert [b.facts for b in committed.blocks()] == [
+            b.facts for b in fresh.blocks()
+        ]
+
+    def test_lazy_certificate_survives_pickling_unresolved(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2)])
+        result = CertaintyResult(
+            query="RRX",
+            answer=False,
+            method="fixpoint",
+            falsifying_repair=LazyMinimalRepair(db, "RRX"),
+        )
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.has_lazy_repair  # not resolved at pickle time
+        assert clone.falsifying_repair.is_repair_of(db)
+
+    def test_opaque_lazy_certificate_resolved_at_pickle_time(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1)])
+        result = CertaintyResult(
+            query="q", answer=False, method="m",
+            falsifying_repair=lambda: db,
+        )
+        clone = pickle.loads(pickle.dumps(result))
+        assert not clone.has_lazy_repair
+        assert clone.falsifying_repair == db
+
+    def test_strip_drops_certificates(self):
+        db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2)])
+        result = CertaintyResult(
+            query="RRX", answer=False, method="fixpoint",
+            falsifying_repair=LazyMinimalRepair(db, "RRX"),
+        )
+        assert result.strip() is result
+        assert result.falsifying_repair is None
+        assert not result.has_lazy_repair
+
+    def test_batch_strip_certificates_local_and_parallel(self):
+        dbs = [
+            chain_instance("RRX", repetitions=2),  # yes-instance
+            DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2)]),  # no
+        ]
+        engine = CertaintyEngine()
+        pairs = [(db, "RRX") for db in dbs]
+        answers = [r.answer for r in engine.solve_batch(pairs)]
+        for workers in (None, 2):
+            stripped = engine.solve_batch(
+                pairs, workers=workers, strip_certificates=True
+            )
+            assert [r.answer for r in stripped] == answers
+            assert all(r._repair_source is None for r in stripped)
+        # Without stripping, parallel "no" results come back still lazy.
+        kept = engine.solve_batch(pairs, workers=2)
+        assert [r.answer for r in kept] == answers
+        assert kept[answers.index(False)].has_lazy_repair

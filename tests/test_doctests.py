@@ -11,8 +11,10 @@ MODULE_NAMES = [
     "repro.classification.conditions",
     "repro.classification.classifier",
     "repro.classification.regex_conditions",
+    "repro.db.compact",
     "repro.db.delta",
     "repro.db.instance",
+    "repro.db.interner",
     "repro.engine",
     "repro.engine.engine",
     "repro.engine.plan",
