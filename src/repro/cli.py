@@ -6,7 +6,9 @@ Usage (after ``pip install -e .``)::
     python -m repro solve RRX --triples "R,0,1;R,1,2;R,1,3;R,2,3;X,3,4"
     python -m repro batch RRX --facts db1.txt db2.txt db3.txt --workers 4
     python -m repro serve --instance orders=db1.txt --workload reqs.txt
+    python -m repro serve --transport process --instance orders=db1.txt ...
     python -m repro bench-serve --shards 4 --requests 240
+    python -m repro bench-serve --cpu-bound --shards 4
     python -m repro answers RR --triples "R,0,1;R,1,2;R,2,3"
     python -m repro atlas
     python -m repro report --trials 10
@@ -212,6 +214,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             num_shards=args.shards,
             max_batch=args.max_batch,
             max_delay=args.max_delay,
+            transport=args.transport,
         ) as server:
             for name, db in sorted(instances.items()):
                 await server.register(name, db)
@@ -229,6 +232,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 *(one(*request) for request in requests),
                 return_exceptions=True,
             )
+            # Read stats before the server closes: process transports
+            # report queue depth and liveness of the running children.
             return results, server.stats()
 
     results, stats = asyncio.run(_run())
@@ -271,21 +276,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     shard["cold_solves"],
                 )
             )
+            health = shard["transport"]
+            print(
+                "  transport={} alive={} restarts={} snapshot_bytes={} "
+                "deltas_forwarded={} queue_depth={}".format(
+                    health["transport"],
+                    health["alive"],
+                    health["restarts"],
+                    health["snapshot_bytes"],
+                    health["deltas_forwarded"],
+                    health["queue_depth"],
+                )
+            )
     if failures:
         return 2
     return 0 if all(r.answer for r in results) else 1
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
-    from repro.serving.bench import run_serving_benchmark
+    from repro.serving.bench import (
+        run_serving_benchmark,
+        run_transport_benchmark,
+    )
+
+    if args.cpu_bound:
+        report = run_transport_benchmark(
+            num_shards=args.shards,
+            # The CPU-bound race needs large residents (the per-request
+            # kernel must dominate IPC), so its defaults differ from the
+            # shard-warm workload's; explicit flags still win.
+            repetitions=args.repetitions or 3000,
+            n_requests=args.requests or 64,
+        )
+        table = Table(["transport", "seconds", "requests/s"])
+        for transport in sorted(report["transports"]):
+            row = report["transports"][transport]
+            table.add_row(
+                [
+                    transport,
+                    "{:.4f}".format(row["seconds"]),
+                    "{:.0f}".format(row["rps"]),
+                ]
+            )
+        print(table.render())
+        print(
+            "process/thread speedup: {:.2f}x over {} CPU-bound requests "
+            "on {} shards (answers agree: {})".format(
+                report["speedup"],
+                report["requests"],
+                report["num_shards"],
+                report["agrees"],
+            )
+        )
+        return 0 if report["agrees"] else 1
 
     report = run_serving_benchmark(
         num_shards=args.shards,
         num_instances=args.instances,
-        repetitions=args.repetitions,
-        n_requests=args.requests,
+        repetitions=args.repetitions or 40,
+        n_requests=args.requests or 240,
         max_batch=args.max_batch,
         max_delay=args.max_delay,
+        transport=args.transport,
     )
     table = Table(["path", "seconds", "requests/s"])
     table.add_row(
@@ -413,6 +465,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--max-batch", type=int, default=32)
     serve_parser.add_argument("--max-delay", type=float, default=0.002)
     serve_parser.add_argument(
+        "--transport",
+        default="thread",
+        choices=["thread", "process"],
+        help="run shards as threads (shared memory) or as one "
+        "subprocess per shard (true CPU parallelism)",
+    )
+    serve_parser.add_argument(
         "--stats", action="store_true", help="print admission and shard stats"
     )
     serve_parser.set_defaults(handler=_cmd_serve)
@@ -423,10 +482,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_serve_parser.add_argument("--shards", type=int, default=4)
     bench_serve_parser.add_argument("--instances", type=int, default=6)
-    bench_serve_parser.add_argument("--repetitions", type=int, default=40)
-    bench_serve_parser.add_argument("--requests", type=int, default=240)
+    bench_serve_parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="resident size (default: 40 shard-warm, 3000 --cpu-bound)",
+    )
+    bench_serve_parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="stream length (default: 240 shard-warm, 64 --cpu-bound)",
+    )
     bench_serve_parser.add_argument("--max-batch", type=int, default=32)
     bench_serve_parser.add_argument("--max-delay", type=float, default=0.001)
+    bench_serve_parser.add_argument(
+        "--transport",
+        default="thread",
+        choices=["thread", "process"],
+        help="shard transport for the serving path",
+    )
+    bench_serve_parser.add_argument(
+        "--cpu-bound",
+        action="store_true",
+        help="compare thread vs process transports on a CPU-bound "
+        "forced-fixpoint stream instead of the shard-warm workload",
+    )
     bench_serve_parser.set_defaults(handler=_cmd_bench_serve)
 
     answers_parser = commands.add_parser(

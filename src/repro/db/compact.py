@@ -111,7 +111,7 @@ class CompactInstance:
         >>> view = CompactInstance.build(db)
         >>> view.n, view.relations
         (3, ('R',))
-        >>> [view.consts[v] for v in view.out["R"][view.local_of[0]]]
+        >>> sorted(view.consts[v] for v in view.out["R"][view.local_of[0]])
         [1, 2]
         """
         if interner is None:

@@ -217,9 +217,14 @@ class DatabaseInstance:
         return self._facts <= other._facts
 
     def __reduce__(self):
-        # Ship only the facts: the indexes rebuild deterministically on
-        # the receiving side, and the cached CompactInstance must NOT
-        # cross process boundaries (its interner ids are process-local).
+        # The wire-format contract (relied on by engine worker pools and
+        # the serving layer's ProcessTransport, regression-tested by
+        # tests/test_transport_contract.py): ship ONLY the facts.  The
+        # indexes rebuild deterministically on the receiving side, and
+        # the cached CompactInstance must NOT cross process boundaries
+        # (its interner ids are process-local) -- a receiver compiles its
+        # own compact view against its own interner and reaches the same
+        # answers.
         return (DatabaseInstance, (tuple(self._facts),))
 
     def __str__(self) -> str:

@@ -132,6 +132,43 @@ class EngineStats:
         self.method_counts[result.method] += 1
         self.wall_seconds += seconds
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineStats":
+        """Rebuild counters from an :meth:`as_dict` payload.
+
+        The serving layer's process transports ship engine counters
+        across the pipe as plain dicts (see
+        :meth:`repro.serving.shard.ShardCore.snapshot`); this is the
+        receiving side of that wire format.  Unknown keys are ignored,
+        missing keys default to zero, so payloads from older workers
+        still load.
+        """
+        stats = cls()
+        stats.merge(data)
+        return stats
+
+    def merge(self, other: Union["EngineStats", dict]) -> "EngineStats":
+        """Fold another engine's counters into this one; returns self.
+
+        Addition for every counter (``method_counts`` merge per method,
+        wall time sums), so merging is associative and keeps totals
+        monotone -- the property the process transport relies on when a
+        restarted shard child starts counting from zero: the dead
+        generation's last snapshot is merged into a carried base.
+        """
+        data = other.as_dict() if isinstance(other, EngineStats) else other
+        self.compiles += data.get("compiles", 0)
+        self.cache_hits += data.get("cache_hits", 0)
+        self.solves += data.get("solves", 0)
+        self.batches += data.get("batches", 0)
+        self.parallel_batches += data.get("parallel_batches", 0)
+        self.delta_solves += data.get("delta_solves", 0)
+        self.incremental_hits += data.get("incremental_hits", 0)
+        self.full_resolves += data.get("full_resolves", 0)
+        self.method_counts.update(data.get("method_counts", {}))
+        self.wall_seconds += data.get("wall_seconds", 0.0)
+        return self
+
     def as_dict(self) -> dict:
         return {
             "compiles": self.compiles,

@@ -12,14 +12,22 @@ micro-batches with a bounded added latency.
 
 * :class:`ShardRouter` -- hash or explicit placement of instances onto
   shards (sticky; deterministic across processes).
-* :class:`ShardWorker` -- one persistent thread per shard: resident
-  instances, a private engine, the micro-batch drain loop.
+* :class:`ShardWorker` -- the per-shard micro-batch assembly loop,
+  driving a transport-agnostic :class:`ShardCore` (resident instances,
+  a private engine) through a pluggable :class:`ShardTransport`.
+* :mod:`repro.serving.transport` -- the transport seam:
+  :class:`ThreadTransport` (core in the worker's thread, shared memory)
+  and :class:`ProcessTransport` (one persistent subprocess per shard:
+  facts-only snapshots in, deltas forwarded, stripped results out,
+  crash-restart with journal replay -- true CPU parallelism).
 * :class:`AsyncCertaintyServer` -- the asyncio front door:
   ``await solve(...)``, ``await solve_delta(...)``, admission stats and
-  per-shard warm/cold counters via :meth:`AsyncCertaintyServer.stats`.
-* :mod:`repro.serving.bench` -- the mixed-workload benchmark behind
-  ``python -m repro bench-serve`` and the pinned >= 2x throughput
-  assertion.
+  per-shard warm/cold + transport-health counters via
+  :meth:`AsyncCertaintyServer.stats`; graceful :meth:`close` fails
+  still-queued requests with :class:`ServerClosed`.
+* :mod:`repro.serving.bench` -- the mixed-workload and CPU-bound
+  transport benchmarks behind ``python -m repro bench-serve`` and the
+  pinned throughput assertions.
 
 See ``docs/serving.md`` for the architecture and a worked example.
 """
@@ -27,17 +35,33 @@ See ``docs/serving.md`` for the architecture and a worked example.
 from repro.serving.server import AsyncCertaintyServer
 from repro.serving.shard import (
     EMPTY_DELTA,
+    ServerClosed,
+    ShardCore,
     ShardRequest,
     ShardRouter,
     ShardWorker,
     stable_shard,
 )
+from repro.serving.transport import (
+    ProcessTransport,
+    ShardTransport,
+    ShardTransportError,
+    ThreadTransport,
+    make_transport,
+)
 
 __all__ = [
     "AsyncCertaintyServer",
     "EMPTY_DELTA",
+    "ProcessTransport",
+    "ServerClosed",
+    "ShardCore",
     "ShardRequest",
     "ShardRouter",
+    "ShardTransport",
+    "ShardTransportError",
     "ShardWorker",
+    "ThreadTransport",
+    "make_transport",
     "stable_shard",
 ]

@@ -14,6 +14,11 @@ request with a per-call solve through a warm *plan* cache -- PR 1's
 :class:`~repro.serving.server.AsyncCertaintyServer`: after one cold solve
 per distinct ``(instance, query)`` pair, every request is answered from
 the shard's maintained fixpoint state.
+
+A second benchmark, :func:`run_transport_benchmark`, races the shard
+transports against each other on a **CPU-bound** stream (every request a
+forced full fixpoint run): thread-per-shard serializes on the GIL,
+process-per-shard runs the shards in parallel.
 """
 
 from __future__ import annotations
@@ -75,6 +80,7 @@ def run_serving_benchmark(
     n_requests: int = 240,
     max_batch: int = 32,
     max_delay: float = 0.001,
+    transport: str = "thread",
 ) -> Dict[str, object]:
     """Measure the request stream both ways; returns the comparison.
 
@@ -102,7 +108,10 @@ def run_serving_benchmark(
     #    time the identical stream end-to-end through the async API.
     async def _serve():
         async with AsyncCertaintyServer(
-            num_shards=num_shards, max_batch=max_batch, max_delay=max_delay
+            num_shards=num_shards,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            transport=transport,
         ) as server:
             for name, db in sorted(instances.items()):
                 await server.register(name, db)
@@ -121,6 +130,7 @@ def run_serving_benchmark(
     return {
         "requests": len(requests),
         "num_shards": num_shards,
+        "transport": transport,
         "naive_seconds": naive_seconds,
         "serving_seconds": serving_seconds,
         "speedup": naive_seconds / serving_seconds,
@@ -130,3 +140,103 @@ def run_serving_benchmark(
         "warm_hits": warm_hits,
         "server_stats": server_stats,
     }
+
+
+#: The PTIME-complete route: forced ``method="fixpoint"`` runs the full
+#: Figure 5 kernel per request -- no warm shortcut, pure CPU.
+CPU_BOUND_QUERY = "RXRYRY"
+
+
+def cpu_bound_workload(
+    num_shards: int = 4,
+    repetitions: int = 3000,
+    n_requests: int = 64,
+):
+    """One large resident pinned per shard, plus a round-robin stream.
+
+    Every request forces ``method="fixpoint"`` on its shard's resident,
+    so each one re-runs the polynomial-time kernel on ~``6*repetitions``
+    facts (about 8 ms at the default size): the workload is CPU-bound by
+    construction, which is exactly where a thread-per-shard layout
+    serializes on the GIL and a process-per-shard layout does not.
+    """
+    instances = {
+        "cpu{}".format(shard): chain_instance(
+            CPU_BOUND_QUERY, repetitions=repetitions, conflict_every=4
+        )
+        for shard in range(num_shards)
+    }
+    names = sorted(instances)
+    requests = [
+        (names[i % len(names)], CPU_BOUND_QUERY) for i in range(n_requests)
+    ]
+    return instances, requests
+
+
+def run_transport_benchmark(
+    num_shards: int = 4,
+    repetitions: int = 3000,
+    n_requests: int = 64,
+    transports=("thread", "process"),
+) -> Dict[str, object]:
+    """Race the shard transports on the CPU-bound forced-fixpoint stream.
+
+    The identical request stream runs once per transport through an
+    :class:`AsyncCertaintyServer` (registration and a one-per-shard
+    warm-up solve happen before the timed window, so process start-up
+    and plan compilation are excluded).  Returns per-transport seconds
+    and requests/second, ``speedup`` (thread seconds / process seconds
+    when both ran), and ``agrees`` (identical answer streams).  On a
+    single-core machine the speedup degrades to IPC overhead -- the
+    pinned ``>= 1.5x`` gate in ``benchmarks/test_bench_serving.py``
+    skips there.
+    """
+    instances, requests = cpu_bound_workload(
+        num_shards=num_shards,
+        repetitions=repetitions,
+        n_requests=n_requests,
+    )
+
+    async def _stream(transport: str):
+        # max_batch=1: identical reads coalesce within a micro-batch,
+        # which would collapse the forced stream to one kernel run per
+        # shard -- here every request must pay its own kernel, because
+        # per-request CPU is precisely what the transports race on.
+        async with AsyncCertaintyServer(
+            num_shards=num_shards, max_batch=1, max_delay=0.0,
+            transport=transport,
+        ) as server:
+            for shard, name in enumerate(sorted(instances)):
+                await server.register(name, instances[name], shard=shard)
+            # Warm-up: ship snapshots, compile plans, fault in the
+            # compact views -- everything but the per-request kernel.
+            await server.solve_many(
+                [(name, CPU_BOUND_QUERY) for name in sorted(instances)],
+                method="fixpoint",
+            )
+            start = time.perf_counter()
+            results = await server.solve_many(requests, method="fixpoint")
+            seconds = time.perf_counter() - start
+            return [r.answer for r in results], seconds
+
+    report: Dict[str, object] = {
+        "requests": len(requests),
+        "num_shards": num_shards,
+        "repetitions": repetitions,
+        "transports": {},
+    }
+    answer_streams = []
+    for transport in transports:
+        answers, seconds = asyncio.run(_stream(transport))
+        answer_streams.append(answers)
+        report["transports"][transport] = {
+            "seconds": seconds,
+            "rps": len(requests) / seconds,
+        }
+    report["agrees"] = all(
+        stream == answer_streams[0] for stream in answer_streams
+    )
+    per = report["transports"]
+    if "thread" in per and "process" in per:
+        report["speedup"] = per["thread"]["seconds"] / per["process"]["seconds"]
+    return report

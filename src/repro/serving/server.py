@@ -32,7 +32,12 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from repro.db.delta import Delta
 from repro.db.instance import DatabaseInstance
 from repro.engine.engine import CertaintyEngine, EngineQuery
-from repro.serving.shard import ShardRequest, ShardRouter, ShardWorker
+from repro.serving.shard import (
+    ServerClosed,
+    ShardRequest,
+    ShardRouter,
+    ShardWorker,
+)
 from repro.solvers.result import CertaintyResult
 
 Target = Union[str, DatabaseInstance]
@@ -49,6 +54,12 @@ class AsyncCertaintyServer:
     bursts are served in one drain (identical concurrent reads coalesce
     into a single engine call).
 
+    *transport* picks where each shard's engine lives (see
+    :mod:`repro.serving.transport`): ``"thread"`` (default) keeps every
+    shard in this process, ``"process"`` gives each shard a persistent
+    subprocess so CPU-bound shards run in parallel.  The client API is
+    identical either way.
+
     The server must be used from a running event loop; all public
     coroutines are safe to call concurrently.  Operations on the *same*
     instance are totally ordered by its shard's queue, so a ``solve``
@@ -62,6 +73,8 @@ class AsyncCertaintyServer:
         max_batch: int = 32,
         max_delay: float = 0.002,
         engine_factory=CertaintyEngine,
+        transport="thread",
+        transport_options: Optional[dict] = None,
     ) -> None:
         self.router = router or ShardRouter(num_shards)
         if router is not None:
@@ -72,6 +85,8 @@ class AsyncCertaintyServer:
                 engine_factory=engine_factory,
                 max_batch=max_batch,
                 max_delay=max_delay,
+                transport=transport,
+                transport_options=transport_options,
             )
             for shard in range(num_shards)
         ]
@@ -88,7 +103,7 @@ class AsyncCertaintyServer:
     def start(self) -> "AsyncCertaintyServer":
         """Spawn the shard workers (idempotent until :meth:`close`)."""
         if self._closed:
-            raise RuntimeError("server is closed")
+            raise ServerClosed("server is closed")
         if not self._started:
             for worker in self.workers:
                 worker.start()
@@ -96,7 +111,14 @@ class AsyncCertaintyServer:
         return self
 
     def close(self) -> None:
-        """Drain and stop every shard worker (idempotent)."""
+        """Graceful shutdown (idempotent).
+
+        Each shard finishes the micro-batch it is currently executing,
+        then every still-queued request -- and every request admitted
+        afterwards -- fails with :class:`ServerClosed` instead of
+        leaving its future pending.  Process transports terminate their
+        shard subprocesses.  A closed server cannot be restarted.
+        """
         if self._started:
             for worker in self.workers:
                 worker.stop()
@@ -114,6 +136,8 @@ class AsyncCertaintyServer:
     # ------------------------------------------------------------------
 
     async def _dispatch(self, shard: int, request: ShardRequest):
+        if self._closed:
+            raise ServerClosed("server is closed")
         if not self._started:
             raise RuntimeError(
                 "server not running (use 'async with' or call start())"
@@ -226,7 +250,13 @@ class AsyncCertaintyServer:
     # ------------------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """Admission counters plus per-shard worker/engine statistics."""
+        """Admission counters plus per-shard worker/engine statistics.
+
+        Each shard entry carries a ``"transport"`` sub-dict with the
+        transport's health: kind, liveness, ``restarts``,
+        ``snapshot_bytes`` shipped, ``deltas_forwarded``, and the
+        current ``queue_depth``.
+        """
         completed = self._completed
         failed = self._failed
         return {

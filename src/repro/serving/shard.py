@@ -8,13 +8,27 @@ registered :class:`~repro.db.instance.DatabaseInstance`\\ s as residents
 of **shards**.  A :class:`ShardRouter` assigns every instance name to a
 shard -- by stable hash, or by explicit placement for operators who know
 their hot keys -- and every request for that instance is routed to the
-same shard forever.  Each shard is served by one :class:`ShardWorker`: a
-persistent thread owning a private :class:`~repro.engine.CertaintyEngine`
-(its plan LRU and its :class:`~repro.solvers.state_cache.StateCache` of
-maintained :class:`~repro.solvers.fixpoint.FixpointState`\\ s), so
-repeated queries against a resident instance are answered from warm
-incremental state -- no pickling, no recompilation, no re-running the
-fixpoint.
+same shard forever.
+
+Each shard is served by one :class:`ShardWorker` -- the micro-batch
+assembly loop -- driving a :class:`ShardCore` -- the transport-agnostic
+execution logic -- through a pluggable
+:class:`~repro.serving.transport.ShardTransport`:
+
+* the worker owns the request queue and the drain loop (first request of
+  a batch waits at most *max_delay* seconds for companions, up to
+  *max_batch*) plus graceful shutdown;
+* the core owns the shard's resident instances and a private
+  :class:`~repro.engine.CertaintyEngine` (its plan LRU and its
+  :class:`~repro.solvers.state_cache.StateCache` of maintained
+  :class:`~repro.solvers.fixpoint.FixpointState`\\ s), and executes one
+  batch at a time: duplicate reads coalesced, writes advancing the
+  registry, warm reads answered from maintained incremental state;
+* the transport decides *where* the core lives -- in the worker's own
+  thread (:class:`~repro.serving.transport.ThreadTransport`, shared
+  memory, GIL-bound) or in a dedicated subprocess
+  (:class:`~repro.serving.transport.ProcessTransport`, true CPU
+  parallelism across shards).
 
 >>> router = ShardRouter(num_shards=4)
 >>> router.register("orders")  in range(4)      # stable hash placement
@@ -33,7 +47,15 @@ import queue
 import threading
 import time
 import zlib
-from typing import Callable, Dict, Hashable, List, Optional, Union
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.db.delta import Delta
 from repro.db.instance import DatabaseInstance
@@ -44,6 +66,23 @@ from repro.engine.engine import CertaintyEngine, EngineQuery
 EMPTY_DELTA = Delta()
 
 _STOP = object()
+
+#: The wire shape of one shard operation: ``(op, name, db, delta, query,
+#: method)``.  Everything in it is picklable (instances ship facts-only,
+#: see :meth:`repro.db.instance.DatabaseInstance.__reduce__`), so the
+#: same tuple drives an in-thread core and a subprocess core.
+ShardOp = Tuple[
+    str,
+    Optional[str],
+    Optional[DatabaseInstance],
+    Optional[Delta],
+    Optional[EngineQuery],
+    str,
+]
+
+
+class ServerClosed(RuntimeError):
+    """The serving layer is shutting down; the request was not served."""
 
 
 def stable_shard(name: str, num_shards: int) -> int:
@@ -149,6 +188,10 @@ class ShardRequest:
         self.result = None
         self.error: Optional[BaseException] = None
 
+    def as_op(self) -> ShardOp:
+        """The picklable wire form of this request (no loop, no future)."""
+        return (self.op, self.name, self.db, self.delta, self.query, self.method)
+
     def resolve(self, result) -> None:
         self.result = result
         if self.future is not None:
@@ -168,22 +211,187 @@ class ShardRequest:
             self.future.set_exception(error)
 
 
-class ShardWorker:
-    """A persistent worker serving one shard.
+class ShardCore:
+    """The transport-agnostic execution logic of one shard.
 
     Owns the shard's resident instances (``name -> DatabaseInstance``,
-    advanced in place by delta requests) and a private engine whose plan
-    cache and state cache stay warm across requests.  Requests arrive on
-    a queue and are drained in **micro-batches**: the first request of a
-    batch waits at most *max_delay* seconds for companions (up to
-    *max_batch*), and identical concurrent reads inside one batch are
-    **coalesced** into a single engine call whose result fans out to all
-    of their futures.
+    advanced in place by delta ops) and a private engine whose plan cache
+    and state cache stay warm across batches.  The core runs wherever its
+    transport puts it -- inside the worker's thread
+    (:class:`~repro.serving.transport.ThreadTransport`) or inside a
+    dedicated shard subprocess
+    (:class:`~repro.serving.transport.ProcessTransport`) -- and is driven
+    one batch at a time, so it needs no locking of its own: whoever calls
+    :meth:`run_batch` is the sole mutator of the registry and the engine
+    state, and per-shard operations are totally ordered (a solve after a
+    delta observes the updated instance -- read-your-writes per shard).
+    """
 
-    The worker thread is the only mutator of the shard's registry and
-    engine state, so per-shard operations are totally ordered: a solve
-    enqueued after a delta observes the updated instance
-    (read-your-writes per shard).
+    def __init__(
+        self,
+        shard_id: int,
+        engine_factory: Callable[[], CertaintyEngine] = CertaintyEngine,
+    ) -> None:
+        self.shard_id = shard_id
+        self.engine = engine_factory()
+        self.instances: Dict[str, DatabaseInstance] = {}
+        self.requests = 0
+        self.coalesced = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def run_batch(self, ops: List[ShardOp]) -> List[Tuple[bool, object]]:
+        """Execute *ops* in arrival order, coalescing duplicate reads.
+
+        Returns one ``(ok, payload)`` row per op, aligned by index:
+        ``(True, result)`` for served ops, ``(False, exception)`` for
+        failed ones -- a failing op never aborts its batch companions.
+        Identical concurrent reads of the same resident inside one batch
+        run the engine once; the *same* result object is returned for
+        every coalesced row (transports fan it out to all futures).
+        """
+        memo: Dict[Hashable, object] = {}
+        rows: List[Tuple[bool, object]] = []
+        for op, name, db, delta, query, method in ops:
+            self.requests += 1
+            try:
+                rows.append(
+                    (True, self._run_op(op, name, db, delta, query, method, memo))
+                )
+            except BaseException as error:  # noqa: BLE001 - forwarded
+                self.errors += 1
+                rows.append((False, error))
+        return rows
+
+    def _run_op(self, op, name, db, delta, query, method, memo):
+        if op == "solve":
+            return self._solve(name, db, query, method, memo)
+        if op == "delta":
+            # Writes invalidate coalesced reads of the same name.
+            self._forget(memo, name)
+            return self._delta(name, delta, query, method)
+        if op == "register":
+            self._forget(memo, name)
+            self.instances[name] = db
+            return name
+        if op == "get":
+            return self._resident(name)
+        raise ValueError("unknown op {!r}".format(op))
+
+    def _resident(self, name: str) -> DatabaseInstance:
+        db = self.instances.get(name)
+        if db is None:
+            raise KeyError(
+                "shard {} has no instance named {!r}".format(
+                    self.shard_id, name
+                )
+            )
+        return db
+
+    @staticmethod
+    def _forget(memo: Dict[Hashable, object], name: Optional[str]) -> None:
+        for key in [k for k in memo if k[0] == name]:
+            del memo[key]
+
+    def _solve(self, name, db, query, method, memo):
+        if db is not None:
+            # Ad-hoc instance riding through the shard: plan cache warm,
+            # no resident state to serve from.
+            return self.engine.solve(db, query, method)
+        resident = self._resident(name)
+        memo_key = (name, CertaintyEngine._cache_key(query), method)
+        cached = memo.get(memo_key)
+        if cached is not None:
+            self.coalesced += 1
+            return cached
+        if method == "auto":
+            # The empty delta reads the answer off the maintained state
+            # (installing it on first sight) -- the shard-warm hot path.
+            result = self.engine.solve_delta(resident, EMPTY_DELTA, query)
+        else:
+            result = self.engine.solve(resident, query, method)
+        memo[memo_key] = result
+        return result
+
+    def _delta(self, name, delta, query, method):
+        db = self._resident(name)
+        overlay = delta.apply_to(db)
+        result = self.engine.solve_delta(db, overlay, query, method=method)
+        # commit() is memoized, so this is the instance the engine keyed
+        # the maintained state under -- future reads hit it directly.
+        self.instances[name] = overlay.commit()
+        return result
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Execution counters plus the owned engine's cache/stat infos.
+
+        The snapshot is plain picklable data: process transports ship it
+        back with every batch reply so the router side always holds the
+        latest child-side counters (and can merge them across restarts).
+        """
+        engine_stats = self.engine.stats
+        return {
+            "residents": sorted(self.instances),
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "warm_hits": engine_stats.incremental_hits,
+            "cold_solves": engine_stats.full_resolves,
+            "engine": engine_stats.as_dict(),
+            "plan_cache": self.engine.cache_info(),
+            "state_cache": self.engine.state_cache.info(),
+        }
+
+    @staticmethod
+    def empty_snapshot() -> dict:
+        """The zero-counter snapshot of a core that served nothing yet."""
+        from repro.engine.engine import EngineStats
+
+        return {
+            "residents": [],
+            "requests": 0,
+            "coalesced": 0,
+            "errors": 0,
+            "warm_hits": 0,
+            "cold_solves": 0,
+            "engine": EngineStats().as_dict(),
+            "plan_cache": {},
+            "state_cache": {},
+        }
+
+
+class ShardWorker:
+    """A persistent worker serving one shard through a transport.
+
+    The worker owns the shard's request queue and the **micro-batch
+    assembly loop**: the first request of a batch waits at most
+    *max_delay* seconds for companions (up to *max_batch*), and the
+    assembled batch is handed to the shard's
+    :class:`~repro.serving.transport.ShardTransport` for execution.  The
+    transport decides where the shard's :class:`ShardCore` (residents +
+    engine) lives:
+
+    * ``transport="thread"`` -- the core runs in this worker's thread
+      (shared memory; the PR 3 behavior);
+    * ``transport="process"`` -- the core runs in a dedicated subprocess
+      with a persistent engine; batches cross a pipe, residents ship
+      once as facts-only snapshots, and a crashed child is restarted
+      from the router-side journal.
+
+    *transport* may also be a callable ``(shard_id, engine_factory,
+    **options) -> ShardTransport`` for custom transports.
+
+    Shutdown is graceful: :meth:`stop` lets the batch currently being
+    executed finish, then fails every still-queued request with
+    :class:`ServerClosed` instead of leaving its future pending, and
+    rejects later submissions the same way.
     """
 
     def __init__(
@@ -192,24 +400,49 @@ class ShardWorker:
         engine_factory: Callable[[], CertaintyEngine] = CertaintyEngine,
         max_batch: int = 32,
         max_delay: float = 0.002,
+        transport: Union[str, Callable] = "thread",
+        transport_options: Optional[dict] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_delay < 0:
             raise ValueError("max_delay must be >= 0")
+        from repro.serving.transport import make_transport
+
         self.shard_id = shard_id
-        self.engine = engine_factory()
         self.max_batch = max_batch
         self.max_delay = max_delay
-        self.instances: Dict[str, DatabaseInstance] = {}
-        self.requests = 0
+        self.transport = make_transport(
+            transport, shard_id, engine_factory, **(transport_options or {})
+        )
         self.batches = 0
         self.batched_requests = 0
         self.max_batch_observed = 0
-        self.coalesced = 0
-        self.errors = 0
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._thread: Optional[threading.Thread] = None
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Thread-transport conveniences (tests, synchronous embedders)
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> CertaintyEngine:
+        """The shard's engine (thread transport only -- the core is local)."""
+        return self.transport.core.engine
+
+    @property
+    def instances(self) -> Dict[str, DatabaseInstance]:
+        """The resident registry (thread transport only)."""
+        return self.transport.core.instances
+
+    @property
+    def coalesced(self) -> int:
+        return self.transport.snapshot()["coalesced"]
+
+    @property
+    def errors(self) -> int:
+        return self.transport.snapshot()["errors"]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -218,6 +451,7 @@ class ShardWorker:
     def start(self) -> None:
         if self._thread is not None:
             return
+        self.transport.start()
         self._thread = threading.Thread(
             target=self._run,
             name="repro-shard-{}".format(self.shard_id),
@@ -226,18 +460,65 @@ class ShardWorker:
         self._thread.start()
 
     def stop(self) -> None:
-        if self._thread is None:
-            return
-        self._queue.put(_STOP)
-        self._thread.join()
-        self._thread = None
+        """Graceful shutdown: finish the in-flight batch, fail the rest.
+
+        Idempotent.  The batch currently being executed (if any) runs to
+        completion and resolves its futures; every request still queued
+        -- and every request submitted afterwards -- fails with
+        :class:`ServerClosed`.  Finally the transport is stopped (a
+        process transport terminates its child here).
+        """
+        self._closing = True
+        if self._thread is not None:
+            self._queue.put(_STOP)
+            self._thread.join()
+            self._thread = None
+        self._fail_queued()
+        self.transport.stop()
 
     @property
     def running(self) -> bool:
         return self._thread is not None
 
     def submit(self, request: ShardRequest) -> None:
+        if self._closing:
+            request.fail(self._closed_error())
+            return
         self._queue.put(request)
+        # A stop() racing between the check and the put has already
+        # drained the queue; fail anything it missed rather than strand
+        # a future forever.  Preserve the _STOP sentinel: the worker
+        # thread may still be waiting for it.
+        if self._closing:
+            self._fail_queued(preserve_stop=True)
+
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet drained into a batch."""
+        try:
+            return self._queue.qsize()
+        except NotImplementedError:  # pragma: no cover - macOS SimpleQueue
+            return -1
+
+    def _closed_error(self) -> ServerClosed:
+        return ServerClosed(
+            "shard {} is shut down; the request was not served".format(
+                self.shard_id
+            )
+        )
+
+    def _fail_queued(self, preserve_stop: bool = False) -> None:
+        saw_stop = False
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                saw_stop = True
+                continue
+            item.fail(self._closed_error())
+        if saw_stop and preserve_stop:
+            self._queue.put(_STOP)
 
     # ------------------------------------------------------------------
     # The micro-batching loop
@@ -247,8 +528,23 @@ class ShardWorker:
         while True:
             batch, stopped = self._drain()
             if batch:
-                self.execute(batch)
+                if self._closing:
+                    # Still-queued at close time: fail, do not execute.
+                    for request in batch:
+                        request.fail(self._closed_error())
+                else:
+                    try:
+                        self.execute(batch)
+                    except BaseException as error:  # noqa: BLE001
+                        # A transport-level failure (e.g. an unpicklable
+                        # constant aborting the pipe send) must fail the
+                        # batch, not kill the drain thread and strand
+                        # every future behind it.  Requests the
+                        # transport already resolved ignore the fail().
+                        for request in batch:
+                            request.fail(error)
             if stopped:
+                self._fail_queued()
                 return
 
     def _drain(self):
@@ -277,7 +573,7 @@ class ShardWorker:
     # ------------------------------------------------------------------
 
     def execute(self, batch: List[ShardRequest]) -> None:
-        """Serve *batch* in arrival order, coalescing duplicate reads.
+        """Serve *batch* through the transport, resolving every request.
 
         Public so tests (and synchronous embedders) can drive a worker
         without its thread; the threaded loop calls it too.
@@ -285,103 +581,32 @@ class ShardWorker:
         self.batches += 1
         self.batched_requests += len(batch)
         self.max_batch_observed = max(self.max_batch_observed, len(batch))
-        memo: Dict[Hashable, object] = {}
-        for request in batch:
-            self.requests += 1
-            try:
-                if request.op == "solve":
-                    self._execute_solve(request, memo)
-                elif request.op == "delta":
-                    # Writes invalidate coalesced reads of the same name.
-                    self._forget(memo, request.name)
-                    self._execute_delta(request)
-                elif request.op == "register":
-                    self._forget(memo, request.name)
-                    self.instances[request.name] = request.db
-                    request.resolve(request.name)
-                elif request.op == "get":
-                    request.resolve(self._resident(request.name))
-                else:
-                    raise ValueError("unknown op {!r}".format(request.op))
-            except BaseException as error:  # noqa: BLE001 - forwarded
-                self.errors += 1
-                request.fail(error)
-
-    def _resident(self, name: str) -> DatabaseInstance:
-        db = self.instances.get(name)
-        if db is None:
-            raise KeyError(
-                "shard {} has no instance named {!r}".format(
-                    self.shard_id, name
-                )
-            )
-        return db
-
-    @staticmethod
-    def _forget(memo: Dict[Hashable, object], name: Optional[str]) -> None:
-        for key in [k for k in memo if k[0] == name]:
-            del memo[key]
-
-    def _execute_solve(self, request: ShardRequest, memo: Dict) -> None:
-        if request.db is not None:
-            # Ad-hoc instance riding through the shard: plan cache warm,
-            # no resident state to serve from.
-            request.resolve(
-                self.engine.solve(request.db, request.query, request.method)
-            )
-            return
-        db = self._resident(request.name)
-        memo_key = (
-            request.name,
-            CertaintyEngine._cache_key(request.query),
-            request.method,
-        )
-        cached = memo.get(memo_key)
-        if cached is not None:
-            self.coalesced += 1
-            request.resolve(cached)
-            return
-        if request.method == "auto":
-            # The empty delta reads the answer off the maintained state
-            # (installing it on first sight) -- the shard-warm hot path.
-            result = self.engine.solve_delta(db, EMPTY_DELTA, request.query)
-        else:
-            result = self.engine.solve(db, request.query, request.method)
-        memo[memo_key] = result
-        request.resolve(result)
-
-    def _execute_delta(self, request: ShardRequest) -> None:
-        db = self._resident(request.name)
-        overlay = request.delta.apply_to(db)
-        result = self.engine.solve_delta(
-            db, overlay, request.query, method=request.method
-        )
-        # commit() is memoized, so this is the instance the engine keyed
-        # the maintained state under -- future reads hit it directly.
-        self.instances[request.name] = overlay.commit()
-        request.resolve(result)
+        self.transport.execute(batch)
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Shard counters plus the owned engine's cache/stat counters."""
-        engine_stats = self.engine.stats
+        """Assembly counters, core execution counters, transport health."""
+        snapshot = self.transport.snapshot()
+        health = self.transport.health()
+        health["queue_depth"] = self.queue_depth()
         return {
             "shard": self.shard_id,
-            "residents": sorted(self.instances),
-            "requests": self.requests,
+            "residents": snapshot["residents"],
+            "requests": snapshot["requests"],
             "batches": self.batches,
             "mean_batch_size": (
                 self.batched_requests / self.batches if self.batches else 0.0
             ),
             "max_batch_size": self.max_batch_observed,
-            "coalesced": self.coalesced,
-            "errors": self.errors,
-            "warm_hits": engine_stats.incremental_hits,
-            "cold_solves": engine_stats.full_resolves,
-            "engine": engine_stats.as_dict(),
-            "plan_cache": self.engine.cache_info(),
-            "state_cache": self.engine.state_cache.info(),
+            "coalesced": snapshot["coalesced"],
+            "errors": snapshot["errors"],
+            "warm_hits": snapshot["warm_hits"],
+            "cold_solves": snapshot["cold_solves"],
+            "engine": snapshot["engine"],
+            "plan_cache": snapshot["plan_cache"],
+            "state_cache": snapshot["state_cache"],
+            "transport": health,
         }

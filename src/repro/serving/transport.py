@@ -1,0 +1,452 @@
+"""Pluggable shard transports: where a shard's core actually runs.
+
+The :class:`~repro.serving.shard.ShardWorker` assembles micro-batches;
+a **transport** executes them against the shard's
+:class:`~repro.serving.shard.ShardCore` (residents + engine).  Two
+implementations share the seam:
+
+* :class:`ThreadTransport` -- the core lives in the worker's own thread.
+  Zero serialization, results shared by reference, but every shard
+  competes for the one GIL: CPU-bound routes (coNP SAT re-solves, cold
+  PTIME fixpoints) serialize across shards.
+* :class:`ProcessTransport` -- the core lives in a dedicated subprocess
+  with a persistent engine, one per shard, so shards burn CPU in
+  parallel.  The wire protocol is deliberately thin:
+
+  - **residents ship once** as facts-only snapshots (the
+    :meth:`~repro.db.instance.DatabaseInstance.__reduce__` contract:
+    no compact views, no interner ids cross the pipe -- the child
+    rebuilds its own view on first use);
+  - **writes forward only the** :class:`~repro.db.delta.Delta`; the
+    router side folds the same delta into its journal copy, so parent
+    and child registries stay fact-identical;
+  - **results return stripped**: the child drops lazy falsifying-repair
+    certificates before pickling (an unread certificate is O(db) on the
+    wire) and the router side re-attaches a
+    :class:`~repro.solvers.result.LazyMinimalRepair` against its journal
+    copy -- the certificate is rebuilt on first access, exactly as the
+    in-process lazy path would have;
+  - **crashes are survivable**: a dead child is detected on the next
+    batch, restarted, and its residents replayed from the router-side
+    journal (the compacted log of everything shipped), after which the
+    batch is retried once.  Counters stay monotone across restarts --
+    the dead generation's last snapshot is merged into a carried base
+    (see :meth:`repro.engine.engine.EngineStats.merge`).
+
+Transport health (``restarts``, ``snapshot_bytes``, ``deltas_forwarded``,
+``alive``) is reported per shard via ``ShardWorker.stats()["transport"]``
+and surfaces in ``python -m repro serve --stats``.
+
+The default process start method is ``spawn``: children begin from a
+fresh interpreter, which keeps the facts-only wire contract honest (a
+forked child would share the parent's interner pages) and avoids
+forking a multi-threaded server.  For ``spawn``, *engine_factory* must
+be picklable -- the :class:`~repro.engine.CertaintyEngine` class itself,
+or a ``functools.partial`` over it.
+
+>>> make_transport("thread", 0).kind
+'thread'
+>>> make_transport("process", 0).kind      # not started until first use
+'process'
+>>> make_transport("telepathy", 0)
+Traceback (most recent call last):
+    ...
+ValueError: unknown transport 'telepathy' (choose from process, thread)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.db.instance import DatabaseInstance
+from repro.engine.engine import CertaintyEngine, EngineStats
+from repro.serving.shard import ShardCore, ShardOp, ShardRequest
+from repro.solvers.result import CertaintyResult
+
+
+class ShardTransportError(RuntimeError):
+    """The shard's transport failed and could not recover."""
+
+
+class ShardTransport:
+    """The seam between micro-batch assembly and execution.
+
+    A transport owns one shard's :class:`ShardCore` -- directly
+    (:class:`ThreadTransport`) or by proxy (:class:`ProcessTransport`) --
+    and executes assembled batches against it.  ``execute`` must resolve
+    or fail *every* request in the batch before returning; ``snapshot``
+    returns the core's execution counters (see
+    :meth:`ShardCore.snapshot`), ``health`` the transport's own vitals.
+    A future network front end is one more implementation of this class.
+    """
+
+    #: Short name surfaced in stats (``"thread"``, ``"process"``).
+    kind = "abstract"
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+    def execute(self, requests: List[ShardRequest]) -> None:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        raise NotImplementedError
+
+    def health(self) -> dict:
+        raise NotImplementedError
+
+
+class ThreadTransport(ShardTransport):
+    """The PR 3 behavior, refactored onto the seam: the core is local.
+
+    Results are handed to futures by reference (no serialization, lazy
+    certificates stay lazy in the shared heap); all shards share the
+    interpreter, so throughput is bounded by the GIL -- the right choice
+    when requests are served warm (microseconds each) and the wrong one
+    when every request burns CPU.
+    """
+
+    kind = "thread"
+
+    def __init__(
+        self,
+        shard_id: int,
+        engine_factory: Callable[[], CertaintyEngine] = CertaintyEngine,
+    ) -> None:
+        self.shard_id = shard_id
+        self.core = ShardCore(shard_id, engine_factory=engine_factory)
+
+    def start(self) -> None:
+        pass
+
+    def stop(self) -> None:
+        pass
+
+    def execute(self, requests: List[ShardRequest]) -> None:
+        rows = self.core.run_batch([request.as_op() for request in requests])
+        for request, (ok, payload) in zip(requests, rows):
+            if ok:
+                request.resolve(payload)
+            else:
+                request.fail(payload)
+
+    def snapshot(self) -> dict:
+        return self.core.snapshot()
+
+    def health(self) -> dict:
+        return {
+            "transport": self.kind,
+            "alive": True,
+            "restarts": 0,
+            "snapshot_bytes": 0,
+            "deltas_forwarded": 0,
+        }
+
+
+class ProcessTransport(ShardTransport):
+    """One persistent subprocess per shard, behind the same seam.
+
+    The child runs :func:`_shard_process_main`: a loop holding the
+    shard's :class:`ShardCore` (engine, plan/state caches, residents)
+    for the process lifetime, executing one pickled batch per message.
+    The router side keeps the **journal** -- the current facts-only
+    snapshot of every resident, advanced by each acknowledged delta --
+    which is both the replay source after a crash and the rehydration
+    source for stripped lazy certificates.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        shard_id: int,
+        engine_factory: Callable[[], CertaintyEngine] = CertaintyEngine,
+        mp_context: str = "spawn",
+    ) -> None:
+        self.shard_id = shard_id
+        self.engine_factory = engine_factory
+        self._context = multiprocessing.get_context(mp_context)
+        #: The compacted router-side journal: name -> current committed
+        #: instance (the registered snapshot with every forwarded delta
+        #: folded in).  Replay = re-register these snapshots.
+        self.journal: Dict[str, DatabaseInstance] = {}
+        self.restarts = 0
+        self.snapshot_bytes = 0
+        self.deltas_forwarded = 0
+        self.process = None
+        self._conn = None
+        #: Latest child-side core snapshot (piggybacked on every reply).
+        self._last: Optional[dict] = None
+        #: Accumulated counters of dead child generations.
+        self._carry: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.process is not None:
+            return
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_shard_process_main,
+            args=(child_conn, self.shard_id, self.engine_factory),
+            name="repro-shard-proc-{}".format(self.shard_id),
+            daemon=True,
+        )
+        try:
+            process.start()
+        except BaseException:
+            # Leave the transport cleanly stopped: a failed start must
+            # not strand a half-initialized process/pipe pair.
+            parent_conn.close()
+            child_conn.close()
+            raise
+        child_conn.close()
+        self.process = process
+        self._conn = parent_conn
+
+    def stop(self) -> None:
+        if self.process is None:
+            return
+        try:
+            self._conn.send_bytes(pickle.dumps(("stop",)))
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - stuck child
+            self.process.kill()
+            self.process.join(timeout=5)
+        self._conn.close()
+        self.process = None
+        self._conn = None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, requests: List[ShardRequest]) -> None:
+        ops = [request.as_op() for request in requests]
+        self._account_wire(ops)
+        try:
+            rows = self._round_trip(ops)
+        except (EOFError, OSError) as first_error:
+            # The child died (or the pipe broke) mid-conversation:
+            # restart it, replay the journal, retry the batch once.
+            try:
+                self._restart_and_replay()
+                rows = self._round_trip(ops)
+            except (EOFError, OSError) as second_error:
+                failure = ShardTransportError(
+                    "shard {} subprocess failed twice ({!r} then {!r}); "
+                    "giving up on this batch".format(
+                        self.shard_id, first_error, second_error
+                    )
+                )
+                for request in requests:
+                    request.fail(failure)
+                return
+        self._finish(requests, rows)
+
+    def _round_trip(self, ops: List[ShardOp]):
+        self.start()
+        # Serialize once and send the raw bytes: the payload size is the
+        # snapshot_bytes metric, so counting it must not cost a second
+        # pickling pass over a large resident.
+        payload = pickle.dumps(("batch", ops), protocol=pickle.HIGHEST_PROTOCOL)
+        if any(op[0] == "register" for op in ops):
+            self.snapshot_bytes += len(payload)
+        self._conn.send_bytes(payload)
+        kind, rows, snapshot = self._conn.recv()
+        assert kind == "results", kind
+        self._last = snapshot
+        return rows
+
+    def _account_wire(self, ops: List[ShardOp]) -> None:
+        for op in ops:
+            if op[0] == "delta":
+                self.deltas_forwarded += 1
+
+    def _restart_and_replay(self) -> None:
+        self.restarts += 1
+        self._carry = merge_snapshots(self._carry, self._last)
+        self._last = None
+        self.stop()
+        self.start()
+        if not self.journal:
+            return
+        replay: List[ShardOp] = [
+            ("register", name, db, None, None, "auto")
+            for name, db in sorted(self.journal.items())
+        ]
+        self._account_wire(replay)
+        rows = self._round_trip(replay)
+        for ok, payload in ((row[0], row[1]) for row in rows):
+            if not ok:  # pragma: no cover - register cannot fail
+                raise ShardTransportError(
+                    "shard {} journal replay failed: {!r}".format(
+                        self.shard_id, payload
+                    )
+                )
+
+    def _finish(self, requests: List[ShardRequest], rows) -> None:
+        for request, (ok, payload, was_lazy) in zip(requests, rows):
+            if not ok:
+                request.fail(payload)
+                continue
+            # Mirror acknowledged writes into the journal *before*
+            # rehydration: a delta's certificate refers to the updated
+            # instance.
+            if request.op == "register":
+                self.journal[request.name] = request.db
+            elif request.op == "delta":
+                base = self.journal.get(request.name)
+                if base is not None:
+                    self.journal[request.name] = (
+                        request.delta.apply_to(base).commit()
+                    )
+            if was_lazy and isinstance(payload, CertaintyResult):
+                payload.rehydrate(self._rehydration_db(request), request.query)
+            request.resolve(payload)
+
+    def _rehydration_db(
+        self, request: ShardRequest
+    ) -> Optional[DatabaseInstance]:
+        if request.db is not None:
+            return request.db
+        if request.name is not None:
+            return self.journal.get(request.name)
+        return None  # pragma: no cover - solve always has a db or a name
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        live = self._last if self._last is not None else ShardCore.empty_snapshot()
+        return merge_snapshots(self._carry, live)
+
+    def health(self) -> dict:
+        return {
+            "transport": self.kind,
+            "alive": self.process is not None and self.process.is_alive(),
+            "restarts": self.restarts,
+            #: Wire bytes of every batch message that carried a resident
+            #: snapshot (registration and journal replay).
+            "snapshot_bytes": self.snapshot_bytes,
+            "deltas_forwarded": self.deltas_forwarded,
+        }
+
+
+#: Built-in transports selectable by name (CLI ``--transport``).
+TRANSPORTS = {
+    "thread": ThreadTransport,
+    "process": ProcessTransport,
+}
+
+
+def make_transport(
+    spec: Union[str, Callable, ShardTransport],
+    shard_id: int,
+    engine_factory: Callable[[], CertaintyEngine] = CertaintyEngine,
+    **options,
+) -> ShardTransport:
+    """Resolve *spec* -- a name, a factory, or an instance -- to a transport."""
+    if isinstance(spec, ShardTransport):
+        return spec
+    if isinstance(spec, str):
+        try:
+            factory = TRANSPORTS[spec]
+        except KeyError:
+            raise ValueError(
+                "unknown transport {!r} (choose from {})".format(
+                    spec, ", ".join(sorted(TRANSPORTS))
+                )
+            )
+        return factory(shard_id, engine_factory=engine_factory, **options)
+    return spec(shard_id, engine_factory=engine_factory, **options)
+
+
+def merge_snapshots(base: Optional[dict], snapshot: Optional[dict]) -> dict:
+    """Fold two core snapshots: counters add, latest structure wins.
+
+    Used to keep per-shard statistics monotone across child restarts:
+    *base* accumulates dead generations, *snapshot* is the live child's
+    cumulative view.  Engine counters merge through
+    :meth:`~repro.engine.engine.EngineStats.merge`.
+    """
+    if snapshot is None:
+        snapshot = ShardCore.empty_snapshot()
+    if base is None:
+        return dict(snapshot)
+    merged = dict(snapshot)
+    for key in ("requests", "coalesced", "errors", "warm_hits", "cold_solves"):
+        merged[key] = base.get(key, 0) + snapshot.get(key, 0)
+    merged["engine"] = (
+        EngineStats.from_dict(base.get("engine", {}))
+        .merge(snapshot.get("engine", {}))
+        .as_dict()
+    )
+    return merged
+
+
+def _shard_process_main(conn, shard_id: int, engine_factory) -> None:
+    """The shard subprocess: one persistent core, one batch per message.
+
+    Protocol (parent->child messages arrive as explicitly pickled byte
+    frames -- the parent serializes once and bills resident snapshots by
+    the frame size; replies go back as plain ``conn.send`` objects):
+
+    * ``("batch", ops)`` -> ``("results", rows, snapshot)`` where each
+      row is ``(ok, payload, was_lazy)`` aligned with *ops* and
+      *snapshot* is the core's cumulative counters;
+    * ``("stop",)`` or EOF -> the process exits.
+
+    Lazy falsifying-repair certificates are stripped before the reply is
+    pickled (``was_lazy`` tells the router side to rehydrate against its
+    journal); materialized certificates (e.g. SAT counterexamples) ship
+    as-is.
+    """
+    core = ShardCore(shard_id, engine_factory=engine_factory)
+    while True:
+        try:
+            message = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError):
+            return
+        if message[0] == "stop":
+            conn.close()
+            return
+        _, ops = message
+        rows = []
+        for ok, payload in core.run_batch(ops):
+            was_lazy = (
+                ok
+                and isinstance(payload, CertaintyResult)
+                and payload.has_lazy_repair
+            )
+            if was_lazy:
+                payload.strip()
+            rows.append((ok, payload, was_lazy))
+        reply = ("results", rows, core.snapshot())
+        try:
+            conn.send(reply)
+        except Exception:  # pragma: no cover - unpicklable payload
+            # Keep the protocol alive, and keep batch-companion
+            # isolation: only the rows that actually cannot cross the
+            # pipe are replaced with a stringified error.
+            fallback = []
+            for ok, payload, was_lazy in rows:
+                try:
+                    pickle.dumps(payload)
+                except Exception:
+                    ok, was_lazy = False, False
+                    payload = ShardTransportError(
+                        "unpicklable shard result: {!r}".format(payload)
+                    )
+                fallback.append((ok, payload, was_lazy))
+            conn.send(("results", fallback, core.snapshot()))

@@ -109,6 +109,23 @@ class CertaintyResult:
         self._repair_source = None
         return self
 
+    def rehydrate(self, db, query) -> "CertaintyResult":
+        """Re-attach a lazy certificate after a stripped wire hop.
+
+        The receiving half of the process-transport contract
+        (:mod:`repro.serving.transport`): shard subprocesses strip lazy
+        falsifying-repair certificates before pickling (an unread
+        certificate is O(db) on the wire), and the router side calls
+        this with its own copy of the same instance.  The Lemma 9
+        construction is deterministic in the facts, so the certificate
+        built here on first access equals the one the in-process lazy
+        path would have produced.  A no-op unless this is a stripped
+        "no" answer and *db* is known.
+        """
+        if not self.answer and self._repair_source is None and db is not None:
+            self._repair_source = LazyMinimalRepair(db, query)
+        return self
+
     def __getstate__(self):
         # Keep data-carrying lazy certificates (LazyMinimalRepair) lazy
         # across process boundaries; resolve only opaque callables

@@ -25,6 +25,7 @@ MODULE_NAMES = [
     "repro.queries.path_query",
     "repro.serving.server",
     "repro.serving.shard",
+    "repro.serving.transport",
     "repro.solvers.state_cache",
     "repro.solvers.answers",
     "repro.solvers.certainty",

@@ -1,4 +1,12 @@
-"""The sharded async serving layer: routing, workers, server, CLI."""
+"""The sharded async serving layer: routing, workers, transports, server, CLI.
+
+Worker- and server-semantics tests are parametrized over both shard
+transports (``thread`` and ``process``): the transport seam promises
+identical observable behavior -- routing, read-your-writes ordering,
+coalescing, error propagation -- regardless of where the shard's engine
+lives.  Transport-specific behavior (crash-restart recovery, journal
+replay, certificate rehydration, health counters) is covered separately.
+"""
 
 import asyncio
 
@@ -10,20 +18,38 @@ from repro.db.instance import DatabaseInstance
 from repro.engine import CertaintyEngine
 from repro.serving import (
     AsyncCertaintyServer,
+    ProcessTransport,
+    ServerClosed,
     ShardRequest,
     ShardRouter,
     ShardWorker,
+    ThreadTransport,
+    make_transport,
     stable_shard,
 )
 from repro.workloads.generators import chain_instance
 
 MIXED = ["RXRX", "RRX", "RXRYRY", "ARRX"]  # FO, NL, PTIME, coNP
 
+TRANSPORTS = ["thread", "process"]
+
 
 def _toy(extra=()):
     return DatabaseInstance.from_triples(
         [("R", 0, 1), ("R", 1, 2), ("X", 2, 3), *extra]
     )
+
+
+@pytest.fixture(params=TRANSPORTS)
+def transport(request):
+    return request.param
+
+
+@pytest.fixture
+def worker(transport):
+    worker = ShardWorker(0, transport=transport)
+    yield worker
+    worker.stop()
 
 
 class TestShardRouter:
@@ -60,11 +86,35 @@ class TestShardRouter:
         assert router.shard_of("a") == 1
 
 
-class TestShardWorker:
-    """Drive execute() directly -- deterministic, no thread."""
+class TestMakeTransport:
+    def test_names_resolve(self):
+        assert isinstance(make_transport("thread", 0), ThreadTransport)
+        process = make_transport("process", 0)
+        assert isinstance(process, ProcessTransport)
+        process.stop()  # never started: a no-op
 
-    def test_register_solve_and_warm_state(self):
-        worker = ShardWorker(0)
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_transport("carrier-pigeon", 0)
+        with pytest.raises(ValueError):
+            ShardWorker(0, transport="carrier-pigeon")
+
+    def test_instance_and_factory_pass_through(self):
+        ready = ThreadTransport(7)
+        assert make_transport(ready, 7) is ready
+        built = make_transport(ThreadTransport, 3)
+        assert isinstance(built, ThreadTransport)
+        assert built.shard_id == 3
+
+
+class TestShardWorker:
+    """Drive execute() directly -- deterministic, no drain thread.
+
+    Every test runs against both transports: execute() is a synchronous
+    round trip either way (in-thread core, or one pipe message pair).
+    """
+
+    def test_register_solve_and_warm_state(self, worker):
         register = ShardRequest("register", name="toy", db=_toy())
         first = ShardRequest("solve", name="toy", query="RRX")
         second = ShardRequest("solve", name="toy", query="RRX")
@@ -73,12 +123,12 @@ class TestShardWorker:
         worker.execute([second])
         assert first.result.answer is True
         assert second.result.answer is True
-        assert worker.engine.stats.full_resolves == 1
-        assert worker.engine.stats.incremental_hits == 1
-        assert worker.stats()["warm_hits"] == 1
+        stats = worker.stats()
+        assert stats["cold_solves"] == 1
+        assert stats["warm_hits"] == 1
+        assert stats["engine"]["delta_solves"] == 2
 
-    def test_duplicate_reads_coalesce_within_batch(self):
-        worker = ShardWorker(0)
+    def test_duplicate_reads_coalesce_within_batch(self, worker):
         worker.execute([ShardRequest("register", name="toy", db=_toy())])
         requests = [
             ShardRequest("solve", name="toy", query="RRX") for _ in range(5)
@@ -86,10 +136,11 @@ class TestShardWorker:
         worker.execute(requests)
         assert all(r.result.answer is True for r in requests)
         assert worker.coalesced == 4  # one engine call served five futures
+        # Identity survives both transports: the in-thread core returns
+        # the same object, and one pickled reply shares it via the memo.
         assert requests[0].result is requests[4].result
 
-    def test_delta_invalidates_coalesced_read(self):
-        worker = ShardWorker(0)
+    def test_delta_invalidates_coalesced_read(self, worker):
         worker.execute([ShardRequest("register", name="toy", db=_toy())])
         before = ShardRequest("solve", name="toy", query="RRX")
         delta = ShardRequest(
@@ -104,8 +155,7 @@ class TestShardWorker:
         assert delta.result.answer is False
         assert after.result.answer is False  # not served from the memo
 
-    def test_delta_advances_registry_to_committed_instance(self):
-        worker = ShardWorker(0)
+    def test_delta_advances_registry_to_committed_instance(self, worker):
         worker.execute([ShardRequest("register", name="toy", db=_toy())])
         delta = ShardRequest(
             "delta",
@@ -113,25 +163,59 @@ class TestShardWorker:
             delta=Delta.inserting(("R", 5, 6)),
             query="RRX",
         )
+        got = ShardRequest("get", name="toy")
         worker.execute([delta])
+        worker.execute([got])
         assert ("R", 5, 6) in {
-            (f.relation, f.key, f.value) for f in worker.instances["toy"].facts
+            (f.relation, f.key, f.value) for f in got.result.facts
         }
 
-    def test_unknown_name_fails_request(self):
-        worker = ShardWorker(0)
+    def test_unknown_name_fails_request(self, worker):
         request = ShardRequest("solve", name="ghost", query="RRX")
         worker.execute([request])
         assert isinstance(request.error, KeyError)
         assert worker.errors == 1
 
-    def test_forced_method_bypasses_warm_path(self):
-        worker = ShardWorker(0)
+    def test_forced_method_bypasses_warm_path(self, worker):
         worker.execute([ShardRequest("register", name="toy", db=_toy())])
         forced = ShardRequest("solve", name="toy", query="RRX", method="sat")
         worker.execute([forced])
         assert forced.result.method == "sat"
-        assert worker.engine.stats.delta_solves == 0
+        assert worker.stats()["engine"]["delta_solves"] == 0
+
+    def test_no_answer_certificate_survives_the_transport(self, worker):
+        """A lazy "no" certificate reaches the caller on both transports.
+
+        The process transport strips it on the wire and rehydrates from
+        the router-side journal; the construction is deterministic in
+        the facts, so the repair matches the in-process one exactly.
+        """
+        worker.execute([ShardRequest("register", name="toy", db=_toy())])
+        request = ShardRequest(
+            "delta",
+            name="toy",
+            delta=Delta.removing(("X", 2, 3)),
+            query="RRX",
+        )
+        worker.execute([request])
+        result = request.result
+        assert result.answer is False
+        assert result.has_lazy_repair  # not resolved by the hop
+        updated = Delta.removing(("X", 2, 3)).apply_to(_toy()).commit()
+        repair = result.falsifying_repair
+        assert repair.is_repair_of(updated)
+        reference = CertaintyEngine().solve(updated, "RRX")
+        assert repair == reference.falsifying_repair
+
+    def test_close_fails_queued_and_late_requests(self, worker):
+        """Graceful shutdown: still-queued futures fail with ServerClosed."""
+        queued = ShardRequest("solve", name="toy", query="RRX")
+        worker.submit(queued)  # no thread running: stays queued
+        worker.stop()
+        assert isinstance(queued.error, ServerClosed)
+        late = ShardRequest("solve", name="toy", query="RRX")
+        worker.submit(late)
+        assert isinstance(late.error, ServerClosed)
 
     def test_bad_parameters_rejected(self):
         with pytest.raises(ValueError):
@@ -140,8 +224,128 @@ class TestShardWorker:
             ShardWorker(0, max_delay=-1.0)
 
 
+class TestProcessTransportRecovery:
+    """Crash-restart: the child dies, the journal replays, answers hold."""
+
+    def test_worker_crash_restart_preserves_residents_and_deltas(self):
+        worker = ShardWorker(0, transport="process")
+        try:
+            worker.execute([ShardRequest("register", name="toy", db=_toy())])
+            delta = ShardRequest(
+                "delta",
+                name="toy",
+                delta=Delta.removing(("X", 2, 3)),
+                query="RRX",
+            )
+            worker.execute([delta])
+            assert delta.result.answer is False
+            worker.transport.process.kill()
+            after = ShardRequest("solve", name="toy", query="RRX")
+            got = ShardRequest("get", name="toy")
+            worker.execute([after, got])
+            # The replayed resident is the *post-delta* instance: the
+            # journal compacts every forwarded delta into the snapshot.
+            assert after.result.answer is False
+            assert got.result == Delta.removing(("X", 2, 3)).apply_to(
+                _toy()
+            ).commit()
+            health = worker.stats()["transport"]
+            assert health["restarts"] == 1
+            assert health["alive"] is True
+        finally:
+            worker.stop()
+
+    def test_server_crash_restart_answers_unchanged(self):
+        instances = {
+            "chain{}".format(i): chain_instance(
+                q, repetitions=3, conflict_every=3
+            )
+            for i, q in enumerate(MIXED)
+        }
+        reference = CertaintyEngine()
+        expected = {
+            (name, query): reference.solve(instances[name], query).answer
+            for name in sorted(instances)
+            for query in MIXED
+        }
+
+        async def scenario():
+            async with AsyncCertaintyServer(
+                num_shards=2, transport="process"
+            ) as server:
+                for name, db in sorted(instances.items()):
+                    await server.register(name, db)
+                requests = list(expected)
+                before = await server.solve_many(requests)
+                for worker in server.workers:
+                    worker.transport.process.kill()
+                after = await server.solve_many(requests)
+                return requests, before, after, server.stats()
+
+        requests, before, after, stats = asyncio.run(scenario())
+        for (name, query), cold, warm in zip(requests, before, after):
+            assert cold.answer == expected[(name, query)], (name, query)
+            assert warm.answer == expected[(name, query)], (name, query)
+        # A killed child restarts lazily, on the next batch that reaches
+        # it -- so exactly the shards that hold residents restart.
+        serving_shards = set(stats["placement"].values())
+        for shard_stats in stats["shards"]:
+            expected = 1 if shard_stats["shard"] in serving_shards else 0
+            assert shard_stats["transport"]["restarts"] == expected
+        # Counters stay monotone across the restart: both passes counted.
+        assert sum(s["requests"] for s in stats["shards"]) >= 2 * len(requests)
+
+    def test_transport_health_counters(self):
+        worker = ShardWorker(0, transport="process")
+        try:
+            worker.execute([ShardRequest("register", name="toy", db=_toy())])
+            worker.execute(
+                [
+                    ShardRequest(
+                        "delta",
+                        name="toy",
+                        delta=Delta.inserting(("X", 2, 9)),
+                        query="RRX",
+                    )
+                ]
+            )
+            health = worker.stats()["transport"]
+            assert health["transport"] == "process"
+            assert health["alive"] is True
+            assert health["restarts"] == 0
+            assert health["snapshot_bytes"] > 0  # one facts-only snapshot
+            assert health["deltas_forwarded"] == 1
+            assert health["queue_depth"] == 0
+        finally:
+            worker.stop()
+
+    def test_unpicklable_instance_fails_request_not_the_worker(self):
+        """A payload the pipe cannot carry fails *that* future; the
+        drain thread and the shard survive for later traffic."""
+        bad = DatabaseInstance.from_triples([("R", (lambda: None), 1)])
+
+        async def scenario():
+            async with AsyncCertaintyServer(
+                num_shards=1, transport="process"
+            ) as server:
+                with pytest.raises(Exception):
+                    await server.register("bad", bad)  # unpicklable facts
+                await server.register("ok", _toy())
+                return (await server.solve("ok", "RRX")).answer
+
+        assert asyncio.run(scenario()) is True
+
+    def test_thread_health_is_trivial(self):
+        worker = ShardWorker(0, transport="thread")
+        health = worker.stats()["transport"]
+        assert health["transport"] == "thread"
+        assert health["snapshot_bytes"] == 0
+        assert health["deltas_forwarded"] == 0
+        worker.stop()
+
+
 class TestAsyncCertaintyServer:
-    def test_answers_match_engine_across_classes(self):
+    def test_answers_match_engine_across_classes(self, transport):
         reference = CertaintyEngine()
         instances = {
             "chain{}".format(i): chain_instance(q, repetitions=3, conflict_every=3)
@@ -149,7 +353,9 @@ class TestAsyncCertaintyServer:
         }
 
         async def scenario():
-            async with AsyncCertaintyServer(num_shards=3) as server:
+            async with AsyncCertaintyServer(
+                num_shards=3, transport=transport
+            ) as server:
                 for name, db in sorted(instances.items()):
                     await server.register(name, db)
                 requests = [
@@ -171,9 +377,11 @@ class TestAsyncCertaintyServer:
         assert stats["admission"]["in_flight"] == 0
         assert sum(s["warm_hits"] for s in stats["shards"]) > 0
 
-    def test_read_your_writes_per_instance(self):
+    def test_read_your_writes_per_instance(self, transport):
         async def scenario():
-            async with AsyncCertaintyServer(num_shards=2) as server:
+            async with AsyncCertaintyServer(
+                num_shards=2, transport=transport
+            ) as server:
                 await server.register("toy", _toy())
                 answers = [(await server.solve("toy", "RRX")).answer]
                 result = await server.solve_delta(
@@ -196,17 +404,21 @@ class TestAsyncCertaintyServer:
             ("X", 2, 9)
         ).apply_to(_toy()).commit()
 
-    def test_adhoc_instance_passthrough(self):
+    def test_adhoc_instance_passthrough(self, transport):
         async def scenario():
-            async with AsyncCertaintyServer(num_shards=2) as server:
+            async with AsyncCertaintyServer(
+                num_shards=2, transport=transport
+            ) as server:
                 return await server.solve(_toy(), "RRX")
 
         result = asyncio.run(scenario())
         assert result.answer is True
 
-    def test_unknown_name_raises_for_awaiter(self):
+    def test_unknown_name_raises_for_awaiter(self, transport):
         async def scenario():
-            async with AsyncCertaintyServer(num_shards=2) as server:
+            async with AsyncCertaintyServer(
+                num_shards=2, transport=transport
+            ) as server:
                 with pytest.raises(KeyError):
                     await server.solve("ghost", "RRX")
                 return server.stats()
@@ -225,12 +437,43 @@ class TestAsyncCertaintyServer:
         server.start()
         server.close()
         server.close()  # idempotent
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ServerClosed):
             server.start()  # a closed server cannot be restarted
 
-    def test_explicit_placement_routes_to_that_shard(self):
+    def test_close_fails_pending_requests(self, transport):
+        """The graceful-shutdown contract at the asyncio surface:
+        requests still queued when close() runs fail with ServerClosed
+        instead of leaving their futures pending forever."""
+
         async def scenario():
-            async with AsyncCertaintyServer(num_shards=3) as server:
+            server = AsyncCertaintyServer(
+                num_shards=1,
+                transport=transport,
+                max_batch=64,
+                max_delay=5.0,  # long coalescing window: requests queue up
+            )
+            server.start()
+            tasks = [
+                asyncio.ensure_future(server.solve("toy", "RRX"))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0.05)  # let them reach the shard queue
+            server.close()
+            settled = await asyncio.gather(*tasks, return_exceptions=True)
+            with pytest.raises(ServerClosed):
+                await server.solve("toy", "RRX")  # admission after close
+            return settled, server.stats()
+
+        settled, stats = asyncio.run(scenario())
+        assert all(isinstance(error, ServerClosed) for error in settled)
+        assert stats["admission"]["failed"] == 3
+        assert stats["admission"]["in_flight"] == 0
+
+    def test_explicit_placement_routes_to_that_shard(self, transport):
+        async def scenario():
+            async with AsyncCertaintyServer(
+                num_shards=3, transport=transport
+            ) as server:
                 shard = await server.register("pinned", _toy(), shard=2)
                 await server.solve("pinned", "RRX")
                 return shard, server.stats()
@@ -241,10 +484,13 @@ class TestAsyncCertaintyServer:
         assert stats["shards"][2]["requests"] == 2  # register + solve
         assert stats["shards"][0]["requests"] == 0
 
-    def test_concurrent_burst_is_batched(self):
+    def test_concurrent_burst_is_batched(self, transport):
         async def scenario():
             async with AsyncCertaintyServer(
-                num_shards=1, max_batch=64, max_delay=0.05
+                num_shards=1,
+                max_batch=64,
+                max_delay=0.05,
+                transport=transport,
             ) as server:
                 await server.register("toy", _toy())
                 await server.solve("toy", "RRX")  # warm the state
@@ -266,7 +512,8 @@ class TestServeCli:
         path.write_text("\n".join(lines) + "\n")
         return str(path)
 
-    def test_serve_workload_end_to_end(self, tmp_path, capsys):
+    @pytest.mark.parametrize("cli_transport", TRANSPORTS)
+    def test_serve_workload_end_to_end(self, tmp_path, capsys, cli_transport):
         db_a = self._write_instance(
             tmp_path, "a", ["R,0,1", "R,1,2", "X,2,3"]
         )
@@ -284,6 +531,8 @@ class TestServeCli:
                 "a={}".format(db_a),
                 "--workload",
                 str(workload),
+                "--transport",
+                cli_transport,
                 "--stats",
             ]
         )
@@ -292,6 +541,10 @@ class TestServeCli:
         assert "not certain" in out
         assert "admission: submitted=4 completed=4 failed=0" in out
         assert "warm=" in out
+        assert "transport={}".format(cli_transport) in out
+        assert "restarts=0" in out and "queue_depth=" in out
+        if cli_transport == "process":
+            assert "deltas_forwarded=1" in out
 
     def test_serve_reports_per_request_errors(self, tmp_path, capsys):
         """A failing workload line is reported in its row, not a traceback."""
@@ -348,4 +601,22 @@ class TestServeCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "speedup:" in out
+        assert "answers agree: True" in out
+
+    def test_bench_serve_cpu_bound_cli_smoke(self, capsys):
+        code = main(
+            [
+                "bench-serve",
+                "--cpu-bound",
+                "--shards",
+                "2",
+                "--repetitions",
+                "50",
+                "--requests",
+                "8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "process/thread speedup:" in out
         assert "answers agree: True" in out

@@ -1,0 +1,159 @@
+"""The cross-process wire contract behind the serving transports.
+
+The :class:`~repro.serving.transport.ProcessTransport` (and the engine's
+worker pools) depend on two pickling contracts:
+
+* :meth:`repro.db.instance.DatabaseInstance.__reduce__` ships **facts
+  only** -- no compact views, no process-local interner ids cross the
+  wire; the receiver rebuilds indexes and compiles its *own* compact
+  view against its *own* interner and reaches identical answers;
+* :class:`repro.solvers.result.LazyMinimalRepair` survives the hop
+  **unresolved** -- the O(db) Lemma 9 construction is not forced at
+  pickle time, and resolving it on the receiving side yields the same
+  repair the sender would have built.
+
+These tests round-trip real payloads through a fresh interpreter (a
+``subprocess``, not a fork -- a forked child would share the parent's
+interner pages and prove nothing).
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.db.instance import DatabaseInstance
+from repro.engine import CertaintyEngine
+from repro.solvers.fixpoint import certain_answer_fixpoint
+from repro.solvers.result import LazyMinimalRepair
+from repro.workloads.generators import chain_instance
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+QUERIES = ["RXRX", "RRX", "RXRYRY"]
+
+#: Runs in a fresh interpreter: verify the received payload, answer the
+#: queries, rebuild the compact view, resolve the lazy certificate, and
+#: report everything back as plain data for the parent to compare.
+CHILD_SCRIPT = """
+import pickle, sys
+
+with open(sys.argv[1], "rb") as handle:
+    payload = pickle.load(handle)
+db, queries, result = payload["db"], payload["queries"], payload["result"]
+
+report = {}
+# The cached compact view must NOT have crossed the wire.
+report["compact_cache_empty"] = db._compact is None
+# The lazy certificate must arrive unresolved.
+report["lazy_on_arrival"] = result.has_lazy_repair
+
+from repro.engine import CertaintyEngine
+
+engine = CertaintyEngine()
+report["answers"] = [engine.solve(db, q).answer for q in queries]
+report["facts"] = sorted(
+    (f.relation, f.key, f.value) for f in db.facts
+)
+view = db.compact()
+report["compact_n"] = view.n
+report["compact_relations"] = view.relations
+# Resolving here runs the Lemma 9 construction against the *child's*
+# own compact view and interner.
+repair = result.falsifying_repair
+report["repair_facts"] = sorted(
+    (f.relation, f.key, f.value) for f in repair.facts
+)
+report["repair_is_repair"] = repair.is_repair_of(db)
+
+with open(sys.argv[2], "wb") as handle:
+    pickle.dump(report, handle)
+"""
+
+
+def _roundtrip_through_fresh_interpreter(tmp_path, payload):
+    payload_path = tmp_path / "payload.pkl"
+    report_path = tmp_path / "report.pkl"
+    with open(payload_path, "wb") as handle:
+        pickle.dump(payload, handle)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", CHILD_SCRIPT, str(payload_path), str(report_path)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stderr
+    with open(report_path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def test_child_rebuilds_identical_view_and_answers(tmp_path):
+    db = chain_instance("RRX", repetitions=4, conflict_every=3)
+    # Force the parent-side caches the wire must NOT carry: the compact
+    # view (interned ids) and the engine's per-instance state.
+    parent_view = db.compact()
+    engine = CertaintyEngine()
+    parent_answers = [engine.solve(db, q).answer for q in QUERIES]
+
+    # A genuine lazy "no" certificate, unresolved on the parent side.
+    no_instance = DatabaseInstance.from_triples(
+        [("R", 0, 1), ("R", 1, 2), ("R", 1, 9)]
+    )
+    result = certain_answer_fixpoint(no_instance, "RRX")
+    assert result.answer is False
+    assert result.has_lazy_repair
+
+    payload = {"db": db, "queries": QUERIES, "result": result}
+    wire = pickle.dumps(payload)
+    # Facts-only on the wire: neither the compact module nor the
+    # interner module is referenced by the pickle stream.
+    assert b"interner" not in wire
+    assert b"compact" not in wire
+    # ... and pickling did not force the certificate.
+    assert result.has_lazy_repair
+
+    report = _roundtrip_through_fresh_interpreter(tmp_path, payload)
+    assert report["compact_cache_empty"] is True
+    assert report["lazy_on_arrival"] is True
+    assert report["answers"] == parent_answers
+    assert report["facts"] == sorted(
+        (f.relation, f.key, f.value) for f in db.facts
+    )
+    # Same shape of the rebuilt view: same domain size, same relations
+    # (the ids inside are process-local and deliberately incomparable).
+    assert report["compact_n"] == parent_view.n
+    assert report["compact_relations"] == parent_view.relations
+
+
+def test_lazy_repair_resolves_identically_across_the_hop(tmp_path):
+    chain = chain_instance("RXRYRY", repetitions=3, conflict_every=2)
+    # Drop every Y fact: no complete q-path survives, so CERTAINTY is a
+    # "no" and the fixpoint route attaches a LazyMinimalRepair (the only
+    # certificate kind whose laziness is *data*, hence wire-safe).
+    db = DatabaseInstance([f for f in chain.facts if f.relation != "Y"])
+    result = certain_answer_fixpoint(db, "RXRYRY")
+    assert result.answer is False
+    assert result.has_lazy_repair
+
+    payload = {"db": db, "queries": ["RXRYRY"], "result": result}
+    report = _roundtrip_through_fresh_interpreter(tmp_path, payload)
+    assert report["lazy_on_arrival"] is True
+    assert report["repair_is_repair"] is True
+    # The Lemma 9 construction is deterministic in the facts: resolving
+    # in the child equals resolving in the parent.
+    parent_repair = result.falsifying_repair
+    assert report["repair_facts"] == sorted(
+        (f.relation, f.key, f.value) for f in parent_repair.facts
+    )
+
+
+def test_lazy_minimal_repair_reduce_is_data_only():
+    db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2)])
+    lazy = LazyMinimalRepair(db, "R")
+    rebuilt = pickle.loads(pickle.dumps(lazy))
+    assert isinstance(rebuilt, LazyMinimalRepair)
+    assert rebuilt.db == db
+    assert rebuilt() == lazy()
