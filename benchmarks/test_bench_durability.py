@@ -1,0 +1,84 @@
+"""E18: durable cold start -- journal replay vs fresh registration.
+
+The durable journal tier (``repro.serving.journal``) lets a reopened
+server restore its residents from the sqlite op log instead of asking
+clients to re-register.  These rows record what that restore costs on a
+large resident: one benchmark opens a server on a pre-populated sqlite
+journal and serves the first (cold) solve from replayed state; the
+other builds the same server the PR 3 way -- fresh registration of the
+same instance -- and serves the same solve.  Both paths pay the same
+cold fixpoint, so the difference isolates the replay machinery (log
+open, snapshot unpickle, shard seeding).
+
+Not gates -- trajectory rows: the CI ``bench-smoke`` job records them
+as ``BENCH_durability.json`` and ``tools/bench_report.py`` folds them
+into ``BENCH_report.md``.  Answers are asserted equal along the way, so
+the benchmark doubles as a large-instance durability check.
+
+``REPRO_BENCH_QUICK=1`` shrinks the resident for the CI smoke job.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.serving import AsyncCertaintyServer
+from repro.serving.journal import SqliteJournalStore
+from repro.workloads.generators import chain_instance
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+QUERY = "RXRYRY"
+REPETITIONS = 120 if QUICK else 500
+NUM_SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def resident():
+    return chain_instance(QUERY, repetitions=REPETITIONS, conflict_every=3)
+
+
+@pytest.fixture(scope="module")
+def expected(resident):
+    async def fresh():
+        async with AsyncCertaintyServer(num_shards=NUM_SHARDS) as server:
+            await server.register("big", resident)
+            return (await server.solve("big", QUERY)).answer
+
+    return asyncio.run(fresh())
+
+
+def test_bench_cold_start_replay(benchmark, tmp_path_factory, resident, expected):
+    """Open a server on a warm sqlite log and serve the first solve."""
+    path = tmp_path_factory.mktemp("journal") / "journal.db"
+    seed = SqliteJournalStore(path)
+    seed.register(0, "big", resident, seq=1)
+    seed.close()
+
+    def cold_start():
+        async def go():
+            async with AsyncCertaintyServer(
+                num_shards=NUM_SHARDS,
+                journal_store="sqlite:{}".format(path),
+            ) as server:
+                assert server.stats()["journal"]["residents"] == 1
+                return (await server.solve("big", QUERY)).answer
+
+        assert asyncio.run(go()) is expected
+
+    benchmark.pedantic(cold_start, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_bench_fresh_registration(benchmark, resident, expected):
+    """The baseline: register the resident and serve the same solve."""
+
+    def fresh_start():
+        async def go():
+            async with AsyncCertaintyServer(num_shards=NUM_SHARDS) as server:
+                await server.register("big", resident)
+                return (await server.solve("big", QUERY)).answer
+
+        assert asyncio.run(go()) is expected
+
+    benchmark.pedantic(fresh_start, rounds=3, iterations=1, warmup_rounds=1)

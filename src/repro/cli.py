@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro batch RRX --facts db1.txt db2.txt db3.txt --workers 4
     python -m repro serve --instance orders=db1.txt --workload reqs.txt
     python -m repro serve --transport process --instance orders=db1.txt ...
+    python -m repro serve --journal sqlite:state.db --workload reqs.txt
     python -m repro bench-serve --shards 4 --requests 240
     python -m repro bench-serve --cpu-bound --shards 4
     python -m repro answers RR --triples "R,0,1;R,1,2;R,2,3"
@@ -24,9 +25,11 @@ query is compiled once and every instance reuses the cached plan
 ``serve`` runs a request workload through the sharded async serving
 layer (:mod:`repro.serving`): named instances become shard residents,
 ``solve``/``delta`` lines are admitted concurrently, and per-shard
-warm/cold statistics are reported at the end.  ``bench-serve`` runs the
-mixed-workload benchmark comparing shard-warm serving against per-call
-solves.  See ``docs/serving.md``.
+warm/cold statistics are reported at the end.  With ``--journal
+sqlite:PATH`` residents are durable: a later ``serve`` on the same path
+restores them from the log, no ``--instance`` flags needed.
+``bench-serve`` runs the mixed-workload benchmark comparing shard-warm
+serving against per-call solves.  See ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -215,6 +218,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_delay=args.max_delay,
             transport=args.transport,
+            journal_store=args.journal,
         ) as server:
             for name, db in sorted(instances.items()):
                 await server.register(name, db)
@@ -259,6 +263,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 admission["submitted"],
                 admission["completed"],
                 admission["failed"],
+            )
+        )
+        journal = stats["journal"]
+        print(
+            "journal: store={} residents={} ops={} log_rows={} "
+            "compactions={}".format(
+                journal["store"],
+                journal.get("residents", 0),
+                journal.get("ops", 0),
+                journal.get("log_rows", 0),
+                journal.get("compactions", 0),
             )
         )
         for shard in stats["shards"]:
@@ -470,6 +485,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["thread", "process"],
         help="run shards as threads (shared memory) or as one "
         "subprocess per shard (true CPU parallelism)",
+    )
+    serve_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="{memory,sqlite:PATH}",
+        help="durable journal store: 'memory' (lost on exit) or "
+        "'sqlite:PATH' (residents survive a restart; a reopened server "
+        "needs no --instance re-registration)",
     )
     serve_parser.add_argument(
         "--stats", action="store_true", help="print admission and shard stats"

@@ -25,6 +25,12 @@ micro-batches with a bounded added latency.
   per-shard warm/cold + transport-health counters via
   :meth:`AsyncCertaintyServer.stats`; graceful :meth:`close` fails
   still-queued requests with :class:`ServerClosed`.
+* :mod:`repro.serving.journal` -- the durable journal tier:
+  :class:`JournalStore` records every registration and forwarded delta
+  per shard (:class:`MemoryJournalStore` for the in-process default,
+  :class:`SqliteJournalStore` for an append-only on-disk op log with
+  compaction), so a reopened server cold-starts its shards from the log
+  with zero client re-registration.
 * :mod:`repro.serving.bench` -- the mixed-workload and CPU-bound
   transport benchmarks behind ``python -m repro bench-serve`` and the
   pinned throughput assertions.
@@ -32,6 +38,13 @@ micro-batches with a bounded added latency.
 See ``docs/serving.md`` for the architecture and a worked example.
 """
 
+from repro.serving.journal import (
+    JournalStore,
+    MemoryJournalStore,
+    ShardJournal,
+    SqliteJournalStore,
+    make_journal_store,
+)
 from repro.serving.server import AsyncCertaintyServer
 from repro.serving.shard import (
     EMPTY_DELTA,
@@ -53,15 +66,20 @@ from repro.serving.transport import (
 __all__ = [
     "AsyncCertaintyServer",
     "EMPTY_DELTA",
+    "JournalStore",
+    "MemoryJournalStore",
     "ProcessTransport",
     "ServerClosed",
     "ShardCore",
+    "ShardJournal",
     "ShardRequest",
     "ShardRouter",
     "ShardTransport",
     "ShardTransportError",
     "ShardWorker",
+    "SqliteJournalStore",
     "ThreadTransport",
+    "make_journal_store",
     "make_transport",
     "stable_shard",
 ]

@@ -1,0 +1,497 @@
+"""The durable journal tier: resident state that outlives the server.
+
+PR 5 gave every :class:`~repro.serving.transport.ProcessTransport` a
+router-side **journal** -- the current facts-only snapshot of each
+resident, advanced by every forwarded delta -- used for crash replay and
+for rehydrating stripped lazy certificates.  That journal was an ad-hoc
+in-memory dict: a child crash was survivable, a *server* restart lost
+everything (ROADMAP open item 3).
+
+This module turns the journal into a seam:
+
+* :class:`JournalStore` -- the abstract store.  Per shard it records
+  registrations (facts-only snapshots) and forwarded
+  :class:`~repro.db.delta.Delta`\\ s, each stamped with the transport's
+  per-shard monotonic **sequence number**, and answers the questions the
+  serving layer asks: the current folded snapshot of a resident
+  (:meth:`~JournalStore.get`), everything a fresh child must replay
+  (:meth:`~JournalStore.residents`), the shard's high-water sequence
+  (:meth:`~JournalStore.last_seq`), and where every durable resident
+  lives (:meth:`~JournalStore.placements` -- the server's cold-start
+  routing table).
+* :class:`MemoryJournalStore` -- the status quo, behind the seam: plain
+  dicts, no durability, zero overhead.
+* :class:`SqliteJournalStore` -- an append-only op log in a single
+  sqlite file (stdlib :mod:`sqlite3`, no new dependencies).  Snapshots
+  and deltas are appended as pickled rows (the facts-only
+  :meth:`~repro.db.instance.DatabaseInstance.__reduce__` contract keeps
+  them process-portable); a RAM view of the folded snapshots keeps reads
+  off the disk path.  Every *compact_every* delta rows per resident the
+  log is **compacted**: the resident's rows are replaced by one snapshot
+  row holding the folded instance, so the log stays proportional to the
+  resident set, not to history.
+
+Appends are **idempotent**: a row whose sequence number is at or below
+the shard's high-water mark is a redelivery (the transport retried a
+batch whose first attempt already reached the journal) and is dropped.
+Together with the child-side skip in
+:meth:`repro.serving.shard.ShardCore.run_batch` this gives the serving
+layer at-least-once delivery with exactly-once effect.
+
+>>> store = MemoryJournalStore()
+>>> journal = store.shard(0)
+>>> from repro.db.instance import DatabaseInstance
+>>> journal.register("toy", DatabaseInstance.from_triples([("R", 0, 1)]), seq=1)
+>>> sorted(journal.residents())
+['toy']
+>>> journal.last_seq()
+1
+>>> make_journal_store("memory").kind
+'memory'
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import threading
+from typing import Dict, Optional, Union
+
+from repro.db.delta import Delta
+from repro.db.instance import DatabaseInstance
+
+
+class JournalStore:
+    """The seam between the serving layer and resident durability.
+
+    One store serves every shard of a server; all methods take the shard
+    id explicitly and must be safe to call from concurrent shard-worker
+    threads.  Transports hold a :class:`ShardJournal` view bound to
+    their shard (see :meth:`shard`).
+
+    Write methods take the op's per-shard sequence number (``seq=0``
+    means unstamped: always applied, never replay-protected).  A stamped
+    append with ``seq <= last_seq(shard)`` is a redelivery and must be
+    ignored.
+    """
+
+    #: Short name surfaced in stats (``"memory"``, ``"sqlite"``).
+    kind = "abstract"
+
+    def shard(self, shard_id: int) -> "ShardJournal":
+        """A view of this store bound to one shard."""
+        return ShardJournal(self, shard_id)
+
+    # -- writes --------------------------------------------------------
+
+    def register(
+        self,
+        shard_id: int,
+        name: str,
+        db: DatabaseInstance,
+        seq: int = 0,
+    ) -> None:
+        """Record a registration: *db* becomes *name*'s snapshot,
+        superseding any earlier ops for the name."""
+        raise NotImplementedError
+
+    def delta(
+        self, shard_id: int, name: str, delta: Delta, seq: int = 0
+    ) -> None:
+        """Append a forwarded delta against *name*'s current snapshot.
+
+        Raises :class:`KeyError` if the name was never registered on the
+        shard -- callers guard with :meth:`get`.
+        """
+        raise NotImplementedError
+
+    # -- reads ---------------------------------------------------------
+
+    def get(self, shard_id: int, name: str) -> Optional[DatabaseInstance]:
+        """The current folded snapshot of *name*, or ``None``."""
+        raise NotImplementedError
+
+    def residents(self, shard_id: int) -> Dict[str, DatabaseInstance]:
+        """Every resident of the shard with its folded snapshot (a copy)."""
+        raise NotImplementedError
+
+    def last_seq(self, shard_id: int) -> int:
+        """The shard's high-water sequence number (0 when empty)."""
+        raise NotImplementedError
+
+    def placements(self) -> Dict[str, int]:
+        """name -> shard for every durable resident: the cold-start
+        routing table a reopened server pins before serving."""
+        raise NotImplementedError
+
+    # -- maintenance ---------------------------------------------------
+
+    def compact(self, shard_id: Optional[int] = None) -> int:
+        """Fold delta rows into snapshot rows; returns residents compacted."""
+        return 0
+
+    def close(self) -> None:
+        """Release resources; further writes may fail."""
+
+    def health(self) -> dict:
+        """Plain-data vitals for ``stats()`` / ``serve --stats``."""
+        raise NotImplementedError
+
+
+class ShardJournal:
+    """A :class:`JournalStore` view bound to one shard.
+
+    This is what a transport holds: the same store API minus the shard
+    id, so transport code reads like the PR 5 dict it replaced.
+    """
+
+    __slots__ = ("store", "shard_id")
+
+    def __init__(self, store: JournalStore, shard_id: int) -> None:
+        self.store = store
+        self.shard_id = shard_id
+
+    @property
+    def kind(self) -> str:
+        return self.store.kind
+
+    def register(self, name: str, db: DatabaseInstance, seq: int = 0) -> None:
+        self.store.register(self.shard_id, name, db, seq)
+
+    def delta(self, name: str, delta: Delta, seq: int = 0) -> None:
+        self.store.delta(self.shard_id, name, delta, seq)
+
+    def get(self, name: str) -> Optional[DatabaseInstance]:
+        return self.store.get(self.shard_id, name)
+
+    def residents(self) -> Dict[str, DatabaseInstance]:
+        return self.store.residents(self.shard_id)
+
+    def last_seq(self) -> int:
+        return self.store.last_seq(self.shard_id)
+
+
+class MemoryJournalStore(JournalStore):
+    """The PR 5 journal behind the seam: folded snapshots in RAM.
+
+    No durability -- a server restart starts empty -- but also no
+    serialization and no disk in the write path, which keeps the default
+    transports exactly as cheap as before the seam existed.
+    """
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._snapshots: Dict[int, Dict[str, DatabaseInstance]] = {}
+        self._seqs: Dict[int, int] = {}
+        self._ops = 0
+
+    def register(self, shard_id, name, db, seq=0):
+        with self._lock:
+            if seq and seq <= self._seqs.get(shard_id, 0):
+                return
+            self._snapshots.setdefault(shard_id, {})[name] = db
+            self._bump(shard_id, seq)
+
+    def delta(self, shard_id, name, delta, seq=0):
+        with self._lock:
+            if seq and seq <= self._seqs.get(shard_id, 0):
+                return
+            shard = self._snapshots.setdefault(shard_id, {})
+            base = shard.get(name)
+            if base is None:
+                raise KeyError(
+                    "shard {} journal has no resident {!r}".format(
+                        shard_id, name
+                    )
+                )
+            shard[name] = delta.apply_to(base).commit()
+            self._bump(shard_id, seq)
+
+    def _bump(self, shard_id: int, seq: int) -> None:
+        self._ops += 1
+        if seq > self._seqs.get(shard_id, 0):
+            self._seqs[shard_id] = seq
+
+    def get(self, shard_id, name):
+        with self._lock:
+            return self._snapshots.get(shard_id, {}).get(name)
+
+    def residents(self, shard_id):
+        with self._lock:
+            return dict(self._snapshots.get(shard_id, {}))
+
+    def last_seq(self, shard_id):
+        with self._lock:
+            return self._seqs.get(shard_id, 0)
+
+    def placements(self):
+        with self._lock:
+            return {
+                name: shard_id
+                for shard_id, shard in sorted(self._snapshots.items())
+                for name in shard
+            }
+
+    def health(self):
+        with self._lock:
+            return {
+                "store": self.kind,
+                "residents": sum(
+                    len(shard) for shard in self._snapshots.values()
+                ),
+                "shards": len(self._snapshots),
+                "ops": self._ops,
+                "log_rows": 0,
+                "compactions": 0,
+            }
+
+
+class SqliteJournalStore(JournalStore):
+    """An append-only op log in one sqlite file, with compaction.
+
+    Log format (table ``journal``): one row per op, in append order
+    (``id`` is the rowid), each carrying the shard, the op's sequence
+    number, the resident name, the row kind, and a pickled payload:
+
+    * ``kind='snapshot'`` -- a facts-only
+      :class:`~repro.db.instance.DatabaseInstance` (a registration, or
+      the folded result of compaction);
+    * ``kind='delta'`` -- a forwarded :class:`~repro.db.delta.Delta`.
+
+    Reopening a path replays the log in append order to rebuild the RAM
+    view of folded snapshots -- reads (:meth:`get`, :meth:`residents`)
+    never touch the disk after that.  A registration deletes the name's
+    earlier rows (the snapshot supersedes them), and after
+    *compact_every* delta rows against one resident the resident's rows
+    are folded into a single snapshot row stamped with the shard's
+    high-water sequence, so log length tracks the resident set, not
+    history.  All methods serialize on one lock around one connection
+    (``check_same_thread=False``), which is plenty for per-shard
+    append traffic.
+    """
+
+    kind = "sqlite"
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS journal (
+            id INTEGER PRIMARY KEY AUTOINCREMENT,
+            shard INTEGER NOT NULL,
+            seq INTEGER NOT NULL,
+            name TEXT NOT NULL,
+            kind TEXT NOT NULL,
+            payload BLOB NOT NULL
+        );
+        CREATE INDEX IF NOT EXISTS journal_shard_name
+            ON journal (shard, name);
+    """
+
+    def __init__(self, path, compact_every: int = 64) -> None:
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        self.path = str(path)
+        self.compact_every = compact_every
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.executescript(self._SCHEMA)
+        self._snapshots: Dict[int, Dict[str, DatabaseInstance]] = {}
+        self._seqs: Dict[int, int] = {}
+        #: Delta rows in the log per (shard, name) since its last
+        #: snapshot row -- the compaction trigger.
+        self._pending: Dict[tuple, int] = {}
+        self._ops = 0
+        self._compactions = 0
+        self._replay()
+
+    def _replay(self) -> None:
+        """Rebuild the RAM view by folding the log in append order."""
+        cursor = self._conn.execute(
+            "SELECT shard, seq, name, kind, payload FROM journal ORDER BY id"
+        )
+        for shard_id, seq, name, kind, payload in cursor:
+            shard = self._snapshots.setdefault(shard_id, {})
+            if kind == "snapshot":
+                shard[name] = pickle.loads(payload)
+                self._pending[(shard_id, name)] = 0
+            else:
+                delta = pickle.loads(payload)
+                shard[name] = delta.apply_to(shard[name]).commit()
+                key = (shard_id, name)
+                self._pending[key] = self._pending.get(key, 0) + 1
+            if seq > self._seqs.get(shard_id, 0):
+                self._seqs[shard_id] = seq
+
+    # -- writes --------------------------------------------------------
+
+    def register(self, shard_id, name, db, seq=0):
+        with self._lock:
+            if seq and seq <= self._seqs.get(shard_id, 0):
+                return
+            payload = pickle.dumps(db, protocol=pickle.HIGHEST_PROTOCOL)
+            # The fresh snapshot supersedes every earlier op for the name.
+            self._conn.execute(
+                "DELETE FROM journal WHERE shard = ? AND name = ?",
+                (shard_id, name),
+            )
+            self._conn.execute(
+                "INSERT INTO journal (shard, seq, name, kind, payload) "
+                "VALUES (?, ?, ?, 'snapshot', ?)",
+                (shard_id, seq, name, payload),
+            )
+            self._conn.commit()
+            self._snapshots.setdefault(shard_id, {})[name] = db
+            self._pending[(shard_id, name)] = 0
+            self._bump(shard_id, seq)
+
+    def delta(self, shard_id, name, delta, seq=0):
+        with self._lock:
+            if seq and seq <= self._seqs.get(shard_id, 0):
+                return
+            base = self._snapshots.get(shard_id, {}).get(name)
+            if base is None:
+                raise KeyError(
+                    "shard {} journal has no resident {!r}".format(
+                        shard_id, name
+                    )
+                )
+            payload = pickle.dumps(delta, protocol=pickle.HIGHEST_PROTOCOL)
+            self._conn.execute(
+                "INSERT INTO journal (shard, seq, name, kind, payload) "
+                "VALUES (?, ?, ?, 'delta', ?)",
+                (shard_id, seq, name, payload),
+            )
+            self._conn.commit()
+            self._snapshots[shard_id][name] = delta.apply_to(base).commit()
+            self._bump(shard_id, seq)
+            key = (shard_id, name)
+            self._pending[key] = self._pending.get(key, 0) + 1
+            if self._pending[key] >= self.compact_every:
+                self._compact_resident(shard_id, name)
+
+    def _bump(self, shard_id: int, seq: int) -> None:
+        self._ops += 1
+        if seq > self._seqs.get(shard_id, 0):
+            self._seqs[shard_id] = seq
+
+    def _compact_resident(self, shard_id: int, name: str) -> None:
+        """Replace the resident's log rows with one folded snapshot row.
+
+        The snapshot row is stamped with the shard's high-water sequence
+        -- the folded state is exactly the state "as of" that sequence,
+        and reopening the log must recover the same :meth:`last_seq`.
+        """
+        db = self._snapshots[shard_id][name]
+        payload = pickle.dumps(db, protocol=pickle.HIGHEST_PROTOCOL)
+        self._conn.execute(
+            "DELETE FROM journal WHERE shard = ? AND name = ?",
+            (shard_id, name),
+        )
+        self._conn.execute(
+            "INSERT INTO journal (shard, seq, name, kind, payload) "
+            "VALUES (?, ?, ?, 'snapshot', ?)",
+            (shard_id, self._seqs.get(shard_id, 0), name, payload),
+        )
+        self._conn.commit()
+        self._pending[(shard_id, name)] = 0
+        self._compactions += 1
+
+    # -- reads ---------------------------------------------------------
+
+    def get(self, shard_id, name):
+        with self._lock:
+            return self._snapshots.get(shard_id, {}).get(name)
+
+    def residents(self, shard_id):
+        with self._lock:
+            return dict(self._snapshots.get(shard_id, {}))
+
+    def last_seq(self, shard_id):
+        with self._lock:
+            return self._seqs.get(shard_id, 0)
+
+    def placements(self):
+        with self._lock:
+            return {
+                name: shard_id
+                for shard_id, shard in sorted(self._snapshots.items())
+                for name in shard
+            }
+
+    # -- maintenance ---------------------------------------------------
+
+    def compact(self, shard_id=None):
+        with self._lock:
+            targets = [
+                key
+                for key, pending in self._pending.items()
+                if pending > 0 and (shard_id is None or key[0] == shard_id)
+            ]
+            for key in targets:
+                self._compact_resident(*key)
+            return len(targets)
+
+    def close(self):
+        with self._lock:
+            self._conn.commit()
+            self._conn.close()
+
+    def health(self):
+        with self._lock:
+            (log_rows,) = self._conn.execute(
+                "SELECT COUNT(*) FROM journal"
+            ).fetchone()
+            return {
+                "store": self.kind,
+                "path": self.path,
+                "residents": sum(
+                    len(shard) for shard in self._snapshots.values()
+                ),
+                "shards": len(self._snapshots),
+                "ops": self._ops,
+                "log_rows": log_rows,
+                "compactions": self._compactions,
+            }
+
+
+#: Built-in stores selectable by name (CLI ``serve --journal``).
+JOURNAL_STORES = {
+    "memory": MemoryJournalStore,
+    "sqlite": SqliteJournalStore,
+}
+
+
+def make_journal_store(
+    spec: Union[None, str, JournalStore],
+) -> Optional[JournalStore]:
+    """Resolve *spec* to a store: ``None``, a store instance, ``"memory"``,
+    or ``"sqlite:PATH"``.
+
+    >>> make_journal_store(None) is None
+    True
+    >>> make_journal_store("memory").kind
+    'memory'
+    >>> make_journal_store("parchment")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown journal store 'parchment' (choose from memory, sqlite:PATH)
+    """
+    if spec is None or isinstance(spec, JournalStore):
+        return spec
+    if isinstance(spec, str):
+        if spec == "memory":
+            return MemoryJournalStore()
+        if spec.startswith("sqlite:"):
+            path = spec[len("sqlite:"):]
+            if not path:
+                raise ValueError("sqlite journal spec needs a path: sqlite:PATH")
+            return SqliteJournalStore(path)
+        raise ValueError(
+            "unknown journal store {!r} (choose from memory, sqlite:PATH)".format(
+                spec
+            )
+        )
+    raise TypeError(
+        "journal store spec must be None, a name, or a JournalStore; "
+        "got {!r}".format(spec)
+    )

@@ -60,6 +60,19 @@ class AsyncCertaintyServer:
     subprocess so CPU-bound shards run in parallel.  The client API is
     identical either way.
 
+    *journal_store* makes residents durable (see
+    :mod:`repro.serving.journal`): ``None`` (default) keeps the PR 5
+    in-memory behavior, ``"memory"`` shares one
+    :class:`~repro.serving.journal.MemoryJournalStore` across shards,
+    and ``"sqlite:PATH"`` (or a
+    :class:`~repro.serving.journal.SqliteJournalStore` instance) logs
+    every registration and delta to disk.  A server opened on a
+    non-empty store **cold-starts** from it: the durable residents are
+    re-pinned to their recorded shards before serving and replayed into
+    each shard on first use -- no client re-registration.  A store the
+    server built from a string spec is closed by :meth:`close`;
+    caller-supplied instances stay open.
+
     The server must be used from a running event loop; all public
     coroutines are safe to call concurrently.  Operations on the *same*
     instance are totally ordered by its shard's queue, so a ``solve``
@@ -75,10 +88,29 @@ class AsyncCertaintyServer:
         engine_factory=CertaintyEngine,
         transport="thread",
         transport_options: Optional[dict] = None,
+        journal_store: Union[None, str, "JournalStore"] = None,
     ) -> None:
+        from repro.serving.journal import JournalStore, make_journal_store
+
         self.router = router or ShardRouter(num_shards)
         if router is not None:
             num_shards = router.num_shards
+        #: Stores resolved from a string spec are owned (and closed) by
+        #: the server; injected instances belong to the caller.
+        self._owns_journal = not isinstance(journal_store, JournalStore)
+        self.journal_store = make_journal_store(journal_store)
+        if self.journal_store is not None:
+            # Cold start: pin every durable resident back onto its
+            # recorded shard before any request is admitted.
+            for name, shard in sorted(self.journal_store.placements().items()):
+                if not 0 <= shard < num_shards:
+                    raise ValueError(
+                        "journal places {!r} on shard {} but the server "
+                        "has {} shards; reopen with at least {} shards".format(
+                            name, shard, num_shards, shard + 1
+                        )
+                    )
+                self.router.register(name, shard=shard)
         self.workers: List[ShardWorker] = [
             ShardWorker(
                 shard,
@@ -87,6 +119,7 @@ class AsyncCertaintyServer:
                 max_delay=max_delay,
                 transport=transport,
                 transport_options=transport_options,
+                journal_store=self.journal_store,
             )
             for shard in range(num_shards)
         ]
@@ -123,6 +156,8 @@ class AsyncCertaintyServer:
             for worker in self.workers:
                 worker.stop()
         self._started = False
+        if not self._closed and self._owns_journal and self.journal_store:
+            self.journal_store.close()
         self._closed = True
 
     async def __aenter__(self) -> "AsyncCertaintyServer":
@@ -267,5 +302,10 @@ class AsyncCertaintyServer:
                 "in_flight": self._submitted - completed - failed,
             },
             "placement": self.router.assignments(),
+            "journal": (
+                self.journal_store.health()
+                if self.journal_store is not None
+                else {"store": "none"}
+            ),
             "shards": [worker.stats() for worker in self.workers],
         }

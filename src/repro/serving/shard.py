@@ -68,9 +68,12 @@ EMPTY_DELTA = Delta()
 _STOP = object()
 
 #: The wire shape of one shard operation: ``(op, name, db, delta, query,
-#: method)``.  Everything in it is picklable (instances ship facts-only,
-#: see :meth:`repro.db.instance.DatabaseInstance.__reduce__`), so the
-#: same tuple drives an in-thread core and a subprocess core.
+#: method, seq)``.  Everything in it is picklable (instances ship
+#: facts-only, see :meth:`repro.db.instance.DatabaseInstance.__reduce__`),
+#: so the same tuple drives an in-thread core and a subprocess core.
+#: *seq* is the transport's per-shard monotonic sequence number for
+#: write ops (``0`` on reads and unstamped writes): it makes redelivery
+#: after a crash-retry detectable (see :meth:`ShardCore.run_batch`).
 ShardOp = Tuple[
     str,
     Optional[str],
@@ -78,6 +81,7 @@ ShardOp = Tuple[
     Optional[Delta],
     Optional[EngineQuery],
     str,
+    int,
 ]
 
 
@@ -160,6 +164,7 @@ class ShardRequest:
         "delta",
         "query",
         "method",
+        "seq",
         "loop",
         "future",
         "result",
@@ -183,6 +188,9 @@ class ShardRequest:
         self.delta = delta
         self.query = query
         self.method = method
+        #: Per-shard write sequence number, stamped by the transport at
+        #: execute time (0 = unstamped; reads are never stamped).
+        self.seq = 0
         self.loop = loop
         self.future = future
         self.result = None
@@ -190,7 +198,15 @@ class ShardRequest:
 
     def as_op(self) -> ShardOp:
         """The picklable wire form of this request (no loop, no future)."""
-        return (self.op, self.name, self.db, self.delta, self.query, self.method)
+        return (
+            self.op,
+            self.name,
+            self.db,
+            self.delta,
+            self.query,
+            self.method,
+            self.seq,
+        )
 
     def resolve(self, result) -> None:
         self.result = result
@@ -238,6 +254,13 @@ class ShardCore:
         self.requests = 0
         self.coalesced = 0
         self.errors = 0
+        #: High-water mark of applied write sequence numbers.  Writes are
+        #: delivered in sequence order, so a stamped write at or below
+        #: this mark is a redelivery (the transport retried a batch whose
+        #: first attempt was applied before the child died) and must not
+        #: be applied again -- at-least-once delivery, exactly-once
+        #: effect.
+        self.applied_seq = 0
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -255,30 +278,50 @@ class ShardCore:
         """
         memo: Dict[Hashable, object] = {}
         rows: List[Tuple[bool, object]] = []
-        for op, name, db, delta, query, method in ops:
+        for op, name, db, delta, query, method, seq in ops:
             self.requests += 1
             try:
                 rows.append(
-                    (True, self._run_op(op, name, db, delta, query, method, memo))
+                    (
+                        True,
+                        self._run_op(
+                            op, name, db, delta, query, method, seq, memo
+                        ),
+                    )
                 )
             except BaseException as error:  # noqa: BLE001 - forwarded
                 self.errors += 1
                 rows.append((False, error))
         return rows
 
-    def _run_op(self, op, name, db, delta, query, method, memo):
+    def _run_op(self, op, name, db, delta, query, method, seq, memo):
         if op == "solve":
             return self._solve(name, db, query, method, memo)
+        if op in ("delta", "register") and seq and seq <= self.applied_seq:
+            # Redelivered write (a transport retry after journal replay
+            # already restored the post-write state): skip the write,
+            # serve only its read half.
+            self._forget(memo, name)
+            if op == "register":
+                return name
+            return self._solve(name, None, query, method, memo)
         if op == "delta":
             # Writes invalidate coalesced reads of the same name.
             self._forget(memo, name)
-            return self._delta(name, delta, query, method)
+            return self._delta(name, delta, query, method, seq)
         if op == "register":
             self._forget(memo, name)
             self.instances[name] = db
+            if seq:
+                self.applied_seq = seq
             return name
         if op == "get":
             return self._resident(name)
+        if op == "seal":
+            # Journal replay epilogue: the replayed snapshots already
+            # contain every write up to *seq*, so acknowledge them all.
+            self.applied_seq = max(self.applied_seq, seq)
+            return self.applied_seq
         raise ValueError("unknown op {!r}".format(op))
 
     def _resident(self, name: str) -> DatabaseInstance:
@@ -316,14 +359,19 @@ class ShardCore:
         memo[memo_key] = result
         return result
 
-    def _delta(self, name, delta, query, method):
+    def _delta(self, name, delta, query, method, seq=0):
         db = self._resident(name)
         overlay = delta.apply_to(db)
-        result = self.engine.solve_delta(db, overlay, query, method=method)
-        # commit() is memoized, so this is the instance the engine keyed
+        # The write half commits before (and regardless of) the read
+        # half: once the name resolves, the delta is applied even if the
+        # solve raises -- the registry must agree with the transport's
+        # write-ahead journal, which recorded the delta before dispatch.
+        # commit() is memoized, so this is the instance the engine keys
         # the maintained state under -- future reads hit it directly.
         self.instances[name] = overlay.commit()
-        return result
+        if seq:
+            self.applied_seq = seq
+        return self.engine.solve_delta(db, overlay, query, method=method)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -339,6 +387,7 @@ class ShardCore:
         engine_stats = self.engine.stats
         return {
             "residents": sorted(self.instances),
+            "applied_seq": self.applied_seq,
             "requests": self.requests,
             "coalesced": self.coalesced,
             "errors": self.errors,
@@ -356,6 +405,7 @@ class ShardCore:
 
         return {
             "residents": [],
+            "applied_seq": 0,
             "requests": 0,
             "coalesced": 0,
             "errors": 0,
@@ -388,6 +438,14 @@ class ShardWorker:
     *transport* may also be a callable ``(shard_id, engine_factory,
     **options) -> ShardTransport`` for custom transports.
 
+    With a *journal_store* (see :mod:`repro.serving.journal`) the worker
+    hands the transport a :class:`~repro.serving.journal.ShardJournal`
+    view bound to this shard: every registration and forwarded delta is
+    recorded there, and a transport that starts against a non-empty
+    journal replays its residents before serving -- with a durable store
+    (``SqliteJournalStore``) that is how a reopened server restores its
+    shards with zero client re-registration.
+
     Shutdown is graceful: :meth:`stop` lets the batch currently being
     executed finish, then fails every still-queued request with
     :class:`ServerClosed` instead of leaving its future pending, and
@@ -402,6 +460,7 @@ class ShardWorker:
         max_delay: float = 0.002,
         transport: Union[str, Callable] = "thread",
         transport_options: Optional[dict] = None,
+        journal_store=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -412,8 +471,11 @@ class ShardWorker:
         self.shard_id = shard_id
         self.max_batch = max_batch
         self.max_delay = max_delay
+        options = dict(transport_options or {})
+        if journal_store is not None:
+            options.setdefault("journal", journal_store.shard(shard_id))
         self.transport = make_transport(
-            transport, shard_id, engine_factory, **(transport_options or {})
+            transport, shard_id, engine_factory, **options
         )
         self.batches = 0
         self.batched_requests = 0

@@ -17,9 +17,17 @@ implementations share the seam:
     :meth:`~repro.db.instance.DatabaseInstance.__reduce__` contract:
     no compact views, no interner ids cross the pipe -- the child
     rebuilds its own view on first use);
-  - **writes forward only the** :class:`~repro.db.delta.Delta`; the
-    router side folds the same delta into its journal copy, so parent
-    and child registries stay fact-identical;
+  - **writes forward only the** :class:`~repro.db.delta.Delta`, and are
+    **journaled ahead of dispatch**: registrations and deltas are
+    recorded in the shard's journal (a
+    :class:`~repro.serving.journal.ShardJournal` view -- in-memory by
+    default, sqlite-durable when the server is opened with one) before
+    the batch crosses the pipe, so parent-side journal and child
+    registry stay fact-identical even across a child crash;
+  - **writes are stamped** with a per-shard monotonic sequence number;
+    the child acks the highest applied sequence in its snapshot and
+    skips redelivered writes, so the crash-retry path is at-least-once
+    delivery with exactly-once effect;
   - **results return stripped**: the child drops lazy falsifying-repair
     certificates before pickling (an unread certificate is O(db) on the
     wire) and the router side re-attaches a
@@ -27,15 +35,17 @@ implementations share the seam:
     copy -- the certificate is rebuilt on first access, exactly as the
     in-process lazy path would have;
   - **crashes are survivable**: a dead child is detected on the next
-    batch, restarted, and its residents replayed from the router-side
-    journal (the compacted log of everything shipped), after which the
-    batch is retried once.  Counters stay monotone across restarts --
-    the dead generation's last snapshot is merged into a carried base
-    (see :meth:`repro.engine.engine.EngineStats.merge`).
+    batch, restarted, and its residents replayed from the journal (the
+    folded log of everything shipped), after which the batch is retried
+    once.  Counters stay monotone across restarts -- the dead
+    generation's last snapshot is merged into a carried base (see
+    :meth:`repro.engine.engine.EngineStats.merge`), and only after the
+    replacement child is known good.
 
 Transport health (``restarts``, ``snapshot_bytes``, ``deltas_forwarded``,
-``alive``) is reported per shard via ``ShardWorker.stats()["transport"]``
-and surfaces in ``python -m repro serve --stats``.
+``journal``, ``alive``) is reported per shard via
+``ShardWorker.stats()["transport"]`` and surfaces in
+``python -m repro serve --stats``.
 
 The default process start method is ``spawn``: children begin from a
 fresh interpreter, which keeps the facts-only wire contract honest (a
@@ -57,11 +67,13 @@ ValueError: unknown transport 'telepathy' (choose from process, thread)
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 from repro.db.instance import DatabaseInstance
 from repro.engine.engine import CertaintyEngine, EngineStats
+from repro.serving.journal import MemoryJournalStore, ShardJournal
 from repro.serving.shard import ShardCore, ShardOp, ShardRequest
 from repro.solvers.result import CertaintyResult
 
@@ -117,9 +129,18 @@ class ThreadTransport(ShardTransport):
         self,
         shard_id: int,
         engine_factory: Callable[[], CertaintyEngine] = CertaintyEngine,
+        journal: Optional[ShardJournal] = None,
     ) -> None:
         self.shard_id = shard_id
         self.core = ShardCore(shard_id, engine_factory=engine_factory)
+        self.journal = journal
+        self._seq = 0
+        if journal is not None:
+            # Cold start from a warm journal: adopt its residents and
+            # its sequence high-water before serving anything.
+            self.core.instances.update(journal.residents())
+            self.core.applied_seq = journal.last_seq()
+            self._seq = journal.last_seq()
 
     def start(self) -> None:
         pass
@@ -128,12 +149,42 @@ class ThreadTransport(ShardTransport):
         pass
 
     def execute(self, requests: List[ShardRequest]) -> None:
+        if self.journal is not None:
+            for request in requests:
+                if request.op in ("register", "delta"):
+                    self._seq += 1
+                    request.seq = self._seq
         rows = self.core.run_batch([request.as_op() for request in requests])
+        self._journal_applied(requests)
         for request, (ok, payload) in zip(requests, rows):
             if ok:
                 request.resolve(payload)
             else:
                 request.fail(payload)
+
+    def _journal_applied(self, requests: List[ShardRequest]) -> None:
+        """Mirror every write the core applied into the journal.
+
+        The core is local, so there is no crash window to journal ahead
+        of: recording after the batch sees exactly the applied writes
+        (``seq <= applied_seq`` -- a delta whose read half failed still
+        counts: the core commits the write regardless).
+        """
+        if self.journal is None:
+            return
+        for request in requests:
+            if request.seq == 0 or request.seq > self.core.applied_seq:
+                continue
+            if request.op == "register":
+                self.journal.register(request.name, request.db, request.seq)
+            elif (
+                request.op == "delta"
+                and self.journal.get(request.name) is not None
+            ):
+                # An unknown-name delta fails without applying; its seq
+                # can still sit below the batch's final high-water, so
+                # the resident check (not the seq) excludes it here.
+                self.journal.delta(request.name, request.delta, request.seq)
 
     def snapshot(self) -> dict:
         return self.core.snapshot()
@@ -145,6 +196,7 @@ class ThreadTransport(ShardTransport):
             "restarts": 0,
             "snapshot_bytes": 0,
             "deltas_forwarded": 0,
+            "journal": self.journal.kind if self.journal else "none",
         }
 
 
@@ -154,10 +206,14 @@ class ProcessTransport(ShardTransport):
     The child runs :func:`_shard_process_main`: a loop holding the
     shard's :class:`ShardCore` (engine, plan/state caches, residents)
     for the process lifetime, executing one pickled batch per message.
-    The router side keeps the **journal** -- the current facts-only
-    snapshot of every resident, advanced by each acknowledged delta --
-    which is both the replay source after a crash and the rehydration
-    source for stripped lazy certificates.
+    The router side writes every registration and forwarded delta to the
+    shard's **journal** (a :class:`~repro.serving.journal.ShardJournal`
+    view) *before* dispatching the batch; the journal's folded snapshots
+    are both the replay source after a crash (or a server restart, with
+    a durable store) and the rehydration source for stripped lazy
+    certificates.  Write ops are stamped with a per-shard monotonic
+    sequence number so a retried batch never applies a write twice (the
+    child skips sequences at or below its applied high-water).
     """
 
     kind = "process"
@@ -167,17 +223,36 @@ class ProcessTransport(ShardTransport):
         shard_id: int,
         engine_factory: Callable[[], CertaintyEngine] = CertaintyEngine,
         mp_context: str = "spawn",
+        journal: Optional[ShardJournal] = None,
     ) -> None:
         self.shard_id = shard_id
         self.engine_factory = engine_factory
         self._context = multiprocessing.get_context(mp_context)
-        #: The compacted router-side journal: name -> current committed
-        #: instance (the registered snapshot with every forwarded delta
-        #: folded in).  Replay = re-register these snapshots.
-        self.journal: Dict[str, DatabaseInstance] = {}
+        #: The shard's journal view: name -> current folded instance
+        #: (the registered snapshot with every forwarded delta folded
+        #: in).  Replay = re-register these snapshots.  Without an
+        #: injected journal the transport keeps a private in-memory one
+        #: -- the PR 5 behavior.
+        self.journal = (
+            journal
+            if journal is not None
+            else MemoryJournalStore().shard(shard_id)
+        )
+        #: Per-shard write sequence counter; resumes from the journal's
+        #: high-water so fresh writes on a reopened log are never
+        #: mistaken for redeliveries.
+        self._seq = self.journal.last_seq()
+        #: A non-empty journal at construction means a cold start (e.g.
+        #: a reopened server): the first batch replays it into the fresh
+        #: child before serving.
+        self._needs_replay = self._seq > 0 or bool(self.journal.residents())
         self.restarts = 0
         self.snapshot_bytes = 0
         self.deltas_forwarded = 0
+        #: Fault-injection hook (tests only): the child executes the
+        #: next N batches normally -- commits and all -- but exits
+        #: before replying, simulating a crash between commit and ack.
+        self.fail_replies = 0
         self.process = None
         self._conn = None
         #: Latest child-side core snapshot (piggybacked on every reply).
@@ -231,16 +306,29 @@ class ProcessTransport(ShardTransport):
     # ------------------------------------------------------------------
 
     def execute(self, requests: List[ShardRequest]) -> None:
+        for request in requests:
+            if request.op in ("register", "delta"):
+                self._seq += 1
+                request.seq = self._seq
         ops = [request.as_op() for request in requests]
-        self._account_wire(ops)
+        # Serialize each op to its own frame slice *before* journaling:
+        # an unpicklable payload must fail the batch without leaving a
+        # journal entry behind (it could never be replayed anyway).
+        blobs = self._serialize(ops)
+        self._account_wire(ops, blobs)
+        # Write-ahead journaling: the journal records the write before
+        # the child sees it, so a child that commits and dies before
+        # acking is replayed to the exact committed state -- and the
+        # retry's stamped ops are then skipped child-side.
+        self._journal_ahead(requests)
         try:
-            rows = self._round_trip(ops)
+            rows = self._round_trip(blobs)
         except (EOFError, OSError) as first_error:
             # The child died (or the pipe broke) mid-conversation:
             # restart it, replay the journal, retry the batch once.
             try:
                 self._restart_and_replay()
-                rows = self._round_trip(ops)
+                rows = self._round_trip(blobs)
             except (EOFError, OSError) as second_error:
                 failure = ShardTransportError(
                     "shard {} subprocess failed twice ({!r} then {!r}); "
@@ -253,39 +341,97 @@ class ProcessTransport(ShardTransport):
                 return
         self._finish(requests, rows)
 
-    def _round_trip(self, ops: List[ShardOp]):
+    def _serialize(self, ops: List[ShardOp]) -> List[bytes]:
+        """One pickled frame slice per op (a single pickling pass: the
+        slices are sent as-is, and sizing register slices separately is
+        what keeps ``snapshot_bytes`` honest about mixed batches)."""
+        return [
+            pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL) for op in ops
+        ]
+
+    def _round_trip(self, blobs: List[bytes]):
+        if self._needs_replay:
+            # Cold start against a warm (durable) journal: restore the
+            # residents before the first real batch.
+            self._needs_replay = False
+            self.start()
+            self._replay()
         self.start()
-        # Serialize once and send the raw bytes: the payload size is the
-        # snapshot_bytes metric, so counting it must not cost a second
-        # pickling pass over a large resident.
-        payload = pickle.dumps(("batch", ops), protocol=pickle.HIGHEST_PROTOCOL)
-        if any(op[0] == "register" for op in ops):
-            self.snapshot_bytes += len(payload)
-        self._conn.send_bytes(payload)
+        crash = False
+        if self.fail_replies > 0:
+            self.fail_replies -= 1
+            crash = True
+        self._conn.send_bytes(
+            pickle.dumps(
+                ("batch", blobs, crash), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        )
         kind, rows, snapshot = self._conn.recv()
         assert kind == "results", kind
         self._last = snapshot
         return rows
 
-    def _account_wire(self, ops: List[ShardOp]) -> None:
-        for op in ops:
+    def _account_wire(self, ops: List[ShardOp], blobs: List[bytes]) -> None:
+        """Health counters, billed once per batch (retries reuse the
+        same frames): forwarded deltas by count, resident snapshots by
+        their own wire size -- solve/delta companions in a mixed batch
+        never inflate ``snapshot_bytes``."""
+        for op, blob in zip(ops, blobs):
             if op[0] == "delta":
                 self.deltas_forwarded += 1
+            elif op[0] == "register":
+                self.snapshot_bytes += len(blob)
+
+    def _journal_ahead(self, requests: List[ShardRequest]) -> None:
+        for request in requests:
+            if request.op == "register":
+                self.journal.register(request.name, request.db, request.seq)
+            elif (
+                request.op == "delta"
+                and self.journal.get(request.name) is not None
+            ):
+                # Unknown names are not journaled: the child will fail
+                # the op without applying it.
+                self.journal.delta(request.name, request.delta, request.seq)
 
     def _restart_and_replay(self) -> None:
-        self.restarts += 1
-        self._carry = merge_snapshots(self._carry, self._last)
-        self._last = None
+        dead = self._last
         self.stop()
         self.start()
-        if not self.journal:
+        self._replay()
+        # Only a fully successful restart+replay moves the recovery
+        # counters: on failure everything above raised, the dead
+        # generation's snapshot is still in ``_last``, and the *next*
+        # recovery merges it exactly once -- stats stay monotone and
+        # never double-count.
+        self.restarts += 1
+        self._carry = merge_snapshots(self._carry, dead)
+        if self._last is dead:
+            # Empty journal: no replay round trip refreshed ``_last``.
+            self._last = None
+
+    def _replay(self) -> None:
+        """Re-register the journal's folded residents into a fresh child.
+
+        The replay batch ends with a ``seal`` op carrying the journal's
+        sequence high-water: the snapshots already contain every write
+        up to it, so the child acks them all and a subsequent retry of
+        an already-journaled write is skipped instead of applied twice.
+        """
+        self._needs_replay = False
+        residents = self.journal.residents()
+        if not residents:
             return
         replay: List[ShardOp] = [
-            ("register", name, db, None, None, "auto")
-            for name, db in sorted(self.journal.items())
+            ("register", name, db, None, None, "auto", 0)
+            for name, db in sorted(residents.items())
         ]
-        self._account_wire(replay)
-        rows = self._round_trip(replay)
+        replay.append(
+            ("seal", None, None, None, None, "auto", self.journal.last_seq())
+        )
+        blobs = self._serialize(replay)
+        self._account_wire(replay, blobs)
+        rows = self._round_trip(blobs)
         for ok, payload in ((row[0], row[1]) for row in rows):
             if not ok:  # pragma: no cover - register cannot fail
                 raise ShardTransportError(
@@ -299,18 +445,10 @@ class ProcessTransport(ShardTransport):
             if not ok:
                 request.fail(payload)
                 continue
-            # Mirror acknowledged writes into the journal *before*
-            # rehydration: a delta's certificate refers to the updated
-            # instance.
-            if request.op == "register":
-                self.journal[request.name] = request.db
-            elif request.op == "delta":
-                base = self.journal.get(request.name)
-                if base is not None:
-                    self.journal[request.name] = (
-                        request.delta.apply_to(base).commit()
-                    )
             if was_lazy and isinstance(payload, CertaintyResult):
+                # The journal was written ahead of dispatch, so for a
+                # delta it already holds the updated instance the
+                # certificate refers to.
                 payload.rehydrate(self._rehydration_db(request), request.query)
             request.resolve(payload)
 
@@ -336,10 +474,12 @@ class ProcessTransport(ShardTransport):
             "transport": self.kind,
             "alive": self.process is not None and self.process.is_alive(),
             "restarts": self.restarts,
-            #: Wire bytes of every batch message that carried a resident
-            #: snapshot (registration and journal replay).
+            #: Wire bytes of every register op shipped to the child
+            #: (client registrations and journal replay) -- measured per
+            #: op, so mixed-batch solve/delta traffic is not billed.
             "snapshot_bytes": self.snapshot_bytes,
             "deltas_forwarded": self.deltas_forwarded,
+            "journal": self.journal.kind,
         }
 
 
@@ -399,13 +539,21 @@ def _shard_process_main(conn, shard_id: int, engine_factory) -> None:
     """The shard subprocess: one persistent core, one batch per message.
 
     Protocol (parent->child messages arrive as explicitly pickled byte
-    frames -- the parent serializes once and bills resident snapshots by
-    the frame size; replies go back as plain ``conn.send`` objects):
+    frames; each op inside a batch is its own pickled slice -- the
+    parent serializes once per op and bills register slices as
+    ``snapshot_bytes``; replies go back as plain ``conn.send`` objects):
 
-    * ``("batch", ops)`` -> ``("results", rows, snapshot)`` where each
-      row is ``(ok, payload, was_lazy)`` aligned with *ops* and
-      *snapshot* is the core's cumulative counters;
+    * ``("batch", blobs, fail_reply)`` -> ``("results", rows, snapshot)``
+      where *blobs* are the pickled :data:`~repro.serving.shard.ShardOp`
+      tuples, each row is ``(ok, payload, was_lazy)`` aligned with them,
+      and *snapshot* is the core's cumulative counters (including its
+      ``applied_seq`` write high-water);
     * ``("stop",)`` or EOF -> the process exits.
+
+    *fail_reply* is the crash-injection hook behind the at-least-once
+    regression tests: when set, the batch runs to completion -- writes
+    commit -- but the process exits without replying, exactly the
+    window where the retry path must not double-apply.
 
     Lazy falsifying-repair certificates are stripped before the reply is
     pickled (``was_lazy`` tells the router side to rehydrate against its
@@ -421,7 +569,8 @@ def _shard_process_main(conn, shard_id: int, engine_factory) -> None:
         if message[0] == "stop":
             conn.close()
             return
-        _, ops = message
+        _, blobs, fail_reply = message
+        ops = [pickle.loads(blob) for blob in blobs]
         rows = []
         for ok, payload in core.run_batch(ops):
             was_lazy = (
@@ -432,6 +581,11 @@ def _shard_process_main(conn, shard_id: int, engine_factory) -> None:
             if was_lazy:
                 payload.strip()
             rows.append((ok, payload, was_lazy))
+        if fail_reply:
+            # Crash injection: the writes above are committed; die in
+            # the commit-to-ack window without a reply.
+            conn.close()
+            os._exit(1)
         reply = ("results", rows, core.snapshot())
         try:
             conn.send(reply)

@@ -1,0 +1,255 @@
+"""Contract suite for the durable journal tier.
+
+Every :class:`~repro.serving.journal.JournalStore` backend must agree on
+the seam's semantics -- append, fold, replay ordering, idempotent
+redelivery, concurrent shard writers -- so the suite is parametrized
+over the memory and sqlite stores.  Sqlite-only tests cover what makes
+that backend the durable one: reopening a path restores the state, and
+compaction bounds the log without changing it.
+"""
+
+import threading
+
+import pytest
+
+from repro.db.delta import Delta
+from repro.db.facts import Fact
+from repro.db.instance import DatabaseInstance
+from repro.serving.journal import (
+    JournalStore,
+    MemoryJournalStore,
+    SqliteJournalStore,
+    make_journal_store,
+)
+
+
+def _db(*triples):
+    return DatabaseInstance.from_triples(list(triples))
+
+
+def _delta(inserts=(), removes=()):
+    return Delta(
+        removes=tuple(Fact(*t) for t in removes),
+        inserts=tuple(Fact(*t) for t in inserts),
+    )
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryJournalStore()
+    else:
+        s = SqliteJournalStore(tmp_path / "journal.db")
+        yield s
+        s.close()
+
+
+class TestJournalContract:
+    def test_register_then_get(self, store):
+        db = _db(("R", 0, 1))
+        store.register(0, "toy", db, seq=1)
+        assert store.get(0, "toy") == db
+        assert store.get(0, "missing") is None
+        assert store.get(1, "toy") is None  # shards are disjoint
+
+    def test_residents_returns_folded_copies(self, store):
+        store.register(0, "a", _db(("R", 0, 1)), seq=1)
+        store.register(0, "b", _db(("S", 0, 1)), seq=2)
+        residents = store.residents(0)
+        assert sorted(residents) == ["a", "b"]
+        residents["c"] = None  # a copy: mutating it must not leak back
+        assert sorted(store.residents(0)) == ["a", "b"]
+
+    def test_delta_folds_against_current_snapshot(self, store):
+        store.register(0, "toy", _db(("R", 0, 1), ("R", 1, 2)), seq=1)
+        store.delta(0, "toy", _delta(inserts=[("X", 2, 3)]), seq=2)
+        store.delta(0, "toy", _delta(removes=[("R", 1, 2)]), seq=3)
+        expected = _db(("R", 0, 1), ("X", 2, 3))
+        assert store.get(0, "toy") == expected
+
+    def test_replay_ordering_interleaved_names(self, store):
+        # Ops against different names interleave in one shard log; each
+        # name folds its own subsequence, in order.
+        store.register(0, "a", _db(("R", 0, 1)), seq=1)
+        store.register(0, "b", _db(("S", 0, 1)), seq=2)
+        store.delta(0, "a", _delta(inserts=[("R", 1, 2)]), seq=3)
+        store.delta(0, "b", _delta(removes=[("S", 0, 1)]), seq=4)
+        store.delta(0, "a", _delta(removes=[("R", 0, 1)]), seq=5)
+        assert store.get(0, "a") == _db(("R", 1, 2))
+        assert store.get(0, "b") == _db()
+
+    def test_delta_on_unknown_name_raises(self, store):
+        with pytest.raises(KeyError):
+            store.delta(0, "ghost", _delta(inserts=[("R", 0, 1)]), seq=1)
+
+    def test_last_seq_high_water(self, store):
+        assert store.last_seq(0) == 0
+        store.register(0, "toy", _db(("R", 0, 1)), seq=5)
+        assert store.last_seq(0) == 5
+        assert store.last_seq(1) == 0  # per shard
+
+    def test_redelivered_seq_is_ignored(self, store):
+        store.register(0, "toy", _db(("R", 0, 1)), seq=1)
+        store.delta(0, "toy", _delta(inserts=[("X", 1, 2)]), seq=2)
+        before = store.get(0, "toy")
+        # A transport retry redelivers already-journaled writes.
+        store.register(0, "toy", _db(("R", 9, 9)), seq=1)
+        store.delta(0, "toy", _delta(inserts=[("X", 1, 2)]), seq=2)
+        assert store.get(0, "toy") == before
+        assert store.last_seq(0) == 2
+
+    def test_unstamped_writes_always_apply(self, store):
+        store.register(0, "toy", _db(("R", 0, 1)), seq=3)
+        store.register(0, "toy", _db(("R", 9, 9)))  # seq=0: not protected
+        assert store.get(0, "toy") == _db(("R", 9, 9))
+        assert store.last_seq(0) == 3
+
+    def test_reregistration_supersedes_history(self, store):
+        store.register(0, "toy", _db(("R", 0, 1)), seq=1)
+        store.delta(0, "toy", _delta(inserts=[("X", 1, 2)]), seq=2)
+        store.register(0, "toy", _db(("S", 0, 1)), seq=3)
+        assert store.get(0, "toy") == _db(("S", 0, 1))
+
+    def test_placements_span_shards(self, store):
+        store.register(2, "orders", _db(("R", 0, 1)), seq=1)
+        store.register(0, "users", _db(("S", 0, 1)), seq=1)
+        assert store.placements() == {"orders": 2, "users": 0}
+
+    def test_shard_view_binds_the_shard(self, store):
+        journal = store.shard(3)
+        assert journal.kind == store.kind
+        journal.register("toy", _db(("R", 0, 1)), seq=1)
+        journal.delta("toy", _delta(inserts=[("X", 1, 2)]), seq=2)
+        assert journal.get("toy") == _db(("R", 0, 1), ("X", 1, 2))
+        assert journal.last_seq() == 2
+        assert sorted(journal.residents()) == ["toy"]
+        assert store.get(3, "toy") == journal.get("toy")
+        assert store.last_seq(0) == 0
+
+    def test_concurrent_shard_writers(self, store):
+        # One writer thread per shard, each appending its own op stream
+        # -- the real concurrency shape: ShardWorker threads share the
+        # store but never share a shard.
+        shards, writes = 4, 25
+        errors = []
+
+        def writer(shard_id):
+            try:
+                journal = store.shard(shard_id)
+                journal.register(
+                    "res-{}".format(shard_id), _db(("R", 0, 1)), seq=1
+                )
+                for i in range(writes):
+                    journal.delta(
+                        "res-{}".format(shard_id),
+                        _delta(inserts=[("X", i, i + 1)]),
+                        seq=2 + i,
+                    )
+            except BaseException as error:  # noqa: BLE001 - reported
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(s,)) for s in range(shards)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        for shard_id in range(shards):
+            db = store.get(shard_id, "res-{}".format(shard_id))
+            assert len(db.facts) == 1 + writes
+            assert store.last_seq(shard_id) == 1 + writes
+
+    def test_health_is_plain_data(self, store):
+        store.register(0, "toy", _db(("R", 0, 1)), seq=1)
+        health = store.health()
+        assert health["store"] == store.kind
+        assert health["residents"] == 1
+        assert health["ops"] >= 1
+
+
+class TestSqliteDurability:
+    def test_reopen_restores_everything(self, tmp_path):
+        path = tmp_path / "journal.db"
+        store = SqliteJournalStore(path)
+        store.register(0, "a", _db(("R", 0, 1), ("R", 1, 2)), seq=1)
+        store.delta(0, "a", _delta(inserts=[("X", 2, 3)]), seq=2)
+        store.register(1, "b", _db(("S", 0, 1)), seq=1)
+        expected_a = store.get(0, "a")
+        store.close()
+
+        reopened = SqliteJournalStore(path)
+        try:
+            assert reopened.get(0, "a") == expected_a
+            assert reopened.get(1, "b") == _db(("S", 0, 1))
+            assert reopened.last_seq(0) == 2
+            assert reopened.last_seq(1) == 1
+            assert reopened.placements() == {"a": 0, "b": 1}
+            # Redelivery protection survives the reopen too.
+            reopened.delta(0, "a", _delta(removes=[("X", 2, 3)]), seq=2)
+            assert reopened.get(0, "a") == expected_a
+        finally:
+            reopened.close()
+
+    def test_compaction_bounds_the_log(self, tmp_path):
+        store = SqliteJournalStore(tmp_path / "journal.db", compact_every=4)
+        store.register(0, "toy", _db(("R", 0, 1)), seq=1)
+        for i in range(10):
+            store.delta(0, "toy", _delta(inserts=[("X", i, i + 1)]), seq=2 + i)
+        health = store.health()
+        assert health["compactions"] == 2  # after deltas 4 and 8
+        # 10 deltas, but the log holds one snapshot + the post-compaction
+        # tail -- never compact_every rows or more for one resident.
+        assert health["log_rows"] < 4 + 1
+        expected = store.get(0, "toy")
+        assert len(expected.facts) == 11
+        store.close()
+        reopened = SqliteJournalStore(tmp_path / "journal.db")
+        try:
+            assert reopened.get(0, "toy") == expected
+            assert reopened.last_seq(0) == 11
+        finally:
+            reopened.close()
+
+    def test_manual_compact(self, tmp_path):
+        store = SqliteJournalStore(tmp_path / "journal.db", compact_every=100)
+        store.register(0, "a", _db(("R", 0, 1)), seq=1)
+        store.delta(0, "a", _delta(inserts=[("X", 1, 2)]), seq=2)
+        store.register(1, "b", _db(("S", 0, 1)), seq=1)
+        assert store.compact() == 1  # only "a" has pending delta rows
+        assert store.compact() == 0  # idempotent
+        assert store.health()["log_rows"] == 2  # one snapshot row each
+        assert store.get(0, "a") == _db(("R", 0, 1), ("X", 1, 2))
+        store.close()
+
+    def test_compact_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            SqliteJournalStore(tmp_path / "journal.db", compact_every=0)
+
+
+class TestMakeJournalStore:
+    def test_none_passthrough(self):
+        assert make_journal_store(None) is None
+
+    def test_instance_passthrough(self):
+        store = MemoryJournalStore()
+        assert make_journal_store(store) is store
+
+    def test_memory_by_name(self):
+        store = make_journal_store("memory")
+        assert isinstance(store, MemoryJournalStore)
+
+    def test_sqlite_by_spec(self, tmp_path):
+        store = make_journal_store("sqlite:{}".format(tmp_path / "j.db"))
+        assert isinstance(store, SqliteJournalStore)
+        assert isinstance(store, JournalStore)
+        store.close()
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            make_journal_store("parchment")
+        with pytest.raises(ValueError):
+            make_journal_store("sqlite:")
+        with pytest.raises(TypeError):
+            make_journal_store(42)

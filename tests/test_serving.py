@@ -546,6 +546,48 @@ class TestServeCli:
         if cli_transport == "process":
             assert "deltas_forwarded=1" in out
 
+    def test_serve_sqlite_journal_survives_reruns(self, tmp_path, capsys):
+        """Run 2 serves no ``--instance``: residents come from the log."""
+        db_a = self._write_instance(
+            tmp_path, "a", ["R,0,1", "R,1,2", "X,2,3"]
+        )
+        workload_first = tmp_path / "first.txt"
+        workload_first.write_text("solve a RRX\ndelta a RRX -X,2,3\n")
+        workload_second = tmp_path / "second.txt"
+        workload_second.write_text("solve a RRX\n")
+        journal = "sqlite:{}".format(tmp_path / "journal.db")
+
+        code = main(
+            [
+                "serve",
+                "--instance",
+                "a={}".format(db_a),
+                "--workload",
+                str(workload_first),
+                "--journal",
+                journal,
+                "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # the delta removed X: "not certain"
+        assert "journal: store=sqlite" in out
+
+        code = main(
+            [
+                "serve",
+                "--workload",
+                str(workload_second),
+                "--journal",
+                journal,
+                "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # post-delta state survived the restart
+        assert "not certain" in out
+        assert "journal: store=sqlite residents=1" in out
+
     def test_serve_reports_per_request_errors(self, tmp_path, capsys):
         """A failing workload line is reported in its row, not a traceback."""
         db_a = self._write_instance(

@@ -150,6 +150,43 @@ def test_lazy_repair_resolves_identically_across_the_hop(tmp_path):
     )
 
 
+def test_snapshot_bytes_reflects_snapshot_traffic_only():
+    """``snapshot_bytes`` bills register ops by their own wire size.
+
+    A mixed batch -- one small registration riding with a solve that
+    carries a large ad-hoc instance -- must bill only the register op:
+    each op is pickled to its own frame slice, so solve/delta companions
+    never inflate the snapshot counter.
+    """
+    from repro.serving import ShardRequest, ShardWorker
+
+    small = DatabaseInstance.from_triples([("R", 0, 1), ("X", 1, 2)])
+    big = chain_instance("RXRYRY", repetitions=60, conflict_every=2)
+    big_wire = len(pickle.dumps(big, protocol=pickle.HIGHEST_PROTOCOL))
+
+    worker = ShardWorker(0, transport="process")
+    try:
+        worker.execute([ShardRequest("register", name="small", db=small)])
+        baseline = worker.stats()["transport"]["snapshot_bytes"]
+        assert baseline > 0
+        register = ShardRequest("register", name="small2", db=small)
+        solve = ShardRequest("solve", db=big, query="RXRX")
+        worker.execute([register, solve])
+        assert solve.result.answer is not None
+        billed = worker.stats()["transport"]["snapshot_bytes"] - baseline
+        # The registered instance is tiny; the ad-hoc solve payload is
+        # not.  Billing the whole batch would cost >= big_wire.
+        assert 0 < billed < big_wire
+        # And a pure-read batch bills nothing at all.
+        read = ShardRequest("solve", name="small", query="RXRX")
+        worker.execute([read])
+        assert (
+            worker.stats()["transport"]["snapshot_bytes"] - baseline == billed
+        )
+    finally:
+        worker.stop()
+
+
 def test_lazy_minimal_repair_reduce_is_data_only():
     db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 0, 2)])
     lazy = LazyMinimalRepair(db, "R")
