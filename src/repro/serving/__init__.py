@@ -31,6 +31,20 @@ micro-batches with a bounded added latency.
   :class:`SqliteJournalStore` for an append-only on-disk op log with
   compaction), so a reopened server cold-starts its shards from the log
   with zero client re-registration.
+* :mod:`repro.serving.supervision` -- supervised restarts:
+  :class:`RestartPolicy` (restart budget per rolling window,
+  exponential backoff with deterministic jitter) and the per-shard
+  :class:`CircuitBreaker` (closed / open / half-open), behind the
+  fail-fast :class:`ShardUnavailable` path and degraded journal-backed
+  reads.
+* :mod:`repro.serving.faults` -- the deterministic fault-injection
+  harness: a seeded :class:`FaultPlan` of crash / drop / delay / dup
+  rules both transports consult per batch, wired through
+  ``AsyncCertaintyServer(faults=...)`` and ``--chaos`` on the CLI.
+* Admission control and deadlines -- bounded per-shard queues plus a
+  server-wide in-flight cap (:class:`ServerOverloaded`), and
+  ``timeout=`` on every read so expired requests are shed with
+  :class:`DeadlineExceeded` before burning engine work.
 * :mod:`repro.serving.bench` -- the mixed-workload and CPU-bound
   transport benchmarks behind ``python -m repro bench-serve`` and the
   pinned throughput assertions.
@@ -38,6 +52,11 @@ micro-batches with a bounded added latency.
 See ``docs/serving.md`` for the architecture and a worked example.
 """
 
+from repro.serving.faults import (
+    FaultPlan,
+    FaultRule,
+    make_fault_plan,
+)
 from repro.serving.journal import (
     JournalStore,
     MemoryJournalStore,
@@ -48,13 +67,17 @@ from repro.serving.journal import (
 from repro.serving.server import AsyncCertaintyServer
 from repro.serving.shard import (
     EMPTY_DELTA,
+    DeadlineExceeded,
     ServerClosed,
+    ServerOverloaded,
     ShardCore,
     ShardRequest,
     ShardRouter,
+    ShardUnavailable,
     ShardWorker,
     stable_shard,
 )
+from repro.serving.supervision import CircuitBreaker, RestartPolicy
 from repro.serving.transport import (
     ProcessTransport,
     ShardTransport,
@@ -65,20 +88,28 @@ from repro.serving.transport import (
 
 __all__ = [
     "AsyncCertaintyServer",
+    "CircuitBreaker",
+    "DeadlineExceeded",
     "EMPTY_DELTA",
+    "FaultPlan",
+    "FaultRule",
     "JournalStore",
     "MemoryJournalStore",
     "ProcessTransport",
+    "RestartPolicy",
     "ServerClosed",
+    "ServerOverloaded",
     "ShardCore",
     "ShardJournal",
     "ShardRequest",
     "ShardRouter",
     "ShardTransport",
     "ShardTransportError",
+    "ShardUnavailable",
     "ShardWorker",
     "SqliteJournalStore",
     "ThreadTransport",
+    "make_fault_plan",
     "make_journal_store",
     "make_transport",
     "stable_shard",

@@ -19,6 +19,13 @@ A second benchmark, :func:`run_transport_benchmark`, races the shard
 transports against each other on a **CPU-bound** stream (every request a
 forced full fixpoint run): thread-per-shard serializes on the GIL,
 process-per-shard runs the shards in parallel.
+
+Two resilience benchmarks back ``benchmarks/test_bench_resilience.py``:
+:func:`run_fault_overhead_benchmark` measures what an *armed but silent*
+:class:`~repro.serving.faults.FaultPlan` costs on the shard-warm stream
+(the hook must be ~free when no fault fires), and
+:func:`run_recovery_benchmark` measures time-to-first-answer after an
+injected shard crash (supervised restart + journal replay + retry).
 """
 
 from __future__ import annotations
@@ -29,7 +36,16 @@ from typing import Dict, List, Tuple
 
 from repro.db.instance import DatabaseInstance
 from repro.engine import CertaintyEngine
+from repro.serving.faults import FaultPlan, FaultRule, make_fault_plan
 from repro.serving.server import AsyncCertaintyServer
+from repro.serving.shard import (
+    DeadlineExceeded,
+    ServerOverloaded,
+    ShardRequest,
+    ShardUnavailable,
+    ShardWorker,
+)
+from repro.serving.supervision import RestartPolicy
 from repro.workloads.generators import chain_instance
 
 #: One query per polynomial-time route of the tetrachotomy (all C3, so
@@ -73,6 +89,28 @@ def mixed_workload(
     return instances, requests
 
 
+def _classify_outcome(result) -> str:
+    """Bucket a gathered serving result for the chaos report."""
+    if isinstance(result, DeadlineExceeded):
+        return "deadline_exceeded"
+    if isinstance(result, ServerOverloaded):
+        return "overloaded"
+    if isinstance(result, ShardUnavailable):
+        return "unavailable"
+    if isinstance(result, BaseException):
+        return "other_error"
+    return "answered"
+
+
+async def _solve_stream(server: AsyncCertaintyServer, pairs):
+    """Gather ``solve`` over *pairs*, keeping per-request exceptions in
+    place (chaos runs must report outcomes, not abort on the first)."""
+    return await asyncio.gather(
+        *(server.solve(name, query) for name, query in pairs),
+        return_exceptions=True,
+    )
+
+
 def run_serving_benchmark(
     num_shards: int = 4,
     num_instances: int = 6,
@@ -81,19 +119,27 @@ def run_serving_benchmark(
     max_batch: int = 32,
     max_delay: float = 0.001,
     transport: str = "thread",
+    chaos=None,
 ) -> Dict[str, object]:
     """Measure the request stream both ways; returns the comparison.
 
     The returned dict carries ``naive_seconds`` / ``serving_seconds``
     (measured over the same *n_requests* stream, shard states warm),
-    ``speedup``, both throughputs in requests/second, ``agrees`` (the
-    answer streams are identical), and the server's final ``stats()``.
+    ``speedup``, both throughputs in requests/second, ``agrees`` (every
+    answered request matches the naive stream -- with no chaos that
+    means *all* of them), per-request ``outcomes`` buckets, and the
+    server's final ``stats()``.  *chaos* arms a
+    :class:`~repro.serving.faults.FaultPlan` (or ``--chaos`` spec
+    string) on the serving side only; faulted requests resolve to
+    ``DeadlineExceeded`` / ``ShardUnavailable`` / ``ServerOverloaded``
+    buckets instead of aborting the run.
     """
     instances, requests = mixed_workload(
         num_instances=num_instances,
         repetitions=repetitions,
         n_requests=n_requests,
     )
+    plan = make_fault_plan(chaos)
 
     # -- Naive per-call baseline: warm plans, cold per-instance solves.
     naive_engine = CertaintyEngine()
@@ -112,20 +158,44 @@ def run_serving_benchmark(
             max_batch=max_batch,
             max_delay=max_delay,
             transport=transport,
+            faults=plan,
         ) as server:
             for name, db in sorted(instances.items()):
-                await server.register(name, db)
+                if plan is None:
+                    await server.register(name, db)
+                else:
+                    try:
+                        await server.register(name, db)
+                    except Exception:
+                        # Chaos hit the registration batch; the solves
+                        # on this name will surface it per request.
+                        pass
             distinct = sorted(set(requests))
-            await server.solve_many(distinct)  # one cold solve per pair
+            await _solve_stream(server, distinct)  # one cold solve per pair
             start = time.perf_counter()
-            results = await server.solve_many(requests)
+            results = await _solve_stream(server, requests)
             seconds = time.perf_counter() - start
             return results, seconds, server.stats()
 
     serving_results, serving_seconds, server_stats = asyncio.run(_serve())
 
-    answers_naive = [r.answer for r in naive_results]
-    answers_serving = [r.answer for r in serving_results]
+    outcomes = {
+        "answered": 0,
+        "deadline_exceeded": 0,
+        "overloaded": 0,
+        "unavailable": 0,
+        "other_error": 0,
+    }
+    agrees = True
+    for naive_result, serving_result in zip(naive_results, serving_results):
+        bucket = _classify_outcome(serving_result)
+        outcomes[bucket] += 1
+        if bucket == "answered":
+            if serving_result.answer != naive_result.answer:
+                agrees = False
+        elif plan is None:
+            # Without chaos every request must be answered.
+            agrees = False
     warm_hits = sum(s["warm_hits"] for s in server_stats["shards"])
     return {
         "requests": len(requests),
@@ -136,7 +206,8 @@ def run_serving_benchmark(
         "speedup": naive_seconds / serving_seconds,
         "naive_rps": len(requests) / naive_seconds,
         "serving_rps": len(requests) / serving_seconds,
-        "agrees": answers_naive == answers_serving,
+        "agrees": agrees,
+        "outcomes": outcomes,
         "warm_hits": warm_hits,
         "server_stats": server_stats,
     }
@@ -240,3 +311,131 @@ def run_transport_benchmark(
     if "thread" in per and "process" in per:
         report["speedup"] = per["thread"]["seconds"] / per["process"]["seconds"]
     return report
+
+
+def run_fault_overhead_benchmark(
+    num_shards: int = 2,
+    num_instances: int = 4,
+    repetitions: int = 20,
+    n_requests: int = 160,
+    passes: int = 3,
+) -> Dict[str, object]:
+    """Price the fault hook when it is armed but silent.
+
+    Two identical thread-transport servers serve the shard-warm mixed
+    stream: one with ``faults=None`` (the hook compiles to a constant
+    ``0, False``), one with an **armed, empty** :class:`FaultPlan` (the
+    per-batch draw runs, matches nothing).  Timed passes alternate
+    between the arms so drift on a noisy box hits both equally; the
+    per-arm minimum is the comparison.  ``overhead`` is
+    ``armed_best / clean_best - 1`` -- the quantity the ``<= 5%`` gate
+    in ``benchmarks/test_bench_resilience.py`` pins.
+    """
+    instances, requests = mixed_workload(
+        num_instances=num_instances,
+        repetitions=repetitions,
+        n_requests=n_requests,
+    )
+
+    async def _measure():
+        servers = {
+            "clean": AsyncCertaintyServer(
+                num_shards=num_shards, transport="thread"
+            ).start(),
+            "armed": AsyncCertaintyServer(
+                num_shards=num_shards, transport="thread", faults=FaultPlan()
+            ).start(),
+        }
+        times: Dict[str, List[float]] = {"clean": [], "armed": []}
+        answers: Dict[str, List[bool]] = {}
+        try:
+            distinct = sorted(set(requests))
+            for server in servers.values():
+                for name, db in sorted(instances.items()):
+                    await server.register(name, db)
+                await server.solve_many(distinct)  # warm every pair
+            for _ in range(passes):
+                for arm, server in servers.items():
+                    start = time.perf_counter()
+                    results = await server.solve_many(requests)
+                    times[arm].append(time.perf_counter() - start)
+                    answers[arm] = [r.answer for r in results]
+        finally:
+            for server in servers.values():
+                server.close()
+        return times, answers
+
+    times, answers = asyncio.run(_measure())
+    clean_best = min(times["clean"])
+    armed_best = min(times["armed"])
+    return {
+        "requests": len(requests),
+        "passes": passes,
+        "clean_seconds": clean_best,
+        "armed_seconds": armed_best,
+        "overhead": armed_best / clean_best - 1.0,
+        "agrees": answers["clean"] == answers["armed"],
+    }
+
+
+def run_recovery_benchmark(
+    repetitions: int = 200,
+    transport: str = "process",
+) -> Dict[str, object]:
+    """Time-to-first-answer after a shard dies mid-service.
+
+    One worker, ``max_batch=1``: register a chain resident, serve one
+    warm solve, then kill the shard -- ``process.kill()`` on the real
+    subprocess, a seeded one-shot crash fault on the thread emulation --
+    and time the next solve end to end.  That window covers failure
+    detection, the supervised restart, journal replay of the resident,
+    and the re-served request.  ``warm_after_seconds`` times one more
+    solve on the recovered shard (the restored state is warm again);
+    ``answers_agree`` checks all three answers match.
+    """
+    query = "RXRX"
+    db = chain_instance(query, repetitions=repetitions, conflict_every=4)
+    faults = None
+    if transport == "thread":
+        # Batches 0 (register) and 1 (warm solve) pass; the timed solve
+        # is batch 2 and dies exactly once.
+        faults = FaultPlan([FaultRule("crash", batch=2, times=1)])
+    worker = ShardWorker(
+        0,
+        transport=transport,
+        max_batch=1,
+        faults=faults,
+        restart_policy=RestartPolicy(backoff_base=0.0),
+    )
+    try:
+        worker.execute([ShardRequest("register", name="db", db=db)])
+        warm = ShardRequest("solve", name="db", query=query)
+        worker.execute([warm])
+        if transport == "process":
+            worker.transport.process.kill()
+            worker.transport.process.join()
+        start = time.perf_counter()
+        recovered = ShardRequest("solve", name="db", query=query)
+        worker.execute([recovered])
+        recovery_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        after = ShardRequest("solve", name="db", query=query)
+        worker.execute([after])
+        warm_after_seconds = time.perf_counter() - start
+        stats = worker.stats()
+        return {
+            "transport": transport,
+            "repetitions": repetitions,
+            "recovery_seconds": recovery_seconds,
+            "warm_after_seconds": warm_after_seconds,
+            "answers_agree": (
+                recovered.error is None
+                and after.error is None
+                and warm.result.answer
+                == recovered.result.answer
+                == after.result.answer
+            ),
+            "restarts": stats["transport"]["restarts"],
+        }
+    finally:
+        worker.stop()

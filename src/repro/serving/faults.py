@@ -1,0 +1,277 @@
+"""Deterministic fault injection for the serving transports.
+
+PR 6 could provoke exactly one failure: ``ProcessTransport.fail_replies``
+hard-coded "the child commits, then dies before replying".  Chaos
+testing needs the whole menagerie -- crashes before *and* after the
+commit point, delayed replies that blow deadlines, duplicated
+deliveries that probe idempotence -- on chosen shards, batches, and op
+kinds, and it needs every run to replay bit-for-bit.  A
+:class:`FaultPlan` is that surface: a seeded list of :class:`FaultRule`
+triggers the transports consult once per batch (:meth:`FaultPlan.draw`)
+*before* touching the wire, so the same plan injects the same faults at
+the same points on every run, on both transports.
+
+Fault kinds (what the transport does when a rule fires):
+
+* ``crash`` -- the shard dies **after committing** the batch but before
+  replying (the generalization of ``fail_replies``); recovery must
+  replay the journal and must *not* re-apply the writes.
+* ``drop``  -- the shard dies **before applying** the batch (the request
+  reached the wire and vanished); recovery must re-run it.
+* ``delay`` -- the batch is stalled for ``seconds`` before dispatch,
+  long enough to push lagging requests past their deadline.
+* ``dup``   -- the batch is **delivered twice**; the second delivery's
+  results are discarded and sequence numbers must shield the writes.
+
+Rules select by shard, batch index (per-shard draw counter), op kind,
+``every`` N-th batch, or probability ``p`` (seeded per ``(seed, kind,
+shard, batch)``, so probabilistic schedules replay too); ``times``
+bounds total firings.  The string grammar used by ``--chaos`` is
+``seed=N;KIND:key=value,...;KIND...``:
+
+>>> plan = FaultPlan.parse("seed=7;crash:op=delta,times=1;delay:seconds=0.0,every=2")
+>>> [a.kind for a in plan.draw(0, ["register"])]   # batch 0: nothing matches
+[]
+>>> [a.kind for a in plan.draw(0, ["delta"])]      # batch 1: crash + 2nd batch
+['crash', 'delay']
+>>> [a.kind for a in plan.draw(0, ["delta"])]      # crash exhausted its budget
+[]
+>>> plan.describe()["injected"]
+{'crash': 1, 'delay': 1}
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+#: Recognised fault kinds, in documentation order.
+FAULT_KINDS = ("crash", "drop", "delay", "dup")
+
+_INT_KEYS = ("shard", "batch", "every", "times")
+_FLOAT_KEYS = ("seconds", "p")
+
+
+class FaultAction:
+    """One fault to inject into the current batch (kind + delay)."""
+
+    __slots__ = ("kind", "seconds")
+
+    def __init__(self, kind: str, seconds: float = 0.0) -> None:
+        self.kind = kind
+        self.seconds = seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "delay":
+            return "FaultAction('delay', seconds={})".format(self.seconds)
+        return "FaultAction({!r})".format(self.kind)
+
+
+class FaultRule:
+    """A single trigger: *kind* fires when every given selector matches.
+
+    Selectors (all optional; an unselective rule fires on every batch):
+
+    * ``shard``   -- only this shard id.
+    * ``batch``   -- only this batch index (the per-shard draw counter,
+      starting at 0; retries after a crash do **not** redraw).
+    * ``every``   -- every N-th batch (batches N-1, 2N-1, ...; the very
+      first batch -- usually the registration -- is spared).
+    * ``op``      -- only batches containing this op kind
+      (``solve`` / ``delta`` / ``register`` / ``get``).
+    * ``p``       -- fire with this probability, drawn deterministically
+      from the plan seed and the (shard, batch) coordinates.
+    * ``times``   -- stop after this many total firings.
+
+    ``seconds`` is the stall length for ``delay`` rules (ignored
+    otherwise).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        seconds: float = 0.0,
+        shard: Optional[int] = None,
+        batch: Optional[int] = None,
+        every: Optional[int] = None,
+        p: Optional[float] = None,
+        op: Optional[str] = None,
+        times: Optional[int] = None,
+    ) -> None:
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                "unknown fault kind {!r} (expected one of {})".format(
+                    kind, ", ".join(FAULT_KINDS)
+                )
+            )
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        if every is not None and every < 1:
+            raise ValueError("every must be >= 1")
+        if p is not None and not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        if times is not None and times < 0:
+            raise ValueError("times must be >= 0")
+        self.kind = kind
+        self.seconds = seconds
+        self.shard = shard
+        self.batch = batch
+        self.every = every
+        self.p = p
+        self.op = op
+        self.times = times
+        self.fired = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultRule":
+        """Parse one ``KIND[:key=value[,key=value...]]`` segment."""
+        head, _, tail = text.strip().partition(":")
+        kwargs: Dict[str, Union[int, float, str]] = {}
+        if tail:
+            for pair in tail.split(","):
+                key, sep, value = pair.strip().partition("=")
+                if not sep:
+                    raise ValueError(
+                        "bad fault option {!r} (expected key=value)".format(pair)
+                    )
+                key = key.strip()
+                value = value.strip()
+                if key in _INT_KEYS:
+                    kwargs[key] = int(value)
+                elif key in _FLOAT_KEYS:
+                    kwargs[key] = float(value)
+                elif key == "op":
+                    kwargs[key] = value
+                else:
+                    raise ValueError("unknown fault option {!r}".format(key))
+        return cls(head.strip(), **kwargs)
+
+    def matches(
+        self,
+        seed: int,
+        shard_id: int,
+        batch: int,
+        op_kinds: Sequence[str],
+    ) -> bool:
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.shard is not None and shard_id != self.shard:
+            return False
+        if self.batch is not None and batch != self.batch:
+            return False
+        if self.every is not None and (batch + 1) % self.every != 0:
+            return False
+        if self.op is not None and self.op not in op_kinds:
+            return False
+        if self.p is not None:
+            # Int tuples hash unsalted, so the draw is identical across
+            # interpreter runs -- probabilistic chaos still replays.
+            draw = random.Random(
+                hash((seed, FAULT_KINDS.index(self.kind), shard_id, batch))
+            ).random()
+            return draw < self.p
+        return True
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        for key in ("shard", "batch", "every", "op", "p", "times"):
+            value = getattr(self, key)
+            if value is not None:
+                parts.append("{}={}".format(key, value))
+        if self.kind == "delay":
+            parts.append("seconds={}".format(self.seconds))
+        return ",".join(parts)
+
+
+class FaultPlan:
+    """A seeded, thread-safe schedule of faults shared by all shards.
+
+    Transports call :meth:`draw` exactly once per *fresh* batch (never
+    on a retry), passing the op kinds in the batch; the plan advances
+    that shard's batch counter and returns the actions to inject.  All
+    mutable state sits behind one lock, so a plan can be shared across
+    shard worker threads.
+    """
+
+    def __init__(
+        self, rules: Iterable[FaultRule] = (), seed: int = 0
+    ) -> None:
+        self.rules = list(rules)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._batches: Dict[int, int] = {}
+        self.injected: Dict[str, int] = {}
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``--chaos`` spec: ``;``-separated rule segments, with
+        an optional ``seed=N`` segment anywhere."""
+        seed = 0
+        rules = []
+        for segment in spec.split(";"):
+            segment = segment.strip()
+            if not segment:
+                continue
+            if segment.startswith("seed="):
+                seed = int(segment[len("seed="):])
+                continue
+            rules.append(FaultRule.parse(segment))
+        return cls(rules, seed=seed)
+
+    def draw(
+        self, shard_id: int, op_kinds: Sequence[str] = ()
+    ) -> List[FaultAction]:
+        """Advance *shard_id*'s batch counter and return the faults to
+        inject into this batch (possibly empty)."""
+        with self._lock:
+            batch = self._batches.get(shard_id, 0)
+            self._batches[shard_id] = batch + 1
+            actions = []
+            for rule in self.rules:
+                if rule.matches(self.seed, shard_id, batch, op_kinds):
+                    rule.fired += 1
+                    self.injected[rule.kind] = (
+                        self.injected.get(rule.kind, 0) + 1
+                    )
+                    actions.append(FaultAction(rule.kind, rule.seconds))
+            return actions
+
+    def batches_drawn(self, shard_id: int) -> int:
+        with self._lock:
+            return self._batches.get(shard_id, 0)
+
+    def describe(self) -> dict:
+        """Plain-data summary for ``stats()["faults"]``."""
+        with self._lock:
+            return {
+                "armed": True,
+                "seed": self.seed,
+                "rules": [rule.describe() for rule in self.rules],
+                "injected": dict(sorted(self.injected.items())),
+            }
+
+    def reset(self) -> None:
+        """Forget batch counters and firing history (rules stay)."""
+        with self._lock:
+            self._batches.clear()
+            self.injected.clear()
+            for rule in self.rules:
+                rule.fired = 0
+
+
+def make_fault_plan(
+    spec: Union[None, str, FaultPlan, Iterable[FaultRule]]
+) -> Optional[FaultPlan]:
+    """Normalize a user-facing fault spec into a plan (or ``None``).
+
+    Accepts ``None`` (no faults), an existing :class:`FaultPlan`, a
+    ``--chaos`` spec string, or an iterable of :class:`FaultRule`.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, FaultPlan):
+        return spec
+    if isinstance(spec, str):
+        return FaultPlan.parse(spec)
+    return FaultPlan(spec)

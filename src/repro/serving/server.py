@@ -27,6 +27,7 @@ spawn-start multiprocessing pools does not exist here.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.db.delta import Delta
@@ -34,6 +35,7 @@ from repro.db.instance import DatabaseInstance
 from repro.engine.engine import CertaintyEngine, EngineQuery
 from repro.serving.shard import (
     ServerClosed,
+    ServerOverloaded,
     ShardRequest,
     ShardRouter,
     ShardWorker,
@@ -73,6 +75,26 @@ class AsyncCertaintyServer:
     server built from a string spec is closed by :meth:`close`;
     caller-supplied instances stay open.
 
+    Resilience (all optional; see :mod:`repro.serving.supervision` and
+    :mod:`repro.serving.faults`):
+
+    * ``max_in_flight`` caps admitted-but-unresolved requests
+      server-wide; ``queue_limit`` bounds each shard's queue.  Either
+      limit sheds with :class:`~repro.serving.shard.ServerOverloaded`
+      -- fail-fast, counted in ``stats()["admission"]``.
+    * ``timeout=`` on the read coroutines sets a deadline that rides
+      the request onto the wire; expired requests are shed with
+      :class:`~repro.serving.shard.DeadlineExceeded` at batch assembly
+      (or mid-batch), before engine work is spent.
+    * ``restart_policy`` supervises shard restarts (budget + backoff);
+      a shard over budget is *down* -- its breaker opens, requests fail
+      fast with :class:`~repro.serving.shard.ShardUnavailable`, and
+      reads of journaled residents are served degraded (disable with
+      ``degraded_reads=False``).
+    * ``faults`` arms a deterministic
+      :class:`~repro.serving.faults.FaultPlan` (or a ``--chaos`` spec
+      string) that the transports consult once per batch.
+
     The server must be used from a running event loop; all public
     coroutines are safe to call concurrently.  Operations on the *same*
     instance are totally ordered by its shard's queue, so a ``solve``
@@ -89,8 +111,17 @@ class AsyncCertaintyServer:
         transport="thread",
         transport_options: Optional[dict] = None,
         journal_store: Union[None, str, "JournalStore"] = None,
+        max_in_flight: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+        faults=None,
+        restart_policy=None,
+        degraded_reads: Optional[bool] = None,
     ) -> None:
+        from repro.serving.faults import make_fault_plan
         from repro.serving.journal import JournalStore, make_journal_store
+
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
 
         self.router = router or ShardRouter(num_shards)
         if router is not None:
@@ -111,6 +142,10 @@ class AsyncCertaintyServer:
                         )
                     )
                 self.router.register(name, shard=shard)
+        #: One shared plan across shards: per-shard batch counters live
+        #: inside the plan, keyed by shard id.
+        self.faults = make_fault_plan(faults)
+        self.max_in_flight = max_in_flight
         self.workers: List[ShardWorker] = [
             ShardWorker(
                 shard,
@@ -120,6 +155,10 @@ class AsyncCertaintyServer:
                 transport=transport,
                 transport_options=transport_options,
                 journal_store=self.journal_store,
+                queue_limit=queue_limit,
+                faults=self.faults,
+                restart_policy=restart_policy,
+                degraded=degraded_reads,
             )
             for shard in range(num_shards)
         ]
@@ -128,6 +167,7 @@ class AsyncCertaintyServer:
         self._submitted = 0
         self._completed = 0
         self._failed = 0
+        self._overload_shed = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -177,6 +217,14 @@ class AsyncCertaintyServer:
             raise RuntimeError(
                 "server not running (use 'async with' or call start())"
             )
+        if self.max_in_flight is not None:
+            in_flight = self._submitted - self._completed - self._failed
+            if in_flight >= self.max_in_flight:
+                self._overload_shed += 1
+                raise ServerOverloaded(
+                    "server at max_in_flight={} ({} requests unresolved);"
+                    " retry later".format(self.max_in_flight, in_flight)
+                )
         loop = asyncio.get_running_loop()
         request.loop = loop
         request.future = loop.create_future()
@@ -210,11 +258,20 @@ class AsyncCertaintyServer:
         await self._dispatch(placed, ShardRequest("register", name=name, db=db))
         return placed
 
+    @staticmethod
+    def _deadline(timeout: Optional[float]) -> Optional[float]:
+        """An absolute monotonic deadline, riding the request onto the
+        wire (``timeout=0`` is a valid "already expired" probe)."""
+        if timeout is None:
+            return None
+        return time.monotonic() + timeout
+
     async def solve(
         self,
         target: Target,
         query: EngineQuery,
         method: str = "auto",
+        timeout: Optional[float] = None,
     ) -> CertaintyResult:
         """Decide CERTAINTY(query) for *target*.
 
@@ -222,15 +279,22 @@ class AsyncCertaintyServer:
         shard's warm state (``method="auto"``) or through a forced
         solver.  A raw :class:`DatabaseInstance` rides through its
         content-hash shard with a warm plan cache but no resident state.
+        With *timeout* (seconds), the request carries a deadline: once
+        it passes, the request is shed with
+        :class:`~repro.serving.shard.DeadlineExceeded` instead of
+        executed.
         """
         shard = self.router.shard_of(target)
+        deadline = self._deadline(timeout)
         if isinstance(target, str):
             request = ShardRequest(
-                "solve", name=target, query=query, method=method
+                "solve", name=target, query=query, method=method,
+                deadline=deadline,
             )
         else:
             request = ShardRequest(
-                "solve", db=target, query=query, method=method
+                "solve", db=target, query=query, method=method,
+                deadline=deadline,
             )
         return await self._dispatch(shard, request)
 
@@ -240,6 +304,7 @@ class AsyncCertaintyServer:
         delta: Delta,
         query: EngineQuery,
         method: str = "auto",
+        timeout: Optional[float] = None,
     ) -> CertaintyResult:
         """Apply *delta* to the resident instance *name* and decide
         CERTAINTY(query) on the result.
@@ -247,11 +312,16 @@ class AsyncCertaintyServer:
         The shard folds the delta into its maintained state (O(delta)
         solver work on the C3 routes) and advances the registry, so
         subsequent reads observe -- and stay warm on -- the updated
-        instance.
+        instance.  A *timeout* deadline is honoured conservatively for
+        writes: expiry before the batch is assembled sheds the whole
+        request, but once the write half has committed only the read
+        half is shed -- a :class:`DeadlineExceeded` from a delta means
+        "the answer is late", never "the write was rolled back".
         """
         shard = self.router.shard_of(name)
         request = ShardRequest(
-            "delta", name=name, delta=delta, query=query, method=method
+            "delta", name=name, delta=delta, query=query, method=method,
+            deadline=self._deadline(timeout),
         )
         return await self._dispatch(shard, request)
 
@@ -259,26 +329,33 @@ class AsyncCertaintyServer:
         self,
         requests: Iterable[Tuple[Target, EngineQuery]],
         method: str = "auto",
+        timeout: Optional[float] = None,
     ) -> List[CertaintyResult]:
         """Gather ``solve`` over *requests*, preserving order.
 
         Concurrent admission is the point: requests hitting the same
         shard coalesce into micro-batches, different shards proceed
-        independently.
+        independently.  *timeout* applies per request, measured from
+        admission of the gather.
         """
         return list(
             await asyncio.gather(
                 *(
-                    self.solve(target, query, method=method)
+                    self.solve(target, query, method=method, timeout=timeout)
                     for target, query in requests
                 )
             )
         )
 
-    async def get_instance(self, name: str) -> DatabaseInstance:
+    async def get_instance(
+        self, name: str, timeout: Optional[float] = None
+    ) -> DatabaseInstance:
         """The current resident instance for *name* (shard-ordered read)."""
         shard = self.router.shard_of(name)
-        return await self._dispatch(shard, ShardRequest("get", name=name))
+        return await self._dispatch(
+            shard,
+            ShardRequest("get", name=name, deadline=self._deadline(timeout)),
+        )
 
     # ------------------------------------------------------------------
     # Reporting
@@ -294,12 +371,20 @@ class AsyncCertaintyServer:
         """
         completed = self._completed
         failed = self._failed
+        shard_stats = [worker.stats() for worker in self.workers]
         return {
             "admission": {
                 "submitted": self._submitted,
                 "completed": completed,
                 "failed": failed,
                 "in_flight": self._submitted - completed - failed,
+                # Server-cap rejections plus per-shard bounded-queue
+                # rejections; deadline sheds aggregate across shards.
+                "overload_shed": self._overload_shed
+                + sum(s.get("overload_shed", 0) for s in shard_stats),
+                "deadline_shed": sum(
+                    s.get("deadline_shed", 0) for s in shard_stats
+                ),
             },
             "placement": self.router.assignments(),
             "journal": (
@@ -307,5 +392,10 @@ class AsyncCertaintyServer:
                 if self.journal_store is not None
                 else {"store": "none"}
             ),
-            "shards": [worker.stats() for worker in self.workers],
+            "faults": (
+                self.faults.describe()
+                if self.faults is not None
+                else {"armed": False}
+            ),
+            "shards": shard_stats,
         }

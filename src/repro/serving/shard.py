@@ -68,12 +68,17 @@ EMPTY_DELTA = Delta()
 _STOP = object()
 
 #: The wire shape of one shard operation: ``(op, name, db, delta, query,
-#: method, seq)``.  Everything in it is picklable (instances ship
-#: facts-only, see :meth:`repro.db.instance.DatabaseInstance.__reduce__`),
-#: so the same tuple drives an in-thread core and a subprocess core.
-#: *seq* is the transport's per-shard monotonic sequence number for
-#: write ops (``0`` on reads and unstamped writes): it makes redelivery
-#: after a crash-retry detectable (see :meth:`ShardCore.run_batch`).
+#: method, seq, deadline)``.  Everything in it is picklable (instances
+#: ship facts-only, see
+#: :meth:`repro.db.instance.DatabaseInstance.__reduce__`), so the same
+#: tuple drives an in-thread core and a subprocess core.  *seq* is the
+#: transport's per-shard monotonic sequence number for write ops (``0``
+#: on reads and unstamped writes): it makes redelivery after a
+#: crash-retry detectable (see :meth:`ShardCore.run_batch`).  *deadline*
+#: is an absolute :func:`time.monotonic` instant (or ``None``): past it
+#: the op is shed with :class:`DeadlineExceeded` instead of executed --
+#: ``CLOCK_MONOTONIC`` is system-wide on Linux, so the instant compares
+#: meaningfully inside a shard subprocess too.
 ShardOp = Tuple[
     str,
     Optional[str],
@@ -82,11 +87,34 @@ ShardOp = Tuple[
     Optional[EngineQuery],
     str,
     int,
+    Optional[float],
 ]
 
 
 class ServerClosed(RuntimeError):
     """The serving layer is shutting down; the request was not served."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline passed before it could be (fully) served.
+
+    Raised at batch-assembly time (the request never reached the
+    engine) or at execution time inside the core.  Committed writes are
+    never rolled back: a ``delta`` whose deadline expires after its
+    write half applied keeps the write and sheds only the read half.
+    """
+
+
+class ServerOverloaded(RuntimeError):
+    """Admission control shed the request: a bounded shard queue was
+    full, or the server-wide in-flight cap was reached.  Fail-fast by
+    design -- retry with backoff or widen the limits."""
+
+
+class ShardUnavailable(RuntimeError):
+    """The shard is down: its circuit breaker is open (restart budget
+    exhausted, see :mod:`repro.serving.supervision`) and the request
+    could not be served degraded from the journal."""
 
 
 def stable_shard(name: str, num_shards: int) -> int:
@@ -165,6 +193,7 @@ class ShardRequest:
         "query",
         "method",
         "seq",
+        "deadline",
         "loop",
         "future",
         "result",
@@ -179,6 +208,7 @@ class ShardRequest:
         delta: Optional[Delta] = None,
         query: Optional[EngineQuery] = None,
         method: str = "auto",
+        deadline: Optional[float] = None,
         loop=None,
         future=None,
     ) -> None:
@@ -191,6 +221,8 @@ class ShardRequest:
         #: Per-shard write sequence number, stamped by the transport at
         #: execute time (0 = unstamped; reads are never stamped).
         self.seq = 0
+        #: Absolute ``time.monotonic()`` deadline (None = no deadline).
+        self.deadline = deadline
         self.loop = loop
         self.future = future
         self.result = None
@@ -206,6 +238,7 @@ class ShardRequest:
             self.query,
             self.method,
             self.seq,
+            self.deadline,
         )
 
     def resolve(self, result) -> None:
@@ -254,6 +287,9 @@ class ShardCore:
         self.requests = 0
         self.coalesced = 0
         self.errors = 0
+        #: Ops shed inside the core because their deadline had already
+        #: passed when their turn in the batch came.
+        self.deadline_shed = 0
         #: High-water mark of applied write sequence numbers.  Writes are
         #: delivered in sequence order, so a stamped write at or below
         #: this mark is a redelivery (the transport retried a batch whose
@@ -278,14 +314,15 @@ class ShardCore:
         """
         memo: Dict[Hashable, object] = {}
         rows: List[Tuple[bool, object]] = []
-        for op, name, db, delta, query, method, seq in ops:
+        for op, name, db, delta, query, method, seq, deadline in ops:
             self.requests += 1
             try:
                 rows.append(
                     (
                         True,
                         self._run_op(
-                            op, name, db, delta, query, method, seq, memo
+                            op, name, db, delta, query, method, seq,
+                            deadline, memo,
                         ),
                     )
                 )
@@ -294,8 +331,19 @@ class ShardCore:
                 rows.append((False, error))
         return rows
 
-    def _run_op(self, op, name, db, delta, query, method, seq, memo):
+    def _check_deadline(self, op: str, deadline: Optional[float]) -> None:
+        if deadline is not None and time.monotonic() >= deadline:
+            self.deadline_shed += 1
+            raise DeadlineExceeded(
+                "shard {} shed {} op: deadline passed before it ran".format(
+                    self.shard_id, op
+                )
+            )
+
+    def _run_op(self, op, name, db, delta, query, method, seq, deadline,
+                memo):
         if op == "solve":
+            self._check_deadline(op, deadline)
             return self._solve(name, db, query, method, memo)
         if op in ("delta", "register") and seq and seq <= self.applied_seq:
             # Redelivered write (a transport retry after journal replay
@@ -304,11 +352,12 @@ class ShardCore:
             self._forget(memo, name)
             if op == "register":
                 return name
+            self._check_deadline(op, deadline)
             return self._solve(name, None, query, method, memo)
         if op == "delta":
             # Writes invalidate coalesced reads of the same name.
             self._forget(memo, name)
-            return self._delta(name, delta, query, method, seq)
+            return self._delta(name, delta, query, method, seq, deadline)
         if op == "register":
             self._forget(memo, name)
             self.instances[name] = db
@@ -316,6 +365,7 @@ class ShardCore:
                 self.applied_seq = seq
             return name
         if op == "get":
+            self._check_deadline(op, deadline)
             return self._resident(name)
         if op == "seal":
             # Journal replay epilogue: the replayed snapshots already
@@ -359,7 +409,7 @@ class ShardCore:
         memo[memo_key] = result
         return result
 
-    def _delta(self, name, delta, query, method, seq=0):
+    def _delta(self, name, delta, query, method, seq=0, deadline=None):
         db = self._resident(name)
         overlay = delta.apply_to(db)
         # The write half commits before (and regardless of) the read
@@ -371,6 +421,9 @@ class ShardCore:
         self.instances[name] = overlay.commit()
         if seq:
             self.applied_seq = seq
+        # Deadlines never roll back a committed write: only the read
+        # half is shed once the registry (and journal) hold the delta.
+        self._check_deadline("delta", deadline)
         return self.engine.solve_delta(db, overlay, query, method=method)
 
     # ------------------------------------------------------------------
@@ -391,6 +444,7 @@ class ShardCore:
             "requests": self.requests,
             "coalesced": self.coalesced,
             "errors": self.errors,
+            "deadline_shed": self.deadline_shed,
             "warm_hits": engine_stats.incremental_hits,
             "cold_solves": engine_stats.full_resolves,
             "engine": engine_stats.as_dict(),
@@ -409,6 +463,7 @@ class ShardCore:
             "requests": 0,
             "coalesced": 0,
             "errors": 0,
+            "deadline_shed": 0,
             "warm_hits": 0,
             "cold_solves": 0,
             "engine": EngineStats().as_dict(),
@@ -461,25 +516,49 @@ class ShardWorker:
         transport: Union[str, Callable] = "thread",
         transport_options: Optional[dict] = None,
         journal_store=None,
+        queue_limit: Optional[int] = None,
+        faults=None,
+        restart_policy=None,
+        degraded: Optional[bool] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_delay < 0:
             raise ValueError("max_delay must be >= 0")
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
         from repro.serving.transport import make_transport
 
         self.shard_id = shard_id
         self.max_batch = max_batch
         self.max_delay = max_delay
+        #: Bounded-queue admission: submissions beyond this many queued
+        #: requests fail fast with :class:`ServerOverloaded` (None =
+        #: unbounded, the pre-resilience behavior).
+        self.queue_limit = queue_limit
         options = dict(transport_options or {})
         if journal_store is not None:
             options.setdefault("journal", journal_store.shard(shard_id))
+        # Resilience knobs ride into the transport the same way the
+        # journal does; None means "don't mention it", so custom
+        # transport callables with narrower signatures keep working.
+        if faults is not None:
+            options.setdefault("faults", faults)
+        if restart_policy is not None:
+            options.setdefault("restart_policy", restart_policy)
+        if degraded is not None:
+            options.setdefault("degraded", degraded)
         self.transport = make_transport(
             transport, shard_id, engine_factory, **options
         )
         self.batches = 0
         self.batched_requests = 0
         self.max_batch_observed = 0
+        #: Requests rejected by the bounded queue.
+        self.overload_shed = 0
+        #: Requests shed at batch-assembly time (deadline already past
+        #: before the transport was consulted).
+        self.deadline_shed = 0
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._thread: Optional[threading.Thread] = None
         self._closing = False
@@ -546,6 +625,19 @@ class ShardWorker:
         if self._closing:
             request.fail(self._closed_error())
             return
+        if (
+            self.queue_limit is not None
+            and self.queue_depth() >= self.queue_limit
+        ):
+            self.overload_shed += 1
+            request.fail(
+                ServerOverloaded(
+                    "shard {} queue is full ({} queued >= limit {})".format(
+                        self.shard_id, self.queue_depth(), self.queue_limit
+                    )
+                )
+            )
+            return
         self._queue.put(request)
         # A stop() racing between the check and the put has already
         # drained the queue; fail anything it missed rather than strand
@@ -611,12 +703,27 @@ class ShardWorker:
 
     def _drain(self):
         """Block for one request, then gather companions until the batch
-        is full or *max_delay* has elapsed."""
+        is full or *max_delay* has elapsed.
+
+        The assembly deadline is recomputed from a fresh monotonic
+        reading *after* the blocking ``get()`` returns -- never from a
+        timestamp taken before it -- and the loop breaks the moment
+        ``remaining <= 0``, so a first item arriving right at (or past)
+        a clock edge can never turn into a zero-or-negative timeout that
+        blocks ``queue.get()`` indefinitely.  If the first request
+        carries its own deadline that is *earlier* than the assembly
+        window, the window shrinks to it (floored at "now"): a nearly
+        expired request is dispatched immediately instead of waiting the
+        full *max_delay* for companions it cannot afford.
+        """
         first = self._queue.get()
         if first is _STOP:
             return [], True
         batch: List[ShardRequest] = [first]
-        deadline = time.monotonic() + self.max_delay
+        now = time.monotonic()
+        deadline = now + self.max_delay
+        if first.deadline is not None:
+            deadline = min(deadline, max(first.deadline, now))
         while len(batch) < self.max_batch:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
@@ -637,13 +744,38 @@ class ShardWorker:
     def execute(self, batch: List[ShardRequest]) -> None:
         """Serve *batch* through the transport, resolving every request.
 
+        Requests whose deadline already passed are shed here, at batch
+        assembly -- before any engine (or wire) work is spent on them.
         Public so tests (and synchronous embedders) can drive a worker
         without its thread; the threaded loop calls it too.
         """
+        batch = self._shed_expired(batch)
+        if not batch:
+            return
         self.batches += 1
         self.batched_requests += len(batch)
         self.max_batch_observed = max(self.max_batch_observed, len(batch))
         self.transport.execute(batch)
+
+    def _shed_expired(
+        self, batch: List[ShardRequest]
+    ) -> List[ShardRequest]:
+        now = time.monotonic()
+        live: List[ShardRequest] = []
+        for request in batch:
+            if request.deadline is not None and now >= request.deadline:
+                self.deadline_shed += 1
+                request.fail(
+                    DeadlineExceeded(
+                        "deadline passed {:.4f}s before shard {} assembled"
+                        " its batch".format(
+                            now - request.deadline, self.shard_id
+                        )
+                    )
+                )
+            else:
+                live.append(request)
+        return live
 
     # ------------------------------------------------------------------
     # Reporting
@@ -665,6 +797,10 @@ class ShardWorker:
             "max_batch_size": self.max_batch_observed,
             "coalesced": snapshot["coalesced"],
             "errors": snapshot["errors"],
+            # Core-side sheds (mid-batch) plus assembly-time sheds.
+            "deadline_shed": snapshot.get("deadline_shed", 0)
+            + self.deadline_shed,
+            "overload_shed": self.overload_shed,
             "warm_hits": snapshot["warm_hits"],
             "cold_solves": snapshot["cold_solves"],
             "engine": snapshot["engine"],

@@ -1,0 +1,211 @@
+"""Supervised restarts: budgets, backoff, and the per-shard circuit breaker.
+
+PR 5 gave the process transport crash recovery -- restart the child,
+replay the journal, retry the batch once.  That is the right reflex for
+an isolated crash and the wrong one for a sick shard: a child that dies
+on every batch is restarted in a tight loop, burning a replay per
+request and never telling anyone it is down.  This module supplies the
+two pieces of supervision the transports now consult:
+
+* :class:`RestartPolicy` -- *how often* a shard may be restarted (a
+  budget of restarts per rolling window) and *how long* to stand back
+  after a failed recovery (exponential backoff with **deterministic
+  jitter**: the delay for attempt *k* of shard *s* is a pure function of
+  ``(seed, s, k)``, so chaos tests replay exactly).
+* :class:`CircuitBreaker` -- the per-shard state machine over that
+  policy.  ``closed`` is normal service.  A crash the policy refuses to
+  restart (budget exhausted, or the recovery itself failed) **trips**
+  the breaker: the shard is ``open`` -- down -- and requests fail fast
+  with :class:`~repro.serving.shard.ShardUnavailable` (or are served
+  *degraded* from the journal, see :mod:`repro.serving.transport`)
+  instead of queueing behind a corpse.  Once the backoff cooldown
+  elapses the breaker is ``half_open``: the next batch is a **probe**,
+  allowed to restart the shard regardless of the window budget; a
+  successful probe closes the breaker, a failed one re-opens it with a
+  longer cooldown.
+
+Time is injected (``RestartPolicy(clock=...)``), so every transition is
+testable without sleeping:
+
+>>> t = [0.0]
+>>> policy = RestartPolicy(max_restarts=1, window=10.0, backoff_base=1.0,
+...                        jitter=0.0, clock=lambda: t[0])
+>>> breaker = CircuitBreaker(policy)
+>>> breaker.state
+'closed'
+>>> breaker.record_failure(); breaker.allow_restart()   # budget: 1 per 10s
+True
+>>> breaker.record_restart(); breaker.record_success()  # recovery worked
+>>> breaker.state
+'closed'
+>>> breaker.record_failure(); breaker.allow_restart()   # budget exhausted
+False
+>>> breaker.trip(); breaker.state                       # the shard is down
+'open'
+>>> t[0] = 2.0; breaker.state                           # cooldown elapsed
+'half_open'
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from typing import Callable, Optional
+
+
+class RestartPolicy:
+    """Restart budget and backoff schedule for one shard's supervisor.
+
+    *max_restarts* restarts are allowed per rolling *window* seconds
+    (attempts count, successful or not).  After ``k`` consecutive
+    failures the cooldown before the next probe is
+    ``min(backoff_max, backoff_base * backoff_factor**(k-1))``
+    stretched by a deterministic jitter of up to *jitter* (a fraction):
+    the jitter for attempt ``k`` of shard ``s`` is drawn from
+    ``random.Random((seed, s, k))``, so two runs of the same schedule
+    back off identically -- reproducible chaos, no thundering herd.
+
+    *clock* defaults to :func:`time.monotonic`; tests inject a manual
+    clock to step through breaker transitions without sleeping.
+
+    >>> policy = RestartPolicy(backoff_base=0.5, backoff_max=4.0, seed=3)
+    >>> policy.backoff(1) == policy.backoff(1)          # deterministic
+    True
+    >>> policy.backoff(3) > policy.backoff(2) > policy.backoff(1)
+    True
+    >>> RestartPolicy(backoff_base=1.0, jitter=0.0).backoff(10)  # capped
+    5.0
+    """
+
+    def __init__(
+        self,
+        max_restarts: int = 5,
+        window: float = 30.0,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 5.0,
+        jitter: float = 0.1,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if window <= 0:
+            raise ValueError("window must be > 0")
+        if backoff_base < 0 or backoff_max < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.max_restarts = max_restarts
+        self.window = window
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.jitter = jitter
+        self.seed = seed
+        self.clock = clock
+
+    def backoff(self, attempt: int, shard_id: int = 0) -> float:
+        """Cooldown before the next probe, after *attempt* consecutive
+        failures (deterministic in ``(seed, shard_id, attempt)``)."""
+        if attempt < 1:
+            return 0.0
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        if not self.jitter or not base:
+            return base
+        # Int tuples hash deterministically (unlike salted strings), so
+        # this draw replays across processes and interpreter restarts.
+        draw = random.Random(hash((self.seed, shard_id, attempt))).random()
+        return base * (1.0 + self.jitter * draw)
+
+
+class CircuitBreaker:
+    """The per-shard breaker state machine over a :class:`RestartPolicy`.
+
+    States (reported as ``stats()["shards"][i]["transport"]["breaker"]``):
+
+    * ``closed`` -- normal service; crashes are handled by supervised
+      restart as long as :meth:`allow_restart` grants budget.
+    * ``open`` -- the shard is down (budget exhausted or a recovery
+      failed); callers fail fast or serve degraded until the cooldown
+      (exponential in :attr:`consecutive_failures`) elapses.
+    * ``half_open`` -- the cooldown elapsed; exactly the next batch is a
+      probe, permitted to restart regardless of the window budget.
+
+    The breaker records, it does not act: transports call
+    :meth:`record_failure` / :meth:`record_restart` /
+    :meth:`record_success` / :meth:`trip` at the corresponding points of
+    their execute loop and branch on :attr:`state`.
+    """
+
+    def __init__(
+        self, policy: Optional[RestartPolicy] = None, shard_id: int = 0
+    ) -> None:
+        self.policy = policy or RestartPolicy()
+        self.shard_id = shard_id
+        #: Crashes since the last successful batch; drives the backoff
+        #: exponent and is surfaced in transport health.
+        self.consecutive_failures = 0
+        #: Times the breaker opened (monotone; health reporting).
+        self.trips = 0
+        self._restarts: "deque[float]" = deque()
+        self._opened_at: Optional[float] = None
+        self._cooldown = 0.0
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self.policy.clock() - self._opened_at >= self._cooldown:
+            return "half_open"
+        return "open"
+
+    def allow_restart(self) -> bool:
+        """Is there restart budget left in the rolling window?"""
+        now = self.policy.clock()
+        while self._restarts and now - self._restarts[0] > self.policy.window:
+            self._restarts.popleft()
+        return len(self._restarts) < self.policy.max_restarts
+
+    def record_restart(self) -> None:
+        """Charge one restart attempt against the rolling window."""
+        self._restarts.append(self.policy.clock())
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+
+    def record_success(self) -> None:
+        """A batch served normally: reset failures, close the breaker."""
+        self.consecutive_failures = 0
+        self._opened_at = None
+        self._cooldown = 0.0
+
+    def trip(self) -> None:
+        """Open the breaker with the policy's backoff for the current
+        failure streak."""
+        self.trips += 1
+        self._cooldown = self.policy.backoff(
+            self.consecutive_failures, self.shard_id
+        )
+        self._opened_at = self.policy.clock()
+
+    def restarts_in_window(self) -> int:
+        now = self.policy.clock()
+        while self._restarts and now - self._restarts[0] > self.policy.window:
+            self._restarts.popleft()
+        return len(self._restarts)
+
+    def snapshot(self) -> dict:
+        """Plain-data vitals for transport health reporting."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+            "restarts_in_window": self.restarts_in_window(),
+        }

@@ -42,10 +42,32 @@ implementations share the seam:
     :meth:`repro.engine.engine.EngineStats.merge`), and only after the
     replacement child is known good.
 
-Transport health (``restarts``, ``snapshot_bytes``, ``deltas_forwarded``,
-``journal``, ``alive``) is reported per shard via
-``ShardWorker.stats()["transport"]`` and surfaces in
-``python -m repro serve --stats``.
+Restarts are **supervised** (see :mod:`repro.serving.supervision`): a
+:class:`~repro.serving.supervision.RestartPolicy` budgets restarts per
+rolling window, and each transport carries a per-shard
+:class:`~repro.serving.supervision.CircuitBreaker`.  A crash the policy
+refuses to restart trips the breaker: the shard is *down*, and until
+the backoff cooldown admits a half-open probe, requests fail fast with
+:class:`~repro.serving.shard.ShardUnavailable` -- except reads of
+durable residents, which (by default) are served **degraded** from a
+transport-side fallback engine over the journal's folded snapshots:
+the journal *is* the committed state, so a degraded answer is stale
+only with respect to writes that were never acknowledged.
+
+Both transports also consult an optional
+:class:`~repro.serving.faults.FaultPlan` once per fresh batch -- the
+deterministic chaos surface (crash/drop/delay/dup) that generalizes the
+old ``fail_replies`` hook, identical across transports: ``crash`` dies
+after the commit point, ``drop`` before it, ``delay`` stalls dispatch,
+``dup`` delivers the batch twice (sequence stamps shield the writes).
+The thread transport *emulates* a crash by discarding its core and
+rebuilding it from the journal -- the same recovery contract the
+process transport exercises for real.
+
+Transport health (``restarts``, ``breaker``, ``consecutive_failures``,
+``snapshot_bytes``, ``deltas_forwarded``, ``journal``, ``alive``) is
+reported per shard via ``ShardWorker.stats()["transport"]`` and
+surfaces in ``python -m repro serve --stats``.
 
 The default process start method is ``spawn``: children begin from a
 fresh interpreter, which keeps the facts-only wire contract honest (a
@@ -69,17 +91,32 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-from typing import Callable, List, Optional, Union
+import time
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.db.instance import DatabaseInstance
 from repro.engine.engine import CertaintyEngine, EngineStats
+from repro.serving.faults import make_fault_plan
 from repro.serving.journal import MemoryJournalStore, ShardJournal
-from repro.serving.shard import ShardCore, ShardOp, ShardRequest
+from repro.serving.shard import (
+    EMPTY_DELTA,
+    ShardCore,
+    ShardOp,
+    ShardRequest,
+    ShardUnavailable,
+)
+from repro.serving.supervision import CircuitBreaker, RestartPolicy
 from repro.solvers.result import CertaintyResult
 
 
-class ShardTransportError(RuntimeError):
-    """The shard's transport failed and could not recover."""
+class ShardTransportError(ShardUnavailable):
+    """The shard's transport failed and could not recover.
+
+    A subclass of :class:`~repro.serving.shard.ShardUnavailable`: a
+    batch lost to an unrecoverable transport failure and a batch shed by
+    an open breaker are the same event to the caller -- the shard is
+    down right now; retry later or accept a degraded read.
+    """
 
 
 class ShardTransport:
@@ -112,6 +149,134 @@ class ShardTransport:
     def health(self) -> dict:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Shared resilience machinery (both built-in transports)
+    # ------------------------------------------------------------------
+
+    def _init_resilience(
+        self,
+        shard_id: int,
+        engine_factory,
+        faults,
+        restart_policy: Optional[RestartPolicy],
+        degraded: bool,
+    ) -> None:
+        self.faults = make_fault_plan(faults)
+        self.breaker = CircuitBreaker(
+            restart_policy or RestartPolicy(), shard_id
+        )
+        #: Serve reads of journaled residents from a fallback engine
+        #: while the breaker is open (instead of failing them fast).
+        self.degraded = degraded
+        self.degraded_served = 0
+        self.unavailable_shed = 0
+        self._fallback_engine: Optional[CertaintyEngine] = None
+        self._engine_factory = engine_factory
+
+    def _draw_faults(
+        self, requests: List[ShardRequest]
+    ) -> Tuple[int, bool]:
+        """Consult the fault plan once for this fresh batch.
+
+        Applies ``delay`` actions inline (stalling dispatch) and returns
+        ``(crash_mode, dup)``: crash_mode 0 = none, 1 = die after the
+        commit point, 2 = die before it; *dup* delivers the batch twice.
+        """
+        if self.faults is None:
+            return 0, False
+        crash_mode, dup = 0, False
+        actions = self.faults.draw(
+            self.shard_id, [request.op for request in requests]
+        )
+        for action in actions:
+            if action.kind == "delay":
+                if action.seconds > 0:
+                    time.sleep(action.seconds)
+            elif action.kind == "dup":
+                dup = True
+            elif action.kind == "crash":
+                crash_mode = 1
+            elif action.kind == "drop":
+                crash_mode = 2
+        return crash_mode, dup
+
+    def _shed_unavailable(self, requests: List[ShardRequest]) -> None:
+        """The shard is down: serve journal-backed reads degraded (when
+        enabled), fail everything else fast with ShardUnavailable."""
+        for request in requests:
+            try:
+                served = self._try_degraded(request)
+            except BaseException as error:  # noqa: BLE001 - forwarded
+                request.fail(error)
+                continue
+            if served is not None:
+                self.degraded_served += 1
+                request.resolve(served[0])
+                continue
+            self.unavailable_shed += 1
+            request.fail(
+                ShardUnavailable(
+                    "shard {} is down (breaker {}, {} consecutive"
+                    " failures)".format(
+                        self.shard_id,
+                        self.breaker.state,
+                        self.breaker.consecutive_failures,
+                    )
+                )
+            )
+
+    def _try_degraded(self, request: ShardRequest):
+        """Serve a read from the journal's committed state.
+
+        Returns a 1-tuple holding the payload (so a legitimate ``None``
+        payload is distinguishable), or ``None`` when the request cannot
+        be served degraded (writes, unknown names, degraded disabled).
+        The journal holds the *committed* folded snapshot of every
+        durable resident, so the answer is exact up to unacknowledged
+        writes -- not a stale cache.
+        """
+        if not self.degraded:
+            return None
+        if request.op == "solve" and request.db is not None:
+            # Ad-hoc read: carries its own instance, needs no shard
+            # state at all -- always servable from the fallback engine.
+            return (
+                self._fallback().solve(
+                    request.db, request.query, request.method
+                ),
+            )
+        journal = getattr(self, "journal", None)
+        if journal is None or request.name is None:
+            return None
+        if request.op not in ("solve", "get"):
+            return None
+        db = journal.get(request.name)
+        if db is None:
+            return None
+        if request.op == "get":
+            return (db,)
+        engine = self._fallback()
+        if request.method == "auto":
+            # Same warm path the core uses: the fallback engine keeps
+            # maintained state across degraded reads of the same name.
+            return (engine.solve_delta(db, EMPTY_DELTA, request.query),)
+        return (engine.solve(db, request.query, request.method),)
+
+    def _fallback(self) -> CertaintyEngine:
+        if self._fallback_engine is None:
+            self._fallback_engine = self._engine_factory()
+        return self._fallback_engine
+
+    def _resilience_health(self) -> dict:
+        return {
+            "breaker": self.breaker.state,
+            "consecutive_failures": self.breaker.consecutive_failures,
+            "breaker_trips": self.breaker.trips,
+            "degraded_served": self.degraded_served,
+            "unavailable_shed": self.unavailable_shed,
+            "faults": "armed" if self.faults is not None else "none",
+        }
+
 
 class ThreadTransport(ShardTransport):
     """The PR 3 behavior, refactored onto the seam: the core is local.
@@ -130,11 +295,25 @@ class ThreadTransport(ShardTransport):
         shard_id: int,
         engine_factory: Callable[[], CertaintyEngine] = CertaintyEngine,
         journal: Optional[ShardJournal] = None,
+        faults=None,
+        restart_policy: Optional[RestartPolicy] = None,
+        degraded: bool = True,
     ) -> None:
         self.shard_id = shard_id
-        self.core = ShardCore(shard_id, engine_factory=engine_factory)
+        self.engine_factory = engine_factory
+        self._init_resilience(
+            shard_id, engine_factory, faults, restart_policy, degraded
+        )
+        if self.faults is not None and journal is None:
+            # Chaos needs a replay source: an emulated crash discards
+            # the core and rebuilds it from the journal, exactly as the
+            # process transport restores a dead child.
+            journal = MemoryJournalStore().shard(shard_id)
         self.journal = journal
+        self.core = ShardCore(shard_id, engine_factory=engine_factory)
+        self.restarts = 0
         self._seq = 0
+        self._carry: Optional[dict] = None
         if journal is not None:
             # Cold start from a warm journal: adopt its residents and
             # its sequence high-water before serving anything.
@@ -149,18 +328,89 @@ class ThreadTransport(ShardTransport):
         pass
 
     def execute(self, requests: List[ShardRequest]) -> None:
+        state = self.breaker.state
+        if state == "open":
+            self._shed_unavailable(requests)
+            return
+        probe = state == "half_open"
+        if self.core is None:
+            # The emulated shard died when the breaker tripped; the
+            # probe (or a re-closed breaker) resurrects it from the
+            # journal -- a supervised restart, charged to the window.
+            self._restart_core()
+        crash_mode, dup = self._draw_faults(requests)
+        if crash_mode == 2:
+            # Drop: the batch dies before the core applies anything.
+            self._recover(requests, probe)
+            return
+        rows = self._run(requests, dup=dup)
+        if crash_mode == 1:
+            # Crash after commit: the writes above are applied and
+            # journaled, but the replies are lost with the core.
+            self._recover(requests, probe)
+            return
+        self._resolve(requests, rows)
+        if self.breaker.consecutive_failures or probe:
+            self.breaker.record_success()
+
+    def _run(self, requests: List[ShardRequest], dup: bool = False):
         if self.journal is not None:
             for request in requests:
-                if request.op in ("register", "delta"):
+                if request.op in ("register", "delta") and request.seq == 0:
                     self._seq += 1
                     request.seq = self._seq
-        rows = self.core.run_batch([request.as_op() for request in requests])
+        ops = [request.as_op() for request in requests]
+        rows = self.core.run_batch(ops)
         self._journal_applied(requests)
+        if dup:
+            # Duplicated delivery: the same ops run again; sequence
+            # stamps shield the writes and the duplicate rows are
+            # discarded -- at-least-once delivery, exactly-once effect.
+            self.core.run_batch(ops)
+        return rows
+
+    @staticmethod
+    def _resolve(requests: List[ShardRequest], rows) -> None:
         for request, (ok, payload) in zip(requests, rows):
             if ok:
                 request.resolve(payload)
             else:
                 request.fail(payload)
+
+    def _recover(self, requests: List[ShardRequest], probe: bool) -> None:
+        """The emulated child died.  Supervise a restart (same contract
+        as the process transport: rebuild the core from the journal,
+        retry the batch once) or trip the breaker and shed."""
+        self.breaker.record_failure()
+        if not (probe or self.breaker.allow_restart()):
+            self.breaker.trip()
+            # The shard is down for real: fold the dead core's counters
+            # away so the half-open probe must restart from the journal
+            # (mirroring the process transport, whose child is a corpse
+            # until the probe respawns it).
+            if self.core is not None:
+                self._carry = merge_snapshots(self._carry, self.core.snapshot())
+                self.core = None
+            self._shed_unavailable(requests)
+            return
+        self._restart_core()
+        # No redraw, no duplication: a retry is a plain delivery.
+        # Already-journaled writes carry their stamp and are skipped.
+        rows = self._run(requests)
+        self._resolve(requests, rows)
+        self.breaker.record_success()
+
+    def _restart_core(self) -> None:
+        self.breaker.record_restart()
+        if self.core is not None:
+            self._carry = merge_snapshots(self._carry, self.core.snapshot())
+        self.core = ShardCore(
+            self.shard_id, engine_factory=self.engine_factory
+        )
+        if self.journal is not None:
+            self.core.instances.update(self.journal.residents())
+            self.core.applied_seq = self.journal.last_seq()
+        self.restarts += 1
 
     def _journal_applied(self, requests: List[ShardRequest]) -> None:
         """Mirror every write the core applied into the journal.
@@ -187,17 +437,22 @@ class ThreadTransport(ShardTransport):
                 self.journal.delta(request.name, request.delta, request.seq)
 
     def snapshot(self) -> dict:
-        return self.core.snapshot()
+        live = self.core.snapshot() if self.core is not None else None
+        if self._carry is None and live is not None:
+            return live
+        return merge_snapshots(self._carry, live)
 
     def health(self) -> dict:
-        return {
+        health = {
             "transport": self.kind,
-            "alive": True,
-            "restarts": 0,
+            "alive": self.core is not None,
+            "restarts": self.restarts,
             "snapshot_bytes": 0,
             "deltas_forwarded": 0,
             "journal": self.journal.kind if self.journal else "none",
         }
+        health.update(self._resilience_health())
+        return health
 
 
 class ProcessTransport(ShardTransport):
@@ -224,9 +479,19 @@ class ProcessTransport(ShardTransport):
         engine_factory: Callable[[], CertaintyEngine] = CertaintyEngine,
         mp_context: str = "spawn",
         journal: Optional[ShardJournal] = None,
+        faults=None,
+        restart_policy: Optional[RestartPolicy] = None,
+        degraded: bool = True,
+        stop_timeout: float = 5.0,
     ) -> None:
         self.shard_id = shard_id
         self.engine_factory = engine_factory
+        self._init_resilience(
+            shard_id, engine_factory, faults, restart_policy, degraded
+        )
+        #: Seconds to wait at each escalation step of :meth:`stop`
+        #: (protocol stop -> terminate -> kill).
+        self.stop_timeout = stop_timeout
         self._context = multiprocessing.get_context(mp_context)
         #: The shard's journal view: name -> current folded instance
         #: (the registered snapshot with every forwarded delta folded
@@ -287,16 +552,29 @@ class ProcessTransport(ShardTransport):
         self._conn = parent_conn
 
     def stop(self) -> None:
+        """Stop the child, escalating until it is actually gone.
+
+        Protocol stop first (graceful: the child drains and exits),
+        then ``terminate()`` (SIGTERM), then ``kill()`` (SIGKILL, which
+        not even a stopped or wedged child can ignore), each step
+        bounded by :attr:`stop_timeout` -- ``stop()`` can never hang on
+        or leak a stuck child.  Requests still queued at the *worker*
+        are failed with ``ServerClosed`` by ``ShardWorker.stop()``
+        before it calls this.
+        """
         if self.process is None:
             return
         try:
             self._conn.send_bytes(pickle.dumps(("stop",)))
         except (OSError, ValueError):
             pass
-        self.process.join(timeout=5)
+        self.process.join(timeout=self.stop_timeout)
         if self.process.is_alive():  # pragma: no cover - stuck child
+            self.process.terminate()
+            self.process.join(timeout=self.stop_timeout)
+        if self.process.is_alive():  # pragma: no cover - wedged child
             self.process.kill()
-            self.process.join(timeout=5)
+            self.process.join(timeout=self.stop_timeout)
         self._conn.close()
         self.process = None
         self._conn = None
@@ -306,8 +584,14 @@ class ProcessTransport(ShardTransport):
     # ------------------------------------------------------------------
 
     def execute(self, requests: List[ShardRequest]) -> None:
+        state = self.breaker.state
+        if state == "open":
+            self._shed_unavailable(requests)
+            return
+        probe = state == "half_open"
+        crash_mode, dup = self._draw_faults(requests)
         for request in requests:
-            if request.op in ("register", "delta"):
+            if request.op in ("register", "delta") and request.seq == 0:
                 self._seq += 1
                 request.seq = self._seq
         ops = [request.as_op() for request in requests]
@@ -322,14 +606,29 @@ class ProcessTransport(ShardTransport):
         # retry's stamped ops are then skipped child-side.
         self._journal_ahead(requests)
         try:
-            rows = self._round_trip(blobs)
+            rows = self._round_trip(blobs, crash_mode)
+            if dup:
+                # Duplicated delivery: ship the same frames again; the
+                # child skips the stamped writes and the second reply's
+                # rows are discarded (its snapshot still refreshes the
+                # counters) -- exactly-once effect under redelivery.
+                self._round_trip(blobs)
         except (EOFError, OSError) as first_error:
-            # The child died (or the pipe broke) mid-conversation:
-            # restart it, replay the journal, retry the batch once.
+            # The child died (or the pipe broke) mid-conversation.
+            # Supervision decides what happens next: restart + replay +
+            # one retry if the policy grants it (a half-open probe
+            # always may), otherwise trip the breaker and shed.
+            self.breaker.record_failure()
+            if not (probe or self.breaker.allow_restart()):
+                self.breaker.trip()
+                self._shed_unavailable(requests)
+                return
             try:
                 self._restart_and_replay()
                 rows = self._round_trip(blobs)
             except (EOFError, OSError) as second_error:
+                self.breaker.record_failure()
+                self.breaker.trip()
                 failure = ShardTransportError(
                     "shard {} subprocess failed twice ({!r} then {!r}); "
                     "giving up on this batch".format(
@@ -339,6 +638,8 @@ class ProcessTransport(ShardTransport):
                 for request in requests:
                     request.fail(failure)
                 return
+        if self.breaker.consecutive_failures or probe:
+            self.breaker.record_success()
         self._finish(requests, rows)
 
     def _serialize(self, ops: List[ShardOp]) -> List[bytes]:
@@ -349,7 +650,7 @@ class ProcessTransport(ShardTransport):
             pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL) for op in ops
         ]
 
-    def _round_trip(self, blobs: List[bytes]):
+    def _round_trip(self, blobs: List[bytes], crash_mode: int = 0):
         if self._needs_replay:
             # Cold start against a warm (durable) journal: restore the
             # residents before the first real batch.
@@ -357,13 +658,15 @@ class ProcessTransport(ShardTransport):
             self.start()
             self._replay()
         self.start()
-        crash = False
         if self.fail_replies > 0:
+            # The legacy hook is now a shorthand for crash mode 1
+            # (commit, then die before acking).
             self.fail_replies -= 1
-            crash = True
+            crash_mode = 1
         self._conn.send_bytes(
             pickle.dumps(
-                ("batch", blobs, crash), protocol=pickle.HIGHEST_PROTOCOL
+                ("batch", blobs, crash_mode),
+                protocol=pickle.HIGHEST_PROTOCOL,
             )
         )
         kind, rows, snapshot = self._conn.recv()
@@ -395,6 +698,10 @@ class ProcessTransport(ShardTransport):
                 self.journal.delta(request.name, request.delta, request.seq)
 
     def _restart_and_replay(self) -> None:
+        # The attempt is charged against the rolling window whether or
+        # not the replay below succeeds -- a shard that keeps dying
+        # during recovery burns budget just like one dying in service.
+        self.breaker.record_restart()
         dead = self._last
         self.stop()
         self.start()
@@ -423,11 +730,20 @@ class ProcessTransport(ShardTransport):
         if not residents:
             return
         replay: List[ShardOp] = [
-            ("register", name, db, None, None, "auto", 0)
+            ("register", name, db, None, None, "auto", 0, None)
             for name, db in sorted(residents.items())
         ]
         replay.append(
-            ("seal", None, None, None, None, "auto", self.journal.last_seq())
+            (
+                "seal",
+                None,
+                None,
+                None,
+                None,
+                "auto",
+                self.journal.last_seq(),
+                None,
+            )
         )
         blobs = self._serialize(replay)
         self._account_wire(replay, blobs)
@@ -470,7 +786,7 @@ class ProcessTransport(ShardTransport):
         return merge_snapshots(self._carry, live)
 
     def health(self) -> dict:
-        return {
+        health = {
             "transport": self.kind,
             "alive": self.process is not None and self.process.is_alive(),
             "restarts": self.restarts,
@@ -481,6 +797,8 @@ class ProcessTransport(ShardTransport):
             "deltas_forwarded": self.deltas_forwarded,
             "journal": self.journal.kind,
         }
+        health.update(self._resilience_health())
+        return health
 
 
 #: Built-in transports selectable by name (CLI ``--transport``).
@@ -525,7 +843,14 @@ def merge_snapshots(base: Optional[dict], snapshot: Optional[dict]) -> dict:
     if base is None:
         return dict(snapshot)
     merged = dict(snapshot)
-    for key in ("requests", "coalesced", "errors", "warm_hits", "cold_solves"):
+    for key in (
+        "requests",
+        "coalesced",
+        "errors",
+        "deadline_shed",
+        "warm_hits",
+        "cold_solves",
+    ):
         merged[key] = base.get(key, 0) + snapshot.get(key, 0)
     merged["engine"] = (
         EngineStats.from_dict(base.get("engine", {}))
@@ -543,17 +868,19 @@ def _shard_process_main(conn, shard_id: int, engine_factory) -> None:
     parent serializes once per op and bills register slices as
     ``snapshot_bytes``; replies go back as plain ``conn.send`` objects):
 
-    * ``("batch", blobs, fail_reply)`` -> ``("results", rows, snapshot)``
+    * ``("batch", blobs, crash_mode)`` -> ``("results", rows, snapshot)``
       where *blobs* are the pickled :data:`~repro.serving.shard.ShardOp`
       tuples, each row is ``(ok, payload, was_lazy)`` aligned with them,
       and *snapshot* is the core's cumulative counters (including its
       ``applied_seq`` write high-water);
     * ``("stop",)`` or EOF -> the process exits.
 
-    *fail_reply* is the crash-injection hook behind the at-least-once
-    regression tests: when set, the batch runs to completion -- writes
-    commit -- but the process exits without replying, exactly the
-    window where the retry path must not double-apply.
+    *crash_mode* is the fault-injection hook (see
+    :mod:`repro.serving.faults`): ``1`` runs the batch to completion --
+    writes commit -- then exits without replying (the commit-to-ack
+    window, where the retry path must not double-apply); ``2`` exits on
+    receipt, before the core sees the batch (a dropped delivery, where
+    the retry path *must* apply).
 
     Lazy falsifying-repair certificates are stripped before the reply is
     pickled (``was_lazy`` tells the router side to rehydrate against its
@@ -569,7 +896,12 @@ def _shard_process_main(conn, shard_id: int, engine_factory) -> None:
         if message[0] == "stop":
             conn.close()
             return
-        _, blobs, fail_reply = message
+        _, blobs, crash_mode = message
+        if crash_mode == 2:
+            # Drop injection: the delivery vanishes before the core
+            # sees it -- die without applying (or acking) anything.
+            conn.close()
+            os._exit(1)
         ops = [pickle.loads(blob) for blob in blobs]
         rows = []
         for ok, payload in core.run_batch(ops):
@@ -581,9 +913,9 @@ def _shard_process_main(conn, shard_id: int, engine_factory) -> None:
             if was_lazy:
                 payload.strip()
             rows.append((ok, payload, was_lazy))
-        if fail_reply:
-            # Crash injection: the writes above are committed; die in
-            # the commit-to-ack window without a reply.
+        if crash_mode:
+            # Crash injection (mode 1): the writes above are committed;
+            # die in the commit-to-ack window without a reply.
             conn.close()
             os._exit(1)
         reply = ("results", rows, core.snapshot())

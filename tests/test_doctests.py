@@ -23,8 +23,10 @@ MODULE_NAMES = [
     "repro.fo.rewriting",
     "repro.queries.generalized",
     "repro.queries.path_query",
+    "repro.serving.faults",
     "repro.serving.server",
     "repro.serving.shard",
+    "repro.serving.supervision",
     "repro.serving.transport",
     "repro.solvers.state_cache",
     "repro.solvers.answers",

@@ -26,6 +26,7 @@ from repro.db.instance import DatabaseInstance
 from repro.engine import CertaintyEngine
 from repro.serving import (
     AsyncCertaintyServer,
+    RestartPolicy,
     ShardRequest,
     ShardWorker,
     SqliteJournalStore,
@@ -185,8 +186,9 @@ class TestCrashRetryExactlyOnce:
         core = ShardCore(0)
         rows = core.run_batch(
             [
-                ("register", "toy", _toy(), None, None, "auto", 1),
-                ("delta", "toy", None, Delta.removing(("X", 2, 3)), "RRX", "auto", 2),
+                ("register", "toy", _toy(), None, None, "auto", 1, None),
+                ("delta", "toy", None, Delta.removing(("X", 2, 3)), "RRX",
+                 "auto", 2, None),
             ]
         )
         assert all(ok for ok, _ in rows)
@@ -195,8 +197,9 @@ class TestCrashRetryExactlyOnce:
         # Redelivery of both writes: skipped, registry object untouched.
         rows = core.run_batch(
             [
-                ("register", "toy", _toy(), None, None, "auto", 1),
-                ("delta", "toy", None, Delta.removing(("X", 2, 3)), "RRX", "auto", 2),
+                ("register", "toy", _toy(), None, None, "auto", 1, None),
+                ("delta", "toy", None, Delta.removing(("X", 2, 3)), "RRX",
+                 "auto", 2, None),
             ]
         )
         assert all(ok for ok, _ in rows)
@@ -204,7 +207,7 @@ class TestCrashRetryExactlyOnce:
         assert rows[1][1].answer is False  # the read half is still served
         # A seal op advances the high-water without touching residents.
         (ok, sealed), = core.run_batch(
-            [("seal", None, None, None, None, "auto", 9)]
+            [("seal", None, None, None, None, "auto", 9, None)]
         )
         assert ok and sealed == 9
         assert core.applied_seq == 9
@@ -215,7 +218,14 @@ class TestRecoveryAccounting:
     the replacement child fails too."""
 
     def test_twice_failing_child_counts_one_recovery(self):
-        worker = ShardWorker(0, transport="process")
+        # Zero backoff: the double failure trips the breaker, and the
+        # next batch must be an *immediate* half-open probe (with the
+        # default backoff it would be shed / served degraded instead).
+        worker = ShardWorker(
+            0,
+            transport="process",
+            restart_policy=RestartPolicy(backoff_base=0.0),
+        )
         try:
             first = ShardRequest("solve", name="toy", query="RRX")
             worker.execute(
