@@ -1,0 +1,77 @@
+"""Scenario-matrix cells as benchmarks: verified work per unit time.
+
+Each benchmark runs one representative cell of the scenario matrix
+(:mod:`repro.scenarios`) -- a seeded instance family through a real
+execution path -- and records the wall time alongside the differential
+verification counts in ``extra_info``, so ``BENCH_scenarios.json``
+carries both the performance trajectory *and* the evidence that every
+answered request was re-decided by the independent oracle
+(``tools/bench_report.py`` surfaces the ``verified m/n`` note per row).
+
+A cell that answers nothing, mismatches the oracle, or diverges from
+the client-side replay fails the benchmark -- timing a wrong answer is
+worse than no benchmark at all.
+
+``REPRO_BENCH_QUICK=1`` (the CI smoke job) keeps the quick scale and
+skips the serve-process cell, whose subprocess cold start would dwarf
+the measured work.
+"""
+
+import os
+
+import pytest
+
+from repro.scenarios import default_chaos_spec, run_cell
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+SCALE = "quick" if QUICK else "full"
+
+CELLS = [
+    ("paper", "batch", False),
+    ("random", "stream", False),
+    ("gadget", "batch", False),
+    ("firehose", "stream", False),
+    ("planted", "serve-thread", False),
+    ("random", "serve-thread", True),  # chaos-armed serving cell
+]
+if not QUICK:
+    CELLS.append(("paper", "serve-process", False))
+
+
+@pytest.mark.parametrize(
+    "family,mode,chaos",
+    CELLS,
+    ids=["{}:{}{}".format(f, m, "+chaos" if c else "") for f, m, c in CELLS],
+)
+def test_bench_scenario_cell(benchmark, family, mode, chaos):
+    spec = default_chaos_spec(7) if chaos else None
+    records = []
+
+    def run():
+        records.append(
+            run_cell(family, mode, seed=7, scale=SCALE, chaos=spec)
+        )
+        return records[-1]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record = records[-1]
+    assert record.answered > 0
+    assert record.verified == record.answered
+    assert record.mismatches == []
+    assert record.final_ok is not False
+    benchmark.extra_info.update(
+        {
+            "family": record.family,
+            "mode": record.mode,
+            "seed": record.seed,
+            "scale": record.scale,
+            "chaos": record.chaos,
+            "requests": record.requests,
+            "answered": record.answered,
+            "verified": record.verified,
+            "routes": dict(record.route_mix),
+            "notes": "verified {}/{}".format(
+                record.verified, record.answered
+            ),
+        }
+    )

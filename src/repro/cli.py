@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro serve --journal sqlite:state.db --workload reqs.txt
     python -m repro bench-serve --shards 4 --requests 240
     python -m repro bench-serve --cpu-bound --shards 4
+    python -m repro scenarios --cells "paper:batch,gadget:*" --seed 7
+    python -m repro scenarios --chaos --out BENCH_scenarios.json
     python -m repro answers RR --triples "R,0,1;R,1,2;R,2,3"
     python -m repro atlas
     python -m repro report --trials 10
@@ -30,6 +32,10 @@ sqlite:PATH`` residents are durable: a later ``serve`` on the same path
 restores them from the log, no ``--instance`` flags needed.
 ``bench-serve`` runs the mixed-workload benchmark comparing shard-warm
 serving against per-call solves.  See ``docs/serving.md``.
+
+``scenarios`` runs the differential scenario matrix: seeded instance
+families crossed with execution modes, every answered request re-decided
+by the independent reference oracle.  See ``docs/scenarios.md``.
 """
 
 from __future__ import annotations
@@ -415,6 +421,98 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0 if report["agrees"] else 1
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        FAMILIES,
+        MODES,
+        default_chaos_spec,
+        default_matrix,
+        parse_cells,
+        run_matrix,
+        write_report,
+    )
+
+    if args.list:
+        table = Table(["axis", "name", "description"])
+        for name in FAMILIES:
+            table.add_row(["family", name, FAMILIES[name].description])
+        for name in MODES:
+            table.add_row(["mode", name, MODES[name].description])
+        print(table.render())
+        return 0
+
+    if args.cells:
+        cells = parse_cells(args.cells)
+    else:
+        spec = "{}:{}".format(
+            args.families or "*", args.modes or "*"
+        )
+        cells = (
+            default_matrix()
+            if spec == "*:*"
+            else parse_cells(
+                ",".join(
+                    "{}:{}".format(f.strip(), m.strip())
+                    for f in (args.families or "*").split(",")
+                    for m in (args.modes or "*").split(",")
+                )
+            )
+        )
+    chaos = args.chaos
+    if chaos == "":  # bare --chaos: the default seeded schedule
+        chaos = default_chaos_spec(args.seed)
+
+    table = Table(
+        ["cell", "req", "answered", "verified", "mism", "errors",
+         "final", "routes", "wall"]
+    )
+
+    def progress(record):
+        table.add_row(
+            [
+                record.cell,
+                record.requests,
+                record.answered,
+                record.verified,
+                len(record.mismatches),
+                sum(record.errors.values()),
+                {True: "ok", False: "DIVERGED", None: "-"}[record.final_ok],
+                ",".join(
+                    "{}:{}".format(k, v)
+                    for k, v in record.route_mix.items()
+                ),
+                "{:.2f}s".format(record.wall_seconds),
+            ]
+        )
+
+    records = run_matrix(
+        cells,
+        seed=args.seed,
+        scale=args.scale,
+        chaos=chaos,
+        progress=progress,
+    )
+    print(table.render())
+    mismatched = sum(len(r.mismatches) for r in records)
+    diverged = sum(1 for r in records if r.final_ok is False)
+    print(
+        "{} cells, {} answered, {} verified, {} mismatches, "
+        "{} replay divergences".format(
+            len(records),
+            sum(r.answered for r in records),
+            sum(r.verified for r in records),
+            mismatched,
+            diverged,
+        )
+    )
+    if args.out:
+        write_report(
+            args.out, records, include_timing=not args.canonical
+        )
+        print("wrote {}".format(args.out))
+    return 0 if not mismatched and not diverged else 1
+
+
 def _cmd_answers(args: argparse.Namespace) -> int:
     db = _load_instance(args)
     if args.position == "head":
@@ -608,6 +706,62 @@ def build_parser() -> argparse.ArgumentParser:
         "per-request outcome buckets (shard-warm workload only)",
     )
     bench_serve_parser.set_defaults(handler=_cmd_bench_serve)
+
+    scenarios_parser = commands.add_parser(
+        "scenarios",
+        help="run the differentially-verified scenario matrix "
+        "(families x modes)",
+    )
+    scenarios_parser.add_argument(
+        "--cells",
+        default=None,
+        metavar="SPEC",
+        help="comma list of family:mode cells; '*' wildcards either side "
+        "(default: the full matrix)",
+    )
+    scenarios_parser.add_argument(
+        "--families",
+        default=None,
+        metavar="LIST",
+        help="comma list of families to run (crossed with --modes)",
+    )
+    scenarios_parser.add_argument(
+        "--modes",
+        default=None,
+        metavar="LIST",
+        help="comma list of modes to run (crossed with --families)",
+    )
+    scenarios_parser.add_argument("--seed", type=int, default=0)
+    scenarios_parser.add_argument(
+        "--scale", default="quick", choices=["quick", "full"]
+    )
+    scenarios_parser.add_argument(
+        "--chaos",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="SPEC",
+        help="arm the fault plan on serving cells; bare --chaos uses the "
+        "default seeded schedule",
+    )
+    scenarios_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the BENCH_scenarios.json payload to FILE",
+    )
+    scenarios_parser.add_argument(
+        "--canonical",
+        action="store_true",
+        help="strip wall times and volatile counters from --out so the "
+        "payload is byte-identical for a fixed seed",
+    )
+    scenarios_parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered families and modes, run nothing",
+    )
+    scenarios_parser.set_defaults(handler=_cmd_scenarios)
 
     answers_parser = commands.add_parser(
         "answers", help="certain answers of the unary query q(x)"

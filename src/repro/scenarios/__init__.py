@@ -1,0 +1,68 @@
+"""Scenario matrix: instance families x execution modes, differentially
+verified.
+
+The harness crosses seeded instance families (paper figures, random
+graphs, planted paths, coNP hardness gadgets, firehose delta streams)
+with the system's real entry points (``solve_batch``, ``solve_delta``
+chains, the async server on thread and process transports, optionally
+under chaos), and re-decides every answered request through an
+independent reference oracle.  See ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.families import (
+    FAMILIES,
+    FOUR_CLASS_QUERIES,
+    FamilySpec,
+    Workload,
+    build_workload,
+)
+from repro.scenarios.matrix import (
+    SMOKE_CELLS,
+    CellRecord,
+    default_chaos_spec,
+    default_matrix,
+    parse_cells,
+    run_cell,
+    run_matrix,
+)
+from repro.scenarios.modes import MODES, ModeOutcome, ModeSpec
+from repro.scenarios.oracle import (
+    DEFAULT_REPAIR_LIMIT,
+    AnsweredRequest,
+    Mismatch,
+    check_read_outcomes,
+    reference_answer,
+    verify_answers,
+)
+from repro.scenarios.report import (
+    matrix_report,
+    render_report,
+    write_report,
+)
+
+__all__ = [
+    "AnsweredRequest",
+    "CellRecord",
+    "DEFAULT_REPAIR_LIMIT",
+    "FAMILIES",
+    "FOUR_CLASS_QUERIES",
+    "FamilySpec",
+    "MODES",
+    "Mismatch",
+    "ModeOutcome",
+    "ModeSpec",
+    "SMOKE_CELLS",
+    "Workload",
+    "build_workload",
+    "check_read_outcomes",
+    "default_chaos_spec",
+    "default_matrix",
+    "matrix_report",
+    "parse_cells",
+    "reference_answer",
+    "render_report",
+    "run_cell",
+    "run_matrix",
+    "verify_answers",
+    "write_report",
+]

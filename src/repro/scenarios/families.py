@@ -1,0 +1,254 @@
+"""The matrix's instance-family axis: seeded workload builders.
+
+A **family** turns ``(seed, scale)`` into a :class:`Workload`: named
+base instances, the queries asked of each, and a per-instance ordered
+stream of :class:`~repro.db.delta.Delta` update batches.  Every mode
+(:mod:`repro.scenarios.modes`) runs the same workload shape, so a cell
+is exactly "this family's traffic through that execution path".
+
+Families deliberately stress different routes of the tetrachotomy:
+
+* ``paper`` -- the figure/example instances the paper's claims are
+  pinned to, perturbed by short seeded delta streams;
+* ``random`` -- seeded :func:`~repro.workloads.generators.random_instance`
+  graphs over the four-class alphabet;
+* ``planted`` -- instances with planted query paths plus conflicting
+  noise (balanced yes/no answers);
+* ``gadget`` -- coNP hardness gadgets
+  (:func:`~repro.workloads.generators.hardness_gadget_instance`) that
+  force the SAT route with known ground truth;
+* ``firehose`` -- modest bases under long seeded delta streams (the
+  update path is the workload).
+
+All randomness flows through one ``random.Random(seed)`` per build, so
+the same seed reproduces the same workload bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.db.delta import Delta
+from repro.db.instance import DatabaseInstance
+from repro.workloads.generators import (
+    firehose_stream,
+    hardness_gadget_instance,
+    planted_instance,
+    random_instance,
+)
+from repro.workloads.paper_instances import (
+    example5_instance,
+    figure2_instance,
+    figure3_instance,
+    figure6_instance,
+    intro_rr_fo_instance,
+)
+
+#: One query per route of the tetrachotomy (FO, NL-complete,
+#: PTIME-complete, coNP-complete) over the shared scenario alphabet.
+FOUR_CLASS_QUERIES: Tuple[str, ...] = ("RXRX", "RRX", "RXRYRY", "ARRX")
+
+#: The gadget family's coNP query (head symbol never recurs).
+GADGET_QUERY = "ARRX"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One family's traffic: residents, per-resident queries and deltas."""
+
+    family: str
+    seed: int
+    scale: str
+    instances: Dict[str, DatabaseInstance]
+    queries: Dict[str, Tuple[str, ...]]
+    deltas: Dict[str, Tuple[Delta, ...]] = field(default_factory=dict)
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self.instances)
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """A registered family: its name, blurb, and seeded builder."""
+
+    name: str
+    description: str
+    build: Callable[[int, str], Workload]
+
+
+def _sizes(scale: str) -> Dict[str, int]:
+    """Per-scale knobs; ``quick`` keeps smoke cells in CI budget."""
+    if scale == "quick":
+        return {"instances": 2, "facts": 12, "constants": 5, "deltas": 3}
+    if scale == "full":
+        return {"instances": 3, "facts": 22, "constants": 7, "deltas": 6}
+    raise ValueError("unknown scale {!r} (use 'quick' or 'full')".format(scale))
+
+
+def _stream(
+    rng: random.Random, db: DatabaseInstance, n: int
+) -> Tuple[Delta, ...]:
+    return tuple(firehose_stream(rng, db, n, max_edits=2))
+
+
+def build_paper_family(seed: int, scale: str = "quick") -> Workload:
+    """The paper's figure/example instances under seeded perturbation."""
+    rng = random.Random(seed)
+    size = _sizes(scale)
+    picks = [
+        ("figure2", figure2_instance(), ("RRX", "RR")),
+        ("figure3", figure3_instance(), ("ARRX", "RRX")),
+        ("figure6", figure6_instance(), ("RRX", "RXRX")),
+        ("example5", example5_instance(), ("RRX", "RR")),
+        ("intro_rr", intro_rr_fo_instance(), ("RR", "RRX")),
+    ]
+    if scale == "quick":
+        picks = picks[:3]
+    instances = {name: db for name, db, _ in picks}
+    queries = {name: qs for name, _, qs in picks}
+    deltas = {
+        name: _stream(rng, instances[name], size["deltas"])
+        for name in sorted(instances)
+    }
+    return Workload("paper", seed, scale, instances, queries, deltas)
+
+
+def build_random_family(seed: int, scale: str = "quick") -> Workload:
+    """Seeded random graphs over the four-class alphabet."""
+    rng = random.Random(seed)
+    size = _sizes(scale)
+    instances = {
+        "rand{}".format(i): random_instance(
+            rng,
+            size["constants"],
+            size["facts"],
+            ("A", "R", "X", "Y"),
+            conflict_rate=0.5,
+        )
+        for i in range(size["instances"])
+    }
+    queries = {name: FOUR_CLASS_QUERIES for name in instances}
+    deltas = {
+        name: _stream(rng, instances[name], size["deltas"])
+        for name in sorted(instances)
+    }
+    return Workload("random", seed, scale, instances, queries, deltas)
+
+
+def build_planted_family(seed: int, scale: str = "quick") -> Workload:
+    """Planted query paths plus conflicting noise, one per route."""
+    rng = random.Random(seed)
+    size = _sizes(scale)
+    instances: Dict[str, DatabaseInstance] = {}
+    queries: Dict[str, Tuple[str, ...]] = {}
+    for i, query in enumerate(FOUR_CLASS_QUERIES):
+        if scale == "quick" and i >= 2:
+            break
+        name = "plant_{}".format(query.lower())
+        instances[name] = planted_instance(
+            rng,
+            query,
+            n_constants=size["constants"],
+            n_paths=2,
+            n_noise_facts=size["facts"] // 2,
+            conflict_rate=0.5,
+        )
+        queries[name] = (query, "RRX") if query != "RRX" else (query, "RXRX")
+    deltas = {
+        name: _stream(rng, instances[name], size["deltas"])
+        for name in sorted(instances)
+    }
+    return Workload("planted", seed, scale, instances, queries, deltas)
+
+
+def build_gadget_family(seed: int, scale: str = "quick") -> Workload:
+    """coNP hardness gadgets with a balanced yes/no mix."""
+    rng = random.Random(seed)
+    size = _sizes(scale)
+    branches = 3 if scale == "quick" else 5
+    instances: Dict[str, DatabaseInstance] = {}
+    for i in range(size["instances"]):
+        # Alternate provable "yes" (>= 1 straight branch) and "no"
+        # (all bifurcated) gadgets; the rng shuffles the internals.
+        n_straight = rng.randint(1, branches) if i % 2 == 0 else 0
+        instances["gadget{}".format(i)] = hardness_gadget_instance(
+            rng, branches, n_straight, query=GADGET_QUERY
+        )
+    queries = {name: (GADGET_QUERY, "RRX") for name in instances}
+    deltas = {
+        name: _stream(rng, instances[name], size["deltas"])
+        for name in sorted(instances)
+    }
+    return Workload("gadget", seed, scale, instances, queries, deltas)
+
+
+def build_firehose_family(seed: int, scale: str = "quick") -> Workload:
+    """Small bases, long update streams: the delta path is the workload."""
+    rng = random.Random(seed)
+    size = _sizes(scale)
+    n_deltas = 8 if scale == "quick" else 20
+    instances = {
+        "hose{}".format(i): random_instance(
+            rng,
+            size["constants"],
+            max(6, size["facts"] // 2),
+            ("A", "R", "X", "Y"),
+            conflict_rate=0.4,
+        )
+        for i in range(size["instances"])
+    }
+    queries = {name: FOUR_CLASS_QUERIES for name in instances}
+    deltas = {
+        name: tuple(
+            firehose_stream(rng, instances[name], n_deltas, max_edits=3)
+        )
+        for name in sorted(instances)
+    }
+    return Workload("firehose", seed, scale, instances, queries, deltas)
+
+
+#: The family axis, in display order.
+FAMILIES: Dict[str, FamilySpec] = {
+    spec.name: spec
+    for spec in (
+        FamilySpec(
+            "paper",
+            "paper figures/examples under seeded perturbation",
+            build_paper_family,
+        ),
+        FamilySpec(
+            "random",
+            "seeded random graphs over the four-class alphabet",
+            build_random_family,
+        ),
+        FamilySpec(
+            "planted",
+            "planted query paths plus conflicting noise",
+            build_planted_family,
+        ),
+        FamilySpec(
+            "gadget",
+            "coNP hardness gadgets (SAT route, known ground truth)",
+            build_gadget_family,
+        ),
+        FamilySpec(
+            "firehose",
+            "long seeded delta streams over small bases",
+            build_firehose_family,
+        ),
+    )
+}
+
+
+def build_workload(family: str, seed: int, scale: str = "quick") -> Workload:
+    """Build *family*'s workload for ``(seed, scale)``."""
+    if family not in FAMILIES:
+        raise ValueError(
+            "unknown family {!r} (have: {})".format(
+                family, ", ".join(sorted(FAMILIES))
+            )
+        )
+    return FAMILIES[family].build(seed, scale)

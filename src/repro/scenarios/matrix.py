@@ -1,0 +1,223 @@
+"""The scenario matrix: instance families x execution modes, verified.
+
+A **cell** is one ``(family, mode)`` pair.  Running a cell builds the
+family's seeded workload, executes it through the mode, and hands every
+answered request to the differential oracle
+(:mod:`repro.scenarios.oracle`); the result is a :class:`CellRecord` --
+answers verified, route mix, wall time, shed/restart counters -- the
+unit the per-cell benchmarks and ``BENCH_scenarios.json`` aggregate.
+
+>>> record = run_cell("paper", "batch", seed=7)
+>>> record.cell
+'paper:batch'
+>>> record.mismatches
+[]
+>>> record.answered == record.verified > 0
+True
+
+The default matrix is the full cross product (>= 16 cells); subsets are
+named ``family:mode`` with ``*`` wildcards, e.g. ``"gadget:*"`` or
+``"*:serve-thread"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.scenarios.families import FAMILIES, build_workload
+from repro.scenarios.modes import MODES, ModeOutcome
+from repro.scenarios.oracle import (
+    DEFAULT_REPAIR_LIMIT,
+    Mismatch,
+    verify_answers,
+)
+
+#: The four cells tier-1 CI smoke-runs (one per mode, families varied).
+SMOKE_CELLS: Tuple[Tuple[str, str], ...] = (
+    ("paper", "batch"),
+    ("random", "stream"),
+    ("planted", "serve-thread"),
+    ("gadget", "batch"),
+)
+
+
+def default_chaos_spec(seed: int) -> str:
+    """The ``--chaos`` schedule armed on serving cells: crashes after
+    commit, duplicated deliveries, and delays, all seeded."""
+    return (
+        "crash:every=5,times=2;dup:every=6,times=2;"
+        "delay:seconds=0.05,every=7,times=2;seed={}".format(seed)
+    )
+
+
+@dataclass
+class CellRecord:
+    """One cell's outcome: what ran, what was verified, what it cost."""
+
+    family: str
+    mode: str
+    seed: int
+    scale: str
+    chaos: Optional[str]
+    requests: int
+    answered: int
+    verified: int
+    mismatches: List[Mismatch]
+    route_mix: Dict[str, int]
+    errors: Dict[str, int]
+    wall_seconds: float
+    counters: Dict[str, object] = field(default_factory=dict)
+    final_ok: Optional[bool] = None
+
+    @property
+    def cell(self) -> str:
+        return "{}:{}".format(self.family, self.mode)
+
+    @property
+    def ok(self) -> bool:
+        """Differentially clean: every answer verified, replay matched."""
+        return not self.mismatches and self.final_ok is not False
+
+    def as_dict(self, include_timing: bool = True) -> Dict[str, object]:
+        """A JSON-ready dict; without *include_timing* only fields that
+        are bit-for-bit reproducible for a seed remain (the canonical
+        form the determinism test byte-compares)."""
+        payload: Dict[str, object] = {
+            "cell": self.cell,
+            "family": self.family,
+            "mode": self.mode,
+            "seed": self.seed,
+            "scale": self.scale,
+            "chaos": self.chaos,
+            "requests": self.requests,
+            "answered": self.answered,
+            "verified": self.verified,
+            "mismatches": [m.as_dict() for m in self.mismatches],
+            "route_mix": dict(self.route_mix),
+            "errors": dict(self.errors),
+            "final_ok": self.final_ok,
+        }
+        if include_timing:
+            payload["wall_seconds"] = self.wall_seconds
+            payload["counters"] = dict(self.counters)
+        return payload
+
+
+def default_matrix() -> List[Tuple[str, str]]:
+    """Every family crossed with every mode, in display order."""
+    return [(family, mode) for family in FAMILIES for mode in MODES]
+
+
+def parse_cells(spec: str) -> List[Tuple[str, str]]:
+    """Parse ``"paper:batch,gadget:*,*:stream"`` into cell pairs.
+
+    Each comma-separated entry is ``family:mode``; either side may be
+    ``*``.  Order follows the spec, duplicates are dropped.
+    """
+    cells: List[Tuple[str, str]] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        family, sep, mode = chunk.partition(":")
+        if not sep:
+            raise ValueError(
+                "cell {!r} is not of the form family:mode".format(chunk)
+            )
+        families = sorted(FAMILIES) if family == "*" else [family]
+        modes = sorted(MODES) if mode == "*" else [mode]
+        for f in families:
+            if f not in FAMILIES:
+                raise ValueError(
+                    "unknown family {!r} (have: {})".format(
+                        f, ", ".join(sorted(FAMILIES))
+                    )
+                )
+            for m in modes:
+                if m not in MODES:
+                    raise ValueError(
+                        "unknown mode {!r} (have: {})".format(
+                            m, ", ".join(sorted(MODES))
+                        )
+                    )
+                if (f, m) not in cells:
+                    cells.append((f, m))
+    if not cells:
+        raise ValueError("empty cell spec")
+    return cells
+
+
+def run_cell(
+    family: str,
+    mode: str,
+    seed: int = 0,
+    scale: str = "quick",
+    chaos: Optional[str] = None,
+    repair_limit: int = DEFAULT_REPAIR_LIMIT,
+) -> CellRecord:
+    """Run one cell and differentially verify every answered request.
+
+    *chaos* (a ``--chaos`` spec string) is armed only on modes that
+    support it (the serving modes); engine-direct modes record
+    ``chaos=None``.  Verification never samples: every answered request
+    is re-decided by the oracle on its committed instance.
+    """
+    if mode not in MODES:
+        raise ValueError(
+            "unknown mode {!r} (have: {})".format(
+                mode, ", ".join(sorted(MODES))
+            )
+        )
+    spec = MODES[mode]
+    workload = build_workload(family, seed, scale)
+    armed = chaos if spec.supports_chaos else None
+    outcome: ModeOutcome = spec.run(workload, chaos=armed)
+    mismatches = verify_answers(outcome.answered, repair_limit=repair_limit)
+    answered = len(outcome.answered)
+    errored = sum(outcome.errors.values())
+    return CellRecord(
+        family=family,
+        mode=mode,
+        seed=seed,
+        scale=scale,
+        chaos=armed,
+        requests=answered + errored,
+        answered=answered,
+        verified=answered - len(mismatches),
+        mismatches=mismatches,
+        route_mix=outcome.route_mix,
+        errors=dict(outcome.errors),
+        wall_seconds=outcome.wall_seconds,
+        counters=dict(outcome.counters),
+        final_ok=outcome.final_ok,
+    )
+
+
+def run_matrix(
+    cells: Optional[Iterable[Tuple[str, str]]] = None,
+    seed: int = 0,
+    scale: str = "quick",
+    chaos: Optional[str] = None,
+    repair_limit: int = DEFAULT_REPAIR_LIMIT,
+    progress=None,
+) -> List[CellRecord]:
+    """Run *cells* (default: the full matrix) and return their records.
+
+    *progress*, when given, is called with each finished
+    :class:`CellRecord` -- the CLI uses it to stream the table.
+    """
+    records: List[CellRecord] = []
+    for family, mode in cells if cells is not None else default_matrix():
+        record = run_cell(
+            family,
+            mode,
+            seed=seed,
+            scale=scale,
+            chaos=chaos,
+            repair_limit=repair_limit,
+        )
+        records.append(record)
+        if progress is not None:
+            progress(record)
+    return records

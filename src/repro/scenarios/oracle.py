@@ -1,0 +1,166 @@
+"""The differential reference oracle every matrix cell answers to.
+
+A scenario cell is only evidence if something *independent* checks it:
+the serving stack under test routes answers through compiled plans,
+compact kernels, maintained fixpoint states, shard transports, and
+journals -- precisely the machinery a regression would live in.  The
+oracle therefore re-decides every answered request on the relevant
+*committed* instance through a disjoint code path:
+
+* **brute force** (repair enumeration, the semantic definition) whenever
+  the instance has at most *repair_limit* repairs;
+* the **object-plane SAT encoding** otherwise -- no interners, no
+  compact views, no incremental state, sound and complete for every
+  complexity class.
+
+The same oracle backs three consumers with one code path (so a bug in
+the cross-check cannot hide in a private copy):
+
+* the scenario matrix (:mod:`repro.scenarios.matrix`) verifies every
+  answered request of every cell through :func:`verify_answers`;
+* ``tests/test_chaos.py`` verifies chaos-run read bursts through
+  :func:`check_read_outcomes`;
+* the hypothesis delta-chain properties in ``tests/test_properties.py``
+  call :func:`reference_answer` directly.
+
+>>> from repro.db.instance import DatabaseInstance
+>>> db = DatabaseInstance.from_triples(
+...     [("R", 0, 1), ("R", 1, 2), ("X", 2, 3)])
+>>> reference_answer(db, "RRX")
+True
+>>> verify_answers([AnsweredRequest("toy", "RRX", False, "nl", db)])
+[Mismatch(name='toy', query='RRX', got=False, want=True)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.db.instance import DatabaseInstance
+from repro.db.repairs import count_repairs
+from repro.solvers.brute_force import certain_answer_brute_force
+from repro.solvers.sat_encoding import certain_answer_sat
+from repro.words.word import Word, WordLike
+
+#: Above this many repairs the oracle switches from enumeration to the
+#: object-plane SAT encoding (still independent of everything the matrix
+#: exercises, just not the literal semantic definition).
+DEFAULT_REPAIR_LIMIT = 512
+
+
+def reference_answer(
+    db: DatabaseInstance,
+    query: WordLike,
+    repair_limit: int = DEFAULT_REPAIR_LIMIT,
+) -> bool:
+    """Independent ground truth for CERTAINTY(*query*) on *db*."""
+    word = Word.coerce(query)
+    if count_repairs(db) <= repair_limit:
+        return certain_answer_brute_force(db, word, repair_limit=None).answer
+    return certain_answer_sat(db, word).answer
+
+
+@dataclass(frozen=True)
+class AnsweredRequest:
+    """One answered request plus the committed instance it must match.
+
+    *expected_db* is the client-side replay of the instance at the
+    moment the answer was read: the base instance for static solves,
+    the committed chain state for delta steps, the final state for
+    post-write read bursts.
+    """
+
+    name: str
+    query: str
+    answer: bool
+    method: str
+    expected_db: DatabaseInstance
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """A differentially-wrong answer: the cell said *got*, truth is *want*."""
+
+    name: str
+    query: str
+    got: bool
+    want: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "query": self.query,
+            "got": self.got,
+            "want": self.want,
+        }
+
+
+def verify_answers(
+    answered: Iterable[AnsweredRequest],
+    repair_limit: int = DEFAULT_REPAIR_LIMIT,
+) -> List[Mismatch]:
+    """Re-decide every answered request; return the disagreements.
+
+    Distinct requests frequently share one committed instance (a read
+    burst against the final state), so reference answers are memoized
+    per ``(instance, query)`` within the call.
+    """
+    memo: Dict[Tuple[int, str], bool] = {}
+    keepalive: Dict[int, DatabaseInstance] = {}
+    mismatches: List[Mismatch] = []
+    for request in answered:
+        key = (id(request.expected_db), request.query)
+        keepalive[id(request.expected_db)] = request.expected_db
+        if key not in memo:
+            memo[key] = reference_answer(
+                request.expected_db, request.query, repair_limit=repair_limit
+            )
+        if request.answer != memo[key]:
+            mismatches.append(
+                Mismatch(
+                    name=request.name,
+                    query=request.query,
+                    got=request.answer,
+                    want=memo[key],
+                )
+            )
+    return mismatches
+
+
+def check_read_outcomes(
+    outcomes: Iterable[object],
+    db: DatabaseInstance,
+    query: WordLike,
+    allowed: Tuple[type, ...] = (),
+    repair_limit: int = DEFAULT_REPAIR_LIMIT,
+) -> Dict[str, object]:
+    """The chaos-run cross-check: answers match the reference, errors
+    are typed.
+
+    *outcomes* is a gathered result list (``return_exceptions=True``
+    style): each entry is either a
+    :class:`~repro.solvers.result.CertaintyResult` -- whose answer must
+    equal :func:`reference_answer` on the committed instance *db* -- or
+    an exception, which must be an instance of one of the *allowed*
+    types (a request may be shed, never answered wrongly and never
+    hung).  Raises :class:`AssertionError` on the first violation;
+    returns ``{"reference", "answered", "errors"}`` counts otherwise.
+    """
+    reference = reference_answer(db, query, repair_limit=repair_limit)
+    answered = errors = 0
+    for outcome in outcomes:
+        if isinstance(outcome, BaseException):
+            if not isinstance(outcome, tuple(allowed)):
+                raise AssertionError(
+                    "disallowed error from read: {!r}".format(outcome)
+                )
+            errors += 1
+        else:
+            if outcome.answer is not reference:
+                raise AssertionError(
+                    "read answered {} but the reference on the committed "
+                    "instance says {}".format(outcome.answer, reference)
+                )
+            answered += 1
+    return {"reference": reference, "answered": answered, "errors": errors}

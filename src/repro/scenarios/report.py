@@ -1,0 +1,104 @@
+"""Serialize matrix runs into the repo's shared benchmark format.
+
+``BENCH_scenarios.json`` carries two sections:
+
+* ``benchmarks`` -- one pytest-benchmark-compatible entry per cell
+  (``name="family:mode"``, wall time in ``stats``, verification counts
+  in ``extra_info``), so :mod:`tools.bench_report` folds scenario cells
+  into ``BENCH_report.md`` next to the kernel and serving benches;
+* ``scenarios`` -- the full :class:`~repro.scenarios.matrix.CellRecord`
+  dicts, for humans and the determinism test.
+
+With ``include_timing=False`` the payload drops wall times and volatile
+counters (micro-batch shapes, coalescing, warm/cold splits vary with
+scheduling), leaving the **canonical form**: for a fixed seed two runs
+of the same deterministic cells serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.scenarios.matrix import CellRecord
+
+
+def cell_benchmark_entry(
+    record: CellRecord, include_timing: bool = True
+) -> Dict[str, object]:
+    """One pytest-benchmark-style entry for *record*."""
+    wall = record.wall_seconds if include_timing else 0.0
+    extra: Dict[str, object] = {
+        "family": record.family,
+        "mode": record.mode,
+        "seed": record.seed,
+        "scale": record.scale,
+        "chaos": record.chaos,
+        "requests": record.requests,
+        "answered": record.answered,
+        "verified": record.verified,
+        "mismatches": len(record.mismatches),
+        "routes": dict(record.route_mix),
+        "notes": "verified {}/{}".format(record.verified, record.answered),
+    }
+    if record.final_ok is not None:
+        extra["final_ok"] = record.final_ok
+    return {
+        "name": "scenario[{}]".format(record.cell),
+        "fullname": "scenarios::{}".format(record.cell),
+        "group": "scenarios",
+        "stats": {
+            "min": wall,
+            "max": wall,
+            "mean": wall,
+            "stddev": 0.0,
+            "rounds": 1,
+            "median": wall,
+            "iterations": 1,
+        },
+        "extra_info": extra,
+    }
+
+
+def matrix_report(
+    records: Iterable[CellRecord], include_timing: bool = True
+) -> Dict[str, object]:
+    """The full ``BENCH_scenarios.json`` payload for *records*."""
+    records = list(records)
+    return {
+        "machine_info": {"harness": "repro.scenarios"},
+        "benchmarks": [
+            cell_benchmark_entry(r, include_timing=include_timing)
+            for r in records
+        ],
+        "scenarios": {
+            "cells": [
+                r.as_dict(include_timing=include_timing) for r in records
+            ],
+            "totals": {
+                "cells": len(records),
+                "requests": sum(r.requests for r in records),
+                "answered": sum(r.answered for r in records),
+                "verified": sum(r.verified for r in records),
+                "mismatches": sum(len(r.mismatches) for r in records),
+            },
+        },
+    }
+
+
+def render_report(
+    records: Iterable[CellRecord], include_timing: bool = True
+) -> str:
+    """The canonical JSON text (sorted keys, 2-space indent, ``\\n``
+    line ends) -- byte-comparable across runs when timing is stripped."""
+    payload = matrix_report(records, include_timing=include_timing)
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def write_report(
+    path: str, records: Iterable[CellRecord], include_timing: bool = True
+) -> None:
+    """Write :func:`render_report` to *path*."""
+    text = render_report(records, include_timing=include_timing)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

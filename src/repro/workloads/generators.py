@@ -15,8 +15,9 @@ seed always reproduces the same instance.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence
+from typing import Hashable, Iterable, List, Optional, Sequence
 
+from repro.db.delta import Delta
 from repro.db.facts import Fact
 from repro.db.instance import DatabaseInstance
 from repro.words.word import Word, WordLike
@@ -113,6 +114,127 @@ def planted_instance(
         facts.append(Fact(relation, key, rng.choice(constants)))
         existing_keys.append((relation, key))
     return DatabaseInstance(facts)
+
+
+def hardness_gadget_instance(
+    rng: random.Random,
+    n_branches: int,
+    n_straight: int,
+    query: WordLike = "ARRX",
+) -> DatabaseInstance:
+    """A seeded coNP hardness gadget with *provable* ground truth.
+
+    Scales the Figure 3 bifurcation to *n_branches* branches, each
+    hanging off its own root.  A **straight** branch is a conflict-free
+    exact ``q``-path, so every repair satisfies the query through it; a
+    **bifurcated** branch forks after the head into a conflicting block
+    whose one side completes ``q`` exactly and whose other side is one
+    symbol too long (the rewound language's trap).  A repair that picks
+    the long side in *every* bifurcated branch falsifies ``q``, hence::
+
+        CERTAINTY(q) holds  iff  n_straight >= 1
+
+    (and an empty gadget is a "no"), which the scenario oracle
+    cross-checks by brute force.  The query's first symbol must not
+    recur in its tail, and the tail must not be one repeated symbol (as
+    in ``ARRX``), so the long side can never complete an exact path.
+    The rng only shuffles which branches are straight and the fact
+    order -- the answer depends on the counts alone.
+    """
+    q = Word.coerce(query)
+    if len(q) < 3:
+        raise ValueError("the gadget needs a query of length >= 3")
+    if q[0] in list(q)[1:]:
+        raise ValueError(
+            "the head symbol must not recur in the tail (got {})".format(q)
+        )
+    if list(q)[2:] == list(q)[1:-1]:
+        raise ValueError(
+            "the tail must not be one repeated symbol (got {})".format(q)
+        )
+    if not 0 <= n_straight <= n_branches:
+        raise ValueError("need 0 <= n_straight <= n_branches")
+    from repro.reductions.gadgets import FreshConstants, phi
+
+    fresh = FreshConstants(prefix="g")
+    straight = set(rng.sample(range(n_branches), n_straight))
+    facts: List[Fact] = []
+    for branch in range(n_branches):
+        a = fresh()
+        facts.append(Fact(q[0], "root{}".format(branch), a))
+        if branch in straight:
+            facts.extend(phi(Word(list(q)[1:]), a, None, fresh))
+        else:
+            b, c = fresh(), fresh()
+            facts.append(Fact(q[1], a, b))  # the conflicting block {.
+            facts.append(Fact(q[1], a, c))  # .}
+            facts.extend(phi(Word(list(q)[2:]), b, None, fresh))
+            facts.extend(phi(Word(list(q)[1:]), c, None, fresh))
+    rng.shuffle(facts)
+    return DatabaseInstance(facts)
+
+
+def firehose_stream(
+    rng: random.Random,
+    base: DatabaseInstance,
+    n_deltas: int,
+    max_edits: int = 2,
+    insert_rate: float = 0.6,
+    alphabet: Optional[Sequence[str]] = None,
+    constants: Optional[Sequence[Hashable]] = None,
+) -> List[Delta]:
+    """A seeded stream of :class:`~repro.db.delta.Delta` update batches.
+
+    Each delta holds 1..*max_edits* edits; inserts draw fresh
+    ``(relation, key, value)`` facts over *alphabet* x *constants*
+    (defaulting to the base instance's own relations and active domain),
+    removes pick currently-live facts.  The stream tracks the evolving
+    fact set, so edits are never no-ops: an insert is always a new fact,
+    a remove always hits a live one.  The same ``(rng state, base)``
+    reproduces the same stream -- the determinism the scenario matrix
+    pins bit-for-bit.
+    """
+    if alphabet is None:
+        alphabet = sorted({fact.relation for fact in base.facts}) or ["R"]
+    else:
+        alphabet = list(alphabet)
+    if constants is None:
+        constants = list(base.sorted_adom()) or [0, 1, 2]
+    else:
+        constants = list(constants)
+    live = set(base.facts)
+    ordered = sorted(live, key=str)
+    deltas: List[Delta] = []
+    for _ in range(n_deltas):
+        removes: List[Fact] = []
+        inserts: List[Fact] = []
+        touched: set = set()
+        for _ in range(rng.randint(1, max_edits)):
+            if ordered and (rng.random() >= insert_rate or len(live) <= 1):
+                candidates = [f for f in ordered if f not in touched]
+                if not candidates:
+                    continue
+                fact = rng.choice(candidates)
+                removes.append(fact)
+                touched.add(fact)
+            else:
+                for _ in range(16):
+                    fact = Fact(
+                        rng.choice(alphabet),
+                        rng.choice(constants),
+                        rng.choice(constants),
+                    )
+                    if fact not in live and fact not in touched:
+                        inserts.append(fact)
+                        touched.add(fact)
+                        break
+        if not removes and not inserts:
+            continue
+        deltas.append(Delta(removes=tuple(removes), inserts=tuple(inserts)))
+        live.difference_update(removes)
+        live.update(inserts)
+        ordered = sorted(live, key=str)
+    return deltas
 
 
 def chain_instance(

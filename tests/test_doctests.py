@@ -23,6 +23,8 @@ MODULE_NAMES = [
     "repro.fo.rewriting",
     "repro.queries.generalized",
     "repro.queries.path_query",
+    "repro.scenarios.matrix",
+    "repro.scenarios.oracle",
     "repro.serving.faults",
     "repro.serving.server",
     "repro.serving.shard",

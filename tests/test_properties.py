@@ -13,6 +13,8 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.classification.classifier import ComplexityClass, classify
 from repro.db.evaluation import path_query_satisfied
 from repro.db.repairs import count_repairs, iter_repairs
+from repro.engine import CertaintyEngine
+from repro.scenarios.oracle import reference_answer
 from repro.solvers.brute_force import certain_answer_brute_force
 from repro.solvers.certainty import certain_answer
 from repro.solvers.fixpoint import (
@@ -22,7 +24,7 @@ from repro.solvers.fixpoint import (
 )
 from repro.solvers.sat_encoding import certain_answer_sat
 from repro.words.word import Word
-from repro.workloads.generators import random_instance
+from repro.workloads.generators import firehose_stream, random_instance
 
 
 words = st.text(alphabet="RX", min_size=1, max_size=5).map(Word)
@@ -125,6 +127,53 @@ class TestFixpointSemantics:
         minimal = accepted_start_constants(r_star, q)
         for repair in iter_repairs(db):
             assert minimal <= accepted_start_constants(repair, q)
+
+
+class TestDeltaChains:
+    """Random insert/delete chains through the incremental engine.
+
+    One query per route of the tetrachotomy (FO, NL-complete,
+    PTIME-complete, coNP-complete): at every step of a seeded
+    :func:`firehose_stream` chain, ``solve_delta`` must agree with a
+    cold full re-solve on the committed instance *and* with the
+    independent scenario oracle.
+    """
+
+    chain_settings = settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.data_too_large,
+        ],
+    )
+
+    @chain_settings
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.sampled_from(("RXRX", "RRX", "RXRYRY", "ARRX")),
+    )
+    def test_chain_matches_full_resolve_and_oracle(self, seed, q):
+        rng = random.Random(seed)
+        db = random_instance(
+            rng,
+            rng.randint(3, 5),
+            rng.randint(4, 10),
+            ("A", "R", "X", "Y"),
+            0.5,
+        )
+        deltas = firehose_stream(
+            rng, db, rng.randint(1, 4), max_edits=2
+        )
+        engine = CertaintyEngine()
+        # Prime the maintained state so the chain exercises the
+        # incremental path rather than a sequence of cold solves.
+        engine.solve(db, q)
+        for delta in deltas:
+            chained = engine.solve_delta(db, delta, q).answer
+            db = delta.apply_to(db).commit()
+            assert chained == CertaintyEngine().solve(db, q).answer
+            assert chained == reference_answer(db, q)
 
 
 class TestMonotonicity:

@@ -56,6 +56,7 @@ def load_records(path: str) -> Optional[List[Dict]]:
     records = []
     for bench in benchmarks:
         stats = bench.get("stats", {})
+        extra = bench.get("extra_info") or {}
         records.append(
             {
                 "family": family,
@@ -63,6 +64,7 @@ def load_records(path: str) -> Optional[List[Dict]]:
                 "min": stats.get("min"),
                 "mean": stats.get("mean"),
                 "rounds": stats.get("rounds"),
+                "notes": extra.get("notes", ""),
             }
         )
     return records
@@ -71,14 +73,14 @@ def load_records(path: str) -> Optional[List[Dict]]:
 def render_table(records: List[Dict]) -> str:
     """The merged trajectory as a markdown table."""
     lines = [
-        "| family | benchmark | min | mean | rounds |",
-        "| --- | --- | ---: | ---: | ---: |",
+        "| family | benchmark | min | mean | rounds | notes |",
+        "| --- | --- | ---: | ---: | ---: | --- |",
     ]
     for record in sorted(
         records, key=lambda r: (r["family"], str(r["test"]))
     ):
         lines.append(
-            "| {} | {} | {} | {} | {} |".format(
+            "| {} | {} | {} | {} | {} | {} |".format(
                 record["family"],
                 record["test"],
                 _format_seconds(record["min"])
@@ -88,6 +90,7 @@ def render_table(records: List[Dict]) -> str:
                 if record["mean"] is not None
                 else "-",
                 record["rounds"] if record["rounds"] is not None else "-",
+                record.get("notes") or "",
             )
         )
     return "\n".join(lines)
