@@ -1,0 +1,187 @@
+"""E18: the price of replication -- silent shipping, failover latency.
+
+The replicated journal tier (``repro.serving.replication``) puts an
+op-log-shipping layer between the server and its durable journal.  The
+headline gate pins what that layer costs when armed but silent: the
+identical stamped write stream through a bare sqlite journal (the PR 6
+path) and through a ``ReplicatedJournalStore`` with an armed, empty
+journal fault plan must stay within <= 5% of each other (alternating
+passes, min-of-N on both arms so a noisy box cannot fake a fail in
+either direction).
+
+The trajectory rows are the two cold-start paths and the failover
+window: opening a server on a replicated journal whose follower is
+already caught up (replica-warm -- the post-failover restart path) vs
+the PR 6 fresh sqlite replay of the same resident, and
+time-to-first-answer across a mid-traffic primary failover (injected
+``write_error``, follower promoted, the interrupted write retried).
+Not gates -- the CI ``bench-smoke`` job records them as
+``BENCH_replication.json`` and ``tools/bench_report.py`` folds them
+into ``BENCH_report.md``.  Answers and promotion counters are asserted
+along the way, so a row cannot silently measure a primary that never
+died.
+
+``REPRO_BENCH_QUICK=1`` shrinks the workloads for the CI smoke job; the
+<= 5% ceiling is the acceptance bound either way.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.serving import AsyncCertaintyServer, ReplicatedJournalStore
+from repro.serving.bench import (
+    run_failover_benchmark,
+    run_replication_overhead_benchmark,
+)
+from repro.serving.journal import SqliteJournalStore
+from repro.workloads.generators import chain_instance
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+OVERHEAD_CEILING = 0.05
+NUM_RESIDENTS = 4 if QUICK else 8
+N_OPS = 120 if QUICK else 400
+PASSES = 5
+
+QUERY = "RXRYRY"
+REPETITIONS = 120 if QUICK else 500
+FAILOVER_REPETITIONS = 60 if QUICK else 200
+NUM_SHARDS = 2
+
+
+def test_bench_replication_overhead_ceiling():
+    """An armed-but-silent replicated journal costs <= 5% over bare sqlite.
+
+    Best of three full comparisons: each already alternates bare and
+    replicated passes and takes the per-arm minimum, so one comparison
+    surviving under the ceiling is evidence the shipping layer itself
+    is cheap (sustained noise can only push the measured overhead
+    *up*).  The replica must also end the stream fully caught up with
+    zero failovers, or the cheap run measured the wrong thing.
+    """
+    best = None
+    for _pass in range(3):
+        report = run_replication_overhead_benchmark(
+            num_residents=NUM_RESIDENTS,
+            n_ops=N_OPS,
+            passes=PASSES,
+        )
+        assert report["agrees"], "replicated state diverged from bare"
+        assert report["failovers"] == 0, report
+        if best is None or report["overhead"] < best["overhead"]:
+            best = report
+        if best["overhead"] <= OVERHEAD_CEILING / 2:
+            break
+    assert best["overhead"] <= OVERHEAD_CEILING, (
+        "expected <= {:.0%} armed-but-silent replication overhead, "
+        "measured {:.1%} (bare {:.4f}s vs replicated {:.4f}s over {} "
+        "ops)".format(
+            OVERHEAD_CEILING,
+            best["overhead"],
+            best["bare_seconds"],
+            best["replicated_seconds"],
+            best["ops"],
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def resident():
+    return chain_instance(QUERY, repetitions=REPETITIONS, conflict_every=3)
+
+
+@pytest.fixture(scope="module")
+def expected(resident):
+    async def fresh():
+        async with AsyncCertaintyServer(num_shards=NUM_SHARDS) as server:
+            await server.register("big", resident)
+            return (await server.solve("big", QUERY)).answer
+
+    return asyncio.run(fresh())
+
+
+def test_bench_replica_warm_cold_start(
+    benchmark, tmp_path_factory, resident, expected
+):
+    """Open a server on a caught-up replicated journal and serve the
+    first solve -- the restart path after a failover, where the
+    follower was warmed by tailing instead of client re-registration."""
+    root = tmp_path_factory.mktemp("replicated")
+    seed = ReplicatedJournalStore(
+        "sqlite:{}".format(root / "primary.db"),
+        ("sqlite:{}".format(root / "follower.db"),),
+    )
+    seed.register(0, "big", resident, seq=1)
+    seed.flush()
+    assert all(r["lag"] == 0 for r in seed.health()["replication"]["replicas"])
+    seed.close()
+
+    def cold_start():
+        async def go():
+            async with AsyncCertaintyServer(
+                num_shards=NUM_SHARDS,
+                journal_store="replicated:sqlite:{0};sqlite:{1}".format(
+                    root / "primary.db", root / "follower.db"
+                ),
+            ) as server:
+                assert server.stats()["journal"]["residents"] == 1
+                return (await server.solve("big", QUERY)).answer
+
+        assert asyncio.run(go()) is expected
+
+    benchmark.pedantic(cold_start, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_bench_fresh_sqlite_replay(
+    benchmark, tmp_path_factory, resident, expected
+):
+    """The PR 6 baseline: replay the same resident from a bare sqlite
+    journal (no shipping layer) and serve the same solve."""
+    path = tmp_path_factory.mktemp("bare") / "journal.db"
+    seed = SqliteJournalStore(path)
+    seed.register(0, "big", resident, seq=1)
+    seed.close()
+
+    def cold_start():
+        async def go():
+            async with AsyncCertaintyServer(
+                num_shards=NUM_SHARDS,
+                journal_store="sqlite:{}".format(path),
+            ) as server:
+                assert server.stats()["journal"]["residents"] == 1
+                return (await server.solve("big", QUERY)).answer
+
+        assert asyncio.run(go()) is expected
+
+    benchmark.pedantic(cold_start, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("transport", ["thread", "process"])
+def test_bench_failover_time_to_first_answer(benchmark, transport):
+    """Record time-to-first-answer across a primary failover, per
+    transport.
+
+    Not a gate -- a trajectory row.  Each round builds a fresh server
+    on a two-replica sqlite topology, kills the primary store with a
+    one-shot ``write_error`` under a mid-traffic delta, and the
+    recorded window is that doomed write through the next answered
+    read: fault, ship-out, promotion, retried write, re-served
+    request.  The promotion counter and injected-fault tally are
+    asserted, so the row cannot silently measure a primary that never
+    died.
+    """
+
+    def failover():
+        report = run_failover_benchmark(
+            repetitions=FAILOVER_REPETITIONS, transport=transport
+        )
+        assert report["answers_agree"], "post-failover answers diverged"
+        assert report["failovers"] == 1, report
+        assert report["injected"] == {"write_error": 1}, report
+        assert report["promoted"] == "sqlite", report
+        return report["ttfa_seconds"]
+
+    rounds = 2 if QUICK else 3
+    benchmark.pedantic(failover, rounds=rounds, iterations=1, warmup_rounds=0)

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro serve --instance orders=db1.txt --workload reqs.txt
     python -m repro serve --transport process --instance orders=db1.txt ...
     python -m repro serve --journal sqlite:state.db --workload reqs.txt
+    python -m repro serve --journal "replicated:sqlite:a.db;sqlite:b.db" ...
     python -m repro bench-serve --shards 4 --requests 240
     python -m repro bench-serve --cpu-bound --shards 4
     python -m repro scenarios --cells "paper:batch,gadget:*" --seed 7
@@ -29,7 +30,10 @@ layer (:mod:`repro.serving`): named instances become shard residents,
 ``solve``/``delta`` lines are admitted concurrently, and per-shard
 warm/cold statistics are reported at the end.  With ``--journal
 sqlite:PATH`` residents are durable: a later ``serve`` on the same path
-restores them from the log, no ``--instance`` flags needed.
+restores them from the log, no ``--instance`` flags needed.  With
+``--journal replicated:PRIMARY;FOLLOWER,...`` follower replicas tail
+the primary's op log and the most-caught-up one is promoted when the
+primary fails (provoke it with ``--journal-chaos``).
 ``bench-serve`` runs the mixed-workload benchmark comparing shard-warm
 serving against per-call solves.  See ``docs/serving.md``.
 
@@ -228,6 +232,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             max_in_flight=args.max_in_flight,
             faults=args.chaos,
+            journal_faults=args.journal_chaos,
         ) as server:
             for name, db in sorted(instances.items()):
                 await server.register(name, db)
@@ -287,17 +292,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     "; ".join(faults["rules"]) or "(none)",
                 )
             )
+        journal_faults = stats.get("journal_faults", {})
+        if journal_faults.get("armed"):
+            print(
+                "journal-faults: seed={} injected={} rules={}".format(
+                    journal_faults["seed"],
+                    journal_faults["injected"] or "{}",
+                    "; ".join(journal_faults["rules"]) or "(none)",
+                )
+            )
         journal = stats["journal"]
         print(
             "journal: store={} residents={} ops={} log_rows={} "
-            "compactions={}".format(
+            "compactions={} truncated_ops={}".format(
                 journal["store"],
                 journal.get("residents", 0),
                 journal.get("ops", 0),
                 journal.get("log_rows", 0),
                 journal.get("compactions", 0),
+                journal.get("truncated_ops", 0),
             )
         )
+        replication = journal.get("replication")
+        if replication:
+            print(
+                "replication: primary={} failovers={} followers_lost={} "
+                "ship_every={} replicas=[{}]".format(
+                    replication["primary"],
+                    replication["failovers"],
+                    replication["followers_lost"],
+                    replication["ship_every"],
+                    ", ".join(
+                        "{}:lag={}".format(r["kind"], r["lag"])
+                        for r in replication["replicas"]
+                    ),
+                )
+            )
         for shard in stats["shards"]:
             if not shard["requests"]:
                 continue
@@ -625,10 +655,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--journal",
         default=None,
-        metavar="{memory,sqlite:PATH}",
-        help="durable journal store: 'memory' (lost on exit) or "
+        metavar="SPEC",
+        help="durable journal store: 'memory' (lost on exit), "
         "'sqlite:PATH' (residents survive a restart; a reopened server "
-        "needs no --instance re-registration)",
+        "needs no --instance re-registration), 'kv:memory' / 'kv:DIR' "
+        "(journal over the minimal key-value interface), or "
+        "'replicated:PRIMARY;FOLLOWER[,FOLLOWER...]' (each side any of "
+        "the above: read replicas tail the primary's op log and the "
+        "most-caught-up one is promoted when the primary fails)",
     )
     serve_parser.add_argument(
         "--timeout",
@@ -660,6 +694,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm the deterministic fault plan, e.g. "
         "'crash:every=5;delay:seconds=0.01,p=0.2;seed=7' "
         "(kinds: crash, drop, delay, dup)",
+    )
+    serve_parser.add_argument(
+        "--journal-chaos",
+        default=None,
+        metavar="SPEC",
+        help="arm a separate fault plan against the replicated "
+        "journal's primary writes (requires --journal replicated:...), "
+        "e.g. 'write_error:every=5,times=2;seed=0' "
+        "(kinds: write_error, torn_write, stall)",
     )
     serve_parser.add_argument(
         "--stats", action="store_true", help="print admission and shard stats"

@@ -17,7 +17,14 @@ system's real entry points:
   write waves, then a duplicated read burst (coalescing) and a final
   ``get_instance`` cross-check against the client-side replay.  Both
   accept an optional armed
-  :class:`~repro.serving.faults.FaultPlan` (``--chaos``).
+  :class:`~repro.serving.faults.FaultPlan` (``--chaos``);
+* ``serve-replicated`` -- the same traffic on the thread transport,
+  journaled through a
+  :class:`~repro.serving.replication.ReplicatedJournalStore` (one
+  primary, two followers).  Under chaos it additionally arms a
+  deterministic *journal* fault plan (``write_error`` + ``stall``), so
+  the cell's answers are oracle-verified straight through mid-traffic
+  primary failovers.
 
 Answers are *recorded*, never judged here -- the differential verdict
 belongs to :mod:`repro.scenarios.oracle`.
@@ -163,7 +170,20 @@ def _classify_error(error: BaseException) -> str:
     return "other_error"
 
 
-def _run_serve(workload: Workload, transport: str, chaos=None) -> ModeOutcome:
+#: The journal fault schedule the chaos-armed ``serve-replicated`` cell
+#: runs: two primary write failures (each forcing a follower promotion)
+#: plus two sub-millisecond stalls, seeded so every run injects the
+#: same schedule.  A *separate* plan from the transport ``--chaos``
+#: spec, so transport draws never consume journal budgets.
+REPLICATED_JOURNAL_CHAOS = (
+    "write_error:every=5,times=2;"
+    "stall:seconds=0.001,every=9,times=2;seed=0"
+)
+
+
+def _run_serve(
+    workload: Workload, transport: str, chaos=None, replicated: bool = False
+) -> ModeOutcome:
     """Multi-tenant traffic through the async server on *transport*.
 
     The schedule mixes tenants the way real traffic does: a read of
@@ -199,9 +219,13 @@ def _run_serve(workload: Workload, transport: str, chaos=None) -> ModeOutcome:
 
     async def scenario():
         options: Dict[str, object] = {}
+        if replicated:
+            options["journal_store"] = "replicated:memory;memory,memory"
+            if chaos is not None:
+                options["journal_faults"] = REPLICATED_JOURNAL_CHAOS
         if chaos is not None:
+            options.setdefault("journal_store", "memory")
             options.update(
-                journal_store="memory",
                 faults=chaos,
                 restart_policy=RestartPolicy(
                     max_restarts=64, backoff_base=0.0
@@ -285,8 +309,14 @@ def _run_serve(workload: Workload, transport: str, chaos=None) -> ModeOutcome:
         "overload_shed": stats["admission"].get("overload_shed", 0),
         "faults_injected": dict(stats["faults"].get("injected") or {}),
     }
+    if replicated:
+        replication = stats["journal"]["replication"]
+        counters["failovers"] = replication["failovers"]
+        counters["journal_faults_injected"] = dict(
+            stats["journal_faults"].get("injected") or {}
+        )
     return ModeOutcome(
-        "serve-" + transport,
+        "serve-replicated" if replicated else "serve-" + transport,
         answered,
         errors=errors,
         wall_seconds=wall,
@@ -301,6 +331,10 @@ def run_serve_thread(workload: Workload, chaos=None) -> ModeOutcome:
 
 def run_serve_process(workload: Workload, chaos=None) -> ModeOutcome:
     return _run_serve(workload, "process", chaos=chaos)
+
+
+def run_serve_replicated(workload: Workload, chaos=None) -> ModeOutcome:
+    return _run_serve(workload, "thread", chaos=chaos, replicated=True)
 
 
 #: The mode axis, in display order.
@@ -327,6 +361,13 @@ MODES: Dict[str, ModeSpec] = {
             "serve-process",
             "multi-tenant traffic through AsyncCertaintyServer (processes)",
             run_serve_process,
+            supports_chaos=True,
+        ),
+        ModeSpec(
+            "serve-replicated",
+            "serve-thread journaled through a replicated store; chaos "
+            "arms journal faults (mid-traffic primary failover)",
+            run_serve_replicated,
             supports_chaos=True,
         ),
     )

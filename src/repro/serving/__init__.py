@@ -29,8 +29,17 @@ micro-batches with a bounded added latency.
   :class:`JournalStore` records every registration and forwarded delta
   per shard (:class:`MemoryJournalStore` for the in-process default,
   :class:`SqliteJournalStore` for an append-only on-disk op log with
-  compaction), so a reopened server cold-starts its shards from the log
-  with zero client re-registration.
+  compaction, checksummed records and torn-tail recovery), so a
+  reopened server cold-starts its shards from the log with zero client
+  re-registration.
+* :mod:`repro.serving.replication` -- the replicated journal tier:
+  :class:`KVJournalStore` journals over a minimal key-value interface
+  (:class:`MemoryKV` / :class:`FileKV`), and
+  :class:`ReplicatedJournalStore` keeps one primary plus follower
+  replicas tailing its op log -- per-replica lag in ``health()``,
+  promotion of the most-caught-up follower on primary failure
+  (budgeted by a :class:`FailoverGuard`), and degraded reads answered
+  from the freshest caught-up replica.
 * :mod:`repro.serving.supervision` -- supervised restarts:
   :class:`RestartPolicy` (restart budget per rolling window,
   exponential backoff with deterministic jitter) and the per-shard
@@ -58,11 +67,25 @@ from repro.serving.faults import (
     make_fault_plan,
 )
 from repro.serving.journal import (
+    CorruptRecord,
     JournalStore,
     MemoryJournalStore,
     ShardJournal,
     SqliteJournalStore,
     make_journal_store,
+    pack_record,
+    unpack_record,
+)
+from repro.serving.replication import (
+    FileKV,
+    JournalFault,
+    JournalUnavailable,
+    KVBackend,
+    KVJournalStore,
+    MemoryKV,
+    ReplicatedJournalStore,
+    make_kv_journal_store,
+    make_replicated_journal_store,
 )
 from repro.serving.server import AsyncCertaintyServer
 from repro.serving.shard import (
@@ -77,7 +100,11 @@ from repro.serving.shard import (
     ShardWorker,
     stable_shard,
 )
-from repro.serving.supervision import CircuitBreaker, RestartPolicy
+from repro.serving.supervision import (
+    CircuitBreaker,
+    FailoverGuard,
+    RestartPolicy,
+)
 from repro.serving.transport import (
     ProcessTransport,
     ShardTransport,
@@ -89,13 +116,22 @@ from repro.serving.transport import (
 __all__ = [
     "AsyncCertaintyServer",
     "CircuitBreaker",
+    "CorruptRecord",
     "DeadlineExceeded",
     "EMPTY_DELTA",
+    "FailoverGuard",
     "FaultPlan",
     "FaultRule",
+    "FileKV",
+    "JournalFault",
     "JournalStore",
+    "JournalUnavailable",
+    "KVBackend",
+    "KVJournalStore",
     "MemoryJournalStore",
+    "MemoryKV",
     "ProcessTransport",
+    "ReplicatedJournalStore",
     "RestartPolicy",
     "ServerClosed",
     "ServerOverloaded",
@@ -111,6 +147,10 @@ __all__ = [
     "ThreadTransport",
     "make_fault_plan",
     "make_journal_store",
+    "make_kv_journal_store",
+    "make_replicated_journal_store",
     "make_transport",
+    "pack_record",
     "stable_shard",
+    "unpack_record",
 ]

@@ -26,14 +26,25 @@ Two resilience benchmarks back ``benchmarks/test_bench_resilience.py``:
 (the hook must be ~free when no fault fires), and
 :func:`run_recovery_benchmark` measures time-to-first-answer after an
 injected shard crash (supervised restart + journal replay + retry).
+
+Two replication benchmarks back ``benchmarks/test_bench_replication.py``:
+:func:`run_replication_overhead_benchmark` prices the replicated journal
+tier against the bare PR 6 sqlite journal on an identical write stream
+(armed but silent -- the ``<= 5%`` acceptance gate), and
+:func:`run_failover_benchmark` measures time-to-first-answer across a
+mid-traffic primary failover (injected journal ``write_error``,
+most-caught-up follower promoted, the interrupted write retried).
 """
 
 from __future__ import annotations
 
 import asyncio
+import tempfile
 import time
 from typing import Dict, List, Tuple
 
+from repro.db.delta import Delta
+from repro.db.facts import Fact
 from repro.db.instance import DatabaseInstance
 from repro.engine import CertaintyEngine
 from repro.serving.faults import FaultPlan, FaultRule, make_fault_plan
@@ -439,3 +450,149 @@ def run_recovery_benchmark(
         }
     finally:
         worker.stop()
+
+
+def run_replication_overhead_benchmark(
+    num_residents: int = 8,
+    n_ops: int = 400,
+    passes: int = 3,
+) -> Dict[str, object]:
+    """Price the replicated journal tier when armed but silent.
+
+    Two journal stores absorb the identical write stream -- stamped
+    registrations then round-robin stamped deltas: a **bare**
+    :class:`~repro.serving.journal.SqliteJournalStore` (the PR 6
+    journaling path) and a
+    :class:`~repro.serving.replication.ReplicatedJournalStore` over an
+    identical sqlite primary plus one memory follower, armed with an
+    empty journal :class:`FaultPlan` (the per-write draw runs, matches
+    nothing).  The replicated arm therefore pays the fault draw, the
+    in-RAM op log append, and the ``ship_every`` shipping cadence on
+    top of every sqlite write.  Per-op sqlite commits are noisy, so
+    the estimator compares *adjacent* timings: after one untimed
+    warm-up pass per arm, each pass times the bare arm then the
+    replicated arm back to back -- correlated disk conditions cancel
+    in the per-pass ratio -- and ``overhead`` is the best pairwise
+    ratio minus one (sustained noise can only push it *up*).  That is
+    the quantity the ``<= 5%`` acceptance gate in
+    ``benchmarks/test_bench_replication.py`` pins.
+    """
+    from repro.serving.journal import SqliteJournalStore
+    from repro.serving.replication import ReplicatedJournalStore
+
+    db = chain_instance("RXRX", repetitions=4, conflict_every=4)
+    names = ["res-{}".format(i) for i in range(num_residents)]
+    delta = Delta(inserts=(Fact("Z", "a", "b"),))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-repl-") as tmp:
+        bare = SqliteJournalStore("{}/bare.db".format(tmp))
+        replicated = ReplicatedJournalStore(
+            SqliteJournalStore("{}/primary.db".format(tmp)),
+            ("memory",),
+        )
+        replicated.arm(FaultPlan())
+        stores: Dict[str, object] = {"bare": bare, "replicated": replicated}
+        seqs = {"bare": 0, "replicated": 0}
+        times: Dict[str, List[float]] = {"bare": [], "replicated": []}
+        try:
+            for arm, store in stores.items():
+                for name in names:
+                    seqs[arm] += 1
+                    store.register(0, name, db, seq=seqs[arm])
+            # One untimed warm-up pass plus `passes` timed passes; the
+            # warm-up absorbs first-touch page allocation on both logs.
+            for timed_pass in range(passes + 1):
+                for arm, store in stores.items():
+                    start = time.perf_counter()
+                    for op in range(n_ops):
+                        seqs[arm] += 1
+                        store.delta(0, names[op % len(names)], delta,
+                                    seq=seqs[arm])
+                    if timed_pass:
+                        times[arm].append(time.perf_counter() - start)
+            replicated.flush()
+            health = replicated.health()
+            replication = health["replication"]
+            agrees = (
+                bare.last_seq(0) == replicated.last_seq(0)
+                and sorted(bare.residents(0))
+                == sorted(replicated.residents(0))
+                and all(r["lag"] == 0 for r in replication["replicas"])
+            )
+            failovers = replication["failovers"]
+        finally:
+            for store in stores.values():
+                store.close()
+
+    ratios = [r / b for b, r in zip(times["bare"], times["replicated"])]
+    best = min(range(passes), key=lambda i: ratios[i])
+    return {
+        "ops": n_ops,
+        "residents": num_residents,
+        "passes": passes,
+        "bare_seconds": times["bare"][best],
+        "replicated_seconds": times["replicated"][best],
+        "overhead": ratios[best] - 1.0,
+        "agrees": agrees,
+        "failovers": failovers,
+    }
+
+
+def run_failover_benchmark(
+    repetitions: int = 200,
+    transport: str = "thread",
+) -> Dict[str, object]:
+    """Time-to-first-answer across a mid-traffic primary failover.
+
+    One server on a ``replicated:`` journal (sqlite primary, sqlite
+    follower) with a one-shot ``write_error`` journal fault armed on
+    the second journal write: register a chain resident (write 0),
+    serve one warm solve, then commit a delta -- the journal write
+    fails, the follower is promoted, and the write retries on the new
+    primary, all inside the awaited ``solve_delta``.  The timed window
+    runs from issuing that doomed write to the first answered read
+    after it: fault, ship-out, promotion, retried write, re-served
+    request.  ``warm_after_seconds`` times one more solve on the
+    settled server; ``answers_agree`` checks the pre- and post-failover
+    answers match (the delta is empty, so the certain answer must not
+    move).  The promotion is asserted via the replication counters, so
+    the row cannot silently measure a primary that never died.
+    """
+    query = "RXRX"
+    db = chain_instance(query, repetitions=repetitions, conflict_every=4)
+
+    async def _scenario(tmp: str):
+        async with AsyncCertaintyServer(
+            num_shards=1,
+            transport=transport,
+            journal_store="replicated:sqlite:{0}/primary.db"
+                          ";sqlite:{0}/follower.db".format(tmp),
+            journal_faults="write_error:batch=1,times=1",
+        ) as server:
+            await server.register("db", db)
+            warm = await server.solve("db", query)
+            start = time.perf_counter()
+            await server.solve_delta("db", Delta(), query)
+            first = await server.solve("db", query)
+            ttfa = time.perf_counter() - start
+            start = time.perf_counter()
+            after = await server.solve("db", query)
+            warm_after = time.perf_counter() - start
+            stats = server.stats()
+            return warm, first, after, ttfa, warm_after, stats
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-failover-") as tmp:
+        warm, first, after, ttfa, warm_after, stats = asyncio.run(
+            _scenario(tmp)
+        )
+    replication = stats["journal"]["replication"]
+    return {
+        "transport": transport,
+        "repetitions": repetitions,
+        "ttfa_seconds": ttfa,
+        "warm_after_seconds": warm_after,
+        "answers_agree": warm.answer == first.answer == after.answer,
+        "failovers": replication["failovers"],
+        "promoted": replication["primary"],
+        "injected": dict(stats["journal_faults"]["injected"] or {}),
+    }

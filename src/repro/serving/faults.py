@@ -23,6 +23,22 @@ Fault kinds (what the transport does when a rule fires):
 * ``dup``   -- the batch is **delivered twice**; the second delivery's
   results are discarded and sequence numbers must shield the writes.
 
+Three further kinds target the **journal tier** rather than the wire
+(consulted by
+:class:`~repro.serving.replication.ReplicatedJournalStore` on primary
+writes, armed through ``AsyncCertaintyServer(journal_faults=...)`` /
+``--journal-chaos`` -- a *separate* plan from the transport one, so
+transport draws never consume journal rule budgets or vice versa):
+
+* ``write_error`` -- the primary store raises before applying the
+  write; the replicated store must fail over and retry with zero lost
+  committed writes.
+* ``torn_write``  -- like ``write_error``, but the primary's persistent
+  log is first torn (:meth:`~repro.serving.journal.JournalStore.tear`),
+  so a later reopen of that file exercises torn-tail recovery for real.
+* ``stall``       -- the primary write hangs for ``seconds`` before
+  proceeding (no failover, just latency).
+
 Rules select by shard, batch index (per-shard draw counter), op kind,
 ``every`` N-th batch, or probability ``p`` (seeded per ``(seed, kind,
 shard, batch)``, so probabilistic schedules replay too); ``times``
@@ -46,8 +62,14 @@ import random
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-#: Recognised fault kinds, in documentation order.
-FAULT_KINDS = ("crash", "drop", "delay", "dup")
+#: Recognised fault kinds, in documentation order.  Transport kinds
+#: first, journal kinds appended (append-only: probabilistic draws are
+#: seeded by each kind's index).
+FAULT_KINDS = ("crash", "drop", "delay", "dup", "write_error",
+               "torn_write", "stall")
+
+#: The kinds the replicated journal tier injects on primary writes.
+JOURNAL_FAULT_KINDS = ("write_error", "torn_write", "stall")
 
 _INT_KEYS = ("shard", "batch", "every", "times")
 _FLOAT_KEYS = ("seconds", "p")
@@ -84,8 +106,8 @@ class FaultRule:
       from the plan seed and the (shard, batch) coordinates.
     * ``times``   -- stop after this many total firings.
 
-    ``seconds`` is the stall length for ``delay`` rules (ignored
-    otherwise).
+    ``seconds`` is the stall length for ``delay`` / ``stall`` rules
+    (ignored otherwise).
     """
 
     def __init__(
@@ -179,7 +201,7 @@ class FaultRule:
             value = getattr(self, key)
             if value is not None:
                 parts.append("{}={}".format(key, value))
-        if self.kind == "delay":
+        if self.kind in ("delay", "stall"):
             parts.append("seconds={}".format(self.seconds))
         return ",".join(parts)
 

@@ -38,6 +38,30 @@ Together with the child-side skip in
 :meth:`repro.serving.shard.ShardCore.run_batch` this gives the serving
 layer at-least-once delivery with exactly-once effect.
 
+Persistent log records are **checksummed and length-prefixed**
+(:func:`pack_record` / :func:`unpack_record`): every payload carries a
+little-endian ``(length, crc32)`` header, so a torn write -- a crash
+mid-append, a truncated file, a flipped byte -- is *detected* on reopen
+instead of replayed as garbage.  Recovery truncates the log at the
+first corrupt or incomplete record, re-derives ``last_seq`` from the
+intact prefix, and counts the dropped tail as ``truncated_ops`` in
+:meth:`~JournalStore.health`.
+
+Two more backends live in :mod:`repro.serving.replication` (imported
+lazily by :func:`make_journal_store`): ``kv:`` journals over a minimal
+get/set/append key-value interface, and ``replicated:`` -- one primary
+plus follower replicas that tail the primary's op log, with promotion
+on primary failure.
+
+>>> blob = pack_record(b"payload")
+>>> unpack_record(blob)
+(b'payload', 15)
+>>> try:
+...     unpack_record(blob[:-2])
+... except CorruptRecord as torn:
+...     print(torn)
+record payload truncated (5 of 7 bytes)
+
 >>> store = MemoryJournalStore()
 >>> journal = store.shard(0)
 >>> from repro.db.instance import DatabaseInstance
@@ -52,13 +76,57 @@ layer at-least-once delivery with exactly-once effect.
 
 from __future__ import annotations
 
+import os
 import pickle
 import sqlite3
+import struct
 import threading
-from typing import Dict, Optional, Union
+import zlib
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.db.delta import Delta
 from repro.db.instance import DatabaseInstance
+
+#: Record header: little-endian payload length + crc32 of the payload.
+_FRAME = struct.Struct("<II")
+
+
+class CorruptRecord(ValueError):
+    """A log record failed its length or checksum check (torn tail)."""
+
+
+def pack_record(data: bytes) -> bytes:
+    """Frame *data* with the length + crc32 header for durable logs."""
+    return _FRAME.pack(len(data), zlib.crc32(data)) + data
+
+
+def unpack_record(buffer: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    """Read the framed record at *offset*; returns ``(data, end)``.
+
+    *end* is the offset one past the record, so concatenated frames (the
+    file-backed kv log) iterate by feeding it back in.  Raises
+    :class:`CorruptRecord` when the header or payload is incomplete or
+    the checksum does not match -- the torn-tail signal.
+    """
+    header_end = offset + _FRAME.size
+    if len(buffer) < header_end:
+        raise CorruptRecord(
+            "record header truncated ({} of {} bytes)".format(
+                len(buffer) - offset, _FRAME.size
+            )
+        )
+    length, crc = _FRAME.unpack_from(buffer, offset)
+    end = header_end + length
+    if len(buffer) < end:
+        raise CorruptRecord(
+            "record payload truncated ({} of {} bytes)".format(
+                len(buffer) - header_end, length
+            )
+        )
+    data = bytes(buffer[header_end:end])
+    if zlib.crc32(data) != crc:
+        raise CorruptRecord("record checksum mismatch")
+    return data, end
 
 
 class JournalStore:
@@ -105,6 +173,18 @@ class JournalStore:
         """
         raise NotImplementedError
 
+    def seal(self, shard_id: int, seq: int) -> None:
+        """Advance the shard's high-water mark to *seq* without an op.
+
+        The replication tier uses this after snapshot-shipping a
+        follower: the shipped snapshots already contain every write up
+        to the primary's high-water, so the follower's ``last_seq`` must
+        jump there in one step (stamping each snapshot would trip the
+        redelivery guard after the first).  A seal at or below the
+        current high-water is a no-op.
+        """
+        raise NotImplementedError
+
     # -- reads ---------------------------------------------------------
 
     def get(self, shard_id: int, name: str) -> Optional[DatabaseInstance]:
@@ -124,6 +204,15 @@ class JournalStore:
         routing table a reopened server pins before serving."""
         raise NotImplementedError
 
+    def read_snapshot(
+        self, shard_id: int, name: str
+    ) -> Optional[DatabaseInstance]:
+        """The freshest *available* snapshot of *name* -- the degraded-read
+        path.  The default is :meth:`get`; the replicated store overrides
+        it to fall back to the freshest caught-up replica when the
+        primary cannot answer."""
+        return self.get(shard_id, name)
+
     # -- maintenance ---------------------------------------------------
 
     def compact(self, shard_id: Optional[int] = None) -> int:
@@ -132,6 +221,13 @@ class JournalStore:
 
     def close(self) -> None:
         """Release resources; further writes may fail."""
+
+    def tear(self, shard_id: int = 0) -> None:
+        """Chaos hook: corrupt the tail of the shard's persistent log,
+        as a crash mid-append would.  Durable backends append a record
+        that fails its checksum; in-memory stores have no torn-tail
+        surface, so the default is a no-op.  Used by the ``torn_write``
+        journal fault (see :mod:`repro.serving.faults`)."""
 
     def health(self) -> dict:
         """Plain-data vitals for ``stats()`` / ``serve --stats``."""
@@ -161,8 +257,16 @@ class ShardJournal:
     def delta(self, name: str, delta: Delta, seq: int = 0) -> None:
         self.store.delta(self.shard_id, name, delta, seq)
 
+    def seal(self, seq: int) -> None:
+        self.store.seal(self.shard_id, seq)
+
     def get(self, name: str) -> Optional[DatabaseInstance]:
         return self.store.get(self.shard_id, name)
+
+    def read(self, name: str) -> Optional[DatabaseInstance]:
+        """The freshest available snapshot (degraded reads); see
+        :meth:`JournalStore.read_snapshot`."""
+        return self.store.read_snapshot(self.shard_id, name)
 
     def residents(self) -> Dict[str, DatabaseInstance]:
         return self.store.residents(self.shard_id)
@@ -209,6 +313,11 @@ class MemoryJournalStore(JournalStore):
             shard[name] = delta.apply_to(base).commit()
             self._bump(shard_id, seq)
 
+    def seal(self, shard_id, seq):
+        with self._lock:
+            if seq > self._seqs.get(shard_id, 0):
+                self._seqs[shard_id] = seq
+
     def _bump(self, shard_id: int, seq: int) -> None:
         self._ops += 1
         if seq > self._seqs.get(shard_id, 0):
@@ -245,6 +354,7 @@ class MemoryJournalStore(JournalStore):
                 "ops": self._ops,
                 "log_rows": 0,
                 "compactions": 0,
+                "truncated_ops": 0,
             }
 
 
@@ -253,23 +363,32 @@ class SqliteJournalStore(JournalStore):
 
     Log format (table ``journal``): one row per op, in append order
     (``id`` is the rowid), each carrying the shard, the op's sequence
-    number, the resident name, the row kind, and a pickled payload:
+    number, the resident name, the row kind, and a **framed** payload --
+    the pickled object wrapped by :func:`pack_record`, so every row
+    carries its own length and crc32:
 
     * ``kind='snapshot'`` -- a facts-only
       :class:`~repro.db.instance.DatabaseInstance` (a registration, or
       the folded result of compaction);
-    * ``kind='delta'`` -- a forwarded :class:`~repro.db.delta.Delta`.
+    * ``kind='delta'`` -- a forwarded :class:`~repro.db.delta.Delta`;
+    * ``kind='seal'`` -- a high-water advance with no payload (see
+      :meth:`JournalStore.seal`).
 
     Reopening a path replays the log in append order to rebuild the RAM
     view of folded snapshots -- reads (:meth:`get`, :meth:`residents`)
-    never touch the disk after that.  A registration deletes the name's
-    earlier rows (the snapshot supersedes them), and after
-    *compact_every* delta rows against one resident the resident's rows
-    are folded into a single snapshot row stamped with the shard's
-    high-water sequence, so log length tracks the resident set, not
-    history.  All methods serialize on one lock around one connection
-    (``check_same_thread=False``), which is plenty for per-shard
-    append traffic.
+    never touch the disk after that.  Replay is **defensive**: a record
+    that fails its checksum, a row sqlite cannot read back (a truncated
+    file loses whole pages), or an unreadable schema truncates the log
+    at the first bad record -- the intact prefix is kept (rewritten to a
+    fresh file when the old one is damaged), ``last_seq`` is re-derived
+    from it, and the dropped tail is counted as ``truncated_ops`` in
+    :meth:`health`.  A registration deletes the name's earlier rows (the
+    snapshot supersedes them), and after *compact_every* delta rows
+    against one resident the resident's rows are folded into a single
+    snapshot row stamped with the shard's high-water sequence, so log
+    length tracks the resident set, not history.  All methods serialize
+    on one lock around one connection (``check_same_thread=False``),
+    which is plenty for per-shard append traffic.
     """
 
     kind = "sqlite"
@@ -293,8 +412,6 @@ class SqliteJournalStore(JournalStore):
         self.path = str(path)
         self.compact_every = compact_every
         self._lock = threading.RLock()
-        self._conn = sqlite3.connect(self.path, check_same_thread=False)
-        self._conn.executescript(self._SCHEMA)
         self._snapshots: Dict[int, Dict[str, DatabaseInstance]] = {}
         self._seqs: Dict[int, int] = {}
         #: Delta rows in the log per (shard, name) since its last
@@ -302,25 +419,123 @@ class SqliteJournalStore(JournalStore):
         self._pending: Dict[tuple, int] = {}
         self._ops = 0
         self._compactions = 0
+        #: Ops dropped by torn-tail recovery on this open.
+        self._truncated_ops = 0
+        self._conn = None
+        try:
+            self._conn = sqlite3.connect(self.path, check_same_thread=False)
+            self._conn.executescript(self._SCHEMA)
+        except sqlite3.DatabaseError:
+            # The file's header or schema pages are unreadable: nothing
+            # row-wise can be salvaged, the whole log is the torn tail.
+            self._truncated_ops = 1
+            self._rebuild([])
         self._replay()
 
     def _replay(self) -> None:
-        """Rebuild the RAM view by folding the log in append order."""
-        cursor = self._conn.execute(
-            "SELECT shard, seq, name, kind, payload FROM journal ORDER BY id"
-        )
-        for shard_id, seq, name, kind, payload in cursor:
+        """Rebuild the RAM view by folding the log in append order.
+
+        Recovery contract: the log is folded up to the first record that
+        cannot be read back intact (checksum mismatch, torn frame,
+        unreadable row pages); everything from that record on is dropped
+        and counted, and a damaged file is rewritten from the intact
+        prefix so the next append lands on a sound log.
+        """
+        rows, dropped, damaged = self._scan_log()
+        if damaged:
+            self._truncated_ops += dropped
+            self._rebuild(rows)
+        for shard_id, seq, name, kind, obj, _data in rows:
             shard = self._snapshots.setdefault(shard_id, {})
             if kind == "snapshot":
-                shard[name] = pickle.loads(payload)
+                shard[name] = obj
                 self._pending[(shard_id, name)] = 0
-            else:
-                delta = pickle.loads(payload)
-                shard[name] = delta.apply_to(shard[name]).commit()
+            elif kind == "delta":
+                shard[name] = obj.apply_to(shard[name]).commit()
                 key = (shard_id, name)
                 self._pending[key] = self._pending.get(key, 0) + 1
+            # kind == "seal": no payload, only the seq bump below.
             if seq > self._seqs.get(shard_id, 0):
                 self._seqs[shard_id] = seq
+
+    def _scan_log(self):
+        """Read back every intact record: ``(rows, dropped, damaged)``.
+
+        *rows* are ``(shard, seq, name, kind, obj, data)`` tuples for
+        the intact prefix; *dropped* counts the records lost to the torn
+        tail (exact when sqlite can still enumerate the remaining rows,
+        a floor of 1 when it cannot); *damaged* says whether the file
+        needs rebuilding.
+        """
+        rows: List[tuple] = []
+        try:
+            cursor = self._conn.execute(
+                "SELECT shard, seq, name, kind, payload "
+                "FROM journal ORDER BY id"
+            )
+        except sqlite3.DatabaseError:
+            return rows, 1, True
+        while True:
+            try:
+                fetched = cursor.fetchone()
+            except sqlite3.DatabaseError:
+                # The row's pages are gone (truncated file).  The btree
+                # may still know the total row count; fall back to "at
+                # least one" when it does not.
+                return rows, max(1, self._count_rows() - len(rows)), True
+            if fetched is None:
+                return rows, 0, False
+            shard_id, seq, name, kind, payload = fetched
+            try:
+                data, end = unpack_record(payload)
+                if end != len(payload):
+                    raise CorruptRecord("trailing bytes after record")
+                obj = pickle.loads(data) if kind != "seal" else None
+            except Exception:
+                # First corrupt record: drop it and everything after.
+                dropped = 1
+                while True:
+                    try:
+                        if cursor.fetchone() is None:
+                            break
+                    except sqlite3.DatabaseError:
+                        break
+                    dropped += 1
+                return rows, dropped, True
+            rows.append((shard_id, seq, name, kind, obj, data))
+
+    def _count_rows(self) -> int:
+        try:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM journal"
+            ).fetchone()
+            return count
+        except sqlite3.DatabaseError:
+            return 0
+
+    def _rebuild(self, rows) -> None:
+        """Rewrite the log file from the intact prefix *rows*."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - best effort
+                pass
+        for suffix in ("", "-journal", "-wal", "-shm"):
+            try:
+                os.remove(self.path + suffix)
+            except OSError:
+                pass
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.executescript(self._SCHEMA)
+        self._conn.executemany(
+            "INSERT INTO journal (shard, seq, name, kind, payload) "
+            "VALUES (?, ?, ?, ?, ?)",
+            [
+                (shard_id, seq, name, kind, pack_record(data))
+                for shard_id, seq, name, kind, _obj, data in rows
+            ],
+        )
+        self._conn.commit()
 
     # -- writes --------------------------------------------------------
 
@@ -328,7 +543,9 @@ class SqliteJournalStore(JournalStore):
         with self._lock:
             if seq and seq <= self._seqs.get(shard_id, 0):
                 return
-            payload = pickle.dumps(db, protocol=pickle.HIGHEST_PROTOCOL)
+            payload = pack_record(
+                pickle.dumps(db, protocol=pickle.HIGHEST_PROTOCOL)
+            )
             # The fresh snapshot supersedes every earlier op for the name.
             self._conn.execute(
                 "DELETE FROM journal WHERE shard = ? AND name = ?",
@@ -355,7 +572,9 @@ class SqliteJournalStore(JournalStore):
                         shard_id, name
                     )
                 )
-            payload = pickle.dumps(delta, protocol=pickle.HIGHEST_PROTOCOL)
+            payload = pack_record(
+                pickle.dumps(delta, protocol=pickle.HIGHEST_PROTOCOL)
+            )
             self._conn.execute(
                 "INSERT INTO journal (shard, seq, name, kind, payload) "
                 "VALUES (?, ?, ?, 'delta', ?)",
@@ -368,6 +587,18 @@ class SqliteJournalStore(JournalStore):
             self._pending[key] = self._pending.get(key, 0) + 1
             if self._pending[key] >= self.compact_every:
                 self._compact_resident(shard_id, name)
+
+    def seal(self, shard_id, seq):
+        with self._lock:
+            if seq <= self._seqs.get(shard_id, 0):
+                return
+            self._conn.execute(
+                "INSERT INTO journal (shard, seq, name, kind, payload) "
+                "VALUES (?, ?, '', 'seal', ?)",
+                (shard_id, seq, pack_record(b"")),
+            )
+            self._conn.commit()
+            self._seqs[shard_id] = seq
 
     def _bump(self, shard_id: int, seq: int) -> None:
         self._ops += 1
@@ -382,7 +613,9 @@ class SqliteJournalStore(JournalStore):
         and reopening the log must recover the same :meth:`last_seq`.
         """
         db = self._snapshots[shard_id][name]
-        payload = pickle.dumps(db, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = pack_record(
+            pickle.dumps(db, protocol=pickle.HIGHEST_PROTOCOL)
+        )
         self._conn.execute(
             "DELETE FROM journal WHERE shard = ? AND name = ?",
             (shard_id, name),
@@ -436,6 +669,17 @@ class SqliteJournalStore(JournalStore):
             self._conn.commit()
             self._conn.close()
 
+    def tear(self, shard_id=0):
+        """Append a record that fails its checksum (chaos hook): the
+        next reopen of this path exercises torn-tail recovery for real."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO journal (shard, seq, name, kind, payload) "
+                "VALUES (?, 0, '', 'delta', ?)",
+                (shard_id, _FRAME.pack(2 ** 20, 0) + b"torn"),
+            )
+            self._conn.commit()
+
     def health(self):
         with self._lock:
             (log_rows,) = self._conn.execute(
@@ -451,21 +695,31 @@ class SqliteJournalStore(JournalStore):
                 "ops": self._ops,
                 "log_rows": log_rows,
                 "compactions": self._compactions,
+                "truncated_ops": self._truncated_ops,
             }
 
 
-#: Built-in stores selectable by name (CLI ``serve --journal``).
+#: Built-in stores selectable by name (CLI ``serve --journal``).  The
+#: replication module registers ``kv`` and ``replicated`` on import.
 JOURNAL_STORES = {
     "memory": MemoryJournalStore,
     "sqlite": SqliteJournalStore,
 }
 
+#: The full ``--journal`` spec grammar, quoted by rejection errors.
+SPEC_GRAMMAR = (
+    "memory | sqlite:PATH | kv:memory | kv:DIR | "
+    "replicated:PRIMARY;FOLLOWER[,FOLLOWER...]"
+)
+
 
 def make_journal_store(
     spec: Union[None, str, JournalStore],
 ) -> Optional[JournalStore]:
-    """Resolve *spec* to a store: ``None``, a store instance, ``"memory"``,
-    or ``"sqlite:PATH"``.
+    """Resolve *spec* to a store: ``None``, a store instance, or a spec
+    string from the grammar ``memory | sqlite:PATH | kv:memory | kv:DIR
+    | replicated:PRIMARY;FOLLOWER[,FOLLOWER...]`` (the ``replicated:``
+    sub-specs recurse through this same grammar).
 
     >>> make_journal_store(None) is None
     True
@@ -474,7 +728,8 @@ def make_journal_store(
     >>> make_journal_store("parchment")
     Traceback (most recent call last):
         ...
-    ValueError: unknown journal store 'parchment' (choose from memory, sqlite:PATH)
+    ValueError: unknown journal store spec 'parchment' (grammar: memory | \
+sqlite:PATH | kv:memory | kv:DIR | replicated:PRIMARY;FOLLOWER[,FOLLOWER...])
     """
     if spec is None or isinstance(spec, JournalStore):
         return spec
@@ -484,14 +739,26 @@ def make_journal_store(
         if spec.startswith("sqlite:"):
             path = spec[len("sqlite:"):]
             if not path:
-                raise ValueError("sqlite journal spec needs a path: sqlite:PATH")
+                raise ValueError(
+                    "sqlite journal spec needs a path: sqlite:PATH"
+                )
             return SqliteJournalStore(path)
+        if spec.startswith("kv:"):
+            from repro.serving.replication import make_kv_journal_store
+
+            return make_kv_journal_store(spec[len("kv:"):])
+        if spec.startswith("replicated:"):
+            from repro.serving.replication import (
+                make_replicated_journal_store,
+            )
+
+            return make_replicated_journal_store(spec[len("replicated:"):])
         raise ValueError(
-            "unknown journal store {!r} (choose from memory, sqlite:PATH)".format(
-                spec
+            "unknown journal store spec {!r} (grammar: {})".format(
+                spec, SPEC_GRAMMAR
             )
         )
     raise TypeError(
-        "journal store spec must be None, a name, or a JournalStore; "
-        "got {!r}".format(spec)
+        "journal store spec must be None, a spec string, or a "
+        "JournalStore; got {!r}".format(spec)
     )

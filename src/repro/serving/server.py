@@ -68,12 +68,17 @@ class AsyncCertaintyServer:
     :class:`~repro.serving.journal.MemoryJournalStore` across shards,
     and ``"sqlite:PATH"`` (or a
     :class:`~repro.serving.journal.SqliteJournalStore` instance) logs
-    every registration and delta to disk.  A server opened on a
-    non-empty store **cold-starts** from it: the durable residents are
-    re-pinned to their recorded shards before serving and replayed into
-    each shard on first use -- no client re-registration.  A store the
-    server built from a string spec is closed by :meth:`close`;
-    caller-supplied instances stay open.
+    every registration and delta to disk.  ``"kv:..."`` journals over
+    the minimal key-value interface and
+    ``"replicated:PRIMARY;FOLLOWER,..."`` adds read replicas tailing
+    the primary's op log with promotion on primary failure (see
+    :mod:`repro.serving.replication`).  A server opened on a non-empty
+    store **cold-starts** from it: the durable residents are re-pinned
+    to their recorded shards before serving and replayed into each
+    shard on first use -- no client re-registration.  A store the
+    server built from a string spec is closed by :meth:`close`
+    (a replicated store closes its own string-built sub-stores the same
+    way); caller-supplied instances stay open.
 
     Resilience (all optional; see :mod:`repro.serving.supervision` and
     :mod:`repro.serving.faults`):
@@ -94,6 +99,11 @@ class AsyncCertaintyServer:
     * ``faults`` arms a deterministic
       :class:`~repro.serving.faults.FaultPlan` (or a ``--chaos`` spec
       string) that the transports consult once per batch.
+    * ``journal_faults`` arms a *separate* plan of journal-fault rules
+      (``write_error`` / ``torn_write`` / ``stall``; CLI
+      ``--journal-chaos``) against the replicated journal's primary
+      writes -- the chaos harness for failover.  Requires a journal
+      store with an ``arm`` method, i.e. ``replicated:...``.
 
     The server must be used from a running event loop; all public
     coroutines are safe to call concurrently.  Operations on the *same*
@@ -114,6 +124,7 @@ class AsyncCertaintyServer:
         max_in_flight: Optional[int] = None,
         queue_limit: Optional[int] = None,
         faults=None,
+        journal_faults=None,
         restart_policy=None,
         degraded_reads: Optional[bool] = None,
     ) -> None:
@@ -145,6 +156,21 @@ class AsyncCertaintyServer:
         #: One shared plan across shards: per-shard batch counters live
         #: inside the plan, keyed by shard id.
         self.faults = make_fault_plan(faults)
+        #: A separate plan for the journal tier, so transport draws
+        #: never consume journal rule budgets (and vice versa).
+        self.journal_faults = make_fault_plan(journal_faults)
+        if self.journal_faults is not None:
+            if not hasattr(self.journal_store, "arm"):
+                raise ValueError(
+                    "journal_faults requires a replicated journal store "
+                    "(journal_store='replicated:PRIMARY;FOLLOWER,...'); "
+                    "got {}".format(
+                        self.journal_store.kind
+                        if self.journal_store is not None
+                        else None
+                    )
+                )
+            self.journal_store.arm(self.journal_faults)
         self.max_in_flight = max_in_flight
         self.workers: List[ShardWorker] = [
             ShardWorker(
@@ -395,6 +421,11 @@ class AsyncCertaintyServer:
             "faults": (
                 self.faults.describe()
                 if self.faults is not None
+                else {"armed": False}
+            ),
+            "journal_faults": (
+                self.journal_faults.describe()
+                if self.journal_faults is not None
                 else {"armed": False}
             ),
             "shards": shard_stats,

@@ -209,3 +209,56 @@ class CircuitBreaker:
             "trips": self.trips,
             "restarts_in_window": self.restarts_in_window(),
         }
+
+
+class FailoverGuard:
+    """Window-budgeted journal failovers, over a :class:`RestartPolicy`.
+
+    The replicated journal tier (:mod:`repro.serving.replication`)
+    promotes a follower when the primary store raises.  Promotion is
+    cheap, but each one consumes a replica -- a primary that flaps must
+    not burn through the whole replica set in seconds.  The guard reuses
+    the restart policy's rolling-window budget: :meth:`allow` checks it,
+    :meth:`record` charges one promotion against it.  When the guard
+    refuses, the store gives up and surfaces the primary's failure
+    instead of promoting.
+
+    >>> t = [0.0]
+    >>> guard = FailoverGuard(
+    ...     RestartPolicy(max_restarts=2, window=10.0, clock=lambda: t[0]))
+    >>> guard.allow()
+    True
+    >>> guard.record(); guard.record(); guard.allow()   # budget spent
+    False
+    >>> t[0] = 11.0; guard.allow()                      # window rolled
+    True
+    """
+
+    def __init__(self, policy: Optional[RestartPolicy] = None) -> None:
+        self.policy = policy or RestartPolicy()
+        #: Promotions ever granted (monotone; health reporting).
+        self.promotions = 0
+        self._events: "deque[float]" = deque()
+
+    def _trim(self, now: float) -> None:
+        while self._events and now - self._events[0] > self.policy.window:
+            self._events.popleft()
+
+    def allow(self) -> bool:
+        """Is there promotion budget left in the rolling window?"""
+        now = self.policy.clock()
+        self._trim(now)
+        return len(self._events) < self.policy.max_restarts
+
+    def record(self) -> None:
+        """Charge one promotion against the rolling window."""
+        self.promotions += 1
+        self._events.append(self.policy.clock())
+
+    def snapshot(self) -> dict:
+        now = self.policy.clock()
+        self._trim(now)
+        return {
+            "promotions": self.promotions,
+            "promotions_in_window": len(self._events),
+        }

@@ -250,7 +250,10 @@ class ShardTransport:
             return None
         if request.op not in ("solve", "get"):
             return None
-        db = journal.get(request.name)
+        # read() (not get()) is the degraded path: a replicated store
+        # answers from the freshest caught-up replica when the primary
+        # itself cannot serve the snapshot.
+        db = journal.read(request.name)
         if db is None:
             return None
         if request.op == "get":
@@ -774,7 +777,7 @@ class ProcessTransport(ShardTransport):
         if request.db is not None:
             return request.db
         if request.name is not None:
-            return self.journal.get(request.name)
+            return self.journal.read(request.name)
         return None  # pragma: no cover - solve always has a db or a name
 
     # ------------------------------------------------------------------

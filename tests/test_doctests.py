@@ -26,6 +26,8 @@ MODULE_NAMES = [
     "repro.scenarios.matrix",
     "repro.scenarios.oracle",
     "repro.serving.faults",
+    "repro.serving.journal",
+    "repro.serving.replication",
     "repro.serving.server",
     "repro.serving.shard",
     "repro.serving.supervision",

@@ -3,11 +3,14 @@
 Every :class:`~repro.serving.journal.JournalStore` backend must agree on
 the seam's semantics -- append, fold, replay ordering, idempotent
 redelivery, concurrent shard writers -- so the suite is parametrized
-over the memory and sqlite stores.  Sqlite-only tests cover what makes
-that backend the durable one: reopening a path restores the state, and
-compaction bounds the log without changing it.
+over the memory, sqlite, kv (both backends), and replicated stores.
+Sqlite-only tests cover what makes that backend the durable one:
+reopening a path restores the state, compaction bounds the log without
+changing it, and torn-tail recovery truncates a damaged log at the
+first bad record while counting the loss.
 """
 
+import sqlite3
 import threading
 
 import pytest
@@ -16,10 +19,17 @@ from repro.db.delta import Delta
 from repro.db.facts import Fact
 from repro.db.instance import DatabaseInstance
 from repro.serving.journal import (
+    SPEC_GRAMMAR,
     JournalStore,
     MemoryJournalStore,
     SqliteJournalStore,
     make_journal_store,
+)
+from repro.serving.replication import (
+    FileKV,
+    KVJournalStore,
+    MemoryKV,
+    ReplicatedJournalStore,
 )
 
 
@@ -34,12 +44,28 @@ def _delta(inserts=(), removes=()):
     )
 
 
-@pytest.fixture(params=["memory", "sqlite"])
+@pytest.fixture(
+    params=["memory", "sqlite", "kv-memory", "kv-file", "replicated"]
+)
 def store(request, tmp_path):
     if request.param == "memory":
         yield MemoryJournalStore()
-    else:
+    elif request.param == "sqlite":
         s = SqliteJournalStore(tmp_path / "journal.db")
+        yield s
+        s.close()
+    elif request.param == "kv-memory":
+        yield KVJournalStore(MemoryKV())
+    elif request.param == "kv-file":
+        s = KVJournalStore(FileKV(tmp_path / "kv"))
+        yield s
+        s.close()
+    else:
+        # Mixed topology: durable primary, two in-memory read replicas.
+        s = ReplicatedJournalStore(
+            "sqlite:{}".format(tmp_path / "primary.db"),
+            ("memory", "memory"),
+        )
         yield s
         s.close()
 
@@ -228,6 +254,118 @@ class TestSqliteDurability:
             SqliteJournalStore(tmp_path / "journal.db", compact_every=0)
 
 
+class TestTornTailRecovery:
+    """Damaged sqlite logs fold their intact prefix and count the loss."""
+
+    def _seed(self, path, residents=5):
+        store = SqliteJournalStore(path)
+        originals = {}
+        for i in range(residents):
+            name = "res-{}".format(i)
+            db = _db(("R", i, i + 1), ("S", i, i + 2))
+            store.register(0, name, db, seq=i + 1)
+            originals[name] = db
+        store.close()
+        return originals
+
+    def test_corrupt_record_drops_exact_tail(self, tmp_path):
+        path = tmp_path / "journal.db"
+        originals = self._seed(path, residents=5)
+        conn = sqlite3.connect(str(path))
+        # Smash the 3rd record's payload: frame intact, crc mismatched.
+        conn.execute(
+            "UPDATE journal SET payload = X'00000000DEADBEEF' WHERE id ="
+            " (SELECT id FROM journal ORDER BY id LIMIT 1 OFFSET 2)"
+        )
+        conn.commit()
+        conn.close()
+        reopened = SqliteJournalStore(path)
+        try:
+            # Records 3, 4, 5 are gone -- the count is exact.
+            assert reopened.health()["truncated_ops"] == 3
+            assert sorted(reopened.residents(0)) == ["res-0", "res-1"]
+            for name in ("res-0", "res-1"):
+                assert reopened.get(0, name) == originals[name]
+            assert reopened.last_seq(0) == 2
+        finally:
+            reopened.close()
+
+    def test_single_bit_flip_detected(self, tmp_path):
+        path = tmp_path / "journal.db"
+        originals = self._seed(path, residents=4)
+        conn = sqlite3.connect(str(path))
+        (row_id, payload) = conn.execute(
+            "SELECT id, payload FROM journal ORDER BY id LIMIT 1 OFFSET 1"
+        ).fetchone()
+        flipped = bytearray(payload)
+        flipped[-1] ^= 0x01
+        conn.execute(
+            "UPDATE journal SET payload = ? WHERE id = ?",
+            (bytes(flipped), row_id),
+        )
+        conn.commit()
+        conn.close()
+        reopened = SqliteJournalStore(path)
+        try:
+            assert reopened.health()["truncated_ops"] == 3
+            assert sorted(reopened.residents(0)) == ["res-0"]
+            assert reopened.get(0, "res-0") == originals["res-0"]
+            assert reopened.last_seq(0) == 1
+        finally:
+            reopened.close()
+
+    @pytest.mark.parametrize("fraction", [2, 3, 4])
+    def test_truncated_file_recovers_intact_prefix(self, tmp_path, fraction):
+        # A crash mid-append can cut the file at any byte.  Sqlite loses
+        # whole pages, so the recoverable prefix may be empty -- the
+        # contract is that reopen *survives*, keeps only intact
+        # records, counts at least the floor of the loss, and takes
+        # appends cleanly afterwards.
+        path = tmp_path / "journal.db"
+        originals = self._seed(path, residents=6)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) * (fraction - 1) // fraction])
+        reopened = SqliteJournalStore(path)
+        try:
+            assert reopened.health()["truncated_ops"] >= 1
+            for name, db in reopened.residents(0).items():
+                assert db == originals[name]
+            assert reopened.last_seq(0) <= 6
+            # The rebuilt log must take appends cleanly afterwards.
+            seq = reopened.last_seq(0) + 1
+            reopened.register(0, "after", _db(("T", 0, 1)), seq=seq)
+            assert reopened.get(0, "after") == _db(("T", 0, 1))
+            assert reopened.last_seq(0) == seq
+        finally:
+            reopened.close()
+
+    def test_tear_hook_then_reopen(self, tmp_path):
+        path = tmp_path / "journal.db"
+        store = SqliteJournalStore(path)
+        store.register(0, "toy", _db(("R", 0, 1)), seq=1)
+        store.tear(0)
+        store.close()
+        reopened = SqliteJournalStore(path)
+        try:
+            assert reopened.health()["truncated_ops"] == 1
+            assert reopened.get(0, "toy") == _db(("R", 0, 1))
+            assert reopened.last_seq(0) == 1
+        finally:
+            reopened.close()
+
+    def test_unreadable_file_recovers_empty_but_usable(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        path.write_bytes(b"this is not a sqlite database at all")
+        store = SqliteJournalStore(path)
+        try:
+            assert store.health()["truncated_ops"] >= 1
+            assert store.residents(0) == {}
+            store.register(0, "toy", _db(("R", 0, 1)), seq=1)
+            assert store.get(0, "toy") == _db(("R", 0, 1))
+        finally:
+            store.close()
+
+
 class TestMakeJournalStore:
     def test_none_passthrough(self):
         assert make_journal_store(None) is None
@@ -246,10 +384,35 @@ class TestMakeJournalStore:
         assert isinstance(store, JournalStore)
         store.close()
 
+    def test_kv_by_spec(self, tmp_path):
+        memory = make_journal_store("kv:memory")
+        assert isinstance(memory, KVJournalStore)
+        assert memory.backend.kind == "memory"
+        filed = make_journal_store("kv:{}".format(tmp_path / "kvdir"))
+        assert filed.backend.kind == "file"
+        filed.close()
+
+    def test_replicated_by_spec(self, tmp_path):
+        store = make_journal_store(
+            "replicated:sqlite:{};memory,memory".format(tmp_path / "p.db")
+        )
+        assert isinstance(store, ReplicatedJournalStore)
+        assert store.primary.kind == "sqlite"
+        assert [f.kind for f in store.followers] == ["memory", "memory"]
+        store.close()
+
     def test_bad_specs_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as excinfo:
             make_journal_store("parchment")
+        # The rejection names the full supported grammar.
+        assert SPEC_GRAMMAR in str(excinfo.value)
         with pytest.raises(ValueError):
             make_journal_store("sqlite:")
+        with pytest.raises(ValueError):
+            make_journal_store("kv:")
+        with pytest.raises(ValueError):
+            make_journal_store("replicated:memory")  # no follower
+        with pytest.raises(ValueError):
+            make_journal_store("replicated:;memory")  # no primary
         with pytest.raises(TypeError):
             make_journal_store(42)
