@@ -349,12 +349,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             health = shard["transport"]
             print(
                 "  transport={} alive={} restarts={} snapshot_bytes={} "
-                "deltas_forwarded={} queue_depth={} breaker={} "
-                "consecutive_failures={} degraded_served={}".format(
+                "snapshot_shm={} deltas_forwarded={} queue_depth={} "
+                "breaker={} consecutive_failures={} degraded_served={}".format(
                     health["transport"],
                     health["alive"],
                     health["restarts"],
                     health["snapshot_bytes"],
+                    health.get("snapshot_shm", 0),
                     health["deltas_forwarded"],
                     health["queue_depth"],
                     health.get("breaker", "closed"),

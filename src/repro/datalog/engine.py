@@ -20,6 +20,10 @@ calls and exposes ``resume(delta_edb)``: the semi-naive loop re-runs
 seeded with the delta tuples only, so strata untouched by the delta are
 skipped entirely.  Strata whose *negated* inputs changed (or that sit
 downstream of a retraction) are soundly recomputed from scratch.
+:class:`CompactDatalogState` is the same contract on the compact plane
+-- retained int-row IDB relations, maintained join indexes, delta
+frontiers -- and is the production resume path; the object-level state
+stays as its differential baseline.
 
 Three engines share the semi-naive skeleton, fastest first:
 
@@ -33,7 +37,7 @@ Three engines share the semi-naive skeleton, fastest first:
 * the **object-level indexed engine** (:func:`evaluate_program`,
   :class:`DatalogState`) -- hash-indexed joins over object tuples with
   generic unification; retained as the differential baseline for the
-  compact engine (and still the engine behind ``resume``).
+  compact engine, for cold evaluation and resume alike.
 * the **scan-and-unify baseline** (:func:`evaluate_program_naive`) --
   the historical pre-index inner loop, kept measurable.
 """
@@ -526,11 +530,27 @@ class _CompactRule:
     ones, and re-entry overwrites cleanly.
     """
 
-    __slots__ = ("head_pred", "head_out", "n_regs", "lits", "checks")
+    __slots__ = (
+        "head_pred",
+        "head_out",
+        "n_regs",
+        "lits",
+        "checks",
+        "body_preds",
+        "neg_preds",
+    )
 
     def __init__(self, rule: Rule, intern_const) -> None:
         body = _reordered_body(rule)
         positives = [l for l in body if not l.negated and not l.is_builtin]
+        # Predicate sets the resume path consults: which strata a changed
+        # predicate touches, and whether it is read through negation.
+        self.body_preds = frozenset(
+            l.predicate for l in body if not l.is_builtin
+        )
+        self.neg_preds = frozenset(
+            l.predicate for l in body if l.negated
+        )
         registers: Dict[Variable, int] = {}
 
         self.lits: List[_LitAccess] = []
@@ -630,6 +650,11 @@ class _CompactStore:
                 for row in added:
                     key = tuple(row[p] for p in signature)
                     index.setdefault(key, []).append(row)
+
+    def clear_predicate(self, predicate: str) -> None:
+        self.relations[predicate] = set()
+        for key in [k for k in self._indexes if k[0] == predicate]:
+            del self._indexes[key]
 
     def lookup(
         self, predicate: str, signature: Tuple[int, ...], key
@@ -751,18 +776,40 @@ def _run_stratum_compact(
     plans: List[_CompactRule],
     store: _CompactStore,
     stratum: Set[str],
-) -> None:
+    seed_delta: Optional[Dict[str, Set[Tuple_]]] = None,
+) -> Dict[str, Set[Tuple_]]:
     """Semi-naive fixpoint of one stratum over the compact store.
 
-    Full evaluation only: the resumable delta-seeded re-entry still
-    lives on the object engine (:meth:`DatalogState.resume`).
+    Without *seed_delta* this is the usual round-0-plus-semi-naive loop.
+    With it (the :class:`CompactDatalogState` resume path), round 0 is
+    replaced by joining each rule against the seed deltas only -- the
+    compact twin of :func:`_run_stratum`'s re-entry.  Returns the tuples
+    the stratum derived.
     """
+    fresh_total: Dict[str, Set[Tuple_]] = {p: set() for p in stratum}
     delta: Dict[str, Set[Tuple_]] = {p: set() for p in stratum}
-    for plan in plans:
-        derived = _eval_rule_compact(plan, store)
-        fresh = derived - store.relations.get(plan.head_pred, _EMPTY_SET)
-        store.add(plan.head_pred, fresh)
-        delta[plan.head_pred] |= fresh
+    if seed_delta is None:
+        for plan in plans:
+            derived = _eval_rule_compact(plan, store)
+            fresh = derived - store.relations.get(plan.head_pred, _EMPTY_SET)
+            store.add(plan.head_pred, fresh)
+            delta[plan.head_pred] |= fresh
+    else:
+        for plan in plans:
+            body_predicates = {l.pred for l in plan.lits}
+            for predicate in body_predicates:
+                changed = seed_delta.get(predicate)
+                if not changed:
+                    continue
+                derived = _eval_rule_compact(plan, store, predicate, changed)
+                fresh = derived - store.relations.get(
+                    plan.head_pred, _EMPTY_SET
+                )
+                store.add(plan.head_pred, fresh)
+                delta[plan.head_pred] |= fresh
+    for predicate, rows in delta.items():
+        fresh_total[predicate] |= rows
+
     while any(delta.values()):
         next_delta: Dict[str, Set[Tuple_]] = {p: set() for p in stratum}
         for plan in plans:
@@ -774,6 +821,9 @@ def _run_stratum_compact(
                 store.add(plan.head_pred, fresh)
                 next_delta[plan.head_pred] |= fresh
         delta = next_delta
+        for predicate, rows in delta.items():
+            fresh_total[predicate] |= rows
+    return fresh_total
 
 
 class CompactProgram:
@@ -812,20 +862,168 @@ class CompactProgram:
 
         *edb_int* maps EDB predicate names to rows of interned constant
         ids (``CompactInstance`` exports / ``interner.constant_id``).
-        Returns the full int-row materialization.
+        Returns the full int-row materialization.  One-shot callers get
+        the same semi-naive machinery :meth:`state` keeps resumable.
         """
+        return self.state(edb_int).relations
+
+    def state(
+        self, edb_int: Dict[str, Iterable[Tuple_]]
+    ) -> "CompactDatalogState":
+        """Evaluate and retain the materialization for ``resume``."""
+        return CompactDatalogState.evaluate(self, edb_int)
+
+
+class CompactDatalogState:
+    """A compact materialization kept alive for incremental re-solving.
+
+    The fast-plane twin of :class:`DatalogState`: retained int-tuple IDB
+    rows in a :class:`_CompactStore` (join indexes maintained on
+    insert), per-stratum delta frontiers on ``resume``, and the same
+    stratum skipping / negation recompute policy -- built once from a
+    memoized :class:`CompactProgram`, so re-entry pays no compilation
+    and O(affected) evaluation.  The object-level
+    :meth:`DatalogState.resume` is retained as the differential
+    baseline, exactly as PR 4 kept :func:`evaluate_program` for cold
+    evaluation (``tests/test_incremental.py`` compares the two under
+    random delta chains; ``benchmarks/test_bench_update_path.py`` gates
+    the speedup).
+
+    Rows are interned int tuples; callers holding object-level tuples
+    use :meth:`resume_decoded` / :meth:`decoded_relations`, which
+    convert through the program's interner at the boundary only.
+    """
+
+    __slots__ = ("compiled", "store")
+
+    def __init__(
+        self, compiled: CompactProgram, store: _CompactStore
+    ) -> None:
+        self.compiled = compiled
+        self.store = store
+
+    @property
+    def relations(self) -> Database:
+        """The int-row materialization (live, do not mutate)."""
+        return self.store.relations
+
+    @classmethod
+    def evaluate(
+        cls, compiled: CompactProgram, edb_int: Dict[str, Iterable[Tuple_]]
+    ) -> "CompactDatalogState":
+        """Full bottom-up evaluation; returns the resumable state."""
         relations: Database = {
             predicate: set(map(tuple, rows))
             for predicate, rows in edb_int.items()
         }
-        for predicate in self.program.idb_predicates():
+        for predicate in compiled.program.idb_predicates():
             relations.setdefault(predicate, set())
-        for predicate in self.program.edb_predicates():
+        for predicate in compiled.program.edb_predicates():
             relations.setdefault(predicate, set())
-        store = _CompactStore(relations)
-        for plans, stratum in zip(self._plans_by_stratum, self.strata):
-            _run_stratum_compact(plans, store, stratum)
-        return relations
+        state = cls(compiled, _CompactStore(relations))
+        for plans, stratum in zip(
+            compiled._plans_by_stratum, compiled.strata
+        ):
+            _run_stratum_compact(plans, state.store, stratum)
+        return state
+
+    def resume(self, delta_edb_int: Dict[str, Iterable[Tuple_]]) -> Database:
+        """Fold inserted (already interned) EDB rows into the state.
+
+        Same contract as :meth:`DatalogState.resume`: strata untouched
+        by the delta are skipped, positively-touched strata re-run
+        semi-naive seeded with the changed rows, and strata reading a
+        changed predicate through negation -- plus everything downstream
+        of a retraction -- recompute from scratch.
+        """
+        store = self.store
+        changed: Dict[str, Set[Tuple_]] = {}
+        for predicate, rows in delta_edb_int.items():
+            relation = store.relations.setdefault(predicate, set())
+            fresh = {tuple(row) for row in rows} - relation
+            if fresh:
+                store.add(predicate, fresh)
+                changed[predicate] = fresh
+
+        compiled = self.compiled
+        recompute_downstream = False
+        for plans, stratum in zip(
+            compiled._plans_by_stratum, compiled.strata
+        ):
+            touches_change = any(
+                changed.get(predicate)
+                for plan in plans
+                for predicate in plan.body_preds
+            )
+            if not touches_change and not recompute_downstream:
+                continue
+            negated_hit = any(
+                changed.get(predicate)
+                for plan in plans
+                for predicate in plan.neg_preds
+            )
+            if recompute_downstream or negated_hit:
+                old = {
+                    p: set(store.relations.get(p, ())) for p in stratum
+                }
+                for predicate in stratum:
+                    store.clear_predicate(predicate)
+                _run_stratum_compact(plans, store, stratum)
+                for predicate in stratum:
+                    new = store.relations[predicate]
+                    fresh = new - old[predicate]
+                    retracted = old[predicate] - new
+                    if fresh:
+                        changed.setdefault(predicate, set()).update(fresh)
+                    if retracted:
+                        recompute_downstream = True
+                        changed.setdefault(predicate, set())
+            else:
+                derived = _run_stratum_compact(
+                    plans, store, stratum, seed_delta=changed
+                )
+                for predicate, rows in derived.items():
+                    if rows:
+                        changed.setdefault(predicate, set()).update(rows)
+        return store.relations
+
+    # ------------------------------------------------------------------
+    # Object-level boundary (interning in, decoding out)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def evaluate_decoded(
+        cls, program: Program, edb: Dict[str, Iterable[Tuple_]]
+    ) -> "CompactDatalogState":
+        """Build a state from object-level EDB tuples."""
+        compiled = compact_program(program)
+        intern = compiled.interner.constant_id
+        edb_int = {
+            predicate: [tuple(intern(v) for v in row) for row in rows]
+            for predicate, rows in edb.items()
+        }
+        return cls.evaluate(compiled, edb_int)
+
+    def resume_decoded(
+        self, delta_edb: Dict[str, Iterable[Tuple_]]
+    ) -> Database:
+        """``resume`` for object-level delta tuples; decoded result."""
+        intern = self.compiled.interner.constant_id
+        self.resume(
+            {
+                predicate: [tuple(intern(v) for v in row) for row in rows]
+                for predicate, rows in delta_edb.items()
+            }
+        )
+        return self.decoded_relations()
+
+    def decoded_relations(self) -> Database:
+        """The materialization decoded back to object-level tuples."""
+        decode = self.compiled.interner.constant
+        return {
+            predicate: {tuple(decode(v) for v in row) for row in rows}
+            for predicate, rows in self.store.relations.items()
+        }
 
 
 #: One compiled CompactProgram per Program object, dropped with it.

@@ -81,7 +81,9 @@ from repro.engine.plan import (
 from repro.queries.generalized import GeneralizedPathQuery
 from repro.queries.path_query import PathQuery
 from repro.solvers.fixpoint import FixpointState, certain_answer_incremental
+from repro.solvers.generalized_solver import GeneralizedState
 from repro.solvers.result import CertaintyResult
+from repro.solvers.sat_encoding import IncrementalSatContext
 from repro.solvers.state_cache import StateCache
 from repro.words.word import Word
 
@@ -108,7 +110,10 @@ class EngineStats:
         "delta_solves",
         "incremental_hits",
         "full_resolves",
+        "sat_incremental_hits",
+        "sat_clauses_reused",
         "method_counts",
+        "route_seconds",
         "wall_seconds",
     )
 
@@ -124,12 +129,16 @@ class EngineStats:
         self.delta_solves = 0
         self.incremental_hits = 0
         self.full_resolves = 0
+        self.sat_incremental_hits = 0
+        self.sat_clauses_reused = 0
         self.method_counts: Counter = Counter()
+        self.route_seconds: Counter = Counter()
         self.wall_seconds = 0.0
 
     def record(self, result: CertaintyResult, seconds: float) -> None:
         self.solves += 1
         self.method_counts[result.method] += 1
+        self.route_seconds[result.method] += seconds
         self.wall_seconds += seconds
 
     @classmethod
@@ -165,7 +174,10 @@ class EngineStats:
         self.delta_solves += data.get("delta_solves", 0)
         self.incremental_hits += data.get("incremental_hits", 0)
         self.full_resolves += data.get("full_resolves", 0)
+        self.sat_incremental_hits += data.get("sat_incremental_hits", 0)
+        self.sat_clauses_reused += data.get("sat_clauses_reused", 0)
         self.method_counts.update(data.get("method_counts", {}))
+        self.route_seconds.update(data.get("route_seconds", {}))
         self.wall_seconds += data.get("wall_seconds", 0.0)
         return self
 
@@ -179,17 +191,22 @@ class EngineStats:
             "delta_solves": self.delta_solves,
             "incremental_hits": self.incremental_hits,
             "full_resolves": self.full_resolves,
+            "sat_incremental_hits": self.sat_incremental_hits,
+            "sat_clauses_reused": self.sat_clauses_reused,
             "method_counts": dict(self.method_counts),
+            "route_seconds": dict(self.route_seconds),
             "wall_seconds": self.wall_seconds,
         }
 
     def __str__(self) -> str:
         methods = ", ".join(
-            "{}={}".format(m, c) for m, c in sorted(self.method_counts.items())
+            "{}={} ({:.4f}s)".format(m, c, self.route_seconds.get(m, 0.0))
+            for m, c in sorted(self.method_counts.items())
         )
         return (
             "EngineStats(solves={}, compiles={}, cache_hits={}, "
             "delta_solves={}, incremental_hits={}, full_resolves={}, "
+            "sat_incremental_hits={}, sat_clauses_reused={}, "
             "wall={:.4f}s, methods: {})".format(
                 self.solves,
                 self.compiles,
@@ -197,6 +214,8 @@ class EngineStats:
                 self.delta_solves,
                 self.incremental_hits,
                 self.full_resolves,
+                self.sat_incremental_hits,
+                self.sat_clauses_reused,
                 self.wall_seconds,
                 methods or "-",
             )
@@ -374,10 +393,15 @@ class CertaintyEngine:
           sound "no" pre-filter (Lemma 10), and a "yes" falls back to a
           full SAT re-solve on the updated instance.
 
-        ``stats.incremental_hits`` counts decisions served from a
-        maintained state; ``stats.full_resolves`` counts fallbacks (first
-        sight of an instance, forced non-auto methods, generalized
-        queries, and coNP SAT re-solves).  To chain updates, apply the
+        Constant-carrying generalized queries are maintained too (a
+        :class:`~repro.solvers.generalized_solver.GeneralizedState`
+        keeps segment verdicts and the ``ext(q)`` fixpoint alive), and
+        coNP "yes" re-solves reuse a cached assumption-keyed SAT context
+        (``stats.sat_incremental_hits`` / ``stats.sat_clauses_reused``)
+        instead of re-encoding.  ``stats.incremental_hits`` counts
+        decisions served from a maintained state;
+        ``stats.full_resolves`` counts fallbacks (first sight of an
+        instance and forced non-auto methods).  To chain updates, apply the
         same delta on the caller side (``delta.apply_to(db).commit()``)
         and pass the committed instance as the next call's *db* --
         value-equal instances hit the same maintained state.
@@ -395,6 +419,13 @@ class CertaintyEngine:
         self.stats.delta_solves += 1
 
         plan = self.compile(query)
+        if (
+            method == "auto"
+            and isinstance(plan, CompiledGeneralizedQuery)
+        ):
+            return self._solve_delta_generalized(
+                db, overlay, new_db, plan, start
+            )
         incremental = (
             method == "auto"
             and isinstance(plan, CompiledQuery)
@@ -431,18 +462,84 @@ class CertaintyEngine:
         self.state_cache.put((key, new_db), state)
         if not is_c3 and result.answer:
             # C3-violating query and the pre-filter did not dismiss it:
-            # the maintained "yes" is unsound, re-solve fully via SAT.
-            result = plan.sat_skeleton.solve(new_db)
+            # the maintained "yes" is unsound, re-solve via SAT -- through
+            # a maintained assumption-keyed context when one is cached, so
+            # the re-solve toggles assumptions instead of re-encoding the
+            # CNF and restarting the search.
+            sat_key = ("satctx", key)
+            ctx = self.state_cache.take((sat_key, db))
+            fresh_ctx = ctx is None
+            if fresh_ctx:
+                ctx = IncrementalSatContext(new_db, plan.word)
+            else:
+                ctx.apply_delta(
+                    new_db, overlay.added_facts, overlay.removed_facts
+                )
+            result = ctx.solve()
+            self.state_cache.put((sat_key, new_db), ctx)
             result.details["prefilter"] = "fixpoint-incremental-yes"
-            result.details["incremental"] = False
-            self.stats.full_resolves += 1
+            result.details["incremental"] = not fresh_ctx
+            if fresh_ctx:
+                self.stats.full_resolves += 1
+            else:
+                self.stats.sat_incremental_hits += 1
+                self.stats.sat_clauses_reused += ctx.last_reused
+                self.stats.incremental_hits += 1
         else:
+            if not is_c3:
+                # Keep any cached SAT context current across "no"
+                # decisions, so the next "yes" re-solve still reuses it.
+                sat_key = ("satctx", key)
+                ctx = self.state_cache.take((sat_key, db))
+                if ctx is not None:
+                    ctx.apply_delta(
+                        new_db, overlay.added_facts, overlay.removed_facts
+                    )
+                    self.state_cache.put((sat_key, new_db), ctx)
             result.details["incremental"] = not fresh_state
             if fresh_state:
                 self.stats.full_resolves += 1
             else:
                 self.stats.incremental_hits += 1
         result.details["complexity"] = str(plan.complexity)
+        self.stats.record(result, time.perf_counter() - start)
+        return result
+
+    def _solve_delta_generalized(
+        self,
+        db: DatabaseInstance,
+        overlay: DeltaInstance,
+        new_db: DatabaseInstance,
+        plan: CompiledGeneralizedQuery,
+        start: float,
+    ) -> CertaintyResult:
+        """The maintained route for constant-carrying generalized queries.
+
+        A :class:`~repro.solvers.generalized_solver.GeneralizedState`
+        keeps the Lemma 27 segment verdicts and the Lemma 29 ``ext(q)``
+        fixpoint alive between deltas; only segments whose alphabet the
+        delta touches are re-checked, and the ``ext(q)`` decision folds
+        the delta into its maintained :class:`FixpointState`.
+        """
+        key = self._cache_key(plan.query)
+        state = self.state_cache.take((key, db))
+        fresh_state = state is None
+        inner_plan = (
+            self.compile(plan.ext_word) if plan.ext_word is not None else None
+        )
+        if fresh_state:
+            state = GeneralizedState.compute(new_db, plan, inner_plan)
+        else:
+            state.apply_delta(
+                new_db, overlay.added_facts, overlay.removed_facts
+            )
+        result = state.result()
+        self.state_cache.put((key, new_db), state)
+        result.details["incremental"] = not fresh_state
+        if fresh_state:
+            self.stats.full_resolves += 1
+        else:
+            self.stats.incremental_hits += 1
         self.stats.record(result, time.perf_counter() - start)
         return result
 

@@ -18,7 +18,8 @@ Families deliberately stress different routes of the tetrachotomy:
   (:func:`~repro.workloads.generators.hardness_gadget_instance`) that
   force the SAT route with known ground truth;
 * ``firehose`` -- modest bases under long seeded delta streams (the
-  update path is the workload).
+  update path is the workload), asked the four-class words *plus* the
+  Section 8 constant-carrying queries (``GENERALIZED_QUERIES``).
 
 All randomness flows through one ``random.Random(seed)`` per build, so
 the same seed reproduces the same workload bit-for-bit.
@@ -28,10 +29,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Hashable, List, Tuple
 
 from repro.db.delta import Delta
 from repro.db.instance import DatabaseInstance
+from repro.queries.generalized import GeneralizedPathQuery
 from repro.workloads.generators import (
     firehose_stream,
     hardness_gadget_instance,
@@ -53,6 +55,14 @@ FOUR_CLASS_QUERIES: Tuple[str, ...] = ("RXRX", "RRX", "RXRYRY", "ARRX")
 #: The gadget family's coNP query (head symbol never recurs).
 GADGET_QUERY = "ARRX"
 
+#: Section 8 constant-carrying queries for the update-heavy family: one
+#: pure Lemma 27 segment (leading constant) and one ``ext(q)`` reduction
+#: (terminal constant), both over the shared scenario constants.
+GENERALIZED_QUERIES: Tuple[GeneralizedPathQuery, ...] = (
+    GeneralizedPathQuery("RR", {0: 0}),
+    GeneralizedPathQuery("RX", {2: 1}),
+)
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -62,7 +72,7 @@ class Workload:
     seed: int
     scale: str
     instances: Dict[str, DatabaseInstance]
-    queries: Dict[str, Tuple[str, ...]]
+    queries: Dict[str, Tuple[Hashable, ...]]
     deltas: Dict[str, Tuple[Delta, ...]] = field(default_factory=dict)
 
     @property
@@ -200,7 +210,9 @@ def build_firehose_family(seed: int, scale: str = "quick") -> Workload:
         )
         for i in range(size["instances"])
     }
-    queries = {name: FOUR_CLASS_QUERIES for name in instances}
+    queries = {
+        name: FOUR_CLASS_QUERIES + GENERALIZED_QUERIES for name in instances
+    }
     deltas = {
         name: tuple(
             firehose_stream(rng, instances[name], n_deltas, max_edits=3)

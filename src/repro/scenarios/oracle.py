@@ -39,6 +39,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.db.instance import DatabaseInstance
 from repro.db.repairs import count_repairs
+from repro.queries.generalized import GeneralizedPathQuery
 from repro.solvers.brute_force import certain_answer_brute_force
 from repro.solvers.sat_encoding import certain_answer_sat
 from repro.words.word import Word, WordLike
@@ -54,11 +55,20 @@ def reference_answer(
     query: WordLike,
     repair_limit: int = DEFAULT_REPAIR_LIMIT,
 ) -> bool:
-    """Independent ground truth for CERTAINTY(*query*) on *db*."""
-    word = Word.coerce(query)
+    """Independent ground truth for CERTAINTY(*query*) on *db*.
+
+    Section 8 generalized path queries are accepted as-is: both backends
+    decide them directly (repair enumeration semantically, the SAT
+    encoding via its conjunctive-query translation), so the oracle stays
+    disjoint from the engine's Lemma 27/29 segment-and-``ext(q)`` route.
+    """
+    if isinstance(query, GeneralizedPathQuery):
+        target: object = query
+    else:
+        target = Word.coerce(query)
     if count_repairs(db) <= repair_limit:
-        return certain_answer_brute_force(db, word, repair_limit=None).answer
-    return certain_answer_sat(db, word).answer
+        return certain_answer_brute_force(db, target, repair_limit=None).answer
+    return certain_answer_sat(db, target).answer
 
 
 @dataclass(frozen=True)
@@ -72,7 +82,7 @@ class AnsweredRequest:
     """
 
     name: str
-    query: str
+    query: Hashable
     answer: bool
     method: str
     expected_db: DatabaseInstance
@@ -83,14 +93,14 @@ class Mismatch:
     """A differentially-wrong answer: the cell said *got*, truth is *want*."""
 
     name: str
-    query: str
+    query: Hashable
     got: bool
     want: bool
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "name": self.name,
-            "query": self.query,
+            "query": str(self.query),
             "got": self.got,
             "want": self.want,
         }

@@ -16,7 +16,12 @@ implementations share the seam:
   - **residents ship once** as facts-only snapshots (the
     :meth:`~repro.db.instance.DatabaseInstance.__reduce__` contract:
     no compact views, no interner ids cross the pipe -- the child
-    rebuilds its own view on first use);
+    rebuilds its own view on first use); snapshots whose estimated
+    payload clears the transport's ``shm_threshold`` ship through a
+    ``multiprocessing.shared_memory`` segment as flat snapshot-local
+    int arrays instead of a pickled frame (same facts-only contract,
+    enforced by bounds checks on decode), with the segment unlinked by
+    the parent once the batch -- including any crash retry -- resolves;
   - **writes forward only the** :class:`~repro.db.delta.Delta`, and are
     **journaled ahead of dispatch**: registrations and deltas are
     recorded in the shard's journal (a
@@ -65,9 +70,10 @@ rebuilding it from the journal -- the same recovery contract the
 process transport exercises for real.
 
 Transport health (``restarts``, ``breaker``, ``consecutive_failures``,
-``snapshot_bytes``, ``deltas_forwarded``, ``journal``, ``alive``) is
-reported per shard via ``ShardWorker.stats()["transport"]`` and
-surfaces in ``python -m repro serve --stats``.
+``snapshot_bytes``, ``snapshot_shm``, ``deltas_forwarded``,
+``journal``, ``alive``) is reported per shard via
+``ShardWorker.stats()["transport"]`` and surfaces in ``python -m repro
+serve --stats``.
 
 The default process start method is ``spawn``: children begin from a
 fresh interpreter, which keeps the facts-only wire contract honest (a
@@ -92,9 +98,16 @@ import multiprocessing
 import os
 import pickle
 import time
+from array import array
 from typing import Callable, List, Optional, Tuple, Union
 
-from repro.db.instance import DatabaseInstance
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - no shm backend
+    _shared_memory = None
+
+from repro.db.facts import Fact
+from repro.db.instance import Block, DatabaseInstance
 from repro.engine.engine import CertaintyEngine, EngineStats
 from repro.serving.faults import make_fault_plan
 from repro.serving.journal import MemoryJournalStore, ShardJournal
@@ -451,11 +464,169 @@ class ThreadTransport(ShardTransport):
             "alive": self.core is not None,
             "restarts": self.restarts,
             "snapshot_bytes": 0,
+            "snapshot_shm": 0,
             "deltas_forwarded": 0,
             "journal": self.journal.kind if self.journal else "none",
         }
         health.update(self._resilience_health())
         return health
+
+
+#: Estimated shm payload bytes above which a register op's snapshot ships
+#: through a shared-memory segment instead of its pickled frame slice.
+SHM_SNAPSHOT_THRESHOLD = 256 * 1024
+
+
+def _estimate_snapshot_bytes(db: DatabaseInstance) -> int:
+    """Cheap upper-bound estimate of a snapshot's shm payload size.
+
+    The flat stream costs 8 bytes per fact plus 24 per block plus the
+    pickled symbol tables; ``16 * facts`` over-counts the stream enough
+    to stand in for the tables without touching them.
+    """
+    return 16 * len(db.facts)
+
+
+def _encode_snapshot(db: DatabaseInstance) -> bytes:
+    """Flatten *db* into the facts-only shm wire format.
+
+    Layout: an 8-byte little-endian length, the pickled symbol tables
+    ``(relations, consts)``, then a flat ``array('q')`` stream of block
+    records ``rel_id, key_id, n_values, value_id...`` -- every id a
+    **snapshot-local** dense index into the shipped tables, never a
+    process-wide interner id (the same hygiene contract as
+    :meth:`DatabaseInstance.__reduce__`; ``_decode_snapshot`` rejects
+    any id outside the shipped tables).  Block records emit values in
+    the parent's sorted block order, so the receiver can assemble
+    presorted blocks without re-sorting.
+    """
+    local: dict = {}
+    consts: list = []
+    rel_ids: dict = {}
+    rels: list = []
+    stream = array("q")
+    append = stream.append
+    lookup = local.get
+    for (key, rel), facts in db._out_index.items():
+        rel_id = rel_ids.get(rel)
+        if rel_id is None:
+            rel_id = rel_ids[rel] = len(rels)
+            rels.append(rel)
+        key_id = lookup(key)
+        if key_id is None:
+            key_id = local[key] = len(consts)
+            consts.append(key)
+        append(rel_id)
+        append(key_id)
+        append(len(facts))
+        for fact in facts:
+            value_id = lookup(fact.value)
+            if value_id is None:
+                value_id = local[fact.value] = len(consts)
+                consts.append(fact.value)
+            append(value_id)
+    tables = pickle.dumps((rels, consts), protocol=pickle.HIGHEST_PROTOCOL)
+    return len(tables).to_bytes(8, "little") + tables + stream.tobytes()
+
+
+def _decode_snapshot(payload: bytes) -> DatabaseInstance:
+    """Rebuild a :class:`DatabaseInstance` from the shm wire format.
+
+    Every id in the stream is bounds-checked against the shipped symbol
+    tables: an out-of-range id means the segment carries something other
+    than snapshot-local indexes (e.g. a process-wide interner id leaked
+    into the encoding) and the snapshot is rejected outright rather than
+    silently resolved against the receiver's interner.
+    """
+    tables_len = int.from_bytes(payload[:8], "little")
+    rels, consts = pickle.loads(payload[8 : 8 + tables_len])
+    stream = array("q")
+    stream.frombytes(payload[8 + tables_len :])
+    ids = stream.tolist()
+    blocks: dict = {}
+    out_index: dict = {}
+    all_facts: list = []
+    index = 0
+    end = len(ids)
+    n_consts = len(consts)
+    n_rels = len(rels)
+    presorted = Block.presorted
+    extend = all_facts.extend
+    new_fact = Fact.__new__
+    while index < end:
+        rel_id = ids[index]
+        key_id = ids[index + 1]
+        count = ids[index + 2]
+        if not (0 <= rel_id < n_rels and 0 <= key_id < n_consts):
+            raise ShardTransportError(
+                "shm snapshot carries non-local ids (interner leak?)"
+            )
+        rel = rels[rel_id]
+        key = consts[key_id]
+        index += 3
+        values = ids[index : index + count]
+        index += count
+        if values and not (0 <= min(values) and max(values) < n_consts):
+            raise ShardTransportError(
+                "shm snapshot carries non-local ids (interner leak?)"
+            )
+        block_facts = []
+        for value_id in values:
+            fact = new_fact(Fact)
+            state = fact.__dict__
+            state["relation"] = rel
+            state["key"] = key
+            state["value"] = consts[value_id]
+            block_facts.append(fact)
+        facts = tuple(block_facts)
+        block_id = (rel, key)
+        blocks[block_id] = presorted(block_id, facts)
+        out_index[(key, rel)] = facts
+        extend(facts)
+    # Every symbol-table entry is referenced by construction (encode
+    # interns on first use), so the tables are exactly the active domain.
+    return DatabaseInstance._from_parts(
+        frozenset(all_facts), blocks, frozenset(consts), out_index
+    )
+
+
+class _ShmSnapshot:
+    """Wire marker standing in for a register op's snapshot payload.
+
+    The parent replaces the op's :class:`DatabaseInstance` with this
+    marker before pickling the frame; the child resolves it by attaching
+    the named segment, decoding the facts-only payload, and detaching.
+    The parent owns the segment's lifetime (unlinked once the batch --
+    including any crash retry, which re-reads it -- has fully resolved).
+    """
+
+    def __init__(self, name: str, nbytes: int) -> None:
+        self.name = name
+        self.nbytes = nbytes
+
+    def load(self) -> DatabaseInstance:
+        if _shared_memory is None:  # pragma: no cover - guarded by sender
+            raise ShardTransportError("shared memory is unavailable")
+        segment = _shared_memory.SharedMemory(name=self.name)
+        try:
+            payload = bytes(segment.buf[: self.nbytes])
+        finally:
+            # Close the mapping only -- the parent owns the segment and
+            # unlinks it once the batch resolves.  The attach's resource
+            # -tracker registration is shared with (and deduplicated
+            # against) the parent's, so the parent's unlink retires it.
+            segment.close()
+        return _decode_snapshot(payload)
+
+    def __repr__(self) -> str:
+        return "_ShmSnapshot({!r}, {} bytes)".format(self.name, self.nbytes)
+
+
+def _resolve_shm_op(op: ShardOp) -> ShardOp:
+    """Child-side: swap a register op's shm marker for the decoded db."""
+    if op[0] == "register" and isinstance(op[2], _ShmSnapshot):
+        return (op[0], op[1], op[2].load()) + tuple(op[3:])
+    return op
 
 
 class ProcessTransport(ShardTransport):
@@ -486,11 +657,18 @@ class ProcessTransport(ShardTransport):
         restart_policy: Optional[RestartPolicy] = None,
         degraded: bool = True,
         stop_timeout: float = 5.0,
+        shm_threshold: Optional[int] = SHM_SNAPSHOT_THRESHOLD,
     ) -> None:
         self.shard_id = shard_id
         self.engine_factory = engine_factory
         self._init_resilience(
             shard_id, engine_factory, faults, restart_policy, degraded
+        )
+        #: Estimated payload bytes above which register snapshots ship
+        #: via shared memory; ``None`` (or a missing shm backend) keeps
+        #: every snapshot on the pickled-frame path.
+        self.shm_threshold = (
+            shm_threshold if _shared_memory is not None else None
         )
         #: Seconds to wait at each escalation step of :meth:`stop`
         #: (protocol stop -> terminate -> kill).
@@ -516,7 +694,12 @@ class ProcessTransport(ShardTransport):
         self._needs_replay = self._seq > 0 or bool(self.journal.residents())
         self.restarts = 0
         self.snapshot_bytes = 0
+        self.snapshot_shm = 0
         self.deltas_forwarded = 0
+        #: Live shared-memory segments for the batch in flight; released
+        #: (closed + unlinked) once the batch fully resolves -- retries
+        #: against a restarted child re-read the same segments.
+        self._segments: List = []
         #: Fault-injection hook (tests only): the child executes the
         #: next N batches normally -- commits and all -- but exits
         #: before replying, simulating a crash between commit and ack.
@@ -581,6 +764,7 @@ class ProcessTransport(ShardTransport):
         self._conn.close()
         self.process = None
         self._conn = None
+        self._release_segments()
 
     # ------------------------------------------------------------------
     # Execution
@@ -591,7 +775,16 @@ class ProcessTransport(ShardTransport):
         if state == "open":
             self._shed_unavailable(requests)
             return
-        probe = state == "half_open"
+        try:
+            self._execute(requests, probe=state == "half_open")
+        finally:
+            # The batch is fully resolved (or failed for good): every
+            # shm segment it shipped has been consumed and can go.  A
+            # batch abandoned mid-crash still releases here -- segments
+            # never outlive their batch.
+            self._release_segments()
+
+    def _execute(self, requests: List[ShardRequest], probe: bool) -> None:
         crash_mode, dup = self._draw_faults(requests)
         for request in requests:
             if request.op in ("register", "delta") and request.seq == 0:
@@ -648,10 +841,48 @@ class ProcessTransport(ShardTransport):
     def _serialize(self, ops: List[ShardOp]) -> List[bytes]:
         """One pickled frame slice per op (a single pickling pass: the
         slices are sent as-is, and sizing register slices separately is
-        what keeps ``snapshot_bytes`` honest about mixed batches)."""
+        what keeps ``snapshot_bytes`` honest about mixed batches).
+        Register snapshots whose estimated payload clears
+        :attr:`shm_threshold` are diverted to a shared-memory segment:
+        the frame then carries only a tiny :class:`_ShmSnapshot` marker
+        and the segment (billed to ``snapshot_shm``) carries the flat
+        facts-only arrays."""
         return [
-            pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL) for op in ops
+            pickle.dumps(
+                self._maybe_shm(op), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            for op in ops
         ]
+
+    def _maybe_shm(self, op: ShardOp) -> ShardOp:
+        if (
+            self.shm_threshold is None
+            or op[0] != "register"
+            or not isinstance(op[2], DatabaseInstance)
+            or _estimate_snapshot_bytes(op[2]) < self.shm_threshold
+        ):
+            return op
+        payload = _encode_snapshot(op[2])
+        segment = _shared_memory.SharedMemory(
+            create=True, size=max(1, len(payload))
+        )
+        segment.buf[: len(payload)] = payload
+        self._segments.append(segment)
+        self.snapshot_shm += len(payload)
+        marker = _ShmSnapshot(segment.name, len(payload))
+        return (op[0], op[1], marker) + tuple(op[3:])
+
+    def _release_segments(self) -> None:
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
 
     def _round_trip(self, blobs: List[bytes], crash_mode: int = 0):
         if self._needs_replay:
@@ -796,7 +1027,11 @@ class ProcessTransport(ShardTransport):
             #: Wire bytes of every register op shipped to the child
             #: (client registrations and journal replay) -- measured per
             #: op, so mixed-batch solve/delta traffic is not billed.
+            #: Snapshots diverted to shared memory bill their segment
+            #: bytes to ``snapshot_shm`` instead (their frame slice --
+            #: just the marker -- still counts as wire bytes).
             "snapshot_bytes": self.snapshot_bytes,
+            "snapshot_shm": self.snapshot_shm,
             "deltas_forwarded": self.deltas_forwarded,
             "journal": self.journal.kind,
         }
@@ -905,7 +1140,7 @@ def _shard_process_main(conn, shard_id: int, engine_factory) -> None:
             # sees it -- die without applying (or acking) anything.
             conn.close()
             os._exit(1)
-        ops = [pickle.loads(blob) for blob in blobs]
+        ops = [_resolve_shm_op(pickle.loads(blob)) for blob in blobs]
         rows = []
         for ok, payload in core.run_batch(ops):
             was_lazy = (

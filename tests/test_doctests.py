@@ -39,6 +39,7 @@ MODULE_NAMES = [
     "repro.solvers.generalized_solver",
     "repro.solvers.nl_solver",
     "repro.solvers.sat",
+    "repro.solvers.sat_encoding",
     "repro.words.rewind",
     "repro.words.word",
 ]

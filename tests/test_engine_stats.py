@@ -90,14 +90,23 @@ class TestDeltaAccountingUnderBatches:
         engine = CertaintyEngine()
         # A consistent ARRX chain: certainty holds, so the incremental
         # pre-filter cannot dismiss it and every delta decision re-solves
-        # via SAT (full_resolves), keeping the invariant intact.
+        # via SAT.  First sight builds the CNF context (a full resolve);
+        # the warm step re-solves through the cached assumption-keyed
+        # context and counts as a SAT-incremental hit, keeping the
+        # invariant intact.
         db = chain_instance("ARRX", repetitions=2)
-        engine.solve_delta(db, Delta(), "ARRX")
+        cold = engine.solve_delta(db, Delta(), "ARRX")
+        assert cold.answer is True
+        assert cold.method == "sat-incremental"
+        assert cold.details["incremental"] is False
+        assert engine.stats.full_resolves == 1
         result = engine.solve_delta(db, Delta(), "ARRX")
         assert result.answer is True
-        assert result.method == "sat"
+        assert result.method == "sat-incremental"
+        assert result.details["incremental"] is True
         assert engine.stats.delta_solves == 2
-        assert engine.stats.full_resolves == 2
+        assert engine.stats.full_resolves == 1
+        assert engine.stats.sat_incremental_hits == 1
         _assert_delta_invariant(engine)
 
     def test_forced_method_delta_counts_as_full_resolve(self):

@@ -22,11 +22,13 @@ import pytest
 
 from repro.datalog.cqa_program import (
     ADOM,
+    UnsupportedQuery,
     build_cqa_program,
     instance_to_edb,
     rel,
 )
 from repro.datalog.engine import (
+    CompactDatalogState,
     DatalogState,
     evaluate_program,
     evaluate_program_naive,
@@ -35,12 +37,22 @@ from repro.db.delta import Delta, DeltaInstance
 from repro.db.facts import Fact
 from repro.db.instance import DatabaseInstance
 from repro.engine import CertaintyEngine
+from repro.queries.generalized import GeneralizedPathQuery
 from repro.solvers.fixpoint import (
     FixpointState,
     certain_answer_incremental,
     fixpoint_relation,
 )
-from repro.workloads.generators import planted_instance, random_instance
+from repro.solvers.sat_encoding import (
+    IncrementalSatContext,
+    certain_answer_sat,
+)
+from repro.workloads.generators import (
+    hardness_gadget_instance,
+    planted_instance,
+    random_instance,
+)
+from repro.workloads.paper_instances import figure3_instance
 
 #: Two queries per Theorem 2 complexity class (as in the engine tests).
 CLASS_QUERIES = [
@@ -363,3 +375,239 @@ class TestIncrementalSweep:
             result = engine.solve_delta(db, delta, query)
             db = delta.apply_to(db).commit()
             assert result.answer == reference.solve(db, query).answer
+
+
+def _normalized(relations):
+    """Relations as ``{predicate: set(rows)}`` with empty predicates
+    dropped (the two engines may differ on materializing empties)."""
+    return {
+        predicate: set(map(tuple, rows))
+        for predicate, rows in relations.items()
+        if rows
+    }
+
+
+class TestCompactResumeDifferential:
+    """The compact (int-tuple) resume path against the object engine.
+
+    The retained :class:`CompactDatalogState` materialization must track
+    :class:`DatalogState` exactly under random EDB insert streams (the
+    shared resume contract is insert-only) for queries from all four
+    Theorem 2 complexity classes.
+    """
+
+    @pytest.mark.parametrize("query,_cls", CLASS_QUERIES)
+    def test_resume_matches_object_engine(self, query, _cls):
+        try:
+            cqa = build_cqa_program(query)
+        except UnsupportedQuery:
+            pytest.skip("no Claim 5 program for {}".format(query))
+        rng = random.Random(0xC0DE + sum(map(ord, query)))
+        alphabet = sorted(set(query))
+        for trial in range(3):
+            db = random_instance(
+                rng, 6, rng.randint(4, 16), alphabet, 0.5
+            )
+            edb = instance_to_edb(db)
+            obj = DatalogState.evaluate(cqa.program, edb)
+            compact = CompactDatalogState.evaluate_decoded(cqa.program, edb)
+            assert _normalized(compact.decoded_relations()) == _normalized(
+                obj.relations
+            ), (query, trial)
+            for _step in range(6):
+                # Insert-only random delta: fresh facts, duplicates, and
+                # brand-new constants all ride the same resume call.
+                inserts = [
+                    Fact(
+                        rng.choice(alphabet),
+                        rng.randint(0, 7),
+                        rng.randint(0, 7),
+                    )
+                    for _ in range(rng.randint(1, 3))
+                ]
+                delta = {}
+                for fact in inserts:
+                    delta.setdefault(rel(fact.relation), []).append(
+                        (fact.key, fact.value)
+                    )
+                    delta.setdefault(ADOM, []).extend(
+                        [(fact.key,), (fact.value,)]
+                    )
+                resumed_obj = obj.resume(delta)
+                resumed_compact = compact.resume_decoded(delta)
+                assert _normalized(resumed_compact) == _normalized(
+                    resumed_obj
+                ), (query, trial, inserts)
+
+
+class TestCompactResumeNegationDifferential:
+    """Compact resume on a stratified program with negation and
+    constants: the recompute-downstream path must also track the object
+    engine under insert streams."""
+
+    def test_resume_with_negation_strata(self):
+        from repro.datalog.syntax import Literal, Program, Rule, var
+
+        x, y = var("X"), var("Y")
+        program = Program(
+            [
+                Rule(Literal("base", (x,)), (Literal("e", (x, y)),)),
+                Rule(
+                    Literal("p", (x, y)),
+                    (
+                        Literal("e", (x, y)),
+                        Literal("neq", (x, "a")),
+                        Literal("e", (y, "c"), negated=True),
+                    ),
+                ),
+                Rule(
+                    Literal("reach", (x, y)),
+                    (Literal("p", (x, y)),),
+                ),
+                Rule(
+                    Literal("reach", (x, y)),
+                    (Literal("reach", (x, "b")), Literal("p", ("b", y))),
+                ),
+            ]
+        )
+        rng = random.Random(0x9E6)
+        constants = "abcdefg"
+        for trial in range(4):
+            edb = {
+                "e": sorted(
+                    {
+                        (rng.choice(constants), rng.choice(constants))
+                        for _ in range(6)
+                    }
+                )
+            }
+            obj = DatalogState.evaluate(program, edb)
+            compact = CompactDatalogState.evaluate_decoded(program, edb)
+            assert _normalized(compact.decoded_relations()) == _normalized(
+                obj.relations
+            ), (trial, edb)
+            for _step in range(8):
+                delta = {
+                    "e": [
+                        (rng.choice(constants), rng.choice(constants))
+                        for _ in range(rng.randint(1, 2))
+                    ]
+                }
+                resumed_obj = obj.resume(delta)
+                resumed_compact = compact.resume_decoded(delta)
+                assert _normalized(resumed_compact) == _normalized(
+                    resumed_obj
+                ), (trial, delta)
+
+
+class TestIncrementalSatDifferential:
+    """Assumption-based SAT reuse against from-scratch encodings."""
+
+    @pytest.mark.parametrize("query", ["ARRX", "RXRXRYRY"])
+    def test_random_chains_match_fresh_sat(self, query):
+        rng = random.Random(0x5A7 + sum(map(ord, query)))
+        alphabet = sorted(set(query))
+        for trial in range(3):
+            db = random_instance(rng, 5, rng.randint(3, 12), alphabet, 0.5)
+            ctx = IncrementalSatContext(db, query)
+            assert (
+                ctx.solve().answer == certain_answer_sat(db, query).answer
+            )
+            for _step in range(6):
+                overlay = random_update(rng, db, alphabet)
+                new_db = overlay.commit()
+                ctx.apply_delta(
+                    new_db, overlay.added_facts, overlay.removed_facts
+                )
+                got = ctx.solve()
+                want = certain_answer_sat(new_db, query)
+                assert got.answer == want.answer, (query, trial, new_db)
+                if not got.answer:
+                    assert got.falsifying_repair.is_repair_of(new_db)
+                db = new_db
+
+    def test_figure3_chain(self):
+        """The paper's Figure 3 instance under edits around the fork."""
+        db = figure3_instance()
+        ctx = IncrementalSatContext(db, "ARRX")
+        assert ctx.solve().answer == certain_answer_sat(db, "ARRX").answer
+        rng = random.Random(0xF13)
+        for _step in range(8):
+            overlay = random_update(rng, db, ("A", "R", "X"))
+            new_db = overlay.commit()
+            ctx.apply_delta(
+                new_db, overlay.added_facts, overlay.removed_facts
+            )
+            assert (
+                ctx.solve().answer
+                == certain_answer_sat(new_db, "ARRX").answer
+            ), new_db
+            db = new_db
+        # The chain must actually have reused loaded clause groups.
+        assert ctx.last_reused > 0
+
+    def test_gadget_family_ground_truth(self):
+        """Scaled hardness gadgets: provable answers, then delta chains."""
+        rng = random.Random(0xF16)
+        for n_branches, n_straight in [(3, 0), (3, 1), (4, 2), (4, 0)]:
+            db = hardness_gadget_instance(rng, n_branches, n_straight)
+            ctx = IncrementalSatContext(db, "ARRX")
+            result = ctx.solve()
+            assert result.answer is (n_straight >= 1), (
+                n_branches,
+                n_straight,
+            )
+            if not result.answer:
+                assert result.falsifying_repair.is_repair_of(db)
+            for _step in range(4):
+                overlay = random_update(rng, db, ("A", "R", "X"))
+                new_db = overlay.commit()
+                ctx.apply_delta(
+                    new_db, overlay.added_facts, overlay.removed_facts
+                )
+                assert (
+                    ctx.solve().answer
+                    == certain_answer_sat(new_db, "ARRX").answer
+                ), (n_branches, n_straight, new_db)
+                db = new_db
+
+
+class TestGeneralizedDeltaDifferential:
+    """Maintained Section 8 states against cold generalized solves."""
+
+    GQ = [
+        GeneralizedPathQuery("RR", {0: 0}),       # pure Lemma 27 segment
+        GeneralizedPathQuery("RX", {2: 1}),       # ext(q), C3 inner word
+        GeneralizedPathQuery("RXRYRY", {0: 0}),   # PTIME segment check
+        GeneralizedPathQuery("ARRX", {4: 1}),     # ext(q), coNP inner word
+    ]
+
+    @pytest.mark.parametrize("gq", GQ, ids=str)
+    def test_chain_matches_cold_solve(self, gq):
+        rng = random.Random(0x6E2 + sum(map(ord, str(gq))))
+        alphabet = sorted(set(str(gq.word)))
+        engine = CertaintyEngine()
+        for trial in range(3):
+            db = random_instance(rng, 5, rng.randint(3, 12), alphabet, 0.5)
+            warm = 0
+            for _step in range(6):
+                overlay = random_update(rng, db, alphabet)
+                delta = Delta(
+                    removes=tuple(sorted(overlay.removed_facts)),
+                    inserts=tuple(sorted(overlay.added_facts)),
+                )
+                result = engine.solve_delta(db, delta, gq)
+                new_db = delta.apply_to(db).commit()
+                cold = CertaintyEngine().solve(new_db, gq)
+                assert result.answer == cold.answer, (
+                    str(gq),
+                    trial,
+                    new_db,
+                )
+                assert result.method == "generalized"
+                if result.details.get("incremental"):
+                    warm += 1
+                db = new_db
+            # Only the first step of each chain pays a full compute.
+            assert warm >= 5, (str(gq), trial, warm)
+        assert engine.stats.incremental_hits > 0

@@ -14,6 +14,7 @@ from repro.classification.classifier import ComplexityClass, classify
 from repro.db.evaluation import path_query_satisfied
 from repro.db.repairs import count_repairs, iter_repairs
 from repro.engine import CertaintyEngine
+from repro.queries.generalized import GeneralizedPathQuery
 from repro.scenarios.oracle import reference_answer
 from repro.solvers.brute_force import certain_answer_brute_force
 from repro.solvers.certainty import certain_answer
@@ -168,6 +169,42 @@ class TestDeltaChains:
         engine = CertaintyEngine()
         # Prime the maintained state so the chain exercises the
         # incremental path rather than a sequence of cold solves.
+        engine.solve(db, q)
+        for delta in deltas:
+            chained = engine.solve_delta(db, delta, q).answer
+            db = delta.apply_to(db).commit()
+            assert chained == CertaintyEngine().solve(db, q).answer
+            assert chained == reference_answer(db, q)
+
+    @chain_settings
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.sampled_from(
+            (
+                GeneralizedPathQuery("RR", {0: 0}),
+                GeneralizedPathQuery("RX", {2: 1}),
+                GeneralizedPathQuery("ARRX", {4: 1}),
+            )
+        ),
+    )
+    def test_generalized_chain_matches_full_resolve_and_oracle(
+        self, seed, q
+    ):
+        """Section 8 queries ride the same chain contract: the
+        maintained :class:`GeneralizedState` must agree with a cold
+        generalized solve and with the oracle at every step."""
+        rng = random.Random(seed)
+        db = random_instance(
+            rng,
+            rng.randint(3, 5),
+            rng.randint(4, 10),
+            ("A", "R", "X", "Y"),
+            0.5,
+        )
+        deltas = firehose_stream(
+            rng, db, rng.randint(1, 4), max_edits=2
+        )
+        engine = CertaintyEngine()
         engine.solve(db, q)
         for delta in deltas:
             chained = engine.solve_delta(db, delta, q).answer

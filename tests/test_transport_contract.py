@@ -17,14 +17,26 @@ These tests round-trip real payloads through a fresh interpreter (a
 interner pages and prove nothing).
 """
 
+import glob
 import os
 import pickle
 import subprocess
 import sys
+from array import array
 from pathlib import Path
 
+import pytest
+
 from repro.db.instance import DatabaseInstance
+from repro.db.interner import global_interner
 from repro.engine import CertaintyEngine
+from repro.serving import ShardRequest
+from repro.serving.transport import (
+    ProcessTransport,
+    ShardTransportError,
+    _decode_snapshot,
+    _encode_snapshot,
+)
 from repro.solvers.fixpoint import certain_answer_fixpoint
 from repro.solvers.result import LazyMinimalRepair
 from repro.workloads.generators import chain_instance
@@ -194,3 +206,104 @@ def test_lazy_minimal_repair_reduce_is_data_only():
     assert isinstance(rebuilt, LazyMinimalRepair)
     assert rebuilt.db == db
     assert rebuilt() == lazy()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory snapshots: the shm flavor of the same hygiene contract
+# ----------------------------------------------------------------------
+
+
+def _snapshot_stream(payload):
+    """Split an encoded snapshot into its symbol tables and id stream."""
+    tables_len = int.from_bytes(payload[:8], "little")
+    rels, consts = pickle.loads(payload[8 : 8 + tables_len])
+    stream = array("q")
+    stream.frombytes(payload[8 + tables_len :])
+    return rels, consts, stream.tolist()
+
+
+def test_shm_snapshot_ids_are_snapshot_local_not_interner_ids():
+    """Every id in the shm stream indexes the shipped tables.
+
+    The process-wide interner is deliberately pushed far past any dense
+    snapshot-local index first: had the encoder leaked interner ids, the
+    stream would carry values >= the junk floor and the walk would trip.
+    """
+    for i in range(10_000):
+        global_interner().constant_id(("junk-gid", i))
+    db = chain_instance("RRX", repetitions=40, conflict_every=3)
+    db.compact()  # interns this instance's constants process-wide too
+    payload = _encode_snapshot(db)
+    rels, consts, ids = _snapshot_stream(payload)
+    index = 0
+    while index < len(ids):
+        rel_id, key_id, count = ids[index], ids[index + 1], ids[index + 2]
+        assert 0 <= rel_id < len(rels)
+        assert 0 <= key_id < len(consts)
+        for value_id in ids[index + 3 : index + 3 + count]:
+            assert 0 <= value_id < len(consts)
+        index += 3 + count
+    decoded = _decode_snapshot(payload)
+    assert decoded.facts == db.facts
+    assert decoded.adom() == db.adom()
+    assert decoded._out_index == db._out_index
+
+
+@pytest.mark.parametrize("slot", [1, 3])
+def test_shm_decode_rejects_foreign_ids(slot):
+    """An id outside the shipped tables (an interner leak) is rejected
+    outright -- never resolved against the receiver's interner."""
+    db = DatabaseInstance.from_triples([("R", 0, 1), ("R", 1, 2)])
+    payload = _encode_snapshot(db)
+    tables_len = int.from_bytes(payload[:8], "little")
+    head = payload[: 8 + tables_len]
+    stream = array("q")
+    stream.frombytes(payload[8 + tables_len :])
+    ids = stream.tolist()
+    ids[slot] = 987_654  # where a snapshot-local key/value id belongs
+    with pytest.raises(ShardTransportError):
+        _decode_snapshot(head + array("q", ids).tobytes())
+
+
+def test_shm_register_round_trip_and_segment_cleanup():
+    """Registration above the threshold ships via shm, answers match the
+    in-process engine, and no segment outlives its batch."""
+    before = set(glob.glob("/dev/shm/psm_*"))
+    db = chain_instance("RXRYRY", repetitions=30, conflict_every=2)
+    transport = ProcessTransport(0, shm_threshold=0)
+    transport.start()
+    try:
+        register = ShardRequest("register", name="resident", db=db)
+        transport.execute([register])
+        assert register.error is None
+        assert transport.health()["snapshot_shm"] > 0
+        # Segments are released with their batch, not held until stop.
+        assert transport._segments == []
+        if os.path.isdir("/dev/shm"):
+            assert set(glob.glob("/dev/shm/psm_*")) <= before
+        solve = ShardRequest("solve", name="resident", query="RXRYRY")
+        transport.execute([solve])
+        assert (
+            solve.result.answer
+            == CertaintyEngine().solve(db, "RXRYRY").answer
+        )
+    finally:
+        transport.stop()
+    if os.path.isdir("/dev/shm"):
+        assert set(glob.glob("/dev/shm/psm_*")) <= before
+
+
+def test_shm_disabled_below_threshold():
+    """Small snapshots stay on the pickled-frame path untouched."""
+    db = DatabaseInstance.from_triples([("R", 0, 1), ("X", 1, 2)])
+    transport = ProcessTransport(0)  # default 256 KiB threshold
+    transport.start()
+    try:
+        register = ShardRequest("register", name="tiny", db=db)
+        transport.execute([register])
+        assert register.error is None
+        health = transport.health()
+        assert health["snapshot_shm"] == 0
+        assert health["snapshot_bytes"] > 0
+    finally:
+        transport.stop()
